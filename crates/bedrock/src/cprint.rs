@@ -1,0 +1,313 @@
+//! Pretty-printer from Bedrock2 to C.
+//!
+//! Mirrors Bedrock2's `ToCString.v`: "a very small program … that is
+//! essentially implementing an identity function" (§4.3). The output is
+//! self-contained C11 relying only on `<stdint.h>`: locals are `uintptr_t`,
+//! loads and stores go through casts, and inline tables become `static
+//! const` arrays.
+
+use std::fmt::Write as _;
+
+use crate::ast::{AccessSize, BExpr, BFunction, BinOp, Cmd, Program};
+
+/// Renders a whole program: a preamble plus every function, in name order.
+pub fn program_to_c(p: &Program) -> String {
+    let mut out = String::from("#include <stdint.h>\n#include <stddef.h>\n\n");
+    for f in p.iter() {
+        out.push_str(&function_to_c(f));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one function.
+///
+/// Functions with zero returns become `void`; one return becomes
+/// `uintptr_t`; Bedrock2 functions with more returns are printed with an
+/// out-parameter per extra return, following the convention of Bedrock2's
+/// own printer.
+pub fn function_to_c(f: &BFunction) -> String {
+    let mut out = String::new();
+    let ret_ty = match f.rets.len() {
+        0 => "void",
+        _ => "uintptr_t",
+    };
+    let mut params: Vec<String> = f.args.iter().map(|a| format!("uintptr_t {a}")).collect();
+    for extra in f.rets.iter().skip(1) {
+        params.push(format!("uintptr_t *out_{extra}"));
+    }
+    let params = if params.is_empty() { "void".to_string() } else { params.join(", ") };
+    let _ = writeln!(out, "{ret_ty} {}({params}) {{", f.name);
+    for t in &f.tables {
+        let items: Vec<String> = t.data.iter().map(|b| format!("0x{b:02x}")).collect();
+        let _ = writeln!(
+            out,
+            "  static const uint8_t {}[{}] = {{{}}};",
+            t.name,
+            t.data.len(),
+            items.join(", ")
+        );
+    }
+    // Declare every assigned local that is not a parameter.
+    for v in f.body.assigned_vars() {
+        if !f.args.contains(&v) {
+            let _ = writeln!(out, "  uintptr_t {v} = 0;");
+        }
+    }
+    print_cmd(&mut out, f, &f.body, 1);
+    match f.rets.len() {
+        0 => {}
+        _ => {
+            for extra in f.rets.iter().skip(1) {
+                let _ = writeln!(out, "  *out_{extra} = {extra};");
+            }
+            let _ = writeln!(out, "  return {};", f.rets[0]);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn load_cast(size: AccessSize) -> &'static str {
+    match size {
+        AccessSize::One => "uint8_t",
+        AccessSize::Two => "uint16_t",
+        AccessSize::Four => "uint32_t",
+        AccessSize::Eight => "uint64_t",
+    }
+}
+
+/// Renders an expression.
+pub fn expr_to_c(f: &BFunction, e: &BExpr) -> String {
+    match e {
+        BExpr::Lit(w) => {
+            if *w > i64::MAX as u64 {
+                format!("(uintptr_t)0x{w:x}ULL")
+            } else {
+                format!("(uintptr_t){w}ULL")
+            }
+        }
+        BExpr::Var(v) => v.clone(),
+        BExpr::Load(size, addr) => {
+            format!("(uintptr_t)(*({}*)({}))", load_cast(*size), expr_to_c(f, addr))
+        }
+        BExpr::InlineTable { size, table, index } => match size {
+            AccessSize::One => format!("(uintptr_t){table}[{}]", expr_to_c(f, index)),
+            _ => format!(
+                "(uintptr_t)(*({}*)&{table}[{}])",
+                load_cast(*size),
+                expr_to_c(f, index)
+            ),
+        },
+        BExpr::Op(op, a, b) => {
+            let (sa, sb) = (expr_to_c(f, a), expr_to_c(f, b));
+            match op {
+                BinOp::MulHuu => format!(
+                    "(uintptr_t)(((unsigned __int128)({sa}) * (unsigned __int128)({sb})) >> 64)"
+                ),
+                BinOp::DivU => format!("(({sb}) == 0 ? (uintptr_t)-1 : ({sa}) / ({sb}))"),
+                BinOp::RemU => format!("(({sb}) == 0 ? ({sa}) : ({sa}) % ({sb}))"),
+                BinOp::Sru => format!("(({sa}) >> (({sb}) & 63))"),
+                BinOp::Slu => format!("(({sa}) << (({sb}) & 63))"),
+                BinOp::Srs => format!("((uintptr_t)((intptr_t)({sa}) >> (({sb}) & 63)))"),
+                BinOp::LtS => format!("((uintptr_t)((intptr_t)({sa}) < (intptr_t)({sb})))"),
+                BinOp::LtU | BinOp::Eq => {
+                    format!("((uintptr_t)(({sa}) {} ({sb})))", op.c_symbol())
+                }
+                _ => format!("(({sa}) {} ({sb}))", op.c_symbol()),
+            }
+        }
+    }
+}
+
+fn print_cmd(out: &mut String, f: &BFunction, cmd: &Cmd, level: usize) {
+    match cmd {
+        Cmd::Skip => {}
+        Cmd::Set(v, e) => {
+            indent(out, level);
+            let _ = writeln!(out, "{v} = {};", expr_to_c(f, e));
+        }
+        Cmd::Unset(v) => {
+            indent(out, level);
+            let _ = writeln!(out, "/* unset {v} */");
+        }
+        Cmd::Store(size, addr, val) => {
+            indent(out, level);
+            let _ = writeln!(
+                out,
+                "*({}*)({}) = ({})({});",
+                load_cast(*size),
+                expr_to_c(f, addr),
+                load_cast(*size),
+                expr_to_c(f, val)
+            );
+        }
+        Cmd::Seq(a, b) => {
+            print_cmd(out, f, a, level);
+            print_cmd(out, f, b, level);
+        }
+        Cmd::If { cond, then_, else_ } => {
+            indent(out, level);
+            let _ = writeln!(out, "if ({}) {{", expr_to_c(f, cond));
+            print_cmd(out, f, then_, level + 1);
+            if !matches!(**else_, Cmd::Skip) {
+                indent(out, level);
+                out.push_str("} else {\n");
+                print_cmd(out, f, else_, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Cmd::While { cond, body } => {
+            indent(out, level);
+            let _ = writeln!(out, "while ({}) {{", expr_to_c(f, cond));
+            print_cmd(out, f, body, level + 1);
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Cmd::Call { rets, func, args } => {
+            indent(out, level);
+            let argv: Vec<String> = args.iter().map(|a| expr_to_c(f, a)).collect();
+            match rets.len() {
+                0 => {
+                    let _ = writeln!(out, "{func}({});", argv.join(", "));
+                }
+                1 => {
+                    let _ = writeln!(out, "{} = {func}({});", rets[0], argv.join(", "));
+                }
+                _ => {
+                    let extra: Vec<String> =
+                        rets.iter().skip(1).map(|r| format!("&{r}")).collect();
+                    let _ = writeln!(
+                        out,
+                        "{} = {func}({}, {});",
+                        rets[0],
+                        argv.join(", "),
+                        extra.join(", ")
+                    );
+                }
+            }
+        }
+        Cmd::Interact { rets, action, args } => {
+            indent(out, level);
+            let argv: Vec<String> = args.iter().map(|a| expr_to_c(f, a)).collect();
+            match rets.len() {
+                0 => {
+                    let _ = writeln!(out, "{action}({});", argv.join(", "));
+                }
+                1 => {
+                    let _ = writeln!(out, "{} = {action}({});", rets[0], argv.join(", "));
+                }
+                _ => {
+                    let _ = writeln!(out, "/* interact {action} */");
+                }
+            }
+        }
+        Cmd::StackAlloc { var, nbytes, body } => {
+            indent(out, level);
+            out.push_str("{\n");
+            indent(out, level + 1);
+            let _ = writeln!(out, "uint8_t {var}_buf[{nbytes}];");
+            indent(out, level + 1);
+            let _ = writeln!(out, "{var} = (uintptr_t){var}_buf;");
+            print_cmd(out, f, body, level + 1);
+            indent(out, level);
+            out.push_str("}\n");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{AccessSize as Sz, BTable};
+
+    fn upstr_like() -> BFunction {
+        // while (i < len) { store1(s+i, load1(s+i) | 0x20); i++ }
+        let body = Cmd::seq([
+            Cmd::set("i", BExpr::lit(0)),
+            Cmd::while_(
+                BExpr::op(BinOp::LtU, BExpr::var("i"), BExpr::var("len")),
+                Cmd::seq([
+                    Cmd::store(
+                        Sz::One,
+                        BExpr::op(BinOp::Add, BExpr::var("s"), BExpr::var("i")),
+                        BExpr::op(
+                            BinOp::Or,
+                            BExpr::load(Sz::One, BExpr::op(BinOp::Add, BExpr::var("s"), BExpr::var("i"))),
+                            BExpr::lit(0x20),
+                        ),
+                    ),
+                    Cmd::set("i", BExpr::op(BinOp::Add, BExpr::var("i"), BExpr::lit(1))),
+                ]),
+            ),
+        ]);
+        BFunction::new("lower", ["s", "len"], Vec::<String>::new(), body)
+    }
+
+    #[test]
+    fn emits_c_function_shell() {
+        let c = function_to_c(&upstr_like());
+        assert!(c.contains("void lower(uintptr_t s, uintptr_t len) {"));
+        assert!(c.contains("while (((uintptr_t)((i) < (len)))) {"));
+        assert!(c.contains("*(uint8_t*)"));
+        assert!(c.contains("uintptr_t i = 0;"));
+    }
+
+    #[test]
+    fn emits_return_for_single_ret() {
+        let f = BFunction::new("h", ["x"], ["x"], Cmd::Skip);
+        let c = function_to_c(&f);
+        assert!(c.contains("uintptr_t h(uintptr_t x)"));
+        assert!(c.contains("return x;"));
+    }
+
+    #[test]
+    fn emits_inline_tables_as_static_const() {
+        let f = BFunction::new(
+            "t",
+            ["i"],
+            ["x"],
+            Cmd::set("x", BExpr::table(Sz::One, "tbl", BExpr::var("i"))),
+        )
+        .with_table(BTable { name: "tbl".into(), data: vec![1, 2] });
+        let c = function_to_c(&f);
+        assert!(c.contains("static const uint8_t tbl[2] = {0x01, 0x02};"));
+        assert!(c.contains("x = (uintptr_t)tbl[i];"));
+    }
+
+    #[test]
+    fn division_guards_match_semantics() {
+        let f = BFunction::new("d", ["a", "b"], ["c"],
+            Cmd::set("c", BExpr::op(BinOp::DivU, BExpr::var("a"), BExpr::var("b"))));
+        let c = function_to_c(&f);
+        assert!(c.contains("== 0 ? (uintptr_t)-1"));
+    }
+
+    #[test]
+    fn whole_program_has_preamble() {
+        let mut p = Program::new();
+        p.insert(upstr_like());
+        let c = program_to_c(&p);
+        assert!(c.starts_with("#include <stdint.h>"));
+    }
+
+    #[test]
+    fn stackalloc_prints_a_scoped_buffer() {
+        let f = BFunction::new(
+            "s",
+            Vec::<String>::new(),
+            Vec::<String>::new(),
+            Cmd::StackAlloc { var: "p".into(), nbytes: 16, body: Box::new(Cmd::Skip) },
+        );
+        let c = function_to_c(&f);
+        assert!(c.contains("uint8_t p_buf[16];"));
+        assert!(c.contains("p = (uintptr_t)p_buf;"));
+    }
+}

@@ -1,0 +1,715 @@
+//! Big-step interpreter for Bedrock2 (the paper's `σ_T`).
+//!
+//! Execution is fuel-indexed: every loop iteration and function call
+//! consumes one unit of fuel, and running out of fuel is an error. A
+//! successful run within finite fuel therefore witnesses termination, which
+//! is how this crate mirrors Bedrock2's total-correctness semantics ("the
+//! semantics only give meaning to terminating loops", Box 2).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::{BExpr, BFunction, Cmd, Program};
+use crate::mem::{MemAccessError, Memory};
+
+/// An entry of the event trace: one external interaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Action name.
+    pub action: String,
+    /// Argument words passed to the environment.
+    pub args: Vec<u64>,
+    /// Response words returned by the environment.
+    pub rets: Vec<u64>,
+}
+
+/// Handler giving meaning to `Interact` commands.
+///
+/// The handler plays the role of the external world in Bedrock2's semantics:
+/// it receives the action name and argument words and returns the response
+/// words (which the interpreter then records on the trace).
+pub trait ExternalHandler {
+    /// Performs the interaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the action is unknown or the environment
+    /// cannot satisfy it (e.g. reading from an exhausted input stream).
+    fn interact(&mut self, action: &str, args: &[u64], mem: &mut Memory)
+        -> Result<Vec<u64>, String>;
+}
+
+/// An [`ExternalHandler`] that rejects every interaction; suitable for pure
+/// programs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoExternals;
+
+impl ExternalHandler for NoExternals {
+    fn interact(
+        &mut self,
+        action: &str,
+        _args: &[u64],
+        _mem: &mut Memory,
+    ) -> Result<Vec<u64>, String> {
+        Err(format!("no external handler for action `{action}`"))
+    }
+}
+
+/// Observer invoked each time a `while` loop is about to test its
+/// condition.
+///
+/// The trusted checker in `rupicola-core` uses this to validate inferred
+/// loop invariants (§3.4.2) *at runtime*: at every loop head it recomputes
+/// the closed-form partial-execution term for the current iteration and
+/// compares it against the actual locals and memory.
+pub trait LoopHook {
+    /// Called at a loop head, before the condition is evaluated.
+    ///
+    /// # Errors
+    ///
+    /// Returning an error aborts execution (reported as
+    /// [`ExecError::HookFailure`]).
+    fn at_loop_head(
+        &mut self,
+        function: &str,
+        cond: &BExpr,
+        locals: &Locals,
+        mem: &Memory,
+    ) -> Result<(), String>;
+}
+
+/// A [`LoopHook`] that observes nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoHook;
+
+impl LoopHook for NoHook {
+    fn at_loop_head(
+        &mut self,
+        _function: &str,
+        _cond: &BExpr,
+        _locals: &Locals,
+        _mem: &Memory,
+    ) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// A queue-backed handler for the `io_read` / `io_write` / `writer_tell`
+/// actions that Rupicola's monadic extensions compile to.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueueIo {
+    /// Words served to `io_read`, front first.
+    pub input: std::collections::VecDeque<u64>,
+    /// Filler byte served by `stackalloc` (see [`ExecState`]).
+    _reserved: (),
+}
+
+impl QueueIo {
+    /// Creates a handler with the given input stream.
+    pub fn new<I: IntoIterator<Item = u64>>(input: I) -> Self {
+        QueueIo { input: input.into_iter().collect(), _reserved: () }
+    }
+}
+
+impl ExternalHandler for QueueIo {
+    fn interact(
+        &mut self,
+        action: &str,
+        args: &[u64],
+        _mem: &mut Memory,
+    ) -> Result<Vec<u64>, String> {
+        match action {
+            "io_read" => {
+                let w = self.input.pop_front().ok_or("io input exhausted")?;
+                Ok(vec![w])
+            }
+            "io_write" | "writer_tell" => {
+                if args.len() != 1 {
+                    return Err(format!("{action} expects 1 argument"));
+                }
+                Ok(vec![])
+            }
+            other => Err(format!("no external handler for action `{other}`")),
+        }
+    }
+}
+
+/// Errors of Bedrock2 execution (stuck states of the semantics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Fuel exhausted: the execution did not terminate within the bound.
+    OutOfFuel,
+    /// A read of an unbound local.
+    UndefinedVariable(String),
+    /// An invalid memory access.
+    Memory(MemAccessError),
+    /// A call to an unknown function.
+    UnknownFunction(String),
+    /// A reference to an unknown inline table.
+    UnknownTable(String),
+    /// An inline-table access out of bounds.
+    TableOutOfBounds {
+        /// Table name.
+        table: String,
+        /// Byte offset used.
+        offset: u64,
+        /// Table length in bytes.
+        len: u64,
+    },
+    /// Call or interact arity mismatch.
+    ArityMismatch {
+        /// What was called.
+        name: String,
+        /// Expected count.
+        expected: usize,
+        /// Provided count.
+        found: usize,
+    },
+    /// An external interaction failed.
+    External(String),
+    /// A `stackalloc` body freed or resized its own allocation.
+    StackDiscipline(String),
+    /// A loop-head hook (e.g. an invariant check) rejected the state.
+    HookFailure(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::OutOfFuel => write!(f, "out of fuel (possible nontermination)"),
+            ExecError::UndefinedVariable(v) => write!(f, "undefined local `{v}`"),
+            ExecError::Memory(e) => write!(f, "{e}"),
+            ExecError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            ExecError::UnknownTable(n) => write!(f, "unknown inline table `{n}`"),
+            ExecError::TableOutOfBounds { table, offset, len } => {
+                write!(f, "inline table `{table}`: offset {offset} out of bounds for {len} bytes")
+            }
+            ExecError::ArityMismatch { name, expected, found } => {
+                write!(f, "`{name}` expects {expected} values, got {found}")
+            }
+            ExecError::External(m) => write!(f, "external interaction failed: {m}"),
+            ExecError::StackDiscipline(m) => write!(f, "stack discipline violation: {m}"),
+            ExecError::HookFailure(m) => write!(f, "loop hook failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<MemAccessError> for ExecError {
+    fn from(e: MemAccessError) -> Self {
+        ExecError::Memory(e)
+    }
+}
+
+/// The mutable machine state threaded through execution: memory plus the
+/// event trace. (Locals are per-call and live in the interpreter frames.)
+#[derive(Debug)]
+pub struct ExecState {
+    /// The heap.
+    pub mem: Memory,
+    /// The event trace, oldest first.
+    pub trace: Vec<TraceEvent>,
+    /// Byte used to fill fresh `stackalloc` regions. Bedrock2 leaves their
+    /// initial contents unspecified; the validator runs programs under two
+    /// different poisons to detect code that depends on them.
+    pub stack_poison: u8,
+}
+
+impl Default for ExecState {
+    fn default() -> Self {
+        ExecState::new(Memory::new())
+    }
+}
+
+impl ExecState {
+    /// Creates a state with the given memory, an empty trace and the
+    /// default poison byte `0xAA`.
+    pub fn new(mem: Memory) -> Self {
+        ExecState { mem, trace: Vec::new(), stack_poison: 0xAA }
+    }
+
+    /// Sets the stack poison byte (builder style).
+    #[must_use]
+    pub fn with_stack_poison(mut self, poison: u8) -> Self {
+        self.stack_poison = poison;
+        self
+    }
+}
+
+/// Per-call locals map.
+pub type Locals = HashMap<String, u64>;
+
+/// The Bedrock2 interpreter, borrowing the program it executes.
+#[derive(Debug, Clone, Copy)]
+pub struct Interpreter<'p> {
+    program: &'p Program,
+}
+
+impl<'p> Interpreter<'p> {
+    /// Creates an interpreter over `program`.
+    pub fn new(program: &'p Program) -> Self {
+        Interpreter { program }
+    }
+
+    /// Calls a function by name with argument words, returning its result
+    /// words.
+    ///
+    /// # Errors
+    ///
+    /// Any stuck state of the semantics ([`ExecError`]), including fuel
+    /// exhaustion.
+    pub fn call(
+        &self,
+        name: &str,
+        args: &[u64],
+        state: &mut ExecState,
+        externals: &mut dyn ExternalHandler,
+        fuel: u64,
+    ) -> Result<Vec<u64>, ExecError> {
+        self.call_with_hook(name, args, state, externals, fuel, &mut NoHook)
+    }
+
+    /// Like [`Interpreter::call`], but invokes `hook` at every loop head.
+    ///
+    /// # Errors
+    ///
+    /// As [`Interpreter::call`]; additionally fails with
+    /// [`ExecError::HookFailure`] when the hook rejects a state.
+    pub fn call_with_hook(
+        &self,
+        name: &str,
+        args: &[u64],
+        state: &mut ExecState,
+        externals: &mut dyn ExternalHandler,
+        fuel: u64,
+        hook: &mut dyn LoopHook,
+    ) -> Result<Vec<u64>, ExecError> {
+        let mut fuel = fuel;
+        self.call_internal(name, args, state, externals, &mut fuel, hook)
+    }
+
+    fn call_internal(
+        &self,
+        name: &str,
+        args: &[u64],
+        state: &mut ExecState,
+        externals: &mut dyn ExternalHandler,
+        fuel: &mut u64,
+        hook: &mut dyn LoopHook,
+    ) -> Result<Vec<u64>, ExecError> {
+        let f = self
+            .program
+            .function(name)
+            .ok_or_else(|| ExecError::UnknownFunction(name.to_string()))?;
+        if args.len() != f.args.len() {
+            return Err(ExecError::ArityMismatch {
+                name: name.to_string(),
+                expected: f.args.len(),
+                found: args.len(),
+            });
+        }
+        if *fuel == 0 {
+            return Err(ExecError::OutOfFuel);
+        }
+        *fuel -= 1;
+        let mut locals = Locals::new();
+        for (p, a) in f.args.iter().zip(args) {
+            locals.insert(p.clone(), *a);
+        }
+        self.exec(f, &f.body, &mut locals, state, externals, fuel, hook)?;
+        let mut rets = Vec::with_capacity(f.rets.len());
+        for r in &f.rets {
+            rets.push(
+                *locals
+                    .get(r)
+                    .ok_or_else(|| ExecError::UndefinedVariable(r.clone()))?,
+            );
+        }
+        Ok(rets)
+    }
+
+    /// Evaluates an expression in the context of function `f` (for inline
+    /// tables) and the given locals.
+    pub fn eval_expr(
+        &self,
+        f: &BFunction,
+        e: &BExpr,
+        locals: &Locals,
+        mem: &Memory,
+    ) -> Result<u64, ExecError> {
+        match e {
+            BExpr::Lit(w) => Ok(*w),
+            BExpr::Var(v) => locals
+                .get(v)
+                .copied()
+                .ok_or_else(|| ExecError::UndefinedVariable(v.clone())),
+            BExpr::Load(size, addr) => {
+                let a = self.eval_expr(f, addr, locals, mem)?;
+                Ok(mem.load(a, *size)?)
+            }
+            BExpr::InlineTable { size, table, index } => {
+                let t = f
+                    .table(table)
+                    .ok_or_else(|| ExecError::UnknownTable(table.clone()))?;
+                let off = self.eval_expr(f, index, locals, mem)?;
+                let n = size.bytes();
+                if off.checked_add(n).is_none_or(|end| end > t.data.len() as u64) {
+                    return Err(ExecError::TableOutOfBounds {
+                        table: table.clone(),
+                        offset: off,
+                        len: t.data.len() as u64,
+                    });
+                }
+                let mut out = [0u8; 8];
+                out[..n as usize]
+                    .copy_from_slice(&t.data[off as usize..(off + n) as usize]);
+                Ok(u64::from_le_bytes(out))
+            }
+            BExpr::Op(op, a, b) => {
+                let va = self.eval_expr(f, a, locals, mem)?;
+                let vb = self.eval_expr(f, b, locals, mem)?;
+                Ok(op.eval(va, vb))
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec(
+        &self,
+        f: &BFunction,
+        cmd: &Cmd,
+        locals: &mut Locals,
+        state: &mut ExecState,
+        externals: &mut dyn ExternalHandler,
+        fuel: &mut u64,
+        hook: &mut dyn LoopHook,
+    ) -> Result<(), ExecError> {
+        match cmd {
+            Cmd::Skip => Ok(()),
+            Cmd::Set(v, e) => {
+                let w = self.eval_expr(f, e, locals, &state.mem)?;
+                locals.insert(v.clone(), w);
+                Ok(())
+            }
+            Cmd::Unset(v) => {
+                locals.remove(v);
+                Ok(())
+            }
+            Cmd::Store(size, addr, val) => {
+                let a = self.eval_expr(f, addr, locals, &state.mem)?;
+                let w = self.eval_expr(f, val, locals, &state.mem)?;
+                state.mem.store(a, *size, w)?;
+                Ok(())
+            }
+            Cmd::Seq(a, b) => {
+                self.exec(f, a, locals, state, externals, fuel, hook)?;
+                self.exec(f, b, locals, state, externals, fuel, hook)
+            }
+            Cmd::If { cond, then_, else_ } => {
+                let c = self.eval_expr(f, cond, locals, &state.mem)?;
+                if c != 0 {
+                    self.exec(f, then_, locals, state, externals, fuel, hook)
+                } else {
+                    self.exec(f, else_, locals, state, externals, fuel, hook)
+                }
+            }
+            Cmd::While { cond, body } => {
+                loop {
+                    hook.at_loop_head(&f.name, cond, locals, &state.mem)
+                        .map_err(ExecError::HookFailure)?;
+                    let c = self.eval_expr(f, cond, locals, &state.mem)?;
+                    if c == 0 {
+                        return Ok(());
+                    }
+                    if *fuel == 0 {
+                        return Err(ExecError::OutOfFuel);
+                    }
+                    *fuel -= 1;
+                    self.exec(f, body, locals, state, externals, fuel, hook)?;
+                }
+            }
+            Cmd::Call { rets, func, args } => {
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval_expr(f, a, locals, &state.mem)?);
+                }
+                let out = self.call_internal(func, &argv, state, externals, fuel, hook)?;
+                if out.len() != rets.len() {
+                    return Err(ExecError::ArityMismatch {
+                        name: func.clone(),
+                        expected: rets.len(),
+                        found: out.len(),
+                    });
+                }
+                for (r, w) in rets.iter().zip(out) {
+                    locals.insert(r.clone(), w);
+                }
+                Ok(())
+            }
+            Cmd::Interact { rets, action, args } => {
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval_expr(f, a, locals, &state.mem)?);
+                }
+                let out = externals
+                    .interact(action, &argv, &mut state.mem)
+                    .map_err(ExecError::External)?;
+                if out.len() != rets.len() {
+                    return Err(ExecError::ArityMismatch {
+                        name: action.clone(),
+                        expected: rets.len(),
+                        found: out.len(),
+                    });
+                }
+                state.trace.push(TraceEvent {
+                    action: action.clone(),
+                    args: argv,
+                    rets: out.clone(),
+                });
+                for (r, w) in rets.iter().zip(out) {
+                    locals.insert(r.clone(), w);
+                }
+                Ok(())
+            }
+            Cmd::StackAlloc { var, nbytes, body } => {
+                // Bedrock2 leaves the initial contents unspecified; the
+                // poison byte makes accidental dependence detectable.
+                let base = state.mem.alloc(vec![state.stack_poison; *nbytes as usize]);
+                locals.insert(var.clone(), base);
+                let result = self.exec(f, body, locals, state, externals, fuel, hook);
+                match state.mem.dealloc(base) {
+                    Some(_) => result,
+                    None => Err(ExecError::StackDiscipline(format!(
+                        "stack region {base:#x} was freed by the body"
+                    ))),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{AccessSize as Sz, BTable, BinOp};
+
+    fn run_fn(f: BFunction, args: &[u64], mem: Memory) -> Result<(Vec<u64>, ExecState), ExecError> {
+        let name = f.name.clone();
+        let mut p = Program::new();
+        p.insert(f);
+        let interp = Interpreter::new(&p);
+        let mut state = ExecState::new(mem);
+        let rets = interp.call(&name, args, &mut state, &mut NoExternals, 100_000)?;
+        Ok((rets, state))
+    }
+
+    #[test]
+    fn straightline_arithmetic() {
+        let f = BFunction::new(
+            "f",
+            ["x"],
+            ["y"],
+            Cmd::set("y", BExpr::op(BinOp::Mul, BExpr::var("x"), BExpr::lit(3))),
+        );
+        let (rets, _) = run_fn(f, &[14], Memory::new()).unwrap();
+        assert_eq!(rets, vec![42]);
+    }
+
+    #[test]
+    fn while_loop_sums() {
+        // acc = 0; i = 0; while (i < n) { acc += i; i += 1; }
+        let body = Cmd::seq([
+            Cmd::set("acc", BExpr::lit(0)),
+            Cmd::set("i", BExpr::lit(0)),
+            Cmd::while_(
+                BExpr::op(BinOp::LtU, BExpr::var("i"), BExpr::var("n")),
+                Cmd::seq([
+                    Cmd::set("acc", BExpr::op(BinOp::Add, BExpr::var("acc"), BExpr::var("i"))),
+                    Cmd::set("i", BExpr::op(BinOp::Add, BExpr::var("i"), BExpr::lit(1))),
+                ]),
+            ),
+        ]);
+        let f = BFunction::new("sum", ["n"], ["acc"], body);
+        let (rets, _) = run_fn(f, &[10], Memory::new()).unwrap();
+        assert_eq!(rets, vec![45]);
+    }
+
+    #[test]
+    fn infinite_loop_runs_out_of_fuel() {
+        let f = BFunction::new("spin", Vec::<String>::new(), Vec::<String>::new(),
+            Cmd::while_(BExpr::lit(1), Cmd::Skip));
+        assert_eq!(run_fn(f, &[], Memory::new()).unwrap_err(), ExecError::OutOfFuel);
+    }
+
+    #[test]
+    fn loads_and_stores_hit_memory() {
+        let mut mem = Memory::new();
+        let p = mem.alloc(vec![1, 2, 3, 4]);
+        // swap bytes 0 and 3
+        let body = Cmd::seq([
+            Cmd::set("a", BExpr::load(Sz::One, BExpr::var("p"))),
+            Cmd::set(
+                "b",
+                BExpr::load(Sz::One, BExpr::op(BinOp::Add, BExpr::var("p"), BExpr::lit(3))),
+            ),
+            Cmd::store(Sz::One, BExpr::var("p"), BExpr::var("b")),
+            Cmd::store(
+                Sz::One,
+                BExpr::op(BinOp::Add, BExpr::var("p"), BExpr::lit(3)),
+                BExpr::var("a"),
+            ),
+        ]);
+        let f = BFunction::new("swap", ["p"], Vec::<String>::new(), body);
+        let (_, state) = run_fn(f, &[p], mem).unwrap();
+        assert_eq!(state.mem.region(p).unwrap(), &[4, 2, 3, 1]);
+    }
+
+    #[test]
+    fn oob_store_traps() {
+        let mut mem = Memory::new();
+        let p = mem.alloc(vec![0; 2]);
+        let f = BFunction::new(
+            "oob",
+            ["p"],
+            Vec::<String>::new(),
+            Cmd::store(Sz::One, BExpr::op(BinOp::Add, BExpr::var("p"), BExpr::lit(2)), BExpr::lit(0)),
+        );
+        assert!(matches!(run_fn(f, &[p], mem), Err(ExecError::Memory(_))));
+    }
+
+    #[test]
+    fn inline_table_lookup() {
+        let f = BFunction::new(
+            "nth",
+            ["i"],
+            ["x"],
+            Cmd::set("x", BExpr::table(Sz::One, "t", BExpr::var("i"))),
+        )
+        .with_table(BTable { name: "t".into(), data: vec![10, 20, 30] });
+        let (rets, _) = run_fn(f.clone(), &[2], Memory::new()).unwrap();
+        assert_eq!(rets, vec![30]);
+        assert!(matches!(
+            run_fn(f, &[3], Memory::new()),
+            Err(ExecError::TableOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn calls_pass_args_and_rets() {
+        let callee = BFunction::new(
+            "inc",
+            ["x"],
+            ["y"],
+            Cmd::set("y", BExpr::op(BinOp::Add, BExpr::var("x"), BExpr::lit(1))),
+        );
+        let caller = BFunction::new(
+            "twice",
+            ["x"],
+            ["y"],
+            Cmd::seq([
+                Cmd::Call { rets: vec!["y".into()], func: "inc".into(), args: vec![BExpr::var("x")] },
+                Cmd::Call { rets: vec!["y".into()], func: "inc".into(), args: vec![BExpr::var("y")] },
+            ]),
+        );
+        let mut p = Program::new();
+        p.insert(callee);
+        p.insert(caller);
+        let interp = Interpreter::new(&p);
+        let mut state = ExecState::new(Memory::new());
+        let rets = interp.call("twice", &[40], &mut state, &mut NoExternals, 1000).unwrap();
+        assert_eq!(rets, vec![42]);
+    }
+
+    #[test]
+    fn interact_records_trace() {
+        let f = BFunction::new(
+            "echo",
+            Vec::<String>::new(),
+            ["x"],
+            Cmd::seq([
+                Cmd::Interact { rets: vec!["x".into()], action: "io_read".into(), args: vec![] },
+                Cmd::Interact { rets: vec![], action: "io_write".into(), args: vec![BExpr::var("x")] },
+            ]),
+        );
+        let mut p = Program::new();
+        p.insert(f);
+        let interp = Interpreter::new(&p);
+        let mut state = ExecState::new(Memory::new());
+        let mut io = QueueIo::new([7]);
+        let rets = interp.call("echo", &[], &mut state, &mut io, 1000).unwrap();
+        assert_eq!(rets, vec![7]);
+        assert_eq!(
+            state.trace,
+            vec![
+                TraceEvent { action: "io_read".into(), args: vec![], rets: vec![7] },
+                TraceEvent { action: "io_write".into(), args: vec![7], rets: vec![] },
+            ]
+        );
+    }
+
+    #[test]
+    fn interact_without_handler_fails() {
+        let f = BFunction::new(
+            "bad",
+            Vec::<String>::new(),
+            Vec::<String>::new(),
+            Cmd::Interact { rets: vec![], action: "mystery".into(), args: vec![] },
+        );
+        assert!(matches!(run_fn(f, &[], Memory::new()), Err(ExecError::External(_))));
+    }
+
+    #[test]
+    fn stackalloc_scopes_memory() {
+        // Write into the scratch region; region must be gone afterwards.
+        let body = Cmd::StackAlloc {
+            var: "p".into(),
+            nbytes: 8,
+            body: Box::new(Cmd::seq([
+                Cmd::store(Sz::Eight, BExpr::var("p"), BExpr::lit(99)),
+                Cmd::set("x", BExpr::load(Sz::Eight, BExpr::var("p"))),
+            ])),
+        };
+        let f = BFunction::new("scratch", Vec::<String>::new(), ["x"], body);
+        let (rets, state) = run_fn(f, &[], Memory::new()).unwrap();
+        assert_eq!(rets, vec![99]);
+        assert_eq!(state.mem.region_count(), 0);
+    }
+
+    #[test]
+    fn stackalloc_contents_are_poisoned_not_zero() {
+        let body = Cmd::StackAlloc {
+            var: "p".into(),
+            nbytes: 1,
+            body: Box::new(Cmd::set("x", BExpr::load(Sz::One, BExpr::var("p")))),
+        };
+        let f = BFunction::new("peek", Vec::<String>::new(), ["x"], body);
+        let (rets, _) = run_fn(f, &[], Memory::new()).unwrap();
+        assert_eq!(rets, vec![0xAA]);
+    }
+
+    #[test]
+    fn unset_removes_locals() {
+        let f = BFunction::new(
+            "f",
+            ["x"],
+            ["x"],
+            Cmd::Unset("x".into()),
+        );
+        assert!(matches!(
+            run_fn(f, &[1], Memory::new()),
+            Err(ExecError::UndefinedVariable(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_function_and_arity() {
+        let p = Program::new();
+        let interp = Interpreter::new(&p);
+        let mut state = ExecState::new(Memory::new());
+        assert!(matches!(
+            interp.call("nope", &[], &mut state, &mut NoExternals, 10),
+            Err(ExecError::UnknownFunction(_))
+        ));
+    }
+}

@@ -1,0 +1,540 @@
+//! A RV64I(+M) subset: instruction set, assembler and simulator.
+//!
+//! Bedrock2 "has a verified compiler to RISC-V with a complete correctness
+//! proof" (Box 2); the paper's end-to-end story runs "from high-level
+//! specifications to assembly". This module provides the target half of
+//! that leg: enough of RV64 to execute compiled Bedrock2 — integer
+//! register-register and register-immediate arithmetic, the M-extension
+//! multiply/divide group (with RISC-V's division-by-zero semantics, which
+//! Bedrock2's operators mirror), loads and stores at all four widths,
+//! conditional branches, and jumps.
+//!
+//! Programs are assembled from symbolic labels ([`assemble`]) and run by a
+//! fuel-indexed simulator ([`Machine::run`]) over the same region-based
+//! [`Memory`] used by the Bedrock2 interpreter, so out-of-bounds accesses
+//! trap identically at both levels.
+
+use crate::mem::Memory;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A register number (x0–x31; x0 is hardwired to zero).
+pub type Reg = u8;
+
+/// The always-zero register.
+pub const ZERO: Reg = 0;
+
+/// An immediate operand: a literal, or a symbol resolved at load time
+/// (inline-table base addresses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Imm {
+    /// A literal value.
+    Lit(i64),
+    /// The base address of the named inline table, patched by the loader.
+    TableBase(String),
+}
+
+impl Imm {
+    /// Resolves the immediate against the loader's symbol table.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unresolved symbol name.
+    pub fn resolve(&self, symbols: &HashMap<String, u64>) -> Result<i64, String> {
+        match self {
+            Imm::Lit(v) => Ok(*v),
+            Imm::TableBase(name) => symbols
+                .get(name)
+                .map(|v| *v as i64)
+                .ok_or_else(|| name.clone()),
+        }
+    }
+}
+
+/// A (pseudo-)instruction over symbolic branch labels.
+///
+/// `Li` is the load-immediate pseudo-instruction (a `lui`/`addi` chain in
+/// real encodings); branch/jump targets are label names resolved by
+/// [`assemble`].
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)]
+pub enum Asm {
+    // R-type.
+    Add(Reg, Reg, Reg),
+    Sub(Reg, Reg, Reg),
+    Mul(Reg, Reg, Reg),
+    Mulhu(Reg, Reg, Reg),
+    Divu(Reg, Reg, Reg),
+    Remu(Reg, Reg, Reg),
+    And(Reg, Reg, Reg),
+    Or(Reg, Reg, Reg),
+    Xor(Reg, Reg, Reg),
+    Sll(Reg, Reg, Reg),
+    Srl(Reg, Reg, Reg),
+    Sra(Reg, Reg, Reg),
+    Slt(Reg, Reg, Reg),
+    Sltu(Reg, Reg, Reg),
+    // Immediate forms.
+    Li(Reg, Imm),
+    Addi(Reg, Reg, i64),
+    // Loads/stores: (dst/src, base, offset).
+    Lbu(Reg, Reg, i64),
+    Lhu(Reg, Reg, i64),
+    Lwu(Reg, Reg, i64),
+    Ld(Reg, Reg, i64),
+    Sb(Reg, Reg, i64),
+    Sh(Reg, Reg, i64),
+    Sw(Reg, Reg, i64),
+    Sd(Reg, Reg, i64),
+    // Control flow over labels.
+    Label(String),
+    Beq(Reg, Reg, String),
+    Bne(Reg, Reg, String),
+    Bltu(Reg, Reg, String),
+    Bgeu(Reg, Reg, String),
+    J(String),
+    /// Stop execution (stands in for the return to the runtime).
+    Halt,
+}
+
+/// An executable instruction (labels resolved to instruction indices).
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)]
+pub enum Instr {
+    Add(Reg, Reg, Reg),
+    Sub(Reg, Reg, Reg),
+    Mul(Reg, Reg, Reg),
+    Mulhu(Reg, Reg, Reg),
+    Divu(Reg, Reg, Reg),
+    Remu(Reg, Reg, Reg),
+    And(Reg, Reg, Reg),
+    Or(Reg, Reg, Reg),
+    Xor(Reg, Reg, Reg),
+    Sll(Reg, Reg, Reg),
+    Srl(Reg, Reg, Reg),
+    Sra(Reg, Reg, Reg),
+    Slt(Reg, Reg, Reg),
+    Sltu(Reg, Reg, Reg),
+    Li(Reg, i64),
+    Addi(Reg, Reg, i64),
+    Lbu(Reg, Reg, i64),
+    Lhu(Reg, Reg, i64),
+    Lwu(Reg, Reg, i64),
+    Ld(Reg, Reg, i64),
+    Sb(Reg, Reg, i64),
+    Sh(Reg, Reg, i64),
+    Sw(Reg, Reg, i64),
+    Sd(Reg, Reg, i64),
+    Beq(Reg, Reg, usize),
+    Bne(Reg, Reg, usize),
+    Bltu(Reg, Reg, usize),
+    Bgeu(Reg, Reg, usize),
+    J(usize),
+    Halt,
+}
+
+impl fmt::Display for Asm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn r(x: &Reg) -> String {
+            format!("x{x}")
+        }
+        match self {
+            Asm::Add(d, a, b) => write!(f, "  add   {}, {}, {}", r(d), r(a), r(b)),
+            Asm::Sub(d, a, b) => write!(f, "  sub   {}, {}, {}", r(d), r(a), r(b)),
+            Asm::Mul(d, a, b) => write!(f, "  mul   {}, {}, {}", r(d), r(a), r(b)),
+            Asm::Mulhu(d, a, b) => write!(f, "  mulhu {}, {}, {}", r(d), r(a), r(b)),
+            Asm::Divu(d, a, b) => write!(f, "  divu  {}, {}, {}", r(d), r(a), r(b)),
+            Asm::Remu(d, a, b) => write!(f, "  remu  {}, {}, {}", r(d), r(a), r(b)),
+            Asm::And(d, a, b) => write!(f, "  and   {}, {}, {}", r(d), r(a), r(b)),
+            Asm::Or(d, a, b) => write!(f, "  or    {}, {}, {}", r(d), r(a), r(b)),
+            Asm::Xor(d, a, b) => write!(f, "  xor   {}, {}, {}", r(d), r(a), r(b)),
+            Asm::Sll(d, a, b) => write!(f, "  sll   {}, {}, {}", r(d), r(a), r(b)),
+            Asm::Srl(d, a, b) => write!(f, "  srl   {}, {}, {}", r(d), r(a), r(b)),
+            Asm::Sra(d, a, b) => write!(f, "  sra   {}, {}, {}", r(d), r(a), r(b)),
+            Asm::Slt(d, a, b) => write!(f, "  slt   {}, {}, {}", r(d), r(a), r(b)),
+            Asm::Sltu(d, a, b) => write!(f, "  sltu  {}, {}, {}", r(d), r(a), r(b)),
+            Asm::Li(d, Imm::Lit(v)) => write!(f, "  li    {}, {v}", r(d)),
+            Asm::Li(d, Imm::TableBase(t)) => write!(f, "  li    {}, %{t}", r(d)),
+            Asm::Addi(d, s, i) => write!(f, "  addi  {}, {}, {i}", r(d), r(s)),
+            Asm::Lbu(d, b, o) => write!(f, "  lbu   {}, {o}({})", r(d), r(b)),
+            Asm::Lhu(d, b, o) => write!(f, "  lhu   {}, {o}({})", r(d), r(b)),
+            Asm::Lwu(d, b, o) => write!(f, "  lwu   {}, {o}({})", r(d), r(b)),
+            Asm::Ld(d, b, o) => write!(f, "  ld    {}, {o}({})", r(d), r(b)),
+            Asm::Sb(s, b, o) => write!(f, "  sb    {}, {o}({})", r(s), r(b)),
+            Asm::Sh(s, b, o) => write!(f, "  sh    {}, {o}({})", r(s), r(b)),
+            Asm::Sw(s, b, o) => write!(f, "  sw    {}, {o}({})", r(s), r(b)),
+            Asm::Sd(s, b, o) => write!(f, "  sd    {}, {o}({})", r(s), r(b)),
+            Asm::Label(l) => write!(f, "{l}:"),
+            Asm::Beq(a, b, l) => write!(f, "  beq   {}, {}, {l}", r(a), r(b)),
+            Asm::Bne(a, b, l) => write!(f, "  bne   {}, {}, {l}", r(a), r(b)),
+            Asm::Bltu(a, b, l) => write!(f, "  bltu  {}, {}, {l}", r(a), r(b)),
+            Asm::Bgeu(a, b, l) => write!(f, "  bgeu  {}, {}, {l}", r(a), r(b)),
+            Asm::J(l) => write!(f, "  j     {l}"),
+            Asm::Halt => write!(f, "  halt"),
+        }
+    }
+}
+
+/// Renders a whole assembly listing.
+pub fn listing(asm: &[Asm]) -> String {
+    asm.iter().map(|a| format!("{a}\n")).collect()
+}
+
+/// Errors of assembly and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RvError {
+    /// A branch referenced an undefined label.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// An immediate referenced an unknown symbol at load time.
+    UnresolvedSymbol(String),
+    /// The program counter left the instruction array.
+    PcOutOfRange(usize),
+    /// A memory access trapped.
+    Memory(String),
+    /// Fuel exhausted.
+    OutOfFuel,
+}
+
+impl fmt::Display for RvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RvError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            RvError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            RvError::UnresolvedSymbol(s) => write!(f, "unresolved symbol `{s}`"),
+            RvError::PcOutOfRange(pc) => write!(f, "pc {pc} out of range"),
+            RvError::Memory(m) => write!(f, "memory trap: {m}"),
+            RvError::OutOfFuel => write!(f, "out of fuel"),
+        }
+    }
+}
+
+impl std::error::Error for RvError {}
+
+/// Resolves labels and symbols, producing executable code.
+///
+/// # Errors
+///
+/// Fails on undefined/duplicate labels or unresolved table symbols.
+pub fn assemble(asm: &[Asm], symbols: &HashMap<String, u64>) -> Result<Vec<Instr>, RvError> {
+    // Pass 1: label → instruction index (labels occupy no slot).
+    let mut labels: HashMap<&str, usize> = HashMap::new();
+    let mut idx = 0;
+    for a in asm {
+        if let Asm::Label(l) = a {
+            if labels.insert(l, idx).is_some() {
+                return Err(RvError::DuplicateLabel(l.clone()));
+            }
+        } else {
+            idx += 1;
+        }
+    }
+    let target = |l: &String| {
+        labels
+            .get(l.as_str())
+            .copied()
+            .ok_or_else(|| RvError::UndefinedLabel(l.clone()))
+    };
+    // Pass 2: emit.
+    let mut out = Vec::with_capacity(idx);
+    for a in asm {
+        let i = match a {
+            Asm::Label(_) => continue,
+            Asm::Add(d, a, b) => Instr::Add(*d, *a, *b),
+            Asm::Sub(d, a, b) => Instr::Sub(*d, *a, *b),
+            Asm::Mul(d, a, b) => Instr::Mul(*d, *a, *b),
+            Asm::Mulhu(d, a, b) => Instr::Mulhu(*d, *a, *b),
+            Asm::Divu(d, a, b) => Instr::Divu(*d, *a, *b),
+            Asm::Remu(d, a, b) => Instr::Remu(*d, *a, *b),
+            Asm::And(d, a, b) => Instr::And(*d, *a, *b),
+            Asm::Or(d, a, b) => Instr::Or(*d, *a, *b),
+            Asm::Xor(d, a, b) => Instr::Xor(*d, *a, *b),
+            Asm::Sll(d, a, b) => Instr::Sll(*d, *a, *b),
+            Asm::Srl(d, a, b) => Instr::Srl(*d, *a, *b),
+            Asm::Sra(d, a, b) => Instr::Sra(*d, *a, *b),
+            Asm::Slt(d, a, b) => Instr::Slt(*d, *a, *b),
+            Asm::Sltu(d, a, b) => Instr::Sltu(*d, *a, *b),
+            Asm::Li(d, imm) => Instr::Li(
+                *d,
+                imm.resolve(symbols).map_err(RvError::UnresolvedSymbol)?,
+            ),
+            Asm::Addi(d, s, i) => Instr::Addi(*d, *s, *i),
+            Asm::Lbu(d, b, o) => Instr::Lbu(*d, *b, *o),
+            Asm::Lhu(d, b, o) => Instr::Lhu(*d, *b, *o),
+            Asm::Lwu(d, b, o) => Instr::Lwu(*d, *b, *o),
+            Asm::Ld(d, b, o) => Instr::Ld(*d, *b, *o),
+            Asm::Sb(s, b, o) => Instr::Sb(*s, *b, *o),
+            Asm::Sh(s, b, o) => Instr::Sh(*s, *b, *o),
+            Asm::Sw(s, b, o) => Instr::Sw(*s, *b, *o),
+            Asm::Sd(s, b, o) => Instr::Sd(*s, *b, *o),
+            Asm::Beq(a1, a2, l) => Instr::Beq(*a1, *a2, target(l)?),
+            Asm::Bne(a1, a2, l) => Instr::Bne(*a1, *a2, target(l)?),
+            Asm::Bltu(a1, a2, l) => Instr::Bltu(*a1, *a2, target(l)?),
+            Asm::Bgeu(a1, a2, l) => Instr::Bgeu(*a1, *a2, target(l)?),
+            Asm::J(l) => Instr::J(target(l)?),
+            Asm::Halt => Instr::Halt,
+        };
+        out.push(i);
+    }
+    Ok(out)
+}
+
+/// The RV64 machine state: 32 registers and a program counter; memory is
+/// borrowed per run.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct Machine {
+    /// Register file (`regs[0]` reads as zero regardless of writes).
+    pub regs: [u64; 32],
+    /// Program counter, as an instruction index.
+    pub pc: usize,
+}
+
+
+impl Machine {
+    /// A fresh machine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get(&self, r: Reg) -> u64 {
+        if r == 0 {
+            0
+        } else {
+            self.regs[r as usize]
+        }
+    }
+
+    fn set(&mut self, r: Reg, v: u64) {
+        if r != 0 {
+            self.regs[r as usize] = v;
+        }
+    }
+
+    /// Runs until `Halt`, a trap, or fuel exhaustion.
+    ///
+    /// # Errors
+    ///
+    /// See [`RvError`].
+    pub fn run(
+        &mut self,
+        code: &[Instr],
+        mem: &mut Memory,
+        mut fuel: u64,
+    ) -> Result<(), RvError> {
+        use crate::ast::AccessSize as Sz;
+        loop {
+            if fuel == 0 {
+                return Err(RvError::OutOfFuel);
+            }
+            fuel -= 1;
+            let instr = code.get(self.pc).ok_or(RvError::PcOutOfRange(self.pc))?;
+            let mut next = self.pc + 1;
+            match instr {
+                Instr::Add(d, a, b) => self.set(*d, self.get(*a).wrapping_add(self.get(*b))),
+                Instr::Sub(d, a, b) => self.set(*d, self.get(*a).wrapping_sub(self.get(*b))),
+                Instr::Mul(d, a, b) => self.set(*d, self.get(*a).wrapping_mul(self.get(*b))),
+                Instr::Mulhu(d, a, b) => self.set(
+                    *d,
+                    ((u128::from(self.get(*a)) * u128::from(self.get(*b))) >> 64) as u64,
+                ),
+                Instr::Divu(d, a, b) => {
+                    let (x, y) = (self.get(*a), self.get(*b));
+                    self.set(*d, if y == 0 { u64::MAX } else { x / y });
+                }
+                Instr::Remu(d, a, b) => {
+                    let (x, y) = (self.get(*a), self.get(*b));
+                    self.set(*d, if y == 0 { x } else { x % y });
+                }
+                Instr::And(d, a, b) => self.set(*d, self.get(*a) & self.get(*b)),
+                Instr::Or(d, a, b) => self.set(*d, self.get(*a) | self.get(*b)),
+                Instr::Xor(d, a, b) => self.set(*d, self.get(*a) ^ self.get(*b)),
+                Instr::Sll(d, a, b) => {
+                    self.set(*d, self.get(*a).wrapping_shl((self.get(*b) & 63) as u32));
+                }
+                Instr::Srl(d, a, b) => {
+                    self.set(*d, self.get(*a).wrapping_shr((self.get(*b) & 63) as u32));
+                }
+                Instr::Sra(d, a, b) => {
+                    self.set(*d, ((self.get(*a) as i64) >> (self.get(*b) & 63)) as u64);
+                }
+                Instr::Slt(d, a, b) => {
+                    self.set(*d, u64::from((self.get(*a) as i64) < (self.get(*b) as i64)));
+                }
+                Instr::Sltu(d, a, b) => self.set(*d, u64::from(self.get(*a) < self.get(*b))),
+                Instr::Li(d, v) => self.set(*d, *v as u64),
+                Instr::Addi(d, s, i) => self.set(*d, self.get(*s).wrapping_add(*i as u64)),
+                Instr::Lbu(d, b, o) | Instr::Lhu(d, b, o) | Instr::Lwu(d, b, o)
+                | Instr::Ld(d, b, o) => {
+                    let sz = match instr {
+                        Instr::Lbu(..) => Sz::One,
+                        Instr::Lhu(..) => Sz::Two,
+                        Instr::Lwu(..) => Sz::Four,
+                        _ => Sz::Eight,
+                    };
+                    let addr = self.get(*b).wrapping_add(*o as u64);
+                    let v = mem.load(addr, sz).map_err(|e| RvError::Memory(e.to_string()))?;
+                    self.set(*d, v);
+                }
+                Instr::Sb(s, b, o) | Instr::Sh(s, b, o) | Instr::Sw(s, b, o)
+                | Instr::Sd(s, b, o) => {
+                    let sz = match instr {
+                        Instr::Sb(..) => Sz::One,
+                        Instr::Sh(..) => Sz::Two,
+                        Instr::Sw(..) => Sz::Four,
+                        _ => Sz::Eight,
+                    };
+                    let addr = self.get(*b).wrapping_add(*o as u64);
+                    mem.store(addr, sz, self.get(*s))
+                        .map_err(|e| RvError::Memory(e.to_string()))?;
+                }
+                Instr::Beq(a, b, t) => {
+                    if self.get(*a) == self.get(*b) {
+                        next = *t;
+                    }
+                }
+                Instr::Bne(a, b, t) => {
+                    if self.get(*a) != self.get(*b) {
+                        next = *t;
+                    }
+                }
+                Instr::Bltu(a, b, t) => {
+                    if self.get(*a) < self.get(*b) {
+                        next = *t;
+                    }
+                }
+                Instr::Bgeu(a, b, t) => {
+                    if self.get(*a) >= self.get(*b) {
+                        next = *t;
+                    }
+                }
+                Instr::J(t) => next = *t,
+                Instr::Halt => return Ok(()),
+            }
+            self.pc = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_asm(asm: &[Asm], mem: &mut Memory) -> Machine {
+        let code = assemble(asm, &HashMap::new()).unwrap();
+        let mut m = Machine::new();
+        m.run(&code, mem, 100_000).unwrap();
+        m
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let mut mem = Memory::new();
+        let m = run_asm(
+            &[Asm::Li(0, Imm::Lit(42)), Asm::Add(5, 0, 0), Asm::Halt],
+            &mut mem,
+        );
+        assert_eq!(m.regs[5], 0);
+    }
+
+    #[test]
+    fn arithmetic_and_branches() {
+        // Sum 0..10 with a branch loop.
+        let asm = [
+            Asm::Li(5, Imm::Lit(0)),  // acc
+            Asm::Li(6, Imm::Lit(0)),  // i
+            Asm::Li(7, Imm::Lit(10)), // n
+            Asm::Label("head".into()),
+            Asm::Bgeu(6, 7, "end".into()),
+            Asm::Add(5, 5, 6),
+            Asm::Addi(6, 6, 1),
+            Asm::J("head".into()),
+            Asm::Label("end".into()),
+            Asm::Halt,
+        ];
+        let mut mem = Memory::new();
+        let m = run_asm(&asm, &mut mem);
+        assert_eq!(m.regs[5], 45);
+    }
+
+    #[test]
+    fn division_semantics_match_bedrock() {
+        let asm = [
+            Asm::Li(5, Imm::Lit(7)),
+            Asm::Li(6, Imm::Lit(0)),
+            Asm::Divu(7, 5, 6),
+            Asm::Remu(8, 5, 6),
+            Asm::Halt,
+        ];
+        let mut mem = Memory::new();
+        let m = run_asm(&asm, &mut mem);
+        assert_eq!(m.regs[7], u64::MAX);
+        assert_eq!(m.regs[8], 7);
+    }
+
+    #[test]
+    fn memory_loads_and_stores() {
+        let mut mem = Memory::new();
+        let base = mem.alloc(vec![0; 16]);
+        let asm = [
+            Asm::Li(5, Imm::Lit(base as i64)),
+            Asm::Li(6, Imm::Lit(0x1234_5678_9abc_def0)),
+            Asm::Sd(6, 5, 0),
+            Asm::Lbu(7, 5, 0),
+            Asm::Lhu(8, 5, 0),
+            Asm::Lwu(9, 5, 0),
+            Asm::Ld(10, 5, 0),
+            Asm::Halt,
+        ];
+        let m = run_asm(&asm, &mut mem);
+        assert_eq!(m.regs[7], 0xf0);
+        assert_eq!(m.regs[8], 0xdef0);
+        assert_eq!(m.regs[9], 0x9abc_def0);
+        assert_eq!(m.regs[10], 0x1234_5678_9abc_def0);
+    }
+
+    #[test]
+    fn oob_access_traps() {
+        let mut mem = Memory::new();
+        let base = mem.alloc(vec![0; 4]);
+        let asm = [
+            Asm::Li(5, Imm::Lit(base as i64)),
+            Asm::Ld(6, 5, 0), // 8-byte load from a 4-byte region
+            Asm::Halt,
+        ];
+        let code = assemble(&asm, &HashMap::new()).unwrap();
+        let mut m = Machine::new();
+        let err = m.run(&code, &mut mem, 100).unwrap_err();
+        assert!(matches!(err, RvError::Memory(_)));
+    }
+
+    #[test]
+    fn infinite_loop_exhausts_fuel() {
+        let asm = [Asm::Label("spin".into()), Asm::J("spin".into())];
+        let code = assemble(&asm, &HashMap::new()).unwrap();
+        let mut mem = Memory::new();
+        let mut m = Machine::new();
+        assert_eq!(m.run(&code, &mut mem, 100).unwrap_err(), RvError::OutOfFuel);
+    }
+
+    #[test]
+    fn assembler_rejects_bad_labels() {
+        assert_eq!(
+            assemble(&[Asm::J("nowhere".into())], &HashMap::new()).unwrap_err(),
+            RvError::UndefinedLabel("nowhere".into())
+        );
+        assert_eq!(
+            assemble(
+                &[Asm::Label("l".into()), Asm::Label("l".into())],
+                &HashMap::new()
+            )
+            .unwrap_err(),
+            RvError::DuplicateLabel("l".into())
+        );
+        assert_eq!(
+            assemble(&[Asm::Li(5, Imm::TableBase("t".into()))], &HashMap::new()).unwrap_err(),
+            RvError::UnresolvedSymbol("t".into())
+        );
+    }
+}

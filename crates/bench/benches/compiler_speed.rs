@@ -1,0 +1,40 @@
+//! §4.3: compiler throughput.
+//!
+//! "Rupicola itself is not [fast]: it runs at the speed of Coq's proof
+//! engine, which in our experience means compiling anywhere between 2 and
+//! 15 statements per second." This bench measures the Rust engine's
+//! statements/second on the same suite (the `fig2` analysis bin prints the
+//! derived rate).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rupicola_programs::suite;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_compiler(c: &mut Criterion) {
+    let total_statements: usize = suite()
+        .iter()
+        .map(|e| {
+            (e.compiled)()
+                .expect("suite compiles")
+                .function
+                .statement_count()
+        })
+        .sum();
+    let mut group = c.benchmark_group("compiler_speed");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3))
+        .throughput(Throughput::Elements(total_statements as u64));
+    group.bench_function("compile_suite", |b| {
+        b.iter(|| {
+            for entry in suite() {
+                black_box((entry.compiled)().expect("compiles"));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compiler);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Figure 2: performance of Rupicola-generated code vs handwritten code.
+//!
+//! For each suite program, three series are measured on 1 MiB inputs
+//! (the extraction baseline on 64 KiB — it is orders of magnitude slower
+//! and criterion normalizes per byte via `Throughput`):
+//!
+//! - `generated`  — the certified Bedrock2 output, compiled natively;
+//! - `handwritten` — the C-style baseline (the paper's handwritten C);
+//! - `extraction` — the linked-list functional baseline (the paper's
+//!   Coq-extraction comparison, §4.2).
+//!
+//! The claim under test is *relative*: generated ≈ handwritten, both ≫
+//! extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rupicola_bench::{fig2_rows, make_input, make_text_input};
+use std::hint::black_box;
+use std::time::Duration;
+
+const MAIN_LEN: usize = 1 << 20; // 1 MiB
+const EXTRACTION_LEN: usize = 1 << 16; // 64 KiB
+
+fn bench_fig2(c: &mut Criterion) {
+    for row in fig2_rows() {
+        let mut group = c.benchmark_group(format!("fig2/{}", row.name));
+        group
+            .warm_up_time(Duration::from_millis(400))
+            .measurement_time(Duration::from_millis(1200))
+            .sample_size(10);
+        let make = if row.text_input { make_text_input } else { make_input };
+
+        let input = make(0xF16_2, MAIN_LEN);
+        group.throughput(Throughput::Bytes(MAIN_LEN as u64));
+        group.bench_function("generated", |b| {
+            let mut buf = input.clone();
+            b.iter(|| {
+                buf.copy_from_slice(&input);
+                black_box((row.generated)(black_box(&mut buf)))
+            });
+        });
+        group.bench_function("handwritten", |b| {
+            let mut buf = input.clone();
+            b.iter(|| {
+                buf.copy_from_slice(&input);
+                black_box((row.handwritten)(black_box(&mut buf)))
+            });
+        });
+
+        let small = make(0xF16_2, EXTRACTION_LEN);
+        group.throughput(Throughput::Bytes(EXTRACTION_LEN as u64));
+        group.bench_function("extraction", |b| {
+            let mut buf = small.clone();
+            b.iter(|| {
+                buf.copy_from_slice(&small);
+                black_box((row.extraction)(black_box(&mut buf)))
+            });
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Re-validates the full benchmark suite and prints a per-program report:
+//! derivation size, side conditions, checker coverage, and the certified
+//! artifacts' statistics. The CI-style entry point for the correctness
+//! claims ("all code written in Rupicola comes with proofs", §4.3).
+//!
+//! Run with `cargo run -p rupicola-bench --bin validate`.
+
+use rupicola_core::check::{check_with, CheckConfig};
+use rupicola_ext::standard_dbs;
+use rupicola_programs::suite;
+
+fn main() {
+    let dbs = standard_dbs();
+    let config = CheckConfig::default();
+    println!(
+        "{:<8} {:>6} {:>7} {:>7} {:>8} {:>8} {:>9} {:>7}",
+        "program", "stmts", "lemmas", "sides", "vectors", "skipped", "invchks", "poison²"
+    );
+    let mut failures = 0;
+    for entry in suite() {
+        let name = entry.info.name;
+        match (entry.compiled)() {
+            Err(e) => {
+                failures += 1;
+                println!("{name:<8} COMPILATION FAILED: {e}");
+            }
+            Ok(compiled) => match check_with(&compiled, &dbs, &config) {
+                Err(e) => {
+                    failures += 1;
+                    println!("{name:<8} CHECK FAILED: {e}");
+                }
+                Ok(report) => {
+                    println!(
+                        "{:<8} {:>6} {:>7} {:>7} {:>8} {:>8} {:>9} {:>7}",
+                        name,
+                        compiled.function.statement_count(),
+                        compiled.derivation.size(),
+                        compiled.derivation.side_cond_count,
+                        report.vectors_run,
+                        report.vectors_skipped,
+                        report.invariant_checks,
+                        if report.poison_pair { "yes" } else { "no" },
+                    );
+                }
+            },
+        }
+    }
+    if failures == 0 {
+        println!("\nall programs certified ✓");
+    } else {
+        println!("\n{failures} program(s) FAILED");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,230 @@
+//! Benchmark-harness support: the generated native code, workload
+//! generators, and uniform per-program drivers for the three Figure 2
+//! series (Rupicola-generated, handwritten, extraction baseline).
+//!
+//! Drivers uniformly take `&mut Vec<u8>` because the generated functions
+//! need a growable memory (stack allocations extend it).
+#![allow(clippy::ptr_arg)]
+
+/// The certified Bedrock2 functions, transpiled to Rust at build time (see
+/// `build.rs`). Addresses index into the `mem` slice; the drivers below
+/// place each buffer at offset 0.
+pub mod generated {
+    include!(concat!(env!("OUT_DIR"), "/generated.rs"));
+}
+
+use rupicola_programs::{crc32, fasta, fnv1a, ip, m3s, upstr, utf8};
+
+/// Deterministic pseudo-random workload bytes (the "1 MiB input" of
+/// Figure 2).
+pub fn make_input(seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state & 0xff) as u8
+        })
+        .collect()
+}
+
+/// ASCII-ish workload (for upstr/fasta/utf8: mostly printable bytes).
+pub fn make_text_input(seed: u64, len: usize) -> Vec<u8> {
+    make_input(seed, len)
+        .into_iter()
+        .map(|b| 0x20 + (b % 0x5f))
+        .collect()
+}
+
+/// One benchmarked implementation of one program: a uniform
+/// buffer-consuming driver returning a checksum word (so results can be
+/// cross-checked between series).
+pub type Driver = fn(&mut Vec<u8>) -> u64;
+
+/// One Figure 2 row: the three series for one program.
+pub struct Fig2Row {
+    /// Program name.
+    pub name: &'static str,
+    /// Which input generator the program expects.
+    pub text_input: bool,
+    /// The Rupicola-generated native code.
+    pub generated: Driver,
+    /// The handwritten C-style baseline.
+    pub handwritten: Driver,
+    /// The linked-list extraction baseline.
+    pub extraction: Driver,
+}
+
+impl std::fmt::Debug for Fig2Row {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fig2Row").field("name", &self.name).finish()
+    }
+}
+
+// --- fnv1a ---
+fn g_fnv1a(buf: &mut Vec<u8>) -> u64 {
+    let len = buf.len() as u64;
+    generated::fnv1a(buf, 0, len)
+}
+fn h_fnv1a(buf: &mut Vec<u8>) -> u64 {
+    fnv1a::baseline(buf)
+}
+fn n_fnv1a(buf: &mut Vec<u8>) -> u64 {
+    fnv1a::naive(buf)
+}
+
+// --- utf8 ---
+fn g_utf8(buf: &mut Vec<u8>) -> u64 {
+    let len = buf.len() as u64;
+    generated::utf8(buf, 0, len)
+}
+fn h_utf8(buf: &mut Vec<u8>) -> u64 {
+    utf8::baseline(buf)
+}
+fn n_utf8(buf: &mut Vec<u8>) -> u64 {
+    utf8::naive(buf)
+}
+
+// --- upstr ---
+fn g_upstr(buf: &mut Vec<u8>) -> u64 {
+    let len = buf.len() as u64;
+    generated::upstr(buf, 0, len);
+    u64::from(buf.first().copied().unwrap_or(0))
+}
+fn h_upstr(buf: &mut Vec<u8>) -> u64 {
+    upstr::baseline(buf);
+    u64::from(buf.first().copied().unwrap_or(0))
+}
+fn n_upstr(buf: &mut Vec<u8>) -> u64 {
+    let out = upstr::naive(buf);
+    u64::from(out.first().copied().unwrap_or(0))
+}
+
+// --- m3s (scramble each 8-byte word, xor-accumulate) ---
+fn g_m3s(buf: &mut Vec<u8>) -> u64 {
+    let mut acc = 0u64;
+    let mut empty = Vec::new();
+    for w in buf.chunks_exact(8) {
+        let k = u64::from_le_bytes(w.try_into().expect("8"));
+        acc ^= generated::m3s(&mut empty, k & 0xffff_ffff);
+    }
+    acc
+}
+fn h_m3s(buf: &mut Vec<u8>) -> u64 {
+    let mut acc = 0u64;
+    for w in buf.chunks_exact(8) {
+        let k = u64::from_le_bytes(w.try_into().expect("8"));
+        acc ^= m3s::baseline(k & 0xffff_ffff);
+    }
+    acc
+}
+fn n_m3s(buf: &mut Vec<u8>) -> u64 {
+    let mut acc = 0u64;
+    for w in buf.chunks_exact(8) {
+        let k = u64::from_le_bytes(w.try_into().expect("8"));
+        acc ^= m3s::naive(k & 0xffff_ffff);
+    }
+    acc
+}
+
+// --- ip ---
+fn g_ip(buf: &mut Vec<u8>) -> u64 {
+    let len = buf.len() as u64 & !1;
+    generated::ip(buf, 0, len)
+}
+fn h_ip(buf: &mut Vec<u8>) -> u64 {
+    let even = buf.len() & !1;
+    ip::baseline(&buf[..even])
+}
+fn n_ip(buf: &mut Vec<u8>) -> u64 {
+    let even = buf.len() & !1;
+    ip::naive(&buf[..even])
+}
+
+// --- fasta ---
+fn g_fasta(buf: &mut Vec<u8>) -> u64 {
+    let len = buf.len() as u64;
+    generated::fasta(buf, 0, len);
+    u64::from(buf.first().copied().unwrap_or(0))
+}
+fn h_fasta(buf: &mut Vec<u8>) -> u64 {
+    let table: [u8; 256] = fasta::complement_table().try_into().expect("256");
+    fasta::baseline(buf, &table);
+    u64::from(buf.first().copied().unwrap_or(0))
+}
+fn n_fasta(buf: &mut Vec<u8>) -> u64 {
+    let out = fasta::naive(buf);
+    u64::from(out.first().copied().unwrap_or(0))
+}
+
+// --- crc32 ---
+fn g_crc32(buf: &mut Vec<u8>) -> u64 {
+    let len = buf.len() as u64;
+    generated::crc32(buf, 0, len)
+}
+fn h_crc32(buf: &mut Vec<u8>) -> u64 {
+    let table: [u64; 256] = crc32::crc_table().try_into().expect("256");
+    crc32::baseline(buf, &table)
+}
+fn n_crc32(buf: &mut Vec<u8>) -> u64 {
+    crc32::naive(buf)
+}
+
+/// All Figure 2 rows, in the figure's order.
+pub fn fig2_rows() -> Vec<Fig2Row> {
+    vec![
+        Fig2Row { name: "fnv1a", text_input: false, generated: g_fnv1a, handwritten: h_fnv1a, extraction: n_fnv1a },
+        Fig2Row { name: "utf8", text_input: true, generated: g_utf8, handwritten: h_utf8, extraction: n_utf8 },
+        Fig2Row { name: "upstr", text_input: true, generated: g_upstr, handwritten: h_upstr, extraction: n_upstr },
+        Fig2Row { name: "m3s", text_input: false, generated: g_m3s, handwritten: h_m3s, extraction: n_m3s },
+        Fig2Row { name: "ip", text_input: false, generated: g_ip, handwritten: h_ip, extraction: n_ip },
+        Fig2Row { name: "fasta", text_input: true, generated: g_fasta, handwritten: h_fasta, extraction: n_fasta },
+        Fig2Row { name: "crc32", text_input: false, generated: g_crc32, handwritten: h_crc32, extraction: n_crc32 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every row's three series agree on the checksum word: the native
+    /// build of the certified code computes the same function as the
+    /// handwritten and extraction implementations.
+    #[test]
+    fn all_series_agree() {
+        for row in fig2_rows() {
+            let base = if row.text_input {
+                make_text_input(42, 4096)
+            } else {
+                make_input(42, 4096)
+            };
+            let mut b1 = base.clone();
+            let mut b2 = base.clone();
+            let mut b3 = base.clone();
+            let g = (row.generated)(&mut b1);
+            let h = (row.handwritten)(&mut b2);
+            let n = (row.extraction)(&mut b3);
+            assert_eq!(g, h, "{}: generated vs handwritten", row.name);
+            assert_eq!(g, n, "{}: generated vs extraction", row.name);
+            // In-place programs must also leave identical buffers.
+            assert_eq!(b1, b2, "{}: buffers diverged", row.name);
+        }
+    }
+
+    #[test]
+    fn compile_stats_cover_the_suite() {
+        assert_eq!(generated::COMPILE_STATS.len(), 7);
+        for (name, stmts, lemmas, _) in generated::COMPILE_STATS {
+            assert!(*stmts > 0, "{name}");
+            assert!(*lemmas > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn input_generators_are_deterministic() {
+        assert_eq!(make_input(1, 16), make_input(1, 16));
+        assert_ne!(make_input(1, 16), make_input(2, 16));
+        assert!(make_text_input(1, 256).iter().all(|b| (0x20..0x7f).contains(b)));
+    }
+}

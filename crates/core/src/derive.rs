@@ -1,0 +1,166 @@
+//! Derivations: the proof witnesses produced by relational compilation.
+//!
+//! In Coq, each run of Rupicola produces a proof term checked by the
+//! kernel. Here, each run produces a [`Derivation`]: a tree with one node
+//! per lemma application, recording the goal it discharged, the side
+//! conditions it generated (with the solver that discharged each and the
+//! hypotheses in scope), and any inferred loop invariant. The trusted
+//! checker (`crate::check`) re-validates this witness: structurally (every
+//! lemma registered, every side condition re-solved) and behaviourally
+//! (differential execution plus runtime invariant checking).
+
+use crate::goal::{Hyp, SideCond};
+use crate::invariant::LoopInvariant;
+use std::fmt;
+
+/// A discharged side condition, as recorded in a derivation node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SideCondRecord {
+    /// The condition.
+    pub cond: SideCond,
+    /// The registered solver that discharged it.
+    pub solver: String,
+    /// The hypotheses that were in scope.
+    pub hyps: Vec<Hyp>,
+}
+
+impl fmt::Display for SideCondRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}  [by {}]", self.cond, self.solver)
+    }
+}
+
+/// One lemma application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DerivationNode {
+    /// Name of the lemma (as registered in the hint database) or of the
+    /// engine-internal rule (`"done"`).
+    pub lemma: String,
+    /// A rendering of the source focus the lemma consumed.
+    pub focus: String,
+    /// Discharged side conditions.
+    pub side_conds: Vec<SideCondRecord>,
+    /// Inferred loop invariant, for loop lemmas.
+    pub invariant: Option<LoopInvariant>,
+    /// Subderivations (premises), in order.
+    pub children: Vec<DerivationNode>,
+}
+
+impl DerivationNode {
+    /// A leaf node for lemma `lemma` applied to `focus`.
+    pub fn leaf(lemma: impl Into<String>, focus: impl Into<String>) -> Self {
+        DerivationNode {
+            lemma: lemma.into(),
+            focus: focus.into(),
+            side_conds: Vec::new(),
+            invariant: None,
+            children: Vec::new(),
+        }
+    }
+
+    /// Adds a child (builder style).
+    #[must_use]
+    pub fn with_child(mut self, child: DerivationNode) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// Total number of nodes in this subtree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(DerivationNode::size).sum::<usize>()
+    }
+
+    /// Iterates over all nodes (preorder).
+    pub fn walk<'a>(&'a self, visit: &mut dyn FnMut(&'a DerivationNode)) {
+        visit(self);
+        for c in &self.children {
+            c.walk(visit);
+        }
+    }
+
+    fn render(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        for _ in 0..depth {
+            write!(f, "  ")?;
+        }
+        write!(f, "{} ⊢ {}", self.lemma, self.focus)?;
+        if let Some(inv) = &self.invariant {
+            write!(f, "   (invariant: {inv})")?;
+        }
+        writeln!(f)?;
+        for sc in &self.side_conds {
+            for _ in 0..=depth {
+                write!(f, "  ")?;
+            }
+            writeln!(f, "⊨ {sc}")?;
+        }
+        for c in &self.children {
+            c.render(f, depth + 1)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for DerivationNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.render(f, 0)
+    }
+}
+
+/// The full witness of one compilation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Derivation {
+    /// The derivation tree.
+    pub root: DerivationNode,
+    /// Number of side conditions discharged across the tree.
+    pub side_cond_count: usize,
+}
+
+impl Derivation {
+    /// Wraps a root node, computing summary statistics.
+    pub fn new(root: DerivationNode) -> Self {
+        let mut count = 0;
+        root.walk(&mut |n| count += n.side_conds.len());
+        Derivation { root, side_cond_count: count }
+    }
+
+    /// Total number of lemma applications.
+    pub fn size(&self) -> usize {
+        self.root.size()
+    }
+}
+
+impl fmt::Display for Derivation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.root.render(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupicola_lang::dsl::*;
+
+    #[test]
+    fn derivation_counts_nodes_and_side_conds() {
+        let mut node = DerivationNode::leaf("compile_map", "ListArray.map …");
+        node.side_conds.push(SideCondRecord {
+            cond: SideCond::Lt(var("i"), var("n")),
+            solver: "lia".into(),
+            hyps: vec![],
+        });
+        let root = DerivationNode::leaf("compile_let", "let/n s := …")
+            .with_child(node)
+            .with_child(DerivationNode::leaf("done", "s"));
+        let d = Derivation::new(root);
+        assert_eq!(d.size(), 3);
+        assert_eq!(d.side_cond_count, 1);
+    }
+
+    #[test]
+    fn display_is_indented_tree() {
+        let root = DerivationNode::leaf("a", "x").with_child(DerivationNode::leaf("b", "y"));
+        let shown = format!("{}", Derivation::new(root));
+        assert!(shown.contains("a ⊢ x"));
+        assert!(shown.contains("  b ⊢ y"));
+    }
+}

@@ -1,0 +1,349 @@
+//! The proof-search engine: code-generating goal resolution.
+//!
+//! Compiling a program `s` is proving `∃ t, t ∼ s` (§2): the engine holds
+//! the current goal, tries the registered lemmas in order, and lets the
+//! matching lemma emit target code and recurse into its premises. There is
+//! no backtracking; when nothing applies, the residual goal is surfaced to
+//! the user (§3.1).
+//!
+//! The engine owns two built-in rules only:
+//!
+//! - fresh-name generation (for loop counters and ghost renames), and
+//! - the terminal `done` rule, which checks that the final source term
+//!   matches the postcondition slots (scalar results are compiled through
+//!   the expression judgment; in-place results must already live in their
+//!   designated heaplets).
+//!
+//! Everything else — even plain `let` — is an extension lemma.
+
+use crate::derive::{Derivation, DerivationNode, SideCondRecord};
+use crate::error::CompileError;
+use crate::fnspec::FnSpec;
+use crate::goal::{flatten_result, Hyp, RetSlot, SideCond, StmtGoal};
+use crate::lemma::HintDbs;
+use rupicola_bedrock::{BExpr, BFunction, BTable, Cmd};
+use rupicola_lang::{Expr, Model};
+
+/// Statistics of one compilation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Number of lemma applications (statement + expression).
+    pub lemma_applications: usize,
+    /// Number of side conditions discharged.
+    pub side_conditions: usize,
+}
+
+/// The compiler state threaded through lemma applications.
+///
+/// Lemmas receive `&mut Compiler` and use it to compile their continuation
+/// premises ([`Compiler::compile_stmt`]), their expression subgoals
+/// ([`Compiler::compile_expr`]), to discharge side conditions
+/// ([`Compiler::solve`]), and to generate fresh names.
+#[derive(Debug)]
+pub struct Compiler<'a> {
+    /// The model being compiled (for inline-table lookups).
+    pub model: &'a Model,
+    /// The hint databases in use.
+    pub dbs: &'a HintDbs,
+    /// Run statistics.
+    pub stats: CompileStats,
+    /// Separately verified Bedrock2 functions that the emitted code calls
+    /// (the paper's "linking against separately compiled verified
+    /// fragments"). Lemmas register callees with [`Compiler::link`].
+    linked: Vec<BFunction>,
+    fresh: usize,
+}
+
+impl<'a> Compiler<'a> {
+    /// Creates a compiler for `model` using the lemmas of `dbs`.
+    pub fn new(model: &'a Model, dbs: &'a HintDbs) -> Self {
+        Compiler { model, dbs, stats: CompileStats::default(), linked: Vec::new(), fresh: 0 }
+    }
+
+    /// Registers a callee to be linked into the final program (idempotent
+    /// per function name).
+    pub fn link(&mut self, callee: BFunction) {
+        if !self.linked.iter().any(|f| f.name == callee.name) {
+            self.linked.push(callee);
+        }
+    }
+
+    /// A fresh Bedrock2 local name with the given prefix (e.g. `_i0`).
+    pub fn fresh_var(&mut self, prefix: &str) -> String {
+        let n = self.fresh;
+        self.fresh += 1;
+        format!("{prefix}{n}")
+    }
+
+    /// A fresh *ghost* name derived from a source name; ghosts appear only
+    /// in symbolic terms (they contain `'`, which no emitted local uses).
+    pub fn fresh_ghost(&mut self, name: &str) -> String {
+        let n = self.fresh;
+        self.fresh += 1;
+        format!("{name}'{n}")
+    }
+
+    /// Resolves a statement goal by trying each statement lemma in order,
+    /// falling back to the terminal `done` rule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lemma failures (no backtracking) and reports a
+    /// [`CompileError::ResidualGoal`] when nothing applies.
+    pub fn compile_stmt(
+        &mut self,
+        goal: &StmtGoal,
+    ) -> Result<(Cmd, DerivationNode), CompileError> {
+        for lemma in self.dbs.stmt_lemmas().to_vec() {
+            if let Some(res) = lemma.try_apply(goal, self) {
+                let applied = res?;
+                self.stats.lemma_applications += 1;
+                return Ok((applied.cmd, applied.node));
+            }
+        }
+        self.compile_done(goal)
+    }
+
+    /// Resolves an expression goal (`EXPR m l ?e (term)`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Compiler::compile_stmt`].
+    pub fn compile_expr(
+        &mut self,
+        term: &Expr,
+        goal: &StmtGoal,
+    ) -> Result<(BExpr, DerivationNode), CompileError> {
+        for lemma in self.dbs.expr_lemmas().to_vec() {
+            if let Some(res) = lemma.try_apply(term, goal, self) {
+                let applied = res?;
+                self.stats.lemma_applications += 1;
+                return Ok((applied.expr, applied.node));
+            }
+        }
+        Err(CompileError::ResidualGoal {
+            goal: format!("EXPR {} ?e ↝ ({term})", goal.locals),
+            hint: format!(
+                "no expression lemma matches `{term}`; register an ExprLemma for this construct \
+                 or bind the value with let/n first"
+            ),
+        })
+    }
+
+    /// Discharges a side condition through the registered solvers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::SideCondition`] when no solver proves it.
+    pub fn solve(
+        &mut self,
+        lemma: &str,
+        cond: SideCond,
+        hyps: &[Hyp],
+    ) -> Result<SideCondRecord, CompileError> {
+        for s in self.dbs.solvers() {
+            if s.solve(&cond, hyps) {
+                self.stats.side_conditions += 1;
+                return Ok(SideCondRecord {
+                    cond,
+                    solver: s.name().to_string(),
+                    hyps: hyps.to_vec(),
+                });
+            }
+        }
+        Err(CompileError::SideCondition {
+            cond: cond.to_string(),
+            hyps: hyps.iter().map(ToString::to_string).collect(),
+            lemma: lemma.to_string(),
+        })
+    }
+
+    /// The terminal rule: the program remainder is the final result term.
+    fn compile_done(&mut self, goal: &StmtGoal) -> Result<(Cmd, DerivationNode), CompileError> {
+        // Unwrap a final monadic return.
+        let result = match &goal.prog {
+            Expr::Ret { monad, value } if goal.monad.admits(*monad) => value.as_ref(),
+            other => other,
+        };
+        let components = flatten_result(result);
+        if components.len() != goal.post.slots.len() {
+            return Err(CompileError::ResidualGoal {
+                goal: goal.to_string(),
+                hint: format!(
+                    "the result term has {} component(s) but the spec declares {} return slot(s); \
+                     no statement lemma matched the program head either",
+                    components.len(),
+                    goal.post.slots.len()
+                ),
+            });
+        }
+        let mut cmds = Vec::new();
+        let mut node = DerivationNode::leaf("done", format!("{result}"));
+        for (slot, comp) in goal.post.slots.iter().zip(components) {
+            match slot {
+                RetSlot::ScalarTo(ret_var) => {
+                    let (e, child) = self.compile_expr(comp, goal)?;
+                    cmds.push(Cmd::set(ret_var.clone(), e));
+                    node.children.push(child);
+                }
+                RetSlot::InHeaplet(id) => {
+                    let ok = match comp {
+                        Expr::Var(x) => goal
+                            .locals
+                            .get(x)
+                            .and_then(rupicola_sep::SymValue::ptr)
+                            .is_some_and(|h| h == *id)
+                            || goal.heap.find_by_content(comp) == Some(*id),
+                        other => goal.heap.find_by_content(other) == Some(*id),
+                    };
+                    if !ok {
+                        return Err(CompileError::ResidualGoal {
+                            goal: goal.to_string(),
+                            hint: format!(
+                                "result component `{comp}` must reside in heaplet {id}, but the \
+                                 memory predicate does not place it there"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Ok((Cmd::seq(cmds), node))
+    }
+}
+
+/// The output of a successful compilation run: the Bedrock2 function and
+/// its correctness witness, bundled with the model and spec so that the
+/// trusted checker can re-validate everything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledFunction {
+    /// The derived Bedrock2 function.
+    pub function: BFunction,
+    /// The derivation witness.
+    pub derivation: Derivation,
+    /// The source model.
+    pub model: Model,
+    /// The ABI specification.
+    pub spec: FnSpec,
+    /// Separately verified callees the function links against.
+    pub linked: Vec<BFunction>,
+    /// Run statistics.
+    pub stats: CompileStats,
+}
+
+/// Compiles a model against its specification using the given databases —
+/// the `Derive … SuchThat … Proof. compile. Qed.` entry point of §3.2.
+///
+/// # Errors
+///
+/// Returns the first [`CompileError`]: a spec inconsistency, an unsolved
+/// side condition, or a residual goal (with the rendered goal, so the
+/// missing lemma's shape can be read off).
+pub fn compile(
+    model: &Model,
+    spec: &FnSpec,
+    dbs: &HintDbs,
+) -> Result<CompiledFunction, CompileError> {
+    let goal = spec.initial_goal(model)?;
+    let mut cx = Compiler::new(model, dbs);
+    let (body, root) = cx.compile_stmt(&goal)?;
+    let mut function = BFunction::new(
+        spec.name.clone(),
+        spec.arg_names(),
+        spec.ret_names(),
+        body,
+    );
+    for t in &model.tables {
+        function = function.with_table(BTable {
+            name: t.name.clone(),
+            data: t
+                .data
+                .to_layout_bytes()
+                .ok_or_else(|| CompileError::Spec(format!("table `{}` has no layout", t.name)))?,
+        });
+    }
+    Ok(CompiledFunction {
+        function,
+        derivation: Derivation::new(root),
+        model: model.clone(),
+        spec: spec.clone(),
+        linked: cx.linked,
+        stats: cx.stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fnspec::{ArgSpec, RetSpec};
+    use rupicola_lang::dsl::*;
+    use rupicola_sep::ScalarKind;
+
+    /// With an empty database, nothing applies: the engine must surface a
+    /// residual goal, not wrong code.
+    #[test]
+    fn empty_db_reports_residual_goal() {
+        let model = Model::new("f", ["x"], word_add(var("x"), word_lit(1)));
+        let spec = FnSpec::new(
+            "f",
+            vec![ArgSpec::Scalar { name: "x".into(), param: "x".into(), kind: ScalarKind::Word }],
+            vec![RetSpec::Scalar { name: "out".into(), kind: ScalarKind::Word }],
+        );
+        let err = compile(&model, &spec, &HintDbs::new()).unwrap_err();
+        match err {
+            CompileError::ResidualGoal { goal, .. } => {
+                assert!(goal.contains("word.add"), "goal was: {goal}");
+            }
+            other => panic!("expected residual goal, got {other}"),
+        }
+    }
+
+    /// A trivially returnable in-place result compiles with the empty
+    /// database: `done` needs no lemmas for pointer results.
+    #[test]
+    fn identity_array_model_compiles_with_done_only() {
+        let model = Model::new("id", ["s"], var("s"));
+        let spec = FnSpec::new(
+            "id",
+            vec![ArgSpec::ArrayPtr {
+                name: "s".into(),
+                param: "s".into(),
+                elem: rupicola_lang::ElemKind::Byte,
+            }],
+            vec![RetSpec::InPlace { param: "s".into() }],
+        );
+        let out = compile(&model, &spec, &HintDbs::new()).unwrap();
+        assert_eq!(out.function.body, Cmd::Skip);
+        assert_eq!(out.derivation.root.lemma, "done");
+    }
+
+    #[test]
+    fn arity_mismatch_is_residual() {
+        let model = Model::new("f", ["s"], pair(var("s"), word_lit(0)));
+        let spec = FnSpec::new(
+            "f",
+            vec![ArgSpec::ArrayPtr {
+                name: "s".into(),
+                param: "s".into(),
+                elem: rupicola_lang::ElemKind::Byte,
+            }],
+            vec![RetSpec::InPlace { param: "s".into() }],
+        );
+        assert!(matches!(
+            compile(&model, &spec, &HintDbs::new()),
+            Err(CompileError::ResidualGoal { .. })
+        ));
+    }
+
+    #[test]
+    fn fresh_names_are_distinct() {
+        let model = Model::new("f", Vec::<String>::new(), word_lit(0));
+        let dbs = HintDbs::new();
+        let mut cx = Compiler::new(&model, &dbs);
+        let a = cx.fresh_var("_i");
+        let b = cx.fresh_var("_i");
+        let g = cx.fresh_ghost("acc");
+        assert_ne!(a, b);
+        assert!(g.contains('\''));
+    }
+}

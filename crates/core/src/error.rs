@@ -1,0 +1,59 @@
+//! Compilation errors.
+//!
+//! Rupicola's "default reaction to unexpected input is to stop and ask for
+//! user guidance" (§3): when no lemma applies, the engine surfaces the
+//! *residual goal* so that "users never have to guess at what is happening:
+//! they can learn the shape of missing lemmas from the goals printed".
+
+use std::fmt;
+
+/// Why a compilation run stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// No registered lemma applies: the unsolved subgoal is returned to the
+    /// user, who may plug in new lemmas.
+    ResidualGoal {
+        /// Rendering of the open goal.
+        goal: String,
+        /// A hint about what kind of extension would make progress.
+        hint: String,
+    },
+    /// A lemma applied but one of its side conditions could not be
+    /// discharged by any registered solver.
+    SideCondition {
+        /// Rendering of the unsolved condition.
+        cond: String,
+        /// Hypotheses that were available.
+        hyps: Vec<String>,
+        /// The lemma that generated the condition.
+        lemma: String,
+    },
+    /// The function specification is inconsistent with the model.
+    Spec(String),
+    /// An internal invariant of the engine was violated (a bug).
+    Internal(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::ResidualGoal { goal, hint } => {
+                writeln!(f, "no compilation lemma applies; residual goal:")?;
+                writeln!(f, "{goal}")?;
+                write!(f, "hint: {hint}")
+            }
+            CompileError::SideCondition { cond, hyps, lemma } => {
+                writeln!(f, "unsolved side condition of `{lemma}`: {cond}")?;
+                if hyps.is_empty() {
+                    write!(f, "(no hypotheses in scope)")
+                } else {
+                    write!(f, "hypotheses: {}", hyps.join("; "))
+                }
+            }
+            CompileError::Spec(m) => write!(f, "specification error: {m}"),
+            CompileError::Internal(m) => write!(f, "internal compiler error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}

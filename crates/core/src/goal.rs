@@ -1,0 +1,288 @@
+//! Compilation goals: the judgments `{t; m; l; σ} ?c {P p}` of §3.3.
+//!
+//! A [`StmtGoal`] is the statement judgment: it packages the source program
+//! remainder `p`, the symbolic machine state reached after the
+//! already-derived prefix (locals, heap), the hypotheses learnt along the
+//! way, the ambient monad (the lift of §3.4.1), and the postcondition slots
+//! describing where results must end up. The Bedrock2 command `?c` is the
+//! evar: it is *produced*, not stored in the goal.
+//!
+//! Hypotheses are the logical context used to discharge side conditions:
+//! binding facts (`i = 0`), loop bounds (`i < length s`) and user hints
+//! (§3.4.2's "incidental properties").
+
+use rupicola_lang::{Expr, Ident, MonadKind};
+use rupicola_sep::{HeapletId, SymHeap, SymLocals, SymValue};
+use std::fmt;
+
+/// A hypothesis: a fact about source terms known to hold at this point.
+///
+/// All comparisons are on the numeric denotation of scalar terms (words,
+/// bytes, naturals and booleans all denote numbers).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Hyp {
+    /// The two terms denote the same number.
+    EqWord(Expr, Expr),
+    /// Strict unsigned less-than.
+    LtU(Expr, Expr),
+    /// Unsigned less-than-or-equal.
+    LeU(Expr, Expr),
+}
+
+impl fmt::Display for Hyp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Hyp::EqWord(a, b) => write!(f, "{a} = {b}"),
+            Hyp::LtU(a, b) => write!(f, "{a} < {b}"),
+            Hyp::LeU(a, b) => write!(f, "{a} ≤ {b}"),
+        }
+    }
+}
+
+/// A side condition generated during compilation, to be discharged by a
+/// registered solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SideCond {
+    /// `idx < len` (an index-bounds obligation).
+    Lt(Expr, Expr),
+    /// `a ≤ b`.
+    Le(Expr, Expr),
+    /// `term ≠ 0` (e.g. a division guard).
+    NonZero(Expr),
+}
+
+impl fmt::Display for SideCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SideCond::Lt(a, b) => write!(f, "{a} < {b}"),
+            SideCond::Le(a, b) => write!(f, "{a} ≤ {b}"),
+            SideCond::NonZero(a) => write!(f, "{a} ≠ 0"),
+        }
+    }
+}
+
+/// The ambient monad of the program being compiled (the lift of §3.4.1).
+///
+/// `Pure` bindings inside a monadic program are compiled by the same lemmas
+/// as in pure programs — the judgment is phrased so that "lemmas about
+/// nonmonadic terms apply regardless of the source program's ambient monad".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MonadCtx {
+    /// No ambient monad.
+    #[default]
+    Pure,
+    /// The given monad, lifted into the postcondition.
+    Monadic(MonadKind),
+}
+
+impl MonadCtx {
+    /// Whether a `Ret`/`Bind` of monad `m` is admissible under this context.
+    pub fn admits(self, m: MonadKind) -> bool {
+        match self {
+            MonadCtx::Pure => false,
+            MonadCtx::Monadic(k) => k == m,
+        }
+    }
+}
+
+impl fmt::Display for MonadCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonadCtx::Pure => write!(f, "pure"),
+            MonadCtx::Monadic(k) => write!(f, "{k}"),
+        }
+    }
+}
+
+/// Where one component of the final result must end up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetSlot {
+    /// A scalar component, assigned to the named Bedrock2 local (which is
+    /// one of the function's `rets`).
+    ScalarTo(String),
+    /// An array or cell component that must reside, at exit, in the given
+    /// heaplet (the in-place output of the ABI's ensures clause).
+    InHeaplet(HeapletId),
+}
+
+/// The postcondition skeleton: one slot per component of the model's result
+/// (pairs are flattened left-to-right).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Post {
+    /// Result slots, in order.
+    pub slots: Vec<RetSlot>,
+}
+
+/// The statement-compilation judgment (minus the evar).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StmtGoal {
+    /// The source program remainder.
+    pub prog: Expr,
+    /// Symbolic Bedrock2 locals.
+    pub locals: SymLocals,
+    /// Symbolic heap (separation-logic context).
+    pub heap: SymHeap,
+    /// Hypotheses available to side-condition solvers.
+    pub hyps: Vec<Hyp>,
+    /// The ambient monad.
+    pub monad: MonadCtx,
+    /// Result slots.
+    pub post: Post,
+    /// The evaluation prefix: `(name, definition)` equations in binding
+    /// order, including ghost saves. Re-evaluating this chain from the
+    /// function's inputs reconstructs every bound value — the checker uses
+    /// it to evaluate loop-invariant terms at runtime. Monadic definitions
+    /// are not recorded (they are not re-evaluable offline).
+    pub defs: Vec<(Ident, Expr)>,
+}
+
+impl StmtGoal {
+    /// Rebinds source name `name`: every occurrence of `Var name` in the
+    /// symbolic state (locals, heap contents and lengths, hypotheses) is
+    /// renamed to the ghost `ghost`, preserving meaning, so that `name` can
+    /// be re-bound to a new value (the paper's `let/n acc := acc + 1`
+    /// pattern).
+    pub fn shadow(&mut self, name: &str, ghost: &str) {
+        let replacement = Expr::Var(ghost.to_string());
+        let sub = |e: &Expr| rupicola_sep::subst(e, name, &replacement);
+        let names: Vec<String> = self.locals.iter().map(|(n, _)| n.to_string()).collect();
+        for n in names {
+            if let Some(v) = self.locals.get(&n).cloned() {
+                if let SymValue::Scalar(k, term) = v {
+                    self.locals.set(n, SymValue::Scalar(k, sub(&term)));
+                }
+            }
+        }
+        let ids: Vec<HeapletId> = self.heap.iter().map(|(id, _)| id).collect();
+        for id in ids {
+            if let Some(h) = self.heap.get_mut(id) {
+                h.content = rupicola_sep::subst(&h.content, name, &replacement);
+                if let Some(len) = &h.len {
+                    h.len = Some(rupicola_sep::subst(len, name, &replacement));
+                }
+            }
+        }
+        for h in &mut self.hyps {
+            match h {
+                Hyp::EqWord(a, b) | Hyp::LtU(a, b) | Hyp::LeU(a, b) => {
+                    *a = sub(a);
+                    *b = sub(b);
+                }
+            }
+        }
+    }
+
+    /// The `(name, definition)` evaluation prefix (see the `defs` field).
+    pub fn binding_defs(&self) -> Vec<(Ident, Expr)> {
+        self.defs.clone()
+    }
+}
+
+impl fmt::Display for StmtGoal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{{ locals := {}", self.locals)?;
+        writeln!(f, "  mem    := {}", self.heap)?;
+        if !self.hyps.is_empty() {
+            write!(f, "  hyps   := ")?;
+            for (i, h) in self.hyps.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "; ")?;
+                }
+                write!(f, "{h}")?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(f, "  monad  := {} }}", self.monad)?;
+        write!(f, "?c {{ pred ({}) }}", self.prog)
+    }
+}
+
+/// Flattens a (possibly nested-pair) result term into its components,
+/// left-to-right, one level per pair: `(a, (b, c))` becomes `[a, b, c]`.
+pub fn flatten_result(term: &Expr) -> Vec<&Expr> {
+    match term {
+        Expr::Pair(a, b) => {
+            let mut out = flatten_result(a);
+            out.extend(flatten_result(b));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupicola_lang::dsl::*;
+    use rupicola_sep::ScalarKind;
+
+    fn goal_with_acc() -> StmtGoal {
+        let mut locals = SymLocals::new();
+        locals.set("acc", SymValue::Scalar(ScalarKind::Word, var("acc")));
+        StmtGoal {
+            prog: var("acc"),
+            locals,
+            heap: SymHeap::new(),
+            hyps: vec![Hyp::EqWord(var("acc"), word_lit(0))],
+            monad: MonadCtx::Pure,
+            post: Post::default(),
+            defs: vec![("acc".to_string(), word_lit(0))],
+        }
+    }
+
+    #[test]
+    fn shadow_renames_state_not_prog() {
+        let mut g = goal_with_acc();
+        g.shadow("acc", "acc'0");
+        let (term, _) = g.locals.get("acc").unwrap().scalar_term().unwrap();
+        assert_eq!(term, &var("acc'0"));
+        assert_eq!(g.hyps[0], Hyp::EqWord(var("acc'0"), word_lit(0)));
+        assert_eq!(g.prog, var("acc")); // program text untouched
+    }
+
+    #[test]
+    fn shadow_rewrites_heap_contents() {
+        let mut g = goal_with_acc();
+        g.heap.add(rupicola_sep::Heaplet {
+            kind: rupicola_sep::HeapletKind::Array { elem: rupicola_lang::ElemKind::Byte },
+            content: array_put_b(var("s"), word_lit(0), byte_lit(1)),
+            len: Some(array_len_b(var("s"))),
+            ptr_name: "&s".into(),
+        });
+        g.shadow("s", "s'1");
+        let (_, h) = g.heap.iter().next().unwrap();
+        assert_eq!(h.content, array_put_b(var("s'1"), word_lit(0), byte_lit(1)));
+        assert_eq!(h.len, Some(array_len_b(var("s'1"))));
+    }
+
+    #[test]
+    fn binding_defs_extracts_equations() {
+        let g = goal_with_acc();
+        assert_eq!(g.binding_defs(), vec![("acc".to_string(), word_lit(0))]);
+    }
+
+    #[test]
+    fn flatten_result_unnests_pairs() {
+        let t = pair(var("a"), pair(var("b"), var("c")));
+        let parts = flatten_result(&t);
+        assert_eq!(parts, vec![&var("a"), &var("b"), &var("c")]);
+        assert_eq!(flatten_result(&var("x")), vec![&var("x")]);
+    }
+
+    #[test]
+    fn monad_ctx_admits() {
+        use rupicola_lang::MonadKind::*;
+        assert!(MonadCtx::Monadic(Io).admits(Io));
+        assert!(!MonadCtx::Monadic(Io).admits(Writer));
+        assert!(!MonadCtx::Pure.admits(Io));
+    }
+
+    #[test]
+    fn goal_display_mentions_all_parts() {
+        let g = goal_with_acc();
+        let shown = format!("{g}");
+        assert!(shown.contains("locals"));
+        assert!(shown.contains("pred (acc)"));
+        assert!(shown.contains("acc = 0"));
+    }
+}

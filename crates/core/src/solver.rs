@@ -1,0 +1,653 @@
+//! Side-condition solvers.
+//!
+//! Compilation lemmas emit logical side conditions — "tricky side conditions
+//! on array bounds or integer overflows" (§3.1) — and registered solvers
+//! discharge them. The default solver, [`Lia`], plays the role of Coq's
+//! linear-arithmetic tactic that the paper plugs in "to handle index-bounds
+//! side conditions" (§3.2): it combines
+//!
+//! - *interval analysis* of scalar terms (byte-typed subterms lie in
+//!   `0..=255`, `x & 0xff` lies in `0..=255`, comparisons in `0..=1`, …),
+//! - *hypothesis rewriting* using binding equations (`i = 0`), and
+//! - *hypothesis matching* after linear normalization, with one step of
+//!   transitive chaining.
+//!
+//! Both the compiler and the trusted checker run the solvers: the checker
+//! re-solves every recorded side condition when re-validating a derivation.
+
+use crate::goal::{Hyp, SideCond};
+use rupicola_lang::{Expr, PrimOp, Value};
+use std::collections::BTreeMap;
+
+/// A registered side-condition solver.
+pub trait SideSolver: Send + Sync {
+    /// Solver name, recorded in derivations.
+    fn name(&self) -> &'static str;
+    /// Attempts to discharge the condition under the hypotheses.
+    fn solve(&self, cond: &SideCond, hyps: &[Hyp]) -> bool;
+}
+
+/// The built-in linear-arithmetic/interval solver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lia;
+
+impl SideSolver for Lia {
+    fn name(&self) -> &'static str {
+        "lia"
+    }
+
+    fn solve(&self, cond: &SideCond, hyps: &[Hyp]) -> bool {
+        match cond {
+            SideCond::Lt(a, b) => prove_lt(a, b, hyps, 3),
+            SideCond::Le(a, b) => prove_le(a, b, hyps, 3),
+            SideCond::NonZero(a) => {
+                let a = rewrite(a, hyps, 8);
+                range_of(&a, hyps, 6).0 >= 1
+            }
+        }
+    }
+}
+
+const MAX: u128 = u64::MAX as u128;
+
+/// A linear normal form: `consts + Σ coeff·atom`, over ℤ.
+///
+/// Used only for *syntactic matching* of goals against hypotheses (where
+/// wrap-around cannot change the verdict because both sides normalize the
+/// same way); interval reasoning handles the semantic part.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinExpr {
+    consts: i128,
+    terms: BTreeMap<String, (i128, Expr)>,
+}
+
+impl LinExpr {
+    fn constant(c: i128) -> Self {
+        LinExpr { consts: c, terms: BTreeMap::new() }
+    }
+
+    fn atom(e: &Expr) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(format!("{e:?}"), (1, e.clone()));
+        LinExpr { consts: 0, terms }
+    }
+
+    fn add(mut self, other: &LinExpr, sign: i128) -> Self {
+        self.consts += sign * other.consts;
+        for (k, (c, e)) in &other.terms {
+            let entry = self.terms.entry(k.clone()).or_insert((0, e.clone()));
+            entry.0 += sign * c;
+        }
+        self.terms.retain(|_, (c, _)| *c != 0);
+        self
+    }
+
+    fn scale(mut self, k: i128) -> Self {
+        self.consts *= k;
+        for (c, _) in self.terms.values_mut() {
+            *c *= k;
+        }
+        self.terms.retain(|_, (c, _)| *c != 0);
+        self
+    }
+
+    /// The constant value of a linear form with no atoms.
+    pub fn as_constant(&self) -> Option<i128> {
+        self.terms.is_empty().then_some(self.consts)
+    }
+
+    /// `self - other`, if the difference is a pure constant.
+    fn diff_const(&self, other: &LinExpr) -> Option<i128> {
+        let d = self.clone().add(other, -1);
+        d.terms.is_empty().then_some(d.consts)
+    }
+
+    /// `self - k·other`, if the difference is a pure constant (used by the
+    /// division-bound rule).
+    fn diff_scaled_const(&self, other: &LinExpr, k: i128) -> Option<i128> {
+        let d = self.clone().add(&other.clone().scale(k), -1);
+        d.terms.is_empty().then_some(d.consts)
+    }
+}
+
+fn lit_value(e: &Expr) -> Option<u64> {
+    match e {
+        Expr::Lit(v) => v.to_scalar_word(),
+        _ => None,
+    }
+}
+
+/// Linearizes a term (addition, subtraction, multiplication by literals and
+/// denotation-preserving casts are interpreted; everything else is an atom).
+pub fn linearize(e: &Expr) -> LinExpr {
+    use PrimOp::*;
+    match e {
+        Expr::Lit(v) => match v.to_scalar_word() {
+            Some(w) => LinExpr::constant(w as i128),
+            None => LinExpr::atom(e),
+        },
+        Expr::Prim { op, args } if args.len() == 2 => {
+            let (a, b) = (&args[0], &args[1]);
+            match op {
+                WAdd | NAdd => linearize(a).add(&linearize(b), 1),
+                WSub => linearize(a).add(&linearize(b), -1),
+                WMul | NMul => {
+                    if let Some(k) = lit_value(a) {
+                        linearize(b).scale(k as i128)
+                    } else if let Some(k) = lit_value(b) {
+                        linearize(a).scale(k as i128)
+                    } else {
+                        LinExpr::atom(e)
+                    }
+                }
+                _ => LinExpr::atom(e),
+            }
+        }
+        Expr::Prim { op, args }
+            if args.len() == 1
+                && matches!(op, WordOfNat | NatOfWord | WordOfByte | WordOfBool) =>
+        {
+            // Denotation-preserving injections: same number.
+            linearize(&args[0])
+        }
+        _ => LinExpr::atom(e),
+    }
+}
+
+/// Rewrites a term by substituting variable definitions from `EqWord`
+/// hypotheses (`x = rhs`), to a bounded depth.
+pub fn rewrite(e: &Expr, hyps: &[Hyp], depth: usize) -> Expr {
+    if depth == 0 {
+        return e.clone();
+    }
+    // Equations are oriented new-term = old-term (ghost renames record
+    // `length s = length s'1`); rewriting left-to-right normalizes goals
+    // toward the oldest form, in which the other hypotheses are phrased.
+    for h in hyps {
+        if let Hyp::EqWord(lhs, rhs) = h {
+            if lhs == e && rhs != e {
+                return rewrite(rhs, hyps, depth - 1);
+            }
+        }
+    }
+    if matches!(e, Expr::Var(_)) {
+        return e.clone();
+    }
+    // Structural recursion via substitution on the few shapes solvers see;
+    // fall back to the original term otherwise.
+    match e {
+        Expr::Prim { op, args } => Expr::Prim {
+            op: *op,
+            args: args.iter().map(|a| rewrite(a, hyps, depth - 1)).collect(),
+        },
+        Expr::ArrayLen { elem, arr } => Expr::ArrayLen {
+            elem: *elem,
+            arr: Box::new(rewrite(arr, hyps, depth - 1)),
+        },
+        _ => e.clone(),
+    }
+}
+
+fn bits_mask(x: u128) -> u128 {
+    if x == 0 {
+        0
+    } else {
+        (1u128 << (128 - x.leading_zeros())) - 1
+    }
+}
+
+/// Computes a sound interval `[lo, hi]` for the numeric denotation of a
+/// scalar term, refined by hypotheses.
+pub fn range_of(e: &Expr, hyps: &[Hyp], depth: usize) -> (u128, u128) {
+    let base = range_of_raw(e, hyps, depth);
+    refine_with_hyps(e, base, hyps, depth)
+}
+
+fn refine_with_hyps(e: &Expr, mut range: (u128, u128), hyps: &[Hyp], depth: usize) -> (u128, u128) {
+    if depth == 0 {
+        return range;
+    }
+    for h in hyps {
+        match h {
+            Hyp::LtU(a, b) if a == e => {
+                let (_, hi_b) = range_of_raw(b, hyps, depth - 1);
+                if hi_b > 0 {
+                    range.1 = range.1.min(hi_b - 1);
+                }
+            }
+            Hyp::LeU(a, b) if a == e => {
+                let (_, hi_b) = range_of_raw(b, hyps, depth - 1);
+                range.1 = range.1.min(hi_b);
+            }
+            Hyp::LtU(a, b) if b == e => {
+                let (lo_a, _) = range_of_raw(a, hyps, depth - 1);
+                range.0 = range.0.max(lo_a + 1);
+            }
+            Hyp::LeU(a, b) if b == e => {
+                let (lo_a, _) = range_of_raw(a, hyps, depth - 1);
+                range.0 = range.0.max(lo_a);
+            }
+            Hyp::EqWord(a, b) if a == e => {
+                let (lo_b, hi_b) = range_of_raw(b, hyps, depth - 1);
+                range.0 = range.0.max(lo_b);
+                range.1 = range.1.min(hi_b);
+            }
+            _ => {}
+        }
+    }
+    range
+}
+
+#[allow(clippy::too_many_lines)]
+fn range_of_raw(e: &Expr, hyps: &[Hyp], depth: usize) -> (u128, u128) {
+    use PrimOp::*;
+    if depth == 0 {
+        return (0, MAX);
+    }
+    let r = |x: &Expr| range_of(x, hyps, depth - 1);
+    match e {
+        Expr::Lit(v) => match v {
+            Value::Bool(b) => (u128::from(*b), u128::from(*b)),
+            _ => match v.to_scalar_word() {
+                Some(w) => (u128::from(w), u128::from(w)),
+                None => (0, MAX),
+            },
+        },
+        Expr::Var(_) => {
+            // Definitions refine variables.
+            for h in hyps {
+                if let Hyp::EqWord(lhs, rhs) = h {
+                    if lhs == e && rhs != e {
+                        return range_of(rhs, hyps, depth - 1);
+                    }
+                }
+            }
+            (0, MAX)
+        }
+        Expr::Prim { op, args } => {
+            let bin = |f: &dyn Fn((u128, u128), (u128, u128)) -> (u128, u128)| {
+                f(r(&args[0]), r(&args[1]))
+            };
+            match op {
+                WAdd | NAdd => {
+                    let ((la, ha), (lb, hb)) = (r(&args[0]), r(&args[1]));
+                    if ha + hb <= MAX {
+                        (la + lb, ha + hb)
+                    } else {
+                        (0, MAX)
+                    }
+                }
+                WSub => {
+                    let ((la, ha), (lb, hb)) = (r(&args[0]), r(&args[1]));
+                    if la >= hb {
+                        (la - hb, ha - lb)
+                    } else {
+                        (0, MAX)
+                    }
+                }
+                NSub => {
+                    let ((_, ha), _) = (r(&args[0]), r(&args[1]));
+                    (0, ha)
+                }
+                WMul | NMul => {
+                    let ((la, ha), (lb, hb)) = (r(&args[0]), r(&args[1]));
+                    if ha.saturating_mul(hb) <= MAX {
+                        (la * lb, ha * hb)
+                    } else {
+                        (0, MAX)
+                    }
+                }
+                WDivU => bin(&|(la, ha), (lb, hb)| {
+                    if lb >= 1 {
+                        (la / hb.max(1), ha / lb)
+                    } else {
+                        (0, MAX)
+                    }
+                }),
+                WRemU => bin(&|(_, ha), (lb, hb)| {
+                    if lb >= 1 {
+                        (0, ha.min(hb - 1))
+                    } else {
+                        (0, ha)
+                    }
+                }),
+                WAnd => bin(&|(_, ha), (_, hb)| (0, ha.min(hb))),
+                WOr | WXor => bin(&|(_, ha), (_, hb)| (0, bits_mask(ha.max(hb)))),
+                WShl => {
+                    if let Some(k) = lit_value(&args[1]) {
+                        let (la, ha) = r(&args[0]);
+                        let k = k & 63;
+                        if ha << k <= MAX {
+                            (la << k, ha << k)
+                        } else {
+                            (0, MAX)
+                        }
+                    } else {
+                        (0, MAX)
+                    }
+                }
+                WShr => {
+                    if let Some(k) = lit_value(&args[1]) {
+                        let (la, ha) = r(&args[0]);
+                        (la >> (k & 63), ha >> (k & 63))
+                    } else {
+                        let (_, ha) = r(&args[0]);
+                        (0, ha)
+                    }
+                }
+                WSar => (0, MAX),
+                BAdd | BSub | BShl | BShr => (0, 255),
+                BAnd => bin(&|(_, ha), (_, hb)| (0, ha.min(hb).min(255))),
+                BOr | BXor => bin(&|(_, ha), (_, hb)| (0, bits_mask(ha.max(hb)).min(255))),
+                WLtU | WLtS | WEq | BLtU | BEq | Not | BoolAnd | BoolOr | BoolEq | NLt | NEq => {
+                    (0, 1)
+                }
+                WordOfByte => {
+                    let (lo, hi) = r(&args[0]);
+                    (lo, hi.min(255))
+                }
+                ByteOfWord => {
+                    let (lo, hi) = r(&args[0]);
+                    if hi <= 255 {
+                        (lo, hi)
+                    } else {
+                        (0, 255)
+                    }
+                }
+                WordOfNat | NatOfWord => r(&args[0]),
+                WordOfBool => (0, 1),
+            }
+        }
+        Expr::ArrayGet { elem, .. } => match elem {
+            rupicola_lang::ElemKind::Byte => (0, 255),
+            rupicola_lang::ElemKind::Word => (0, MAX),
+        },
+        Expr::TableGet { .. } => (0, MAX),
+        Expr::If { then_, else_, .. } => {
+            let (lt, ht) = r(then_);
+            let (le_, he) = r(else_);
+            (lt.min(le_), ht.max(he))
+        }
+        _ => (0, MAX),
+    }
+}
+
+fn lin_eq(a: &Expr, b: &Expr) -> bool {
+    linearize(a) == linearize(b)
+}
+
+fn prove_lt(a: &Expr, b: &Expr, hyps: &[Hyp], depth: usize) -> bool {
+    if depth == 0 {
+        return false;
+    }
+    let a = rewrite(a, hyps, 8);
+    let b = rewrite(b, hyps, 8);
+    let (_, ha) = range_of(&a, hyps, 6);
+    let (lb, _) = range_of(&b, hyps, 6);
+    if ha < lb {
+        return true;
+    }
+    for h in hyps {
+        match h {
+            Hyp::LtU(x, y) => {
+                let (x, y) = (rewrite(x, hyps, 8), rewrite(y, hyps, 8));
+                if lin_eq(&a, &x) && lin_eq(&b, &y) {
+                    return true;
+                }
+                // Constant-offset shifting: from x < y conclude
+                // x + da < y + db when da ≤ db and neither side wraps.
+                let (la, lx, lb, ly) = (linearize(&a), linearize(&x), linearize(&b), linearize(&y));
+                if let (Some(da), Some(db)) = (la.diff_const(&lx), lb.diff_const(&ly)) {
+                    if da <= db {
+                        let (lo_x, hi_x) = range_of(&x, hyps, 6);
+                        let (lo_y, hi_y) = range_of(&y, hyps, 6);
+                        let x_ok = if da >= 0 {
+                            hi_x.checked_add(da as u128).is_some_and(|v| v <= MAX)
+                        } else {
+                            lo_x >= da.unsigned_abs()
+                        };
+                        let y_ok = if db >= 0 {
+                            hi_y.checked_add(db as u128).is_some_and(|v| v <= MAX)
+                        } else {
+                            lo_y >= db.unsigned_abs()
+                        };
+                        if x_ok && y_ok {
+                            return true;
+                        }
+                    }
+                }
+                // Division bound: from x < b' / m (or b' >> k) conclude
+                // m·x + c < b' for 0 ≤ c ≤ m−1, since m·(b'/m) ≤ b'.
+                if let Expr::Prim { op, args } = &y {
+                    let m = match (op, lit_value(&args[1])) {
+                        (PrimOp::WDivU, Some(m)) if m > 0 => Some(m as i128),
+                        (PrimOp::WShr, Some(k)) if k < 63 => Some(1i128 << k),
+                        _ => None,
+                    };
+                    if let Some(m) = m {
+                        let lx = linearize(&x);
+                        if lin_eq(&b, &args[0]) {
+                            if let Some(c) = linearize(&a).diff_scaled_const(&lx, m) {
+                                if (0..m).contains(&c) {
+                                    return true;
+                                }
+                            }
+                        }
+                    }
+                }
+                // a ≤ x and x < y and y ≤ b.
+                if lin_eq(&a, &x) && prove_le(&y, &b, hyps, depth - 1) {
+                    return true;
+                }
+                if lin_eq(&b, &y) && prove_le(&a, &x, hyps, depth - 1) {
+                    return true;
+                }
+            }
+            Hyp::LeU(x, y) => {
+                let (x, y) = (rewrite(x, hyps, 8), rewrite(y, hyps, 8));
+                // a ≤ y (via x) and y < b.
+                if lin_eq(&a, &x) && prove_lt(&y, &b, hyps, depth - 1) {
+                    return true;
+                }
+            }
+            Hyp::EqWord(..) => {}
+        }
+    }
+    false
+}
+
+fn prove_le(a: &Expr, b: &Expr, hyps: &[Hyp], depth: usize) -> bool {
+    if depth == 0 {
+        return false;
+    }
+    let a = rewrite(a, hyps, 8);
+    let b = rewrite(b, hyps, 8);
+    if lin_eq(&a, &b) {
+        return true;
+    }
+    let (_, ha) = range_of(&a, hyps, 6);
+    let (lb, _) = range_of(&b, hyps, 6);
+    if ha <= lb {
+        return true;
+    }
+    for h in hyps {
+        match h {
+            Hyp::LeU(x, y) | Hyp::LtU(x, y) => {
+                let (x, y) = (rewrite(x, hyps, 8), rewrite(y, hyps, 8));
+                if lin_eq(&a, &x) && lin_eq(&b, &y) {
+                    return true;
+                }
+                if lin_eq(&a, &x) && prove_le(&y, &b, hyps, depth - 1) {
+                    return true;
+                }
+            }
+            Hyp::EqWord(..) => {}
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupicola_lang::dsl::*;
+
+    fn lia(cond: SideCond, hyps: &[Hyp]) -> bool {
+        Lia.solve(&cond, hyps)
+    }
+
+    #[test]
+    fn constants_compare_by_interval() {
+        assert!(lia(SideCond::Lt(word_lit(3), word_lit(4)), &[]));
+        assert!(!lia(SideCond::Lt(word_lit(4), word_lit(4)), &[]));
+        assert!(lia(SideCond::Le(word_lit(4), word_lit(4)), &[]));
+        assert!(lia(SideCond::NonZero(word_lit(1)), &[]));
+        assert!(!lia(SideCond::NonZero(word_lit(0)), &[]));
+    }
+
+    #[test]
+    fn byte_terms_fit_byte_tables() {
+        // b & 0xff < 256 — the crc32 table-bound side condition.
+        let idx = word_and(var("x"), word_lit(0xff));
+        assert!(lia(SideCond::Lt(idx, word_lit(256)), &[]));
+        // word_of_byte b < 256 — the fasta/upstr table pattern.
+        let idx2 = word_of_byte(var("b"));
+        assert!(lia(SideCond::Lt(idx2, word_lit(256)), &[]));
+        // but an arbitrary word is not provably < 256.
+        assert!(!lia(SideCond::Lt(var("x"), word_lit(256)), &[]));
+    }
+
+    #[test]
+    fn loop_bound_hypothesis_matches() {
+        // i < length s ⊢ i < length s
+        let hyp = Hyp::LtU(var("i"), array_len_b(var("s")));
+        assert!(lia(
+            SideCond::Lt(var("i"), array_len_b(var("s"))),
+            &[hyp.clone()]
+        ));
+        // but not i < length t
+        assert!(!lia(SideCond::Lt(var("i"), array_len_b(var("t"))), &[hyp]));
+    }
+
+    #[test]
+    fn equations_rewrite_goals() {
+        // j = i, i < n ⊢ j < n
+        let hyps = vec![
+            Hyp::EqWord(var("j"), var("i")),
+            Hyp::LtU(var("i"), var("n")),
+        ];
+        assert!(lia(SideCond::Lt(var("j"), var("n")), &hyps));
+    }
+
+    #[test]
+    fn linear_normalization_matches_offsets() {
+        // i + 1 ≤ n from hyp i + 1 ≤ n written differently: 1 + i ≤ n.
+        let hyps = vec![Hyp::LeU(word_add(word_lit(1), var("i")), var("n"))];
+        assert!(lia(
+            SideCond::Le(word_add(var("i"), word_lit(1)), var("n")),
+            &hyps
+        ));
+    }
+
+    #[test]
+    fn chaining_le_then_lt() {
+        // a ≤ c, c < b ⊢ a < b
+        let hyps = vec![Hyp::LeU(var("a"), var("c")), Hyp::LtU(var("c"), var("b"))];
+        assert!(lia(SideCond::Lt(var("a"), var("b")), &hyps));
+    }
+
+    #[test]
+    fn nonzero_via_equation() {
+        let hyps = vec![Hyp::EqWord(var("d"), word_lit(8))];
+        assert!(lia(SideCond::NonZero(var("d")), &hyps));
+        assert!(!lia(SideCond::NonZero(var("e")), &hyps));
+    }
+
+    #[test]
+    fn range_of_tracks_shifts_and_masks() {
+        assert_eq!(range_of(&word_shr(word_lit(1024), word_lit(3)), &[], 6), (128, 128));
+        assert_eq!(range_of(&word_and(var("x"), word_lit(0x0f)), &[], 6), (0, 15));
+        assert_eq!(range_of(&word_remu(var("x"), word_lit(10)), &[], 6), (0, 9));
+        assert_eq!(range_of(&byte_of_word(var("x")), &[], 6), (0, 255));
+        assert_eq!(range_of(&word_eq(var("x"), var("y")), &[], 6), (0, 1));
+    }
+
+    #[test]
+    fn range_uses_hypotheses() {
+        let hyps = vec![Hyp::LtU(var("i"), word_lit(100))];
+        assert_eq!(range_of(&var("i"), &hyps, 6), (0, 99));
+        // i*8 + 8 ≤ 800 given i < 100.
+        assert!(lia(
+            SideCond::Le(
+                word_add(word_mul(var("i"), word_lit(8)), word_lit(8)),
+                word_lit(800)
+            ),
+            &hyps
+        ));
+    }
+
+    #[test]
+    fn mul_by_literal_linearizes() {
+        let a = word_mul(var("i"), word_lit(8));
+        let b = word_mul(word_lit(8), var("i"));
+        assert!(lin_eq(&a, &b));
+        assert!(!lin_eq(&a, &word_mul(var("i"), word_lit(4))));
+    }
+
+    #[test]
+    fn offset_shifting_is_wrap_safe() {
+        // i < len − 3, len < 2³² ⊢ i + 3 < len  (the utf8 window bound).
+        let hyps = vec![
+            Hyp::LtU(var("i"), word_sub(var("len"), word_lit(3))),
+            Hyp::LtU(var("len"), word_lit(1 << 32)),
+            Hyp::LeU(word_lit(4), var("len")),
+        ];
+        assert!(lia(
+            SideCond::Lt(word_add(var("i"), word_lit(3)), var("len")),
+            &hyps
+        ));
+        // Without the range hint the no-wrap check fails and the rule
+        // (soundly) declines.
+        let no_range = vec![Hyp::LtU(var("i"), word_sub(var("len"), word_lit(3)))];
+        assert!(!lia(
+            SideCond::Lt(word_add(var("i"), word_lit(3)), var("len")),
+            &no_range
+        ));
+    }
+
+    #[test]
+    fn division_bound_rule() {
+        // i < len / 2 ⊢ 2·i + 1 < len  (the ip checksum bound).
+        let hyps = vec![Hyp::LtU(var("i"), word_divu(var("len"), word_lit(2)))];
+        assert!(lia(
+            SideCond::Lt(
+                word_add(word_mul(word_lit(2), var("i")), word_lit(1)),
+                var("len")
+            ),
+            &hyps
+        ));
+        // And via a shift instead of a division.
+        let hyps2 = vec![Hyp::LtU(var("i"), word_shr(var("len"), word_lit(1)))];
+        assert!(lia(
+            SideCond::Lt(word_mul(word_lit(2), var("i")), var("len")),
+            &hyps2
+        ));
+        // c ≥ m is out of range for the rule.
+        assert!(!lia(
+            SideCond::Lt(
+                word_add(word_mul(word_lit(2), var("i")), word_lit(2)),
+                var("len")
+            ),
+            &hyps
+        ));
+    }
+
+    #[test]
+    fn casts_are_denotation_preserving_in_linear_form() {
+        assert!(lin_eq(&word_of_nat(var("n")), &var("n")));
+        assert!(lin_eq(
+            &word_add(word_of_nat(var("n")), word_lit(1)),
+            &word_add(var("n"), word_lit(1))
+        ));
+    }
+}

@@ -1,0 +1,116 @@
+//! The Rupicola extension library: "compiler submodules".
+//!
+//! Rupicola's core "is restricted, out of the box, to a minimal set of
+//! constructs" (§1); everything users actually compile with comes from
+//! extensions like the ones in this crate. Each module is one extension in
+//! the sense of Table 1 — a handful of lemmas plus their side conditions —
+//! and is deliberately kept in its own file so the incremental-effort
+//! measurements of the Table 1 harness are per-extension:
+//!
+//! | module | extension | paper |
+//! |---|---|---|
+//! | [`let_bind`] | named scalar bindings (`let/n`) | §3.4.1 |
+//! | [`conditionals`] | scalar conditionals with predicate inference | §3.4.2 |
+//! | [`arith`] | the relational expression compiler | §4.1.3 |
+//! | [`arrays`] | `ListArray` get/put/map/fold | §3.2 |
+//! | [`loops`] | ranged folds, with and without early exit | §3.4.2 |
+//! | [`inline_tables`] | `InlineTable.get` for bytes and words | §4.1.2 |
+//! | [`cells`] | mutable cells: get, put, iadd | Table 1 |
+//! | [`stack_alloc`] | stack allocation of initialized objects | §4.1.2 |
+//! | [`nondet`] | nondet monad: alloc, peek | Table 1 |
+//! | [`io`] | io monad: read, write | Table 1 |
+//! | [`writer`] | writer monad: tell | §4.1.1 |
+//! | [`free`] | generic free-monad commands | §3 |
+//! | [`calls`] | external calls to linked verified Bedrock2 | §3.2 |
+//! | [`copy`] | the `copy` annotation (copy instead of mutate) | §3.4.1 |
+//! | [`intrinsics`] | direct mappings to special instructions | §3 |
+//! | [`unfold`] | user-extension unfolding hints | §3.2 |
+//!
+//! [`standard_dbs`] assembles the full standard compiler; users add their
+//! own lemmas on top ("plugging in domain- or program-specific compilation
+//! hints", §1).
+
+pub mod arith;
+pub mod arrays;
+pub mod calls;
+pub mod cells;
+pub mod conditionals;
+pub mod copy;
+pub mod free;
+pub mod helpers;
+pub mod inline_tables;
+pub mod intrinsics;
+pub mod io;
+pub mod let_bind;
+pub mod loops;
+pub mod nondet;
+pub mod stack_alloc;
+pub mod unfold;
+pub mod writer;
+
+use rupicola_core::HintDbs;
+
+/// Builds the standard hint databases: every extension in this crate, in
+/// the canonical order (specialized `let` forms before the generic scalar
+/// `let`, which must come last among statement lemmas).
+pub fn standard_dbs() -> HintDbs {
+    let mut dbs = HintDbs::new();
+    // Statement lemmas. Order matters: lemmas matching specific `let`
+    // right-hand sides run before the generic scalar binding.
+    dbs.register_stmt(io::MonadBindRet);
+    dbs.register_stmt(conditionals::CompileScalarIf);
+    dbs.register_stmt(cells::CompileCellCasPair);
+    dbs.register_stmt(cells::CompileCellCas);
+    dbs.register_stmt(cells::CompileCellIncr);
+    dbs.register_stmt(cells::CompileCellPut);
+    dbs.register_stmt(arrays::CompileArrayPut);
+    dbs.register_stmt(arrays::CompileArrayMap);
+    dbs.register_stmt(arrays::CompileArrayFold);
+    dbs.register_stmt(arrays::CompileRangeFoldArrayPut);
+    dbs.register_stmt(loops::CompileRangeFold);
+    dbs.register_stmt(loops::CompileRangeFoldBreak);
+    dbs.register_stmt(loops::CompileRangeFoldM);
+    dbs.register_stmt(stack_alloc::CompileStackInit);
+    dbs.register_stmt(nondet::CompileNondetAlloc);
+    dbs.register_stmt(nondet::CompileNondetPeek);
+    dbs.register_stmt(io::CompileIoRead);
+    dbs.register_stmt(io::CompileIoWrite);
+    dbs.register_stmt(writer::CompileWriterTell);
+    dbs.register_stmt(free::CompileFreeOp);
+    dbs.register_stmt(copy::CompileCopyScalar);
+    dbs.register_stmt(copy::CompileCopyArrayStack);
+    dbs.register_stmt(let_bind::CompileLetPair);
+    dbs.register_stmt(let_bind::CompileLetScalar);
+    // Expression lemmas.
+    dbs.register_expr(arith::ExprLocal);
+    dbs.register_expr(arith::ExprProj);
+    dbs.register_expr(arith::ExprLit);
+    dbs.register_expr(arith::ExprPrim);
+    dbs.register_expr(arrays::ExprArrayGet);
+    dbs.register_expr(inline_tables::ExprTableGet);
+    dbs.register_expr(cells::ExprCellGet);
+    dbs
+}
+
+/// Source text of each extension module, for the Table 1 effort
+/// measurements (lines of lemma code per extension).
+pub fn extension_sources() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("let_bind", include_str!("let_bind.rs")),
+        ("conditionals", include_str!("conditionals.rs")),
+        ("arith", include_str!("arith.rs")),
+        ("arrays", include_str!("arrays.rs")),
+        ("loops", include_str!("loops.rs")),
+        ("inline_tables", include_str!("inline_tables.rs")),
+        ("intrinsics", include_str!("intrinsics.rs")),
+        ("cells", include_str!("cells.rs")),
+        ("calls", include_str!("calls.rs")),
+        ("copy", include_str!("copy.rs")),
+        ("stack_alloc", include_str!("stack_alloc.rs")),
+        ("nondet", include_str!("nondet.rs")),
+        ("io", include_str!("io.rs")),
+        ("writer", include_str!("writer.rs")),
+        ("free", include_str!("free.rs")),
+        ("unfold", include_str!("unfold.rs")),
+    ]
+}

@@ -1,0 +1,606 @@
+//! Abstract syntax of the lowered-Gallina source language.
+//!
+//! The language is deliberately restricted — "essentially arithmetic, simple
+//! data structures, and some control flow" (§1) — and *annotated*: every
+//! `let` carries the name of the variable it binds, which is how the
+//! relational compiler decides between mutation and allocation (§3.4.1), and
+//! iteration is expressed through a fixed vocabulary of patterns
+//! (`ListArray.map`, folds, ranged folds, folds with early exit) for which
+//! the compiler has loop lemmas (§3.4.2).
+
+use crate::value::{ElemKind, Value};
+use std::fmt;
+
+/// A variable name. Names are semantically transparent annotations: they do
+/// not change the meaning of the program but direct code generation.
+pub type Ident = String;
+
+/// The ambient monad of a [`Expr::Ret`] / [`Expr::Bind`] node (§3.4.1,
+/// "extensional effects").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MonadKind {
+    /// Nondeterminism: a computation denotes a *set* of results.
+    Nondet,
+    /// Writer: a computation denotes a result plus accumulated output.
+    Writer,
+    /// I/O: a computation interacts with an external input/output stream.
+    Io,
+    /// A generic free monad over externally-interpreted commands
+    /// ([`Expr::FreeOp`]).
+    Free,
+}
+
+impl fmt::Display for MonadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonadKind::Nondet => write!(f, "nondet"),
+            MonadKind::Writer => write!(f, "writer"),
+            MonadKind::Io => write!(f, "io"),
+            MonadKind::Free => write!(f, "free"),
+        }
+    }
+}
+
+/// Pure scalar primitives.
+///
+/// Operations are grouped by the scalar kind they operate on; casts move
+/// between kinds. This mirrors the expression-language scope of Rupicola's
+/// relational expression compiler (§4.1.3): "machine words, bytes, Booleans,
+/// integers, two representations of natural numbers, and expressions with
+/// casts between different types".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimOp {
+    // 64-bit machine words (wrapping semantics, as in Bedrock2).
+    WAdd,
+    WSub,
+    WMul,
+    /// Unsigned division; division by zero is an evaluation error (the
+    /// compiler emits a side condition for it).
+    WDivU,
+    /// Unsigned remainder; same zero side condition as [`PrimOp::WDivU`].
+    WRemU,
+    WAnd,
+    WOr,
+    WXor,
+    /// Left shift; shift amounts are taken modulo 64, as in Bedrock2.
+    WShl,
+    /// Logical right shift (amount modulo 64).
+    WShr,
+    /// Arithmetic right shift (amount modulo 64).
+    WSar,
+    /// Unsigned less-than, returning a boolean.
+    WLtU,
+    /// Signed less-than, returning a boolean.
+    WLtS,
+    /// Word equality, returning a boolean.
+    WEq,
+    // Bytes (wrapping 8-bit semantics).
+    BAdd,
+    BSub,
+    BAnd,
+    BOr,
+    BXor,
+    BShl,
+    BShr,
+    BLtU,
+    BEq,
+    // Booleans.
+    Not,
+    BoolAnd,
+    BoolOr,
+    BoolEq,
+    // Natural numbers (unbounded in Gallina; overflow is an eval error).
+    NAdd,
+    /// Truncated subtraction, as on Gallina naturals (`x - y = 0` if `y > x`).
+    NSub,
+    NMul,
+    NLt,
+    NEq,
+    // Casts.
+    WordOfByte,
+    /// Truncating cast.
+    ByteOfWord,
+    WordOfNat,
+    /// The inverse cast; always exact in our `u64` model of naturals.
+    NatOfWord,
+    WordOfBool,
+}
+
+impl PrimOp {
+    /// The number of operands the primitive expects.
+    pub fn arity(self) -> usize {
+        match self {
+            PrimOp::Not
+            | PrimOp::WordOfByte
+            | PrimOp::ByteOfWord
+            | PrimOp::WordOfNat
+            | PrimOp::NatOfWord
+            | PrimOp::WordOfBool => 1,
+            _ => 2,
+        }
+    }
+
+    /// A Gallina-flavoured rendering used by `Display` for expressions.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrimOp::WAdd => "word.add",
+            PrimOp::WSub => "word.sub",
+            PrimOp::WMul => "word.mul",
+            PrimOp::WDivU => "word.divu",
+            PrimOp::WRemU => "word.remu",
+            PrimOp::WAnd => "word.and",
+            PrimOp::WOr => "word.or",
+            PrimOp::WXor => "word.xor",
+            PrimOp::WShl => "word.slu",
+            PrimOp::WShr => "word.sru",
+            PrimOp::WSar => "word.srs",
+            PrimOp::WLtU => "word.ltu",
+            PrimOp::WLtS => "word.lts",
+            PrimOp::WEq => "word.eqb",
+            PrimOp::BAdd => "byte.add",
+            PrimOp::BSub => "byte.sub",
+            PrimOp::BAnd => "byte.and",
+            PrimOp::BOr => "byte.or",
+            PrimOp::BXor => "byte.xor",
+            PrimOp::BShl => "byte.shl",
+            PrimOp::BShr => "byte.shr",
+            PrimOp::BLtU => "byte.ltu",
+            PrimOp::BEq => "byte.eqb",
+            PrimOp::Not => "negb",
+            PrimOp::BoolAnd => "andb",
+            PrimOp::BoolOr => "orb",
+            PrimOp::BoolEq => "eqb",
+            PrimOp::NAdd => "Nat.add",
+            PrimOp::NSub => "Nat.sub",
+            PrimOp::NMul => "Nat.mul",
+            PrimOp::NLt => "Nat.ltb",
+            PrimOp::NEq => "Nat.eqb",
+            PrimOp::WordOfByte => "word.of_byte",
+            PrimOp::ByteOfWord => "byte.of_word",
+            PrimOp::WordOfNat => "word.of_nat",
+            PrimOp::NatOfWord => "word.to_nat",
+            PrimOp::WordOfBool => "word.of_bool",
+        }
+    }
+}
+
+/// An inline (constant) table attached to a [`crate::Model`] (§4.1.2).
+///
+/// On the Bedrock2 side these become `const` arrays local to the function;
+/// at the source level, `InlineTable.get` "is just the function `nth` on
+/// lists".
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableDef {
+    /// Name by which [`Expr::TableGet`] refers to the table.
+    pub name: Ident,
+    /// Element representation.
+    pub elem: ElemKind,
+    /// Table contents, in the layout of `elem`.
+    pub data: Value,
+}
+
+impl TableDef {
+    /// Builds a byte table.
+    pub fn bytes<N: Into<Ident>, I: IntoIterator<Item = u8>>(name: N, data: I) -> Self {
+        TableDef {
+            name: name.into(),
+            elem: ElemKind::Byte,
+            data: Value::byte_list(data),
+        }
+    }
+
+    /// Builds a word table.
+    pub fn words<N: Into<Ident>, I: IntoIterator<Item = u64>>(name: N, data: I) -> Self {
+        TableDef {
+            name: name.into(),
+            elem: ElemKind::Word,
+            data: Value::word_list(data),
+        }
+    }
+
+    /// Number of elements in the table.
+    pub fn len(&self) -> usize {
+        self.data.list_len().unwrap_or(0)
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Expressions of the lowered-Gallina language.
+///
+/// Programs meant for compilation are shaped as "sequences of let-bindings,
+/// one per desired assignment in the target language" (§3.4.1); the
+/// evaluator accepts any well-formed term.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A variable reference.
+    Var(Ident),
+    /// A literal value.
+    Lit(Value),
+    /// A pure scalar primitive application.
+    Prim { op: PrimOp, args: Vec<Expr> },
+    /// A user-registered pure operation (see [`crate::ExternRegistry`]);
+    /// the open extension point of the source language.
+    Extern { tag: String, args: Vec<Expr> },
+    /// `let/n name := value in body` — a named binding. Rebinding the name of
+    /// an array-valued variable signals in-place mutation to the compiler.
+    Let {
+        name: Ident,
+        value: Box<Expr>,
+        body: Box<Expr>,
+    },
+    /// Forces the bound value to be *copied* rather than mutated in place
+    /// (the paper's `copy : ∀α. α → α` annotation). Semantically the
+    /// identity.
+    Copy(Box<Expr>),
+    /// Requests stack allocation for the wrapped value (§4.1.2). Semantically
+    /// the identity.
+    Stack(Box<Expr>),
+    /// A conditional.
+    If {
+        cond: Box<Expr>,
+        then_: Box<Expr>,
+        else_: Box<Expr>,
+    },
+    /// Pair construction.
+    Pair(Box<Expr>, Box<Expr>),
+    /// First projection.
+    Fst(Box<Expr>),
+    /// Second projection.
+    Snd(Box<Expr>),
+    /// Reads a one-word mutable cell (pure model: unwraps the content).
+    CellGet(Box<Expr>),
+    /// Writes a one-word mutable cell (pure model: builds a new cell).
+    CellPut { cell: Box<Expr>, val: Box<Expr> },
+    /// `ListArray.length` — list length as a word.
+    ArrayLen { elem: ElemKind, arr: Box<Expr> },
+    /// `ListArray.get` — element load; out-of-bounds is an evaluation error
+    /// (and a compilation side condition).
+    ArrayGet {
+        elem: ElemKind,
+        arr: Box<Expr>,
+        idx: Box<Expr>,
+    },
+    /// `ListArray.put` — pure replacement at an index.
+    ArrayPut {
+        elem: ElemKind,
+        arr: Box<Expr>,
+        idx: Box<Expr>,
+        val: Box<Expr>,
+    },
+    /// `InlineTable.get` on a table of the enclosing [`crate::Model`].
+    TableGet { table: Ident, idx: Box<Expr> },
+    /// `ListArray.map (fun x => f) arr` — the element variable `x` is bound
+    /// in `f`; `f` must produce a scalar of the element kind.
+    ArrayMap {
+        elem: ElemKind,
+        x: Ident,
+        f: Box<Expr>,
+        arr: Box<Expr>,
+    },
+    /// `List.fold_left (fun acc x => f) arr init`.
+    ArrayFold {
+        elem: ElemKind,
+        acc: Ident,
+        x: Ident,
+        f: Box<Expr>,
+        init: Box<Expr>,
+        arr: Box<Expr>,
+    },
+    /// A ranged fold: `fold i = from .. to-1 over (fun i acc => f)`, the
+    /// compilation image of `Nat.iter`-style numeric loops.
+    RangeFold {
+        i: Ident,
+        acc: Ident,
+        f: Box<Expr>,
+        init: Box<Expr>,
+        from: Box<Expr>,
+        to: Box<Expr>,
+    },
+    /// A ranged fold with early exit: `f` produces `(continue?, acc')`; the
+    /// loop stops when `continue?` is false ("iteration patterns … with and
+    /// without early exits", §3).
+    RangeFoldBreak {
+        i: Ident,
+        acc: Ident,
+        f: Box<Expr>,
+        init: Box<Expr>,
+        from: Box<Expr>,
+        to: Box<Expr>,
+    },
+    /// A *monadic* ranged fold: the body `f` is a computation in the
+    /// ambient monad (a chain of binds ending in `ret acc'`), so iterations
+    /// may perform effects — `fold_range_m from to (fun i acc => …) init`.
+    RangeFoldM {
+        monad: MonadKind,
+        i: Ident,
+        acc: Ident,
+        f: Box<Expr>,
+        init: Box<Expr>,
+        from: Box<Expr>,
+        to: Box<Expr>,
+    },
+    /// Monadic return.
+    Ret { monad: MonadKind, value: Box<Expr> },
+    /// Monadic bind: `bind ma (fun name => body)`.
+    Bind {
+        monad: MonadKind,
+        name: Ident,
+        ma: Box<Expr>,
+        body: Box<Expr>,
+    },
+    /// Nondeterministic allocation: a byte list of the given length with
+    /// unspecified contents (Table 1's `alloc`).
+    NondetBytes { len: Box<Expr> },
+    /// Nondeterministic choice of a word strictly below the bound (Table 1's
+    /// `peek` of an abstract set).
+    NondetWord { bound: Box<Expr> },
+    /// Reads one word from the external input stream (io monad).
+    IoRead,
+    /// Writes one word to the external output stream (io monad).
+    IoWrite(Box<Expr>),
+    /// Emits one word of writer output (§3.4.1, writer monad).
+    WriterTell(Box<Expr>),
+    /// A command of the free monad, interpreted by the extern registry's
+    /// effect handlers.
+    FreeOp { tag: String, args: Vec<Expr> },
+}
+
+impl Expr {
+    /// Boxes `self` (ergonomics for manual AST construction).
+    pub fn boxed(self) -> Box<Expr> {
+        Box::new(self)
+    }
+
+    /// Counts statements: the number of `let`/`bind` spines plus one for the
+    /// result, matching the paper's statements-per-second unit (§4.3).
+    pub fn statement_count(&self) -> usize {
+        match self {
+            Expr::Let { body, .. } | Expr::Bind { body, .. } => 1 + body.statement_count(),
+            _ => 1,
+        }
+    }
+
+    /// The set of free variables of the expression, in first-occurrence
+    /// order.
+    pub fn free_vars(&self) -> Vec<Ident> {
+        let mut out = Vec::new();
+        let mut bound = Vec::new();
+        self.free_vars_into(&mut bound, &mut out);
+        out
+    }
+
+    fn free_vars_into(&self, bound: &mut Vec<Ident>, out: &mut Vec<Ident>) {
+        let record = |name: &Ident, bound: &[Ident], out: &mut Vec<Ident>| {
+            if !bound.contains(name) && !out.contains(name) {
+                out.push(name.clone());
+            }
+        };
+        match self {
+            Expr::Var(v) => record(v, bound, out),
+            Expr::Lit(_) | Expr::IoRead => {}
+            Expr::Prim { args, .. } | Expr::Extern { args, .. } | Expr::FreeOp { args, .. } => {
+                for a in args {
+                    a.free_vars_into(bound, out);
+                }
+            }
+            Expr::Let { name, value, body } | Expr::Bind { name, ma: value, body, .. } => {
+                value.free_vars_into(bound, out);
+                bound.push(name.clone());
+                body.free_vars_into(bound, out);
+                bound.pop();
+            }
+            Expr::Copy(e)
+            | Expr::Stack(e)
+            | Expr::Fst(e)
+            | Expr::Snd(e)
+            | Expr::CellGet(e)
+            | Expr::IoWrite(e)
+            | Expr::WriterTell(e) => e.free_vars_into(bound, out),
+            Expr::If { cond, then_, else_ } => {
+                cond.free_vars_into(bound, out);
+                then_.free_vars_into(bound, out);
+                else_.free_vars_into(bound, out);
+            }
+            Expr::Pair(a, b) => {
+                a.free_vars_into(bound, out);
+                b.free_vars_into(bound, out);
+            }
+            Expr::CellPut { cell, val } => {
+                cell.free_vars_into(bound, out);
+                val.free_vars_into(bound, out);
+            }
+            Expr::ArrayLen { arr, .. } => arr.free_vars_into(bound, out),
+            Expr::ArrayGet { arr, idx, .. } => {
+                arr.free_vars_into(bound, out);
+                idx.free_vars_into(bound, out);
+            }
+            Expr::ArrayPut { arr, idx, val, .. } => {
+                arr.free_vars_into(bound, out);
+                idx.free_vars_into(bound, out);
+                val.free_vars_into(bound, out);
+            }
+            Expr::TableGet { idx, .. } => idx.free_vars_into(bound, out),
+            Expr::ArrayMap { x, f, arr, .. } => {
+                arr.free_vars_into(bound, out);
+                bound.push(x.clone());
+                f.free_vars_into(bound, out);
+                bound.pop();
+            }
+            Expr::ArrayFold { acc, x, f, init, arr, .. } => {
+                init.free_vars_into(bound, out);
+                arr.free_vars_into(bound, out);
+                bound.push(acc.clone());
+                bound.push(x.clone());
+                f.free_vars_into(bound, out);
+                bound.pop();
+                bound.pop();
+            }
+            Expr::RangeFold { i, acc, f, init, from, to }
+            | Expr::RangeFoldBreak { i, acc, f, init, from, to }
+            | Expr::RangeFoldM { i, acc, f, init, from, to, .. } => {
+                init.free_vars_into(bound, out);
+                from.free_vars_into(bound, out);
+                to.free_vars_into(bound, out);
+                bound.push(i.clone());
+                bound.push(acc.clone());
+                f.free_vars_into(bound, out);
+                bound.pop();
+                bound.pop();
+            }
+            Expr::Ret { value, .. } => value.free_vars_into(bound, out),
+            Expr::NondetBytes { len } => len.free_vars_into(bound, out),
+            Expr::NondetWord { bound: b } => b.free_vars_into(bound, out),
+        }
+    }
+
+    /// Whether the expression syntactically mentions a monadic construct.
+    pub fn is_monadic(&self) -> bool {
+        matches!(
+            self,
+            Expr::Ret { .. }
+                | Expr::Bind { .. }
+                | Expr::RangeFoldM { .. }
+                | Expr::NondetBytes { .. }
+                | Expr::NondetWord { .. }
+                | Expr::IoRead
+                | Expr::IoWrite(_)
+                | Expr::WriterTell(_)
+                | Expr::FreeOp { .. }
+        )
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Prim { op, args } => {
+                write!(f, "{}(", op.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Extern { tag, args } | Expr::FreeOp { tag, args } => {
+                write!(f, "{tag}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Let { name, value, body } => {
+                write!(f, "let/n {name} := {value} in {body}")
+            }
+            Expr::Copy(e) => write!(f, "copy({e})"),
+            Expr::Stack(e) => write!(f, "stack({e})"),
+            Expr::If { cond, then_, else_ } => {
+                write!(f, "if {cond} then {then_} else {else_}")
+            }
+            Expr::Pair(a, b) => write!(f, "({a}, {b})"),
+            Expr::Fst(e) => write!(f, "fst({e})"),
+            Expr::Snd(e) => write!(f, "snd({e})"),
+            Expr::CellGet(e) => write!(f, "get({e})"),
+            Expr::CellPut { cell, val } => write!(f, "put({cell}, {val})"),
+            Expr::ArrayLen { arr, .. } => write!(f, "ListArray.length({arr})"),
+            Expr::ArrayGet { arr, idx, .. } => write!(f, "ListArray.get({arr}, {idx})"),
+            Expr::ArrayPut { arr, idx, val, .. } => {
+                write!(f, "ListArray.put({arr}, {idx}, {val})")
+            }
+            Expr::TableGet { table, idx } => write!(f, "InlineTable.get({table}, {idx})"),
+            Expr::ArrayMap { x, f: fun, arr, .. } => {
+                write!(f, "ListArray.map (fun {x} => {fun}) {arr}")
+            }
+            Expr::ArrayFold { acc, x, f: fun, init, arr, .. } => {
+                write!(f, "List.fold_left (fun {acc} {x} => {fun}) {arr} {init}")
+            }
+            Expr::RangeFold { i, acc, f: fun, init, from, to } => {
+                write!(f, "fold_range {from} {to} (fun {i} {acc} => {fun}) {init}")
+            }
+            Expr::RangeFoldBreak { i, acc, f: fun, init, from, to } => {
+                write!(
+                    f,
+                    "fold_range_break {from} {to} (fun {i} {acc} => {fun}) {init}"
+                )
+            }
+            Expr::RangeFoldM { monad, i, acc, f: fun, init, from, to } => {
+                write!(
+                    f,
+                    "fold_range[{monad}] {from} {to} (fun {i} {acc} => {fun}) {init}"
+                )
+            }
+            Expr::Ret { monad, value } => write!(f, "ret[{monad}] {value}"),
+            Expr::Bind { monad, name, ma, body } => {
+                write!(f, "let/n! {name} :=[{monad}] {ma} in {body}")
+            }
+            Expr::NondetBytes { len } => write!(f, "nondet.bytes({len})"),
+            Expr::NondetWord { bound } => write!(f, "nondet.word(< {bound})"),
+            Expr::IoRead => write!(f, "io.read()"),
+            Expr::IoWrite(e) => write!(f, "io.write({e})"),
+            Expr::WriterTell(e) => write!(f, "writer.tell({e})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+
+    #[test]
+    fn statement_count_follows_let_spine() {
+        let e = let_n("a", word_lit(1), let_n("b", word_lit(2), var("a")));
+        assert_eq!(e.statement_count(), 3);
+        assert_eq!(word_lit(0).statement_count(), 1);
+    }
+
+    #[test]
+    fn free_vars_respects_binders() {
+        let e = let_n("a", var("x"), word_add(var("a"), var("y")));
+        assert_eq!(e.free_vars(), vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn free_vars_of_map_excludes_element_var() {
+        let e = array_map_b("b", byte_and(var("b"), var("mask")), var("s"));
+        assert_eq!(e.free_vars(), vec!["s".to_string(), "mask".to_string()]);
+    }
+
+    #[test]
+    fn free_vars_of_fold_excludes_loop_vars() {
+        let e = range_fold(
+            "i",
+            "acc",
+            word_add(var("acc"), var("i")),
+            word_lit(0),
+            word_lit(0),
+            var("n"),
+        );
+        assert_eq!(e.free_vars(), vec!["n".to_string()]);
+    }
+
+    #[test]
+    fn display_round_trips_names() {
+        let e = let_n("s", array_map_b("b", var("b"), var("s")), var("s"));
+        let shown = format!("{e}");
+        assert!(shown.contains("let/n s"));
+        assert!(shown.contains("ListArray.map"));
+    }
+
+    #[test]
+    fn arity_matches_ops() {
+        assert_eq!(PrimOp::Not.arity(), 1);
+        assert_eq!(PrimOp::WAdd.arity(), 2);
+        assert_eq!(PrimOp::WordOfBool.arity(), 1);
+    }
+}

@@ -1,0 +1,479 @@
+//! Builder helpers making functional models read close to the paper's
+//! Gallina notation.
+//!
+//! The helpers are free functions (rather than methods) so that a model reads
+//! top-down like the corresponding Gallina term:
+//!
+//! ```
+//! use rupicola_lang::dsl::*;
+//! // let/n acc := fnv1a_update acc b in ...
+//! let step = let_n("acc", word_mul(word_xor(var("acc"), word_of_byte(var("b"))), word_lit(0x100000001b3)), var("acc"));
+//! assert_eq!(step.statement_count(), 2);
+//! ```
+
+use crate::ast::{Expr, Ident, MonadKind, PrimOp};
+use crate::value::{ElemKind, Value};
+
+/// A variable reference.
+pub fn var<N: Into<Ident>>(name: N) -> Expr {
+    Expr::Var(name.into())
+}
+
+/// A literal word.
+pub fn word_lit(w: u64) -> Expr {
+    Expr::Lit(Value::Word(w))
+}
+
+/// A literal byte.
+pub fn byte_lit(b: u8) -> Expr {
+    Expr::Lit(Value::Byte(b))
+}
+
+/// A literal natural number.
+pub fn nat_lit(n: u64) -> Expr {
+    Expr::Lit(Value::Nat(n))
+}
+
+/// A literal boolean.
+pub fn bool_lit(b: bool) -> Expr {
+    Expr::Lit(Value::Bool(b))
+}
+
+/// `let/n name := value in body`.
+pub fn let_n<N: Into<Ident>>(name: N, value: Expr, body: Expr) -> Expr {
+    Expr::Let {
+        name: name.into(),
+        value: value.boxed(),
+        body: body.boxed(),
+    }
+}
+
+/// The `copy` annotation: force a copy instead of in-place mutation.
+pub fn copy(e: Expr) -> Expr {
+    Expr::Copy(e.boxed())
+}
+
+/// The `stack` annotation: allocate the bound object on the stack (§4.1.2).
+pub fn stack(e: Expr) -> Expr {
+    Expr::Stack(e.boxed())
+}
+
+/// `if cond then t else e`.
+pub fn ite(cond: Expr, then_: Expr, else_: Expr) -> Expr {
+    Expr::If {
+        cond: cond.boxed(),
+        then_: then_.boxed(),
+        else_: else_.boxed(),
+    }
+}
+
+/// Pair construction.
+pub fn pair(a: Expr, b: Expr) -> Expr {
+    Expr::Pair(a.boxed(), b.boxed())
+}
+
+/// First projection.
+pub fn fst(e: Expr) -> Expr {
+    Expr::Fst(e.boxed())
+}
+
+/// Second projection.
+pub fn snd(e: Expr) -> Expr {
+    Expr::Snd(e.boxed())
+}
+
+fn prim2(op: PrimOp, a: Expr, b: Expr) -> Expr {
+    Expr::Prim { op, args: vec![a, b] }
+}
+
+fn prim1(op: PrimOp, a: Expr) -> Expr {
+    Expr::Prim { op, args: vec![a] }
+}
+
+// --- words ---
+
+/// Word addition (wrapping).
+pub fn word_add(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::WAdd, a, b)
+}
+/// Word subtraction (wrapping).
+pub fn word_sub(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::WSub, a, b)
+}
+/// Word multiplication (wrapping).
+pub fn word_mul(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::WMul, a, b)
+}
+/// Unsigned word division.
+pub fn word_divu(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::WDivU, a, b)
+}
+/// Unsigned word remainder.
+pub fn word_remu(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::WRemU, a, b)
+}
+/// Bitwise and.
+pub fn word_and(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::WAnd, a, b)
+}
+/// Bitwise or.
+pub fn word_or(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::WOr, a, b)
+}
+/// Bitwise xor.
+pub fn word_xor(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::WXor, a, b)
+}
+/// Left shift.
+pub fn word_shl(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::WShl, a, b)
+}
+/// Logical right shift.
+pub fn word_shr(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::WShr, a, b)
+}
+/// Arithmetic right shift.
+pub fn word_sar(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::WSar, a, b)
+}
+/// Unsigned less-than (boolean result).
+pub fn word_ltu(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::WLtU, a, b)
+}
+/// Signed less-than (boolean result).
+pub fn word_lts(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::WLtS, a, b)
+}
+/// Word equality (boolean result).
+pub fn word_eq(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::WEq, a, b)
+}
+
+// --- bytes ---
+
+/// Byte addition (wrapping).
+pub fn byte_add(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::BAdd, a, b)
+}
+/// Byte subtraction (wrapping).
+pub fn byte_sub(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::BSub, a, b)
+}
+/// Byte and.
+pub fn byte_and(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::BAnd, a, b)
+}
+/// Byte or.
+pub fn byte_or(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::BOr, a, b)
+}
+/// Byte xor.
+pub fn byte_xor(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::BXor, a, b)
+}
+/// Byte left shift.
+pub fn byte_shl(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::BShl, a, b)
+}
+/// Byte right shift.
+pub fn byte_shr(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::BShr, a, b)
+}
+/// Byte unsigned less-than (boolean result).
+pub fn byte_ltu(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::BLtU, a, b)
+}
+/// Byte equality (boolean result).
+pub fn byte_eq(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::BEq, a, b)
+}
+
+// --- booleans ---
+
+/// Boolean negation.
+pub fn not(a: Expr) -> Expr {
+    prim1(PrimOp::Not, a)
+}
+/// Boolean conjunction (strict).
+pub fn andb(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::BoolAnd, a, b)
+}
+/// Boolean disjunction (strict).
+pub fn orb(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::BoolOr, a, b)
+}
+
+// --- naturals ---
+
+/// Natural addition.
+pub fn nat_add(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::NAdd, a, b)
+}
+/// Natural truncated subtraction.
+pub fn nat_sub(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::NSub, a, b)
+}
+/// Natural multiplication.
+pub fn nat_mul(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::NMul, a, b)
+}
+/// Natural less-than (boolean result).
+pub fn nat_lt(a: Expr, b: Expr) -> Expr {
+    prim2(PrimOp::NLt, a, b)
+}
+
+// --- casts ---
+
+/// Zero-extends a byte to a word.
+pub fn word_of_byte(a: Expr) -> Expr {
+    prim1(PrimOp::WordOfByte, a)
+}
+/// Truncates a word to a byte.
+pub fn byte_of_word(a: Expr) -> Expr {
+    prim1(PrimOp::ByteOfWord, a)
+}
+/// Injects a natural into words.
+pub fn word_of_nat(a: Expr) -> Expr {
+    prim1(PrimOp::WordOfNat, a)
+}
+/// Reads a word back as a natural.
+pub fn nat_of_word(a: Expr) -> Expr {
+    prim1(PrimOp::NatOfWord, a)
+}
+/// 0/1 encoding of a boolean.
+pub fn word_of_bool(a: Expr) -> Expr {
+    prim1(PrimOp::WordOfBool, a)
+}
+
+// --- cells ---
+
+/// Reads a cell.
+pub fn cell_get(cell: Expr) -> Expr {
+    Expr::CellGet(cell.boxed())
+}
+/// Writes a cell (pure replacement).
+pub fn cell_put(cell: Expr, val: Expr) -> Expr {
+    Expr::CellPut { cell: cell.boxed(), val: val.boxed() }
+}
+
+// --- arrays ---
+
+/// Length of a byte array, as a word.
+pub fn array_len_b(arr: Expr) -> Expr {
+    Expr::ArrayLen { elem: ElemKind::Byte, arr: arr.boxed() }
+}
+/// Length of a word array, as a word.
+pub fn array_len_w(arr: Expr) -> Expr {
+    Expr::ArrayLen { elem: ElemKind::Word, arr: arr.boxed() }
+}
+/// `ListArray.get` on a byte array.
+pub fn array_get_b(arr: Expr, idx: Expr) -> Expr {
+    Expr::ArrayGet { elem: ElemKind::Byte, arr: arr.boxed(), idx: idx.boxed() }
+}
+/// `ListArray.get` on a word array.
+pub fn array_get_w(arr: Expr, idx: Expr) -> Expr {
+    Expr::ArrayGet { elem: ElemKind::Word, arr: arr.boxed(), idx: idx.boxed() }
+}
+/// `ListArray.put` on a byte array.
+pub fn array_put_b(arr: Expr, idx: Expr, val: Expr) -> Expr {
+    Expr::ArrayPut {
+        elem: ElemKind::Byte,
+        arr: arr.boxed(),
+        idx: idx.boxed(),
+        val: val.boxed(),
+    }
+}
+/// `ListArray.put` on a word array.
+pub fn array_put_w(arr: Expr, idx: Expr, val: Expr) -> Expr {
+    Expr::ArrayPut {
+        elem: ElemKind::Word,
+        arr: arr.boxed(),
+        idx: idx.boxed(),
+        val: val.boxed(),
+    }
+}
+/// `InlineTable.get`.
+pub fn table_get<N: Into<Ident>>(table: N, idx: Expr) -> Expr {
+    Expr::TableGet { table: table.into(), idx: idx.boxed() }
+}
+
+// --- iteration ---
+
+/// `ListArray.map` over a byte array; `x` is the element variable in `f`.
+pub fn array_map_b<N: Into<Ident>>(x: N, f: Expr, arr: Expr) -> Expr {
+    Expr::ArrayMap {
+        elem: ElemKind::Byte,
+        x: x.into(),
+        f: f.boxed(),
+        arr: arr.boxed(),
+    }
+}
+/// `ListArray.map` over a word array.
+pub fn array_map_w<N: Into<Ident>>(x: N, f: Expr, arr: Expr) -> Expr {
+    Expr::ArrayMap {
+        elem: ElemKind::Word,
+        x: x.into(),
+        f: f.boxed(),
+        arr: arr.boxed(),
+    }
+}
+/// `List.fold_left` over a byte array.
+pub fn array_fold_b<A: Into<Ident>, X: Into<Ident>>(
+    acc: A,
+    x: X,
+    f: Expr,
+    init: Expr,
+    arr: Expr,
+) -> Expr {
+    Expr::ArrayFold {
+        elem: ElemKind::Byte,
+        acc: acc.into(),
+        x: x.into(),
+        f: f.boxed(),
+        init: init.boxed(),
+        arr: arr.boxed(),
+    }
+}
+/// `List.fold_left` over a word array.
+pub fn array_fold_w<A: Into<Ident>, X: Into<Ident>>(
+    acc: A,
+    x: X,
+    f: Expr,
+    init: Expr,
+    arr: Expr,
+) -> Expr {
+    Expr::ArrayFold {
+        elem: ElemKind::Word,
+        acc: acc.into(),
+        x: x.into(),
+        f: f.boxed(),
+        init: init.boxed(),
+        arr: arr.boxed(),
+    }
+}
+/// A ranged fold `for i in from..to`.
+pub fn range_fold<I: Into<Ident>, A: Into<Ident>>(
+    i: I,
+    acc: A,
+    f: Expr,
+    init: Expr,
+    from: Expr,
+    to: Expr,
+) -> Expr {
+    Expr::RangeFold {
+        i: i.into(),
+        acc: acc.into(),
+        f: f.boxed(),
+        init: init.boxed(),
+        from: from.boxed(),
+        to: to.boxed(),
+    }
+}
+/// A ranged fold with early exit; `f` returns `(continue?, acc')`.
+pub fn range_fold_break<I: Into<Ident>, A: Into<Ident>>(
+    i: I,
+    acc: A,
+    f: Expr,
+    init: Expr,
+    from: Expr,
+    to: Expr,
+) -> Expr {
+    Expr::RangeFoldBreak {
+        i: i.into(),
+        acc: acc.into(),
+        f: f.boxed(),
+        init: init.boxed(),
+        from: from.boxed(),
+        to: to.boxed(),
+    }
+}
+
+// --- monads ---
+
+/// A monadic ranged fold: `f` is a computation in `monad` ending in a
+/// `ret` of the next accumulator.
+pub fn range_fold_m<I: Into<Ident>, A: Into<Ident>>(
+    monad: MonadKind,
+    i: I,
+    acc: A,
+    f: Expr,
+    init: Expr,
+    from: Expr,
+    to: Expr,
+) -> Expr {
+    Expr::RangeFoldM {
+        monad,
+        i: i.into(),
+        acc: acc.into(),
+        f: f.boxed(),
+        init: init.boxed(),
+        from: from.boxed(),
+        to: to.boxed(),
+    }
+}
+
+/// Monadic return.
+pub fn ret(monad: MonadKind, value: Expr) -> Expr {
+    Expr::Ret { monad, value: value.boxed() }
+}
+/// Monadic bind, `let/n! name := ma in body`.
+pub fn bind<N: Into<Ident>>(monad: MonadKind, name: N, ma: Expr, body: Expr) -> Expr {
+    Expr::Bind {
+        monad,
+        name: name.into(),
+        ma: ma.boxed(),
+        body: body.boxed(),
+    }
+}
+/// Nondeterministic byte-buffer allocation.
+pub fn nondet_bytes(len: Expr) -> Expr {
+    Expr::NondetBytes { len: len.boxed() }
+}
+/// Nondeterministic word below a bound.
+pub fn nondet_word(bound: Expr) -> Expr {
+    Expr::NondetWord { bound: bound.boxed() }
+}
+/// Reads a word from the io input stream.
+pub fn io_read() -> Expr {
+    Expr::IoRead
+}
+/// Writes a word to the io output stream.
+pub fn io_write(e: Expr) -> Expr {
+    Expr::IoWrite(e.boxed())
+}
+/// Emits writer output.
+pub fn writer_tell(e: Expr) -> Expr {
+    Expr::WriterTell(e.boxed())
+}
+/// A free-monad command.
+pub fn free_op<T: Into<String>>(tag: T, args: Vec<Expr>) -> Expr {
+    Expr::FreeOp { tag: tag.into(), args }
+}
+/// A user-registered pure operation.
+pub fn extern_op<T: Into<String>>(tag: T, args: Vec<Expr>) -> Expr {
+    Expr::Extern { tag: tag.into(), args }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_expected_shapes() {
+        match word_add(var("a"), word_lit(1)) {
+            Expr::Prim { op: PrimOp::WAdd, args } => assert_eq!(args.len(), 2),
+            other => panic!("unexpected shape: {other:?}"),
+        }
+        match array_map_b("b", var("b"), var("s")) {
+            Expr::ArrayMap { elem: ElemKind::Byte, x, .. } => assert_eq!(x, "b"),
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn monadic_builders_are_monadic() {
+        assert!(io_read().is_monadic());
+        assert!(bind(MonadKind::Io, "x", io_read(), var("x")).is_monadic());
+        assert!(!word_lit(0).is_monadic());
+    }
+}

@@ -1,0 +1,101 @@
+//! Lowered-Gallina source IR for Rupicola-rs.
+//!
+//! This crate models the *input language* of the relational compiler: a
+//! first-order, purely functional language in the image of the "subset of
+//! Gallina that naturally maps to low-level constructs" used by Rupicola
+//! (Pit-Claudel et al., PLDI 2022). Programs are sequences of *named*
+//! let-bindings (`let/n` in the paper) over scalars (booleans, bytes,
+//! machine words, naturals), flat data structures (byte/word arrays, mutable
+//! cells, inline tables) and structured iteration patterns (`ListArray.map`,
+//! folds, ranged folds, folds with early exit), optionally inside a monad
+//! (nondeterminism, writer, I/O, or a generic free monad).
+//!
+//! The semantics ([`eval`]) is pure and big-step: arrays are values, and a
+//! "mutation" in the source is an ordinary rebinding of the same name. The
+//! relational compiler (crate `rupicola-core`) turns those rebinding patterns
+//! into genuine in-place mutation in Bedrock2 — the *intensional* effects of
+//! the paper — while monadic constructs become *extensional* effects.
+//!
+//! # Example
+//!
+//! The paper's `upstr'` model (§3.2) is expressed with the [`dsl`] helpers:
+//!
+//! ```
+//! use rupicola_lang::dsl::*;
+//! use rupicola_lang::{Model, eval::eval_model, eval::PureWorld, Value};
+//!
+//! // let/n s := ListArray.map (fun b => b | 0) s in s
+//! let body = let_n(
+//!     "s",
+//!     array_map_b("b", byte_or(var("b"), byte_lit(0)), var("s")),
+//!     var("s"),
+//! );
+//! let model = Model::new("id_map", ["s"], body);
+//! let out = eval_model(&model, &[Value::byte_list(*b"abc")], &mut PureWorld::default()).unwrap();
+//! assert_eq!(out, Value::byte_list(*b"abc"));
+//! ```
+
+pub mod ast;
+pub mod dsl;
+pub mod eval;
+pub mod externs;
+pub mod value;
+
+pub use ast::{Expr, Ident, MonadKind, PrimOp, TableDef};
+pub use eval::{EvalError, Event, Oracle, World};
+pub use externs::{ExternOp, ExternRegistry};
+pub use value::{ElemKind, Value};
+
+/// A complete functional model: the unit Rupicola compiles.
+///
+/// A model packages a name, its formal parameters (bound in the body), the
+/// inline tables it references, and the body expression. Parameters are
+/// ordered; the ABI layer in `rupicola-core` maps each to a Bedrock2
+/// argument (a scalar or a pointer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    /// Function name (also the Bedrock2 function name after compilation).
+    pub name: String,
+    /// Formal parameters, in order.
+    pub params: Vec<Ident>,
+    /// Inline (constant) tables available to the body via [`Expr::TableGet`].
+    pub tables: Vec<TableDef>,
+    /// The body: a lowered-Gallina expression over the parameters.
+    pub body: Expr,
+}
+
+impl Model {
+    /// Creates a model with no inline tables.
+    pub fn new<N, P, I>(name: N, params: P, body: Expr) -> Self
+    where
+        N: Into<String>,
+        P: IntoIterator<Item = I>,
+        I: Into<Ident>,
+    {
+        Model {
+            name: name.into(),
+            params: params.into_iter().map(Into::into).collect(),
+            tables: Vec::new(),
+            body,
+        }
+    }
+
+    /// Adds an inline table and returns the model (builder style).
+    #[must_use]
+    pub fn with_table(mut self, table: TableDef) -> Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// Looks up an inline table by name.
+    pub fn table(&self, name: &str) -> Option<&TableDef> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Counts `let`-shaped statements in the body; the unit used by the
+    /// paper's §4.3 compiler-throughput discussion ("2 to 15 statements per
+    /// second").
+    pub fn statement_count(&self) -> usize {
+        self.body.statement_count()
+    }
+}

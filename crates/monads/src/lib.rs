@@ -1,0 +1,444 @@
+//! Monad encodings and postcondition lifts (§3.4.1).
+//!
+//! Rupicola's *extensional* effects are introduced through explicit monadic
+//! encodings: "users start with a pure specification, implement a functional
+//! model of it using monads, and then compile that model". This crate
+//! provides the Rust renditions of the monads the paper supports —
+//! nondeterminism, writer, I/O, and a generic free monad — together with the
+//! monad-specific `lift` combinators that phrase compilation postconditions,
+//! and executable statements of the lifting laws that the compilation lemmas
+//! rely on. The laws are exercised by unit and property tests here; the
+//! compilation side lives in `rupicola-ext`, and end-to-end agreement is
+//! enforced by `rupicola-core`'s checker.
+//!
+//! # The nondeterminism lift
+//!
+//! A nondeterministic computation returning `A` is encoded as a predicate
+//! `A → Prop` ([`Nondet`]). The lift is
+//! `lift P = λ ma st. ∃ a, ma a ∧ P a st`, and the law used when compiling
+//! `bind ma k` is: for any `a` with `ma a`, `lift P (bind ma k) st` follows
+//! from `lift P (k a) st` — see [`Nondet::lift_holds`].
+//!
+//! # The writer lift
+//!
+//! A writer computation is a value plus accumulated output ([`Writer`]).
+//! The lift is `lift o P = λ ma st. P (fst ma) (o ++ snd ma) st`, and
+//! compiling `bind ma k` reduces `lift o P (bind ma k)` to
+//! `lift (o ++ snd ma) P (k (fst ma))` — see [`Writer::lift`].
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+/// A nondeterministic computation: the *set* of values it may produce,
+/// encoded as a predicate (the paper's `A → Prop`).
+///
+/// For example, "a list of `n` unspecified bytes" is
+/// `λ l. length l = n` — see [`Nondet::bytes`].
+#[derive(Clone)]
+pub struct Nondet<A> {
+    pred: Rc<dyn Fn(&A) -> bool>,
+    desc: String,
+}
+
+impl<A> fmt::Debug for Nondet<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Nondet({})", self.desc)
+    }
+}
+
+impl<A: 'static> Nondet<A> {
+    /// The computation that may produce exactly the values satisfying
+    /// `pred`.
+    pub fn such_that<F>(desc: impl Into<String>, pred: F) -> Self
+    where
+        F: Fn(&A) -> bool + 'static,
+    {
+        Nondet { pred: Rc::new(pred), desc: desc.into() }
+    }
+
+    /// Monadic return: the singleton set.
+    pub fn ret(a: A) -> Self
+    where
+        A: PartialEq + fmt::Debug,
+    {
+        let desc = format!("ret {a:?}");
+        Nondet::such_that(desc, move |x| *x == a)
+    }
+
+    /// Whether `a` is a possible result.
+    pub fn admits(&self, a: &A) -> bool {
+        (self.pred)(a)
+    }
+
+    /// Monadic bind: `b ∈ bind ma k` iff `∃ a, ma a ∧ b ∈ k a`. Because the
+    /// intermediate value is existentially quantified, the executable
+    /// encoding takes the witness candidates to consider (the logical
+    /// encoding in the paper does not need them).
+    pub fn bind<B: 'static, K>(self, candidates: Vec<A>, k: K) -> Nondet<B>
+    where
+        K: Fn(&A) -> Nondet<B> + 'static,
+    {
+        let desc = format!("bind({})", self.desc);
+        Nondet::such_that(desc, move |b| {
+            candidates.iter().any(|a| self.admits(a) && k(a).admits(b))
+        })
+    }
+
+    /// The postcondition lift: `lift P ma st = ∃ a, ma a ∧ P a st`.
+    ///
+    /// `lift_holds(p, a)` states the *introduction rule* the compiler uses:
+    /// if `ma` admits `a` and `P a` holds, then `lift P ma` holds.
+    pub fn lift_holds<P>(&self, p: P, witness: &A) -> bool
+    where
+        P: Fn(&A) -> bool,
+    {
+        self.admits(witness) && p(witness)
+    }
+}
+
+impl Nondet<Vec<u8>> {
+    /// A list of `n` unspecified bytes (the paper's example and Table 1's
+    /// `alloc`).
+    pub fn bytes(n: usize) -> Self {
+        Nondet::such_that(format!("length l = {n}"), move |l: &Vec<u8>| l.len() == n)
+    }
+}
+
+impl Nondet<u64> {
+    /// An unspecified word strictly below `bound` (Table 1's `peek`).
+    pub fn word_below(bound: u64) -> Self {
+        Nondet::such_that(format!("w < {bound}"), move |w| *w < bound)
+    }
+}
+
+/// A writer computation: "a pair of a value and some accumulated output".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Writer<A> {
+    /// The computed value (`fst ma`).
+    pub value: A,
+    /// The output accumulated by this computation (`snd ma`).
+    pub output: Vec<u64>,
+}
+
+impl<A> Writer<A> {
+    /// Monadic return: no output.
+    pub fn ret(value: A) -> Self {
+        Writer { value, output: Vec::new() }
+    }
+
+    /// Emits one word of output.
+    pub fn tell(w: u64) -> Writer<()> {
+        Writer { value: (), output: vec![w] }
+    }
+
+    /// Monadic bind: outputs concatenate.
+    pub fn bind<B, K>(self, k: K) -> Writer<B>
+    where
+        K: FnOnce(A) -> Writer<B>,
+    {
+        let Writer { value, mut output } = self;
+        let Writer { value: b, output: out2 } = k(value);
+        output.extend(out2);
+        Writer { value: b, output }
+    }
+
+    /// The postcondition lift:
+    /// `lift o P ma st = P (fst ma) (o ++ snd ma) st`.
+    ///
+    /// The parameter `o` "accumulates previous output, allowing us to
+    /// compile monadic binds by accumulating their output into that
+    /// parameter while reducing the source term".
+    pub fn lift<P>(&self, prior: &[u64], p: P) -> bool
+    where
+        P: Fn(&A, &[u64]) -> bool,
+    {
+        let mut acc = prior.to_vec();
+        acc.extend(&self.output);
+        p(&self.value, &acc)
+    }
+}
+
+/// The state threaded by [`Io`] computations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IoState {
+    /// Pending input words.
+    pub input: VecDeque<u64>,
+    /// Output words written so far.
+    pub output: Vec<u64>,
+}
+
+/// An I/O computation: a state transformer over [`IoState`].
+pub struct Io<A>(Box<dyn FnOnce(&mut IoState) -> Result<A, IoError>>);
+
+/// Failure of an I/O computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoError;
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "io input exhausted")
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl<A: 'static> Io<A> {
+    /// Monadic return.
+    pub fn ret(a: A) -> Self {
+        Io(Box::new(move |_| Ok(a)))
+    }
+
+    /// Monadic bind.
+    pub fn bind<B: 'static, K>(self, k: K) -> Io<B>
+    where
+        K: FnOnce(A) -> Io<B> + 'static,
+    {
+        Io(Box::new(move |st| {
+            let a = (self.0)(st)?;
+            (k(a).0)(st)
+        }))
+    }
+
+    /// Runs the computation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError`] when a read exhausts the input.
+    pub fn run(self, st: &mut IoState) -> Result<A, IoError> {
+        (self.0)(st)
+    }
+}
+
+impl Io<u64> {
+    /// Reads the next input word.
+    pub fn read() -> Self {
+        Io(Box::new(|st| st.input.pop_front().ok_or(IoError)))
+    }
+}
+
+impl Io<()> {
+    /// Writes one output word.
+    pub fn write(w: u64) -> Self {
+        Io(Box::new(move |st| {
+            st.output.push(w);
+            Ok(())
+        }))
+    }
+}
+
+impl<A> fmt::Debug for Io<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Io(..)")
+    }
+}
+
+/// The generic free monad over word-valued commands: either a pure value or
+/// a command with a continuation.
+///
+/// The nondeterminism, writer and I/O monads can all be obtained by
+/// interpreting command tags; Rupicola compiles free-monad commands to
+/// Bedrock2 `interact` statements, so any effect the environment can
+/// implement is expressible.
+pub enum Free<A> {
+    /// A pure result.
+    Pure(A),
+    /// A command: tag, argument words, and the continuation applied to the
+    /// command's result word.
+    Op {
+        /// Command tag.
+        tag: String,
+        /// Argument words.
+        args: Vec<u64>,
+        /// Continuation.
+        k: Box<dyn FnOnce(u64) -> Free<A>>,
+    },
+}
+
+impl<A: 'static> Free<A> {
+    /// Monadic return.
+    pub fn ret(a: A) -> Self {
+        Free::Pure(a)
+    }
+
+    /// A single command returning its result word.
+    pub fn op(tag: impl Into<String>, args: Vec<u64>) -> Free<u64> {
+        Free::Op { tag: tag.into(), args, k: Box::new(Free::Pure) }
+    }
+
+    /// Monadic bind.
+    pub fn bind<B: 'static, K>(self, k: K) -> Free<B>
+    where
+        K: FnOnce(A) -> Free<B> + 'static,
+    {
+        match self {
+            Free::Pure(a) => k(a),
+            Free::Op { tag, args, k: k1 } => Free::Op {
+                tag,
+                args,
+                k: Box::new(move |w| k1(w).bind(k)),
+            },
+        }
+    }
+
+    /// Interprets the computation with a handler, collecting the trace of
+    /// `(tag, args, result)` events — the analog of running compiled code
+    /// and reading its Bedrock2 event trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates handler failures.
+    pub fn interpret<H>(
+        self,
+        handler: &mut H,
+    ) -> Result<(A, Vec<(String, Vec<u64>, u64)>), String>
+    where
+        H: FnMut(&str, &[u64]) -> Result<u64, String>,
+    {
+        let mut trace = Vec::new();
+        let mut cur = self;
+        loop {
+            match cur {
+                Free::Pure(a) => return Ok((a, trace)),
+                Free::Op { tag, args, k } => {
+                    let w = handler(&tag, &args)?;
+                    trace.push((tag.clone(), args, w));
+                    cur = k(w);
+                }
+            }
+        }
+    }
+}
+
+impl<A> fmt::Debug for Free<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Free::Pure(_) => write!(f, "Free::Pure(..)"),
+            Free::Op { tag, args, .. } => write!(f, "Free::Op({tag}, {args:?})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nondet_bytes_admits_by_length_only() {
+        let ma = Nondet::bytes(3);
+        assert!(ma.admits(&vec![1, 2, 3]));
+        assert!(ma.admits(&vec![0, 0, 0]));
+        assert!(!ma.admits(&vec![1, 2]));
+    }
+
+    #[test]
+    fn nondet_lift_introduction_rule() {
+        // {…} c {lift P (bind ma k)} follows from ma a ∧ {…} c {lift P (k a)}.
+        let ma = Nondet::word_below(10);
+        let p = |w: &u64| (*w).is_multiple_of(2);
+        assert!(ma.lift_holds(p, &4)); // witness 4: ma 4 ∧ P 4
+        assert!(!ma.lift_holds(p, &5)); // P fails
+        assert!(!ma.lift_holds(p, &12)); // ma fails
+    }
+
+    #[test]
+    fn nondet_bind_composes_sets() {
+        let ma = Nondet::word_below(3);
+        let mb = ma.bind((0..3).collect(), |a| Nondet::word_below(a + 1));
+        // b possible iff ∃ a < 3, b ≤ a.
+        assert!(mb.admits(&0));
+        assert!(mb.admits(&2));
+        assert!(!mb.admits(&3));
+    }
+
+    #[test]
+    fn nondet_ret_is_singleton() {
+        let ma = Nondet::ret(7u64);
+        assert!(ma.admits(&7));
+        assert!(!ma.admits(&8));
+    }
+
+    #[test]
+    fn writer_bind_concatenates_output() {
+        let w = Writer::<()>::tell(1)
+            .bind(|()| Writer::<()>::tell(2))
+            .bind(|()| Writer::ret(42u64));
+        assert_eq!(w.value, 42);
+        assert_eq!(w.output, vec![1, 2]);
+    }
+
+    #[test]
+    fn writer_lift_law() {
+        // lift o P (bind ma k) = lift (o ++ snd ma) P (k (fst ma)).
+        let ma = Writer { value: 7u64, output: vec![1, 2] };
+        let k = |v: u64| Writer { value: v + 1, output: vec![3] };
+        let p = |v: &u64, out: &[u64]| *v == 8 && out == [9, 1, 2, 3];
+        let lhs = ma.clone().bind(k).lift(&[9], p);
+        let mut o2 = vec![9u64];
+        o2.extend(&ma.output);
+        let rhs = k(ma.value).lift(&o2, p);
+        assert_eq!(lhs, rhs);
+        assert!(lhs);
+    }
+
+    #[test]
+    fn writer_monad_laws() {
+        // Left identity: bind (ret a) k = k a.
+        let k = |v: u64| Writer { value: v * 2, output: vec![v] };
+        assert_eq!(Writer::ret(21).bind(k), k(21));
+        // Right identity: bind ma ret = ma.
+        let ma = Writer { value: 3u64, output: vec![8] };
+        assert_eq!(ma.clone().bind(Writer::ret), ma);
+    }
+
+    #[test]
+    fn io_reads_and_writes_thread_state() {
+        let prog = Io::read().bind(|x| Io::write(x + 1).bind(move |()| Io::ret(x)));
+        let mut st = IoState { input: VecDeque::from([41]), output: vec![] };
+        let v = prog.run(&mut st).unwrap();
+        assert_eq!(v, 41);
+        assert_eq!(st.output, vec![42]);
+        assert!(st.input.is_empty());
+    }
+
+    #[test]
+    fn io_read_exhausted_fails() {
+        let mut st = IoState::default();
+        assert_eq!(Io::read().run(&mut st), Err(IoError));
+    }
+
+    #[test]
+    fn free_interprets_with_trace() {
+        let prog = Free::<u64>::op("rng", vec![6]).bind(|a| {
+            Free::<u64>::op("rng", vec![6]).bind(move |b| Free::Pure(a + b))
+        });
+        let mut n = 0;
+        let (v, trace) = prog
+            .interpret(&mut |tag, args| {
+                assert_eq!(tag, "rng");
+                assert_eq!(args, [6]);
+                n += 1;
+                Ok(n)
+            })
+            .unwrap();
+        assert_eq!(v, 3);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].2, 1);
+    }
+
+    #[test]
+    fn free_handler_failure_propagates() {
+        let prog = Free::<u64>::op("boom", vec![]);
+        let err = prog.interpret(&mut |_, _| Err("no".to_string())).unwrap_err();
+        assert_eq!(err, "no");
+    }
+
+    #[test]
+    fn free_monad_left_identity() {
+        let k = |x: u64| Free::<u64>::op("f", vec![x]);
+        let lhs = Free::Pure(5).bind(k);
+        let rhs = k(5);
+        let run = |p: Free<u64>| p.interpret(&mut |_, args| Ok(args[0] * 10)).unwrap();
+        assert_eq!(run(lhs), run(rhs));
+    }
+}

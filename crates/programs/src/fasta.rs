@@ -1,0 +1,167 @@
+//! `fasta` — in-place DNA sequence complement.
+//!
+//! From the Benchmarks Game's fasta family: complement each nucleotide in
+//! place through a 256-entry lookup table (an *inline table*, §4.1.2).
+//! This is the program exercising every feature column of Table 2:
+//! arithmetic, inline tables, arrays, loops, and mutation.
+
+use crate::funclist::{bytes_of_string, char8_to_byte, string_of_bytes};
+use crate::{Features, ProgramInfo};
+use rupicola_core::fnspec::{ArgSpec, FnSpec, RetSpec};
+use rupicola_core::{CompileError, CompiledFunction};
+use rupicola_ext::standard_dbs;
+use rupicola_lang::dsl::*;
+use rupicola_lang::{ElemKind, Model, TableDef};
+
+/// The nucleotide complement on one byte (IUPAC subset; others unchanged).
+pub fn complement_byte(b: u8) -> u8 {
+    match b {
+        b'A' => b'T',
+        b'T' => b'A',
+        b'C' => b'G',
+        b'G' => b'C',
+        b'U' => b'A',
+        b'a' => b't',
+        b't' => b'a',
+        b'c' => b'g',
+        b'g' => b'c',
+        b'u' => b'a',
+        other => other,
+    }
+}
+
+/// The 256-byte complement table.
+pub fn complement_table() -> Vec<u8> {
+    (0..=255u8).map(complement_byte).collect()
+}
+
+/// The functional model.
+pub fn model() -> Model {
+    // model-begin
+    // fasta s := let/n s := ListArray.map (fun b => comp[b]) s in s
+    //   where comp is an inline table of the 256 complements
+    Model::new(
+        "fasta",
+        ["s"],
+        let_n(
+            "s",
+            array_map_b("b", table_get("comp", word_of_byte(var("b"))), var("s")),
+            var("s"),
+        ),
+    )
+    .with_table(TableDef::bytes("comp", complement_table()))
+    // model-end
+}
+
+/// The ABI: pointer + length, complemented in place.
+pub fn spec() -> FnSpec {
+    FnSpec::new(
+        "fasta",
+        vec![
+            ArgSpec::ArrayPtr { name: "s".into(), param: "s".into(), elem: ElemKind::Byte },
+            ArgSpec::LenOf { name: "len".into(), param: "s".into(), elem: ElemKind::Byte },
+        ],
+        vec![RetSpec::InPlace { param: "s".into() }],
+    )
+}
+
+/// Runs the relational compiler.
+///
+/// # Errors
+///
+/// Propagates [`CompileError`] (none expected with the standard databases).
+pub fn compiled() -> Result<CompiledFunction, CompileError> {
+    rupicola_core::compile(&model(), &spec(), &standard_dbs())
+}
+
+/// The executable specification.
+pub fn reference(data: &[u8]) -> Vec<u8> {
+    data.iter().map(|b| complement_byte(*b)).collect()
+}
+
+/// The handwritten C-style implementation.
+pub fn baseline(data: &mut [u8], table: &[u8; 256]) {
+    let mut i = 0;
+    while i < data.len() {
+        data[i] = table[data[i] as usize];
+        i += 1;
+    }
+}
+
+/// The extraction baseline: map over the Box 1 string representation with
+/// the complement as a disjunction on decoded characters.
+pub fn naive(data: &[u8]) -> Vec<u8> {
+    let s = string_of_bytes(data);
+    let comped = s.map(&|c| crate::funclist::byte_to_char8(complement_byte(char8_to_byte(*c))));
+    bytes_of_string(&comped)
+}
+
+/// Table 2 metadata.
+pub fn info() -> ProgramInfo {
+    let src = include_str!("fasta.rs");
+    ProgramInfo {
+        name: "fasta",
+        description: "In-place DNA sequence complement",
+        source_loc: crate::lines_between(src, "model"),
+        lemmas_loc: 6, // the table-bound facts live in the spec/table block
+        hints: 5,
+        end_to_end: false,
+        features: Features {
+            arithmetic: true,
+            inline: true,
+            arrays: true,
+            loops: true,
+            mutation: true,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupicola_core::check::check;
+    use rupicola_lang::eval::{eval_model, World};
+    use rupicola_lang::Value;
+
+    #[test]
+    fn complement_is_an_involution_on_nucleotides() {
+        for b in [b'A', b'C', b'G', b'T', b'a', b'c', b'g', b't'] {
+            assert_eq!(complement_byte(complement_byte(b)), b);
+        }
+        assert_eq!(complement_byte(b'N'), b'N');
+    }
+
+    #[test]
+    fn model_matches_reference() {
+        for data in [&b""[..], b"ACGT", b"GATTACA", b"nope, not dna \x00\xff"] {
+            let out = eval_model(
+                &model(),
+                &[Value::byte_list(data.iter().copied())],
+                &mut World::default(),
+            )
+            .unwrap();
+            assert_eq!(out, Value::byte_list(reference(data)));
+        }
+    }
+
+    #[test]
+    fn baseline_and_naive_match_reference() {
+        let table: [u8; 256] = complement_table().try_into().unwrap();
+        let data = b"ACGTacgtNNXX".to_vec();
+        let mut b = data.clone();
+        baseline(&mut b, &table);
+        assert_eq!(b, reference(&data));
+        assert_eq!(naive(&data), reference(&data));
+    }
+
+    #[test]
+    fn compiles_with_inline_table_and_validates() {
+        let out = compiled().unwrap();
+        let dbs = standard_dbs();
+        check(&out, &dbs).unwrap();
+        assert_eq!(out.function.tables.len(), 1);
+        assert_eq!(out.function.tables[0].data.len(), 256);
+        let c = rupicola_bedrock::cprint::function_to_c(&out.function);
+        assert!(c.contains("static const uint8_t comp[256]"), "{c}");
+    }
+}

@@ -1,0 +1,173 @@
+//! `fnv1a` — the Fowler–Noll–Vo (noncryptographic) 64-bit hash.
+//!
+//! The model is one fold: `acc := (acc ^ b) * prime`, starting from the
+//! offset basis. Compilation needs the fold-to-loop lemma and word
+//! arithmetic; no program-specific hints.
+
+use crate::funclist::List;
+use crate::{Features, ProgramInfo};
+use rupicola_core::fnspec::{ArgSpec, FnSpec, RetSpec};
+use rupicola_core::{CompileError, CompiledFunction};
+use rupicola_ext::standard_dbs;
+use rupicola_lang::dsl::*;
+use rupicola_lang::{ElemKind, Model};
+use rupicola_sep::ScalarKind;
+
+/// FNV-1a 64-bit offset basis.
+pub const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The functional model.
+pub fn model() -> Model {
+    // model-begin
+    // fnv1a s :=
+    //   let/n acc := fold_left (fun acc b => (acc ^ b) * prime) s basis in
+    //   acc
+    Model::new(
+        "fnv1a",
+        ["s"],
+        let_n(
+            "acc",
+            array_fold_b(
+                "acc",
+                "b",
+                word_mul(
+                    word_xor(var("acc"), word_of_byte(var("b"))),
+                    word_lit(PRIME),
+                ),
+                word_lit(OFFSET_BASIS),
+                var("s"),
+            ),
+            var("acc"),
+        ),
+    )
+    // model-end
+}
+
+/// The ABI: a byte-array pointer plus its length, returning the hash.
+pub fn spec() -> FnSpec {
+    FnSpec::new(
+        "fnv1a",
+        vec![
+            ArgSpec::ArrayPtr { name: "s".into(), param: "s".into(), elem: ElemKind::Byte },
+            ArgSpec::LenOf { name: "len".into(), param: "s".into(), elem: ElemKind::Byte },
+        ],
+        vec![RetSpec::Scalar { name: "out".into(), kind: ScalarKind::Word }],
+    )
+}
+
+/// Runs the relational compiler.
+///
+/// # Errors
+///
+/// Propagates [`CompileError`] (none expected with the standard databases).
+pub fn compiled() -> Result<CompiledFunction, CompileError> {
+    rupicola_core::compile(&model(), &spec(), &standard_dbs())
+}
+
+/// The executable specification (end-to-end reference).
+pub fn reference(data: &[u8]) -> u64 {
+    data.iter().fold(OFFSET_BASIS, |acc, b| {
+        (acc ^ u64::from(*b)).wrapping_mul(PRIME)
+    })
+}
+
+/// The handwritten C-style implementation (Figure 2 baseline).
+pub fn baseline(data: &[u8]) -> u64 {
+    let mut acc = OFFSET_BASIS;
+    let mut i = 0;
+    while i < data.len() {
+        acc = (acc ^ u64::from(data[i])).wrapping_mul(PRIME);
+        i += 1;
+    }
+    acc
+}
+
+/// The linked-list functional implementation (extraction baseline).
+pub fn naive(data: &[u8]) -> u64 {
+    let l = List::from_slice(data);
+    l.fold(OFFSET_BASIS, &|acc, b: &u8| {
+        (acc ^ u64::from(*b)).wrapping_mul(PRIME)
+    })
+}
+
+/// Table 2 metadata.
+pub fn info() -> ProgramInfo {
+    let src = include_str!("fnv1a.rs");
+    ProgramInfo {
+        name: "fnv1a",
+        description: "Fowler-Noll-Vo (noncryptographic) hash",
+        source_loc: crate::lines_between(src, "model"),
+        lemmas_loc: 0,
+        hints: 2, // fold-to-loop + byte/word arithmetic submodules
+        end_to_end: true,
+        features: Features { arithmetic: true, arrays: true, loops: true, ..Default::default() },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupicola_core::check::check;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(reference(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(reference(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(reference(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn model_matches_reference() {
+        use rupicola_lang::eval::{eval_model, World};
+        use rupicola_lang::Value;
+        for data in [&b""[..], b"a", b"hello world", &[0xff; 100]] {
+            let out = eval_model(
+                &model(),
+                &[Value::byte_list(data.iter().copied())],
+                &mut World::default(),
+            )
+            .unwrap();
+            assert_eq!(out, Value::Word(reference(data)));
+        }
+    }
+
+    #[test]
+    fn baseline_and_naive_match_reference() {
+        for data in [&b""[..], b"xyz", &[7u8; 313]] {
+            assert_eq!(baseline(data), reference(data));
+            assert_eq!(naive(data), reference(data));
+        }
+    }
+
+    #[test]
+    fn compiles_and_validates() {
+        let out = compiled().unwrap();
+        let dbs = standard_dbs();
+        let report = check(&out, &dbs).unwrap();
+        assert!(report.invariant_checks > 0);
+    }
+
+    #[test]
+    fn generated_code_agrees_with_reference_directly() {
+        use rupicola_bedrock::{ExecState, Interpreter, NoExternals, Program};
+        let out = compiled().unwrap();
+        let mut p = Program::new();
+        p.insert(out.function.clone());
+        let interp = Interpreter::new(&p);
+        let data = b"The quick brown fox";
+        let call = rupicola_core::fnspec::concretize(
+            &out.spec,
+            &out.model.params,
+            &[rupicola_lang::Value::byte_list(data.iter().copied())],
+        )
+        .unwrap();
+        let mut state = ExecState::new(call.mem);
+        let rets = interp
+            .call("fnv1a", &call.args, &mut state, &mut NoExternals, 1_000_000)
+            .unwrap();
+        assert_eq!(rets, vec![reference(data)]);
+    }
+}

@@ -1,0 +1,209 @@
+//! The "extracted OCaml" stand-in: purely functional linked lists.
+//!
+//! Box 1 describes what running the unlowered model costs: strings are
+//! linked lists of characters, characters are 8-tuples of booleans, and
+//! `map` "will pointer-chase through a linked list …, create a fresh
+//! string …, and either stack-overflow on long strings … or traverse the
+//! string twice". The `naive` implementations in this crate run on these
+//! structures to reproduce the extraction baseline of §4.2 (recursion is
+//! depth-bounded by chunking instead of overflowing, mirroring the
+//! CPS/two-pass workarounds the paper lists).
+
+/// A cons list: one heap node per element, as extraction produces.
+///
+/// Internally a struct over `Option<Box<Node>>` so that `Drop` can walk
+/// the spine iteratively — the derived recursive drop of a plain recursive
+/// enum overflows the stack on megabyte-scale lists.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct List<T> {
+    head: Option<Box<Node<T>>>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Node<T> {
+    elem: T,
+    next: List<T>,
+}
+
+impl<T> Drop for List<T> {
+    fn drop(&mut self) {
+        let mut cur = self.head.take();
+        while let Some(mut node) = cur {
+            cur = node.next.head.take();
+        }
+    }
+}
+
+/// A character as Gallina's `ascii`: an 8-tuple of booleans.
+pub type Char8 = [bool; 8];
+
+/// Encodes a byte as an 8-tuple of booleans (LSB first, as in Coq).
+pub fn byte_to_char8(b: u8) -> Char8 {
+    std::array::from_fn(|i| (b >> i) & 1 == 1)
+}
+
+/// Decodes an 8-tuple of booleans back to a byte.
+pub fn char8_to_byte(c: Char8) -> u8 {
+    c.iter()
+        .enumerate()
+        .fold(0u8, |acc, (i, bit)| acc | (u8::from(*bit) << i))
+}
+
+impl<T> List<T> {
+    /// The empty list.
+    pub fn nil() -> Self {
+        List { head: None }
+    }
+
+    /// Cons.
+    pub fn cons(elem: T, tail: List<T>) -> Self {
+        List { head: Some(Box::new(Node { elem, next: tail })) }
+    }
+
+    /// Head and tail, if nonempty — the pattern-matching interface.
+    pub fn as_cons(&self) -> Option<(&T, &List<T>)> {
+        self.head.as_ref().map(|n| (&n.elem, &n.next))
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.head.is_none()
+    }
+
+    /// List length (a full traversal, as in the extracted code).
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        let mut cur = self;
+        while let Some((_, rest)) = cur.as_cons() {
+            n += 1;
+            cur = rest;
+        }
+        n
+    }
+
+    /// Left fold (tail recursive in the extracted code; a loop here).
+    pub fn fold<A, F: Fn(A, &T) -> A>(&self, init: A, f: &F) -> A {
+        let mut acc = init;
+        let mut cur = self;
+        while let Some((x, rest)) = cur.as_cons() {
+            acc = f(acc, x);
+            cur = rest;
+        }
+        acc
+    }
+}
+
+impl<T: Clone> List<T> {
+    /// Builds a list from a slice (right fold, so heads come first).
+    pub fn from_slice(xs: &[T]) -> Self {
+        let mut out = List::nil();
+        for x in xs.iter().rev() {
+            out = List::cons(x.clone(), out);
+        }
+        out
+    }
+
+    /// Collects back into a vector.
+    pub fn to_vec(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        let mut cur = self;
+        while let Some((x, rest)) = cur.as_cons() {
+            out.push(x.clone());
+            cur = rest;
+        }
+        out
+    }
+
+    /// Structural map: allocates a fresh node per element. Recursion is
+    /// bounded by chunking (the tail-recursion-modulo-cons workaround of
+    /// Box 1's footnote) so 1 MiB inputs do not overflow the stack while
+    /// preserving the allocate-per-node cost.
+    pub fn map<U: Clone, F: Fn(&T) -> U>(&self, f: &F) -> List<U> {
+        const CHUNK: usize = 1 << 10;
+        fn go<T: Clone, U: Clone, F: Fn(&T) -> U>(l: &List<T>, f: &F, budget: usize) -> List<U> {
+            match l.as_cons() {
+                None => List::nil(),
+                Some((x, rest)) => {
+                    if budget == 0 {
+                        // Restart the budget: map the remainder through an
+                        // explicit spine (allocating just the same).
+                        let mut spine = Vec::new();
+                        let mut cur = l;
+                        while let Some((x, rest)) = cur.as_cons() {
+                            spine.push(f(x));
+                            cur = rest;
+                        }
+                        return List::from_slice(&spine);
+                    }
+                    List::cons(f(x), go(rest, f, budget - 1))
+                }
+            }
+        }
+        go(self, f, CHUNK)
+    }
+}
+
+/// Builds the Box 1 string representation: a linked list of boolean
+/// 8-tuples.
+pub fn string_of_bytes(bytes: &[u8]) -> List<Char8> {
+    let chars: Vec<Char8> = bytes.iter().map(|b| byte_to_char8(*b)).collect();
+    List::from_slice(&chars)
+}
+
+/// Reads the Box 1 string representation back.
+pub fn bytes_of_string(s: &List<Char8>) -> Vec<u8> {
+    s.to_vec().into_iter().map(char8_to_byte).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn char8_roundtrip() {
+        for b in [0u8, 1, 0x7f, 0x80, 0xff, b'a', b'Z'] {
+            assert_eq!(char8_to_byte(byte_to_char8(b)), b);
+        }
+    }
+
+    #[test]
+    fn list_roundtrip_and_len() {
+        let l = List::from_slice(&[1, 2, 3]);
+        assert_eq!(l.to_vec(), vec![1, 2, 3]);
+        assert_eq!(l.len(), 3);
+        assert!(!l.is_empty());
+        assert!(List::<u8>::nil().is_empty());
+    }
+
+    #[test]
+    fn long_lists_build_and_drop_without_overflow() {
+        let xs: Vec<u32> = (0..1_000_000).collect();
+        let l = List::from_slice(&xs);
+        assert_eq!(l.len(), xs.len());
+        drop(l);
+    }
+
+    #[test]
+    fn map_preserves_order_and_handles_long_lists() {
+        let xs: Vec<u32> = (0..100_000).collect();
+        let l = List::from_slice(&xs);
+        let mapped = l.map(&|x| x + 1);
+        assert_eq!(mapped.len(), xs.len());
+        assert_eq!(mapped.to_vec()[..5], [1, 2, 3, 4, 5]);
+        assert_eq!(*mapped.to_vec().last().unwrap(), 100_000);
+    }
+
+    #[test]
+    fn fold_is_left_to_right() {
+        let l = List::from_slice(&[1u64, 2, 3]);
+        let digits = l.fold(0u64, &|acc, x| acc * 10 + x);
+        assert_eq!(digits, 123);
+    }
+
+    #[test]
+    fn string_representation_roundtrips() {
+        let s = string_of_bytes(b"Hello");
+        assert_eq!(bytes_of_string(&s), b"Hello");
+        assert_eq!(s.len(), 5);
+    }
+}

@@ -1,0 +1,149 @@
+//! The §4.2 benchmark suite: "programs from a variety of domains, including
+//! string manipulation, hashing, and packet-manipulating (network)
+//! programs".
+//!
+//! Each module is one benchmarked program and provides, uniformly:
+//!
+//! - `model()` — the annotated functional model (Rupicola's input);
+//! - `spec()` — its ABI ([`rupicola_core::fnspec::FnSpec`]);
+//! - `compiled()` — the relational compilation entry point;
+//! - `reference(…)` — a plain-Rust executable specification (what the
+//!   model is verified against: the "end-to-end" phase);
+//! - `baseline(…)` — the handwritten C-style implementation benchmarked
+//!   against the generated code in Figure 2;
+//! - `naive(…)` — a linked-list, fresh-allocation functional
+//!   implementation standing in for Coq's extracted OCaml (Box 1 and the
+//!   orders-of-magnitude comparison of §4.2).
+//!
+//! [`suite`] collects the per-program metadata that regenerates Table 2.
+
+pub mod crc32;
+pub mod fasta;
+pub mod fnv1a;
+pub mod funclist;
+pub mod ip;
+pub mod m3s;
+pub mod upstr;
+pub mod utf8;
+
+use rupicola_core::{CompileError, CompiledFunction};
+use rupicola_lang::Model;
+
+/// The compiler-extension features a program leverages (the feature matrix
+/// columns of Table 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Features {
+    /// Word/byte/boolean arithmetic.
+    pub arithmetic: bool,
+    /// Inline (constant) tables.
+    pub inline: bool,
+    /// Flat arrays.
+    pub arrays: bool,
+    /// Loop lemmas (map/fold/ranged).
+    pub loops: bool,
+    /// In-place mutation.
+    pub mutation: bool,
+}
+
+/// Metadata of one suite program (one row of Table 2).
+#[derive(Debug, Clone)]
+pub struct ProgramInfo {
+    /// Program name.
+    pub name: &'static str,
+    /// Table 2's one-line description.
+    pub description: &'static str,
+    /// Programmer-effort proxy: lines of the functional model and its
+    /// signature (measured from the module source between markers).
+    pub source_loc: usize,
+    /// Lines of program-specific properties proved for compilation
+    /// (hints/lemmas blocks in the module source).
+    pub lemmas_loc: usize,
+    /// Number of compilation hints (spec hypotheses + unfoldings).
+    pub hints: usize,
+    /// Whether an end-to-end executable specification is connected
+    /// (the `reference` function plus model-vs-reference tests).
+    pub end_to_end: bool,
+    /// Feature matrix.
+    pub features: Features,
+}
+
+/// One row of the suite: metadata plus the constructors the harnesses use.
+pub struct SuiteEntry {
+    /// Static metadata.
+    pub info: ProgramInfo,
+    /// Builds the functional model.
+    pub model: fn() -> Model,
+    /// Runs the relational compiler.
+    pub compiled: fn() -> Result<CompiledFunction, CompileError>,
+}
+
+impl std::fmt::Debug for SuiteEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SuiteEntry").field("info", &self.info).finish()
+    }
+}
+
+/// The full benchmark suite, in Table 2 order.
+pub fn suite() -> Vec<SuiteEntry> {
+    vec![
+        SuiteEntry { info: fnv1a::info(), model: fnv1a::model, compiled: fnv1a::compiled },
+        SuiteEntry { info: utf8::info(), model: utf8::model, compiled: utf8::compiled },
+        SuiteEntry { info: upstr::info(), model: upstr::model, compiled: upstr::compiled },
+        SuiteEntry { info: m3s::info(), model: m3s::model, compiled: m3s::compiled },
+        SuiteEntry { info: ip::info(), model: ip::model, compiled: ip::compiled },
+        SuiteEntry { info: fasta::info(), model: fasta::model, compiled: fasta::compiled },
+        SuiteEntry { info: crc32::info(), model: crc32::model, compiled: crc32::compiled },
+    ]
+}
+
+/// Counts the lines of `src` between a `// <marker>-begin` and
+/// `// <marker>-end` comment pair (exclusive). Used to measure the
+/// Source/Lemmas columns of Table 2 from the actual module sources.
+pub fn lines_between(src: &str, marker: &str) -> usize {
+    let begin = format!("// {marker}-begin");
+    let end = format!("// {marker}-end");
+    let mut counting = false;
+    let mut n = 0;
+    for line in src.lines() {
+        let t = line.trim();
+        if t == end {
+            counting = false;
+        }
+        if counting && !t.is_empty() {
+            n += 1;
+        }
+        if t == begin {
+            counting = true;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_seven_programs_in_table_order() {
+        let names: Vec<_> = suite().iter().map(|e| e.info.name).collect();
+        assert_eq!(names, vec!["fnv1a", "utf8", "upstr", "m3s", "ip", "fasta", "crc32"]);
+    }
+
+    #[test]
+    fn every_program_compiles_and_reports_nonzero_source() {
+        for entry in suite() {
+            let compiled = (entry.compiled)().unwrap_or_else(|e| {
+                panic!("{} failed to compile: {e}", entry.info.name)
+            });
+            assert_eq!(compiled.function.name, entry.info.name);
+            assert!(entry.info.source_loc > 0, "{} has measured source", entry.info.name);
+        }
+    }
+
+    #[test]
+    fn lines_between_counts_marked_region() {
+        let src = "a\n// x-begin\none\n\ntwo\n// x-end\nb\n";
+        assert_eq!(lines_between(src, "x"), 2);
+        assert_eq!(lines_between(src, "y"), 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! `m3s` — the scramble (mixing) step of the Murmur3 hash.
+//!
+//! A purely scalar program (Table 2 marks only the arithmetic feature):
+//! the 32-bit Murmur3 scramble `k *= c1; k = rotl(k, 15); k *= c2`,
+//! expressed on 64-bit words with explicit masking.
+
+use crate::{Features, ProgramInfo};
+use rupicola_core::fnspec::{ArgSpec, FnSpec, RetSpec};
+use rupicola_core::{CompileError, CompiledFunction};
+use rupicola_ext::standard_dbs;
+use rupicola_lang::dsl::*;
+use rupicola_lang::Model;
+use rupicola_sep::ScalarKind;
+
+const C1: u64 = 0xcc9e_2d51;
+const C2: u64 = 0x1b87_3593;
+const MASK32: u64 = 0xffff_ffff;
+
+/// The functional model.
+pub fn model() -> Model {
+    // model-begin
+    // m3s k :=
+    //   let/n k := (k * c1) & 0xffffffff in
+    //   let/n k := ((k << 15) | (k >> 17)) & 0xffffffff in
+    //   let/n k := (k * c2) & 0xffffffff in
+    //   k
+    Model::new(
+        "m3s",
+        ["k"],
+        let_n(
+            "k",
+            word_and(word_mul(var("k"), word_lit(C1)), word_lit(MASK32)),
+            let_n(
+                "k",
+                word_and(
+                    word_or(
+                        word_shl(var("k"), word_lit(15)),
+                        word_shr(var("k"), word_lit(17)),
+                    ),
+                    word_lit(MASK32),
+                ),
+                let_n(
+                    "k",
+                    word_and(word_mul(var("k"), word_lit(C2)), word_lit(MASK32)),
+                    var("k"),
+                ),
+            ),
+        ),
+    )
+    // model-end
+}
+
+/// The ABI: one scalar in, one scalar out.
+pub fn spec() -> FnSpec {
+    FnSpec::new(
+        "m3s",
+        vec![ArgSpec::Scalar { name: "k".into(), param: "k".into(), kind: ScalarKind::Word }],
+        vec![RetSpec::Scalar { name: "out".into(), kind: ScalarKind::Word }],
+    )
+}
+
+/// Runs the relational compiler.
+///
+/// # Errors
+///
+/// Propagates [`CompileError`] (none expected with the standard databases).
+pub fn compiled() -> Result<CompiledFunction, CompileError> {
+    rupicola_core::compile(&model(), &spec(), &standard_dbs())
+}
+
+/// The executable specification, on `u32` as Murmur3 defines it.
+pub fn reference(k: u32) -> u32 {
+    let mut k = k.wrapping_mul(0xcc9e_2d51);
+    k = k.rotate_left(15);
+    k.wrapping_mul(0x1b87_3593)
+}
+
+/// The handwritten C-style implementation (on the word ABI).
+pub fn baseline(k: u64) -> u64 {
+    let mut k = k.wrapping_mul(C1) & MASK32;
+    k = ((k << 15) | (k >> 17)) & MASK32;
+    k.wrapping_mul(C2) & MASK32
+}
+
+/// The "extraction" baseline: the same computation phrased over a
+/// boxed-number representation (unbounded-integer style arithmetic with
+/// explicit modulus, as extracted arithmetic on `Z` would run).
+pub fn naive(k: u64) -> u64 {
+    #[derive(Clone)]
+    struct Z(Vec<u32>); // little-endian limbs, the extracted-Z stand-in
+    fn of_u64(x: u64) -> Z {
+        Z(vec![(x & 0xffff_ffff) as u32, (x >> 32) as u32])
+    }
+    fn to_u64(z: &Z) -> u64 {
+        let lo = u64::from(*z.0.first().unwrap_or(&0));
+        let hi = u64::from(*z.0.get(1).unwrap_or(&0));
+        lo | (hi << 32)
+    }
+    fn mul(a: &Z, b: u64) -> Z {
+        let mut limbs = vec![0u32; a.0.len() + 2];
+        for (i, la) in a.0.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, lb) in [(b & 0xffff_ffff), (b >> 32)].iter().enumerate() {
+                let idx = i + j;
+                let cur = u64::from(limbs[idx]) + u64::from(*la) * lb + carry;
+                limbs[idx] = (cur & 0xffff_ffff) as u32;
+                carry = cur >> 32;
+            }
+            let mut idx = i + 2;
+            while carry > 0 {
+                let cur = u64::from(limbs[idx]) + carry;
+                limbs[idx] = (cur & 0xffff_ffff) as u32;
+                carry = cur >> 32;
+                idx += 1;
+            }
+        }
+        Z(limbs)
+    }
+    fn mask32(z: &Z) -> u64 {
+        u64::from(*z.0.first().unwrap_or(&0))
+    }
+    let k1 = mask32(&mul(&of_u64(k), C1));
+    let k2 = ((k1 << 15) | (k1 >> 17)) & MASK32;
+    let z = mul(&of_u64(k2), C2);
+    let _ = to_u64(&z);
+    mask32(&z)
+}
+
+/// Table 2 metadata.
+pub fn info() -> ProgramInfo {
+    let src = include_str!("m3s.rs");
+    ProgramInfo {
+        name: "m3s",
+        description: "Scramble part of the Murmur3 algorithm",
+        source_loc: crate::lines_between(src, "model"),
+        lemmas_loc: 0,
+        hints: 0,
+        end_to_end: true,
+        features: Features { arithmetic: true, ..Default::default() },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupicola_core::check::check;
+    use rupicola_lang::eval::{eval_model, World};
+    use rupicola_lang::Value;
+
+    #[test]
+    fn model_matches_u32_reference() {
+        for k in [0u32, 1, 0xdead_beef, u32::MAX, 0x8000_0000] {
+            let out = eval_model(
+                &model(),
+                &[Value::Word(u64::from(k))],
+                &mut World::default(),
+            )
+            .unwrap();
+            assert_eq!(out, Value::Word(u64::from(reference(k))));
+        }
+    }
+
+    #[test]
+    fn baseline_and_naive_match_reference() {
+        for k in [0u32, 7, 0x1234_5678, u32::MAX] {
+            assert_eq!(baseline(u64::from(k)), u64::from(reference(k)));
+            assert_eq!(naive(u64::from(k)), u64::from(reference(k)));
+        }
+    }
+
+    #[test]
+    fn compiles_to_three_assignments_plus_return() {
+        let out = compiled().unwrap();
+        assert_eq!(out.function.body.statement_count(), 4);
+        check(&out, &standard_dbs()).unwrap();
+    }
+}

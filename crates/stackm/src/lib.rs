@@ -1,0 +1,375 @@
+//! The pedagogical relational compiler of §2: an arithmetic language `S`
+//! compiled to a stack machine `T`, three ways.
+//!
+//! The paper develops relational compilation by "starting from a
+//! traditional verified compiler and progressively transforming it":
+//!
+//! 1. [`compile`] — the single-pass *functional* compiler `StoT` (§2.1);
+//! 2. [`Rel`] — the same compiler as a *relation* `t ℜ s`, whose
+//!    constructors ([`Rel::int`], [`Rel::add`]) mirror the branches of the
+//!    recursion, with [`fn@derive`] running the relation as proof search
+//!    (§2.2);
+//! 3. [`shallow`] — the open-ended variant of §2.3–2.4: standalone facts
+//!    compiling *shallowly embedded* arithmetic (here: a tree of native
+//!    Rust `u64` additions, [`shallow::G`]) assembled into a compiler by a
+//!    hint list.
+//!
+//! Every derivation carries its correctness evidence: the produced program
+//! paired with the exhaustive check `σ_T(t, zs) = σ_S(s) :: zs` used as the
+//! equivalence `∼` (machine-checked here by executable semantics rather
+//! than a Coq proof).
+
+use std::fmt;
+
+/// The source language `S`: constants and addition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum S {
+    /// `SInt z`.
+    Int(u64),
+    /// `SAdd s1 s2`.
+    Add(Box<S>, Box<S>),
+}
+
+impl S {
+    /// `SInt`.
+    pub fn int(z: u64) -> S {
+        S::Int(z)
+    }
+
+    /// `SAdd`.
+    pub fn add(a: S, b: S) -> S {
+        S::Add(Box::new(a), Box::new(b))
+    }
+
+    /// The denotation `σ_S` (wrapping, matching the machine's addition).
+    pub fn eval(&self) -> u64 {
+        match self {
+            S::Int(z) => *z,
+            S::Add(a, b) => a.eval().wrapping_add(b.eval()),
+        }
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            S::Int(_) => 1,
+            S::Add(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+}
+
+impl fmt::Display for S {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            S::Int(z) => write!(f, "{z}"),
+            S::Add(a, b) => write!(f, "({a} + {b})"),
+        }
+    }
+}
+
+/// One stack-machine opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TOp {
+    /// Push a constant.
+    Push(u64),
+    /// Pop two values, push their sum.
+    PopAdd,
+}
+
+/// A stack-machine program: a list of opcodes.
+pub type T = Vec<TOp>;
+
+/// The opcode semantics `σ_Op` (invalid pops are no-ops, as in the paper).
+pub fn step(mut zs: Vec<u64>, op: TOp) -> Vec<u64> {
+    match op {
+        TOp::Push(z) => {
+            zs.push(z);
+            zs
+        }
+        TOp::PopAdd => {
+            if zs.len() >= 2 {
+                let z2 = zs.pop().expect("len checked");
+                let z1 = zs.pop().expect("len checked");
+                zs.push(z1.wrapping_add(z2));
+            }
+            zs
+        }
+    }
+}
+
+/// The program semantics `σ_T`: a left fold of [`step`].
+pub fn run(t: &[TOp], zs: Vec<u64>) -> Vec<u64> {
+    t.iter().fold(zs, |zs, op| step(zs, *op))
+}
+
+/// The equivalence `t ∼ s`: for all stacks `zs`,
+/// `σ_T(t, zs) = σ_S(s) :: zs`. Exhaustively spot-checked on a family of
+/// initial stacks (the universal quantification is over stack *contents*,
+/// which the machine never inspects; depth matters only through the no-op
+/// rule, covered by the empty and singleton stacks).
+pub fn equiv(t: &[TOp], s: &S) -> bool {
+    let stacks = [vec![], vec![7], vec![1, 2], vec![u64::MAX, 0, 3]];
+    stacks.iter().all(|zs| {
+        let mut want = zs.clone();
+        want.push(s.eval());
+        run(t, zs.clone()) == want
+    })
+}
+
+/// §2.1: the traditional single-pass compiler `StoT`.
+pub fn compile(s: &S) -> T {
+    match s {
+        S::Int(z) => vec![TOp::Push(*z)],
+        S::Add(s1, s2) => {
+            let mut t = compile(s1);
+            t.extend(compile(s2));
+            t.push(TOp::PopAdd);
+            t
+        }
+    }
+}
+
+/// §2.2: the compiler as a relation `ℜ`. Each constructor is one inference
+/// rule; a value of this type is a *derivation tree* whose conclusion can
+/// be read off with [`Rel::source`] / [`Rel::target`], and whose soundness
+/// (`StoT_rel_ok`) is re-checked by [`Rel::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rel {
+    /// `StoT_RInt : [TPush z] ℜ SInt z`.
+    Int(u64),
+    /// `StoT_RAdd : t1 ℜ s1 → t2 ℜ s2 → t1 ++ t2 ++ [TPopAdd] ℜ SAdd s1 s2`.
+    Add(Box<Rel>, Box<Rel>),
+}
+
+impl Rel {
+    /// The `StoT_RInt` rule.
+    pub fn int(z: u64) -> Rel {
+        Rel::Int(z)
+    }
+
+    /// The `StoT_RAdd` rule.
+    pub fn add(d1: Rel, d2: Rel) -> Rel {
+        Rel::Add(Box::new(d1), Box::new(d2))
+    }
+
+    /// The source program of the conclusion.
+    pub fn source(&self) -> S {
+        match self {
+            Rel::Int(z) => S::Int(*z),
+            Rel::Add(a, b) => S::add(a.source(), b.source()),
+        }
+    }
+
+    /// The target program of the conclusion — the compiled-code witness the
+    /// existential proof exhibits.
+    pub fn target(&self) -> T {
+        match self {
+            Rel::Int(z) => vec![TOp::Push(*z)],
+            Rel::Add(a, b) => {
+                let mut t = a.target();
+                t.extend(b.target());
+                t.push(TOp::PopAdd);
+                t
+            }
+        }
+    }
+
+    /// Re-checks `StoT_rel_ok` for this derivation: the graph of `ℜ` is
+    /// included in `∼`.
+    pub fn validate(&self) -> bool {
+        equiv(&self.target(), &self.source())
+    }
+}
+
+/// §2.2's `t7_rel`: proof search for `{ t | t ℜ s }`.
+///
+/// "To compile `s`, we simply search for a program `t` such that `t ℜ s`":
+/// the search picks, at each goal, the unique applicable constructor —
+/// `apply StoT_RAdd` on sums, `apply StoT_RInt` on constants — and the
+/// assembled derivation exhibits the witness.
+pub fn derive(s: &S) -> Rel {
+    match s {
+        S::Int(z) => Rel::int(*z),
+        S::Add(s1, s2) => Rel::add(derive(s1), derive(s2)),
+    }
+}
+
+pub mod shallow {
+    //! §2.3–2.4: open-ended compilation of a *shallow* embedding.
+    //!
+    //! There is no `S` here: programs are native host-language expressions
+    //! (a tree of `u64` additions the host evaluates itself). A compiler is
+    //! just a hint list of standalone facts; each fact recognizes one
+    //! host-level pattern and emits stack code for it. Plugging in more
+    //! facts extends the compiler — including with *program-specific*
+    //! optimizations (see `fact_fold_constants` in the tests).
+
+    use super::{equiv, S, T, TOp};
+
+    /// A shallowly embedded program: a host expression tree. (In Coq this
+    /// is a genuine Gallina term; a first-order tree of host additions is
+    /// the closest Rust rendition that still lets hints *inspect* it.)
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum G {
+        /// A host constant.
+        Lit(u64),
+        /// Host addition `a + b`.
+        Plus(Box<G>, Box<G>),
+    }
+
+    impl G {
+        /// Host constant.
+        pub fn lit(z: u64) -> G {
+            G::Lit(z)
+        }
+
+        /// Host addition.
+        pub fn plus(a: G, b: G) -> G {
+            G::Plus(Box::new(a), Box::new(b))
+        }
+
+        /// The host evaluates the program natively (`z` in `t ≈ z`).
+        pub fn eval(&self) -> u64 {
+            match self {
+                G::Lit(z) => *z,
+                G::Plus(a, b) => a.eval().wrapping_add(b.eval()),
+            }
+        }
+    }
+
+    /// One compilation fact (`GallinatoT_Z`, `GallinatoT_Zadd`, …): given a
+    /// goal `?t ≈ g` and a recursive-compilation callback for subgoals,
+    /// either produce a witness or decline.
+    pub type Fact = fn(&G, &dyn Fn(&G) -> Option<T>) -> Option<T>;
+
+    /// `GallinatoT_Z : [TPush z] ≈ z`.
+    pub fn fact_lit(g: &G, _rec: &dyn Fn(&G) -> Option<T>) -> Option<T> {
+        match g {
+            G::Lit(z) => Some(vec![TOp::Push(*z)]),
+            G::Plus(..) => None,
+        }
+    }
+
+    /// `GallinatoT_Zadd : t1 ≈ z1 → t2 ≈ z2 → t1 ++ t2 ++ [TPopAdd] ≈ z1 + z2`.
+    pub fn fact_add(g: &G, rec: &dyn Fn(&G) -> Option<T>) -> Option<T> {
+        match g {
+            G::Plus(a, b) => {
+                let mut t = rec(a)?;
+                t.extend(rec(b)?);
+                t.push(TOp::PopAdd);
+                Some(t)
+            }
+            G::Lit(_) => None,
+        }
+    }
+
+    /// The hint-database search: `typeclasses eauto` in miniature. Facts
+    /// are tried in order at every subgoal; the first applicable one wins.
+    pub fn derive_shallow(hints: &[Fact], g: &G) -> Option<T> {
+        let rec = |sub: &G| derive_shallow(hints, sub);
+        hints.iter().find_map(|fact| fact(g, &rec))
+    }
+
+    /// Validates a shallow derivation: `σ_T(t, zs) = eval(g) :: zs`,
+    /// reusing [`equiv`] through a constant source with the same value.
+    pub fn validate(t: &T, g: &G) -> bool {
+        equiv(t, &S::Int(g.eval()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::shallow::{derive_shallow, fact_add, fact_lit, validate, Fact, G};
+    use super::*;
+
+    /// §2.1's `s7`/`t7`: `3 + 4` compiles to `[Push 3; Push 4; PopAdd]`.
+    #[test]
+    fn t7_functional() {
+        let s7 = S::add(S::int(3), S::int(4));
+        let t7 = compile(&s7);
+        assert_eq!(t7, vec![TOp::Push(3), TOp::Push(4), TOp::PopAdd]);
+        assert!(equiv(&t7, &s7));
+    }
+
+    /// §2.2's `t7_rel`: proof search produces the same witness plus a
+    /// checkable derivation.
+    #[test]
+    fn t7_relational() {
+        let s7 = S::add(S::int(3), S::int(4));
+        let d = derive(&s7);
+        assert_eq!(d.target(), compile(&s7));
+        assert_eq!(d.source(), s7);
+        assert!(d.validate());
+    }
+
+    /// §2.4's `t7_shallow`: the shallow embedding compiles via hints.
+    #[test]
+    fn t7_shallow() {
+        let hints: &[Fact] = &[fact_lit, fact_add];
+        let g = G::plus(G::lit(3), G::lit(4));
+        let t = derive_shallow(hints, &g).unwrap();
+        assert_eq!(t, vec![TOp::Push(3), TOp::Push(4), TOp::PopAdd]);
+        assert!(validate(&t, &g));
+    }
+
+    #[test]
+    fn no_hints_means_no_compiler() {
+        let g = G::lit(1);
+        assert_eq!(derive_shallow(&[], &g), None);
+        // Partial databases fail exactly when the missing construct occurs.
+        let only_add: &[Fact] = &[fact_add];
+        assert_eq!(derive_shallow(only_add, &g), None);
+    }
+
+    /// §2.3: extensibility — a user plugs in a *program-specific* fact
+    /// (constant folding of literal sums) ahead of the generic ones, and
+    /// the relational compiler picks it up with no other changes.
+    #[test]
+    fn user_fact_overrides_codegen() {
+        fn fact_fold_constants(g: &G, _rec: &dyn Fn(&G) -> Option<T>) -> Option<T> {
+            match g {
+                G::Plus(a, b) => match (a.as_ref(), b.as_ref()) {
+                    (G::Lit(x), G::Lit(y)) => Some(vec![TOp::Push(x.wrapping_add(*y))]),
+                    _ => None,
+                },
+                G::Lit(_) => None,
+            }
+        }
+        let hints: &[Fact] = &[fact_fold_constants, fact_lit, fact_add];
+        let g = G::plus(G::plus(G::lit(3), G::lit(4)), G::lit(5));
+        let t = derive_shallow(hints, &g).unwrap();
+        // The inner sum folded; the outer one did not.
+        assert_eq!(t, vec![TOp::Push(7), TOp::Push(5), TOp::PopAdd]);
+        assert!(validate(&t, &g));
+    }
+
+    #[test]
+    fn machine_noops_on_underflow() {
+        assert_eq!(run(&[TOp::PopAdd], vec![]), Vec::<u64>::new());
+        assert_eq!(run(&[TOp::PopAdd], vec![1]), vec![1]);
+    }
+
+    fn random_s(seed: &mut u64, depth: usize) -> S {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        if depth == 0 || (*seed).is_multiple_of(3) {
+            S::int(*seed >> 32)
+        } else {
+            S::add(random_s(seed, depth - 1), random_s(seed, depth - 1))
+        }
+    }
+
+    /// The three compilers agree on randomized programs, and every
+    /// relational derivation validates.
+    #[test]
+    fn compilers_agree_on_random_programs() {
+        let mut seed = 0xABCD_EF01;
+        for _ in 0..200 {
+            let s = random_s(&mut seed, 6);
+            let t1 = compile(&s);
+            let d = derive(&s);
+            assert_eq!(d.target(), t1);
+            assert!(d.validate());
+            assert!(equiv(&t1, &s));
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! User-facing extensibility: adding a new operation to the compiler.
+//!
+//! The §4.1.1 experience: a user wants a saturating increment `sat_inc`
+//! in their models. The recipe is (1) register the operation's semantics,
+//! (2) plug an unfolding hint (or a bespoke lemma) into the hint
+//! databases, (3) compile — and when step 2 is skipped, the compiler does
+//! not guess: it prints the residual goal from which "the shape of missing
+//! lemmas" can be read off.
+//!
+//! Run with `cargo run --example custom_extension`.
+
+use rupicola::core::check::{check_with, CheckConfig};
+use rupicola::core::fnspec::{ArgSpec, FnSpec, RetSpec};
+use rupicola::ext::standard_dbs;
+use rupicola::ext::unfold::UnfoldExpr;
+use rupicola::lang::dsl::*;
+use rupicola::lang::{Model, Value};
+use rupicola::sep::ScalarKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A model using an operation the standard compiler has never heard of.
+    let model = Model::new(
+        "bump",
+        ["x"],
+        let_n("y", extern_op("sat_inc", vec![var("x")]), var("y")),
+    );
+    let spec = FnSpec::new(
+        "bump",
+        vec![ArgSpec::Scalar { name: "x".into(), param: "x".into(), kind: ScalarKind::Word }],
+        vec![RetSpec::Scalar { name: "out".into(), kind: ScalarKind::Word }],
+    );
+
+    // Step 0: without an extension, compilation stops at a residual goal.
+    let plain = standard_dbs();
+    match rupicola::core::compile(&model, &spec, &plain) {
+        Err(e) => println!("== without the extension, the compiler asks for guidance ==\n{e}\n"),
+        Ok(_) => unreachable!("sat_inc is not in the standard databases"),
+    }
+
+    // Step 1: the operation's semantics (used by evaluation & validation).
+    let mut config = CheckConfig::default();
+    config.externs.register_fn("sat_inc", 1, |args| {
+        let x = args[0].as_word().unwrap_or(0);
+        Ok(Value::Word(x.saturating_add(1)))
+    });
+
+    // Step 2: the compilation hint — a branchless unfolding:
+    //   sat_inc x = x + (x < MAX)   (adds 1 except at the top, where +0).
+    let mut dbs = standard_dbs();
+    dbs.register_expr(UnfoldExpr::new("sat_inc", |args| {
+        let x = args[0].clone();
+        word_add(
+            x.clone(),
+            word_of_bool(word_ltu(x, word_lit(u64::MAX))),
+        )
+    }));
+
+    // Step 3: compile and validate.
+    let compiled = rupicola::core::compile(&model, &spec, &dbs)?;
+    let report = check_with(&compiled, &dbs, &config)?;
+    println!(
+        "== with the extension ==\nderivation:\n{}\nchecked on {} vectors ✓\n",
+        compiled.derivation, report.vectors_run
+    );
+    println!(
+        "generated C:\n{}",
+        rupicola::bedrock::cprint::function_to_c(&compiled.function)
+    );
+
+    // A *wrong* unfolding does not certify: the checker rejects it.
+    let mut wrong = standard_dbs();
+    wrong.register_expr(UnfoldExpr::new("sat_inc", |args| {
+        word_add(args[0].clone(), word_lit(2)) // off by one: not an increment
+    }));
+    let miscompiled = rupicola::core::compile(&model, &spec, &wrong)?;
+    let err = check_with(&miscompiled, &wrong, &config)
+        .expect_err("the checker must reject the wrong unfolding");
+    println!("== a wrong extension is caught by the checker ==\n{err}");
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Section 2, interactively: relational compilation on the pedagogical
+//! arithmetic-language → stack-machine pair.
+//!
+//! Run with `cargo run --example stack_machine`.
+
+use rupicola::stackm::{
+    compile, derive, equiv, run,
+    shallow::{derive_shallow, fact_add, fact_lit, validate, Fact, G},
+    S, T, TOp,
+};
+
+fn show(t: &[TOp]) -> String {
+    t.iter()
+        .map(|op| match op {
+            TOp::Push(z) => format!("Push {z}"),
+            TOp::PopAdd => "PopAdd".to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+fn main() {
+    // §2.1: the traditional verified compiler StoT on s7 = 3 + 4.
+    let s7 = S::add(S::int(3), S::int(4));
+    let t7 = compile(&s7);
+    println!("== §2.1 functional compiler ==");
+    println!("compile({s7}) = [{}]", show(&t7));
+    println!("σ_T(t7, []) = {:?}  (σ_S(s7) = {})", run(&t7, vec![]), s7.eval());
+    assert!(equiv(&t7, &s7));
+
+    // §2.2: the same compiler as proof search over the relation ℜ. The
+    // derivation is the proof tree; its target is the existential witness.
+    println!("\n== §2.2 relational compilation (proof search over ℜ) ==");
+    let d = derive(&s7);
+    println!("derivation for {s7}:");
+    println!("  StoT_RAdd");
+    println!("  ├─ StoT_RInt 3");
+    println!("  └─ StoT_RInt 4");
+    println!("witness: [{}]", show(&d.target()));
+    println!("StoT_rel_ok re-check: {}", d.validate());
+    assert_eq!(d.target(), t7);
+
+    // §2.4: shallow embedding — hints compile host-level expressions.
+    println!("\n== §2.4 shallow embedding with hint databases ==");
+    let hints: &[Fact] = &[fact_lit, fact_add];
+    let g = G::plus(G::plus(G::lit(1), G::lit(2)), G::lit(4));
+    let t = derive_shallow(hints, &g).expect("hints cover the program");
+    println!("t ≈ (1 + 2) + 4   ⟹   t = [{}]", show(&t));
+    assert!(validate(&t, &g));
+
+    // §2.3: extensibility — a user fact folds literal sums at compile time,
+    // changing the generated code without touching the other facts.
+    println!("\n== §2.3 user extension: constant folding ==");
+    fn fact_fold(g: &G, _rec: &dyn Fn(&G) -> Option<T>) -> Option<T> {
+        match g {
+            G::Plus(a, b) => match (a.as_ref(), b.as_ref()) {
+                (G::Lit(x), G::Lit(y)) => Some(vec![TOp::Push(x.wrapping_add(*y))]),
+                _ => None,
+            },
+            G::Lit(_) => None,
+        }
+    }
+    let extended: &[Fact] = &[fact_fold, fact_lit, fact_add];
+    let t2 = derive_shallow(extended, &g).expect("still covered");
+    println!("with fold hint: t = [{}]", show(&t2));
+    assert!(validate(&t2, &g));
+    assert!(t2.len() < t.len(), "the user fact shortened the program");
+
+    // And incompleteness, the price of relational compilation (§2): an
+    // empty hint database is a compiler for the empty language.
+    println!("\n== incompleteness ==");
+    println!(
+        "derive_shallow([], 1 + 2) = {:?}  (no hints, no compiler)",
+        derive_shallow(&[], &G::plus(G::lit(1), G::lit(2)))
+    );
+}

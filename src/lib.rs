@@ -1,0 +1,13 @@
+//! Rupicola-rs: relational compilation for performance-critical applications.
+//!
+//! This facade crate re-exports the full toolkit. See the repository README
+//! for a guided tour and `DESIGN.md` for the system inventory.
+
+pub use rupicola_bedrock as bedrock;
+pub use rupicola_core as core;
+pub use rupicola_ext as ext;
+pub use rupicola_lang as lang;
+pub use rupicola_monads as monads;
+pub use rupicola_programs as programs;
+pub use rupicola_sep as sep;
+pub use rupicola_stackm as stackm;

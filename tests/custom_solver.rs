@@ -1,0 +1,111 @@
+//! User-pluggable side-condition solvers.
+//!
+//! §3.1: when compilation requires "solving side conditions that Rupicola's
+//! logic does not recognize", users "plug in … new tactics to discharge
+//! unsolved side conditions". Here the built-in `lia` cannot prove
+//! `x mod len < len` (it has no modulo theory for symbolic divisors); a
+//! five-line user solver closes exactly that gap, and the whole pipeline —
+//! including the checker's structural re-validation, which re-runs the
+//! registered solvers — goes through.
+
+use rupicola::core::check::check;
+use rupicola::core::fnspec::{ArgSpec, FnSpec, RetSpec};
+use rupicola::core::solver::SideSolver;
+use rupicola::core::{compile, CompileError, Hyp, SideCond};
+use rupicola::ext::standard_dbs;
+use rupicola::lang::dsl::*;
+use rupicola::lang::{ElemKind, Expr, Model, PrimOp};
+
+/// Proves `a mod b < b` when `b ≠ 0` is among the hypotheses (stated as
+/// `0 < b`).
+#[derive(Debug, Clone, Copy)]
+struct RemuBound;
+
+impl SideSolver for RemuBound {
+    fn name(&self) -> &'static str {
+        "remu_bound"
+    }
+    fn solve(&self, cond: &SideCond, hyps: &[Hyp]) -> bool {
+        let SideCond::Lt(a, b) = cond else { return false };
+        let Expr::Prim { op: PrimOp::WRemU, args } = a else { return false };
+        args[1] == *b
+            && hyps.iter().any(|h| matches!(h, Hyp::LtU(zero, d)
+                if d == b && *zero == word_lit(0)))
+    }
+}
+
+fn modular_model() -> Model {
+    // let b := s[x mod (len s)] in word_of_byte b
+    Model::new(
+        "mod_get",
+        ["s", "x"],
+        let_n(
+            "b",
+            array_get_b(var("s"), word_remu(var("x"), array_len_b(var("s")))),
+            word_of_byte(var("b")),
+        ),
+    )
+}
+
+fn modular_spec() -> FnSpec {
+    FnSpec::new(
+        "mod_get",
+        vec![
+            ArgSpec::ArrayPtr { name: "s".into(), param: "s".into(), elem: ElemKind::Byte },
+            ArgSpec::LenOf { name: "len".into(), param: "s".into(), elem: ElemKind::Byte },
+            ArgSpec::Scalar {
+                name: "x".into(),
+                param: "x".into(),
+                kind: rupicola::sep::ScalarKind::Word,
+            },
+        ],
+        vec![RetSpec::Scalar { name: "out".into(), kind: rupicola::sep::ScalarKind::Word }],
+    )
+    // The nonemptiness precondition that makes the modulo well defined.
+    .with_hint(Hyp::LtU(word_lit(0), array_len_b(var("s"))))
+}
+
+#[test]
+fn builtin_solver_alone_cannot_discharge_the_bound() {
+    let err = compile(&modular_model(), &modular_spec(), &standard_dbs()).unwrap_err();
+    match err {
+        CompileError::SideCondition { cond, .. } => {
+            assert!(cond.contains("remu"), "{cond}");
+        }
+        other => panic!("expected a side-condition failure, got {other}"),
+    }
+}
+
+#[test]
+fn user_solver_closes_the_gap_and_the_checker_accepts_it() {
+    let mut dbs = standard_dbs();
+    dbs.register_solver(RemuBound);
+    let compiled = compile(&modular_model(), &modular_spec(), &dbs).unwrap();
+    // The derivation records which solver discharged the bound.
+    let mut solvers = Vec::new();
+    compiled.derivation.root.walk(&mut |n| {
+        for sc in &n.side_conds {
+            solvers.push(sc.solver.clone());
+        }
+    });
+    assert!(solvers.iter().any(|s| s == "remu_bound"), "{solvers:?}");
+    // The checker re-runs the registered solvers during structural
+    // validation and then validates behaviour differentially.
+    check(&compiled, &dbs).unwrap();
+}
+
+#[test]
+fn checker_without_the_solver_rejects_the_witness() {
+    // A witness whose side conditions cite a solver the verifier does not
+    // have must not re-validate: trust is anchored in the checker's own
+    // databases, not the compiler's claims.
+    let mut dbs = standard_dbs();
+    dbs.register_solver(RemuBound);
+    let compiled = compile(&modular_model(), &modular_spec(), &dbs).unwrap();
+    let plain = standard_dbs();
+    let err = check(&compiled, &plain).unwrap_err();
+    assert!(
+        matches!(err, rupicola::core::check::CheckError::SideCondition { .. }),
+        "got {err:?}"
+    );
+}

@@ -1,0 +1,671 @@
+//! The feature battery: "an additional suite of dozens of programs testing
+//! features around arithmetic, monadic extensions, and stack allocation"
+//! (§4.2). Every program here is compiled with the standard databases and
+//! certified by the trusted checker.
+
+use rupicola::core::check::{check_with, CheckConfig};
+use rupicola::core::fnspec::{ArgSpec, FnSpec, RetSpec, TraceSpec};
+use rupicola::core::{compile, Hyp, MonadCtx};
+use rupicola::ext::standard_dbs;
+use rupicola::lang::dsl::*;
+use rupicola::lang::{ElemKind, Expr, Model, MonadKind, TableDef, Value};
+use rupicola::sep::ScalarKind;
+
+fn run(model: Model, spec: FnSpec) {
+    let name = model.name.clone();
+    let dbs = standard_dbs();
+    let compiled = compile(&model, &spec, &dbs).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let config = CheckConfig { vectors: 8, ..CheckConfig::default() };
+    check_with(&compiled, &dbs, &config).unwrap_or_else(|e| panic!("{name}: {e}"));
+}
+
+fn wspec(name: &str, params: &[&str]) -> FnSpec {
+    FnSpec::new(
+        name,
+        params
+            .iter()
+            .map(|p| ArgSpec::Scalar {
+                name: (*p).to_string(),
+                param: (*p).to_string(),
+                kind: ScalarKind::Word,
+            })
+            .collect(),
+        vec![RetSpec::Scalar { name: "out".into(), kind: ScalarKind::Word }],
+    )
+}
+
+fn aspec(name: &str, ret: RetSpec) -> FnSpec {
+    FnSpec::new(
+        name,
+        vec![
+            ArgSpec::ArrayPtr { name: "s".into(), param: "s".into(), elem: ElemKind::Byte },
+            ArgSpec::LenOf { name: "len".into(), param: "s".into(), elem: ElemKind::Byte },
+        ],
+        vec![ret],
+    )
+}
+
+// --- arithmetic ---
+
+#[test]
+fn arith_every_word_op() {
+    for (i, mk) in [
+        word_add(var("x"), var("y")),
+        word_sub(var("x"), var("y")),
+        word_mul(var("x"), var("y")),
+        word_and(var("x"), var("y")),
+        word_or(var("x"), var("y")),
+        word_xor(var("x"), var("y")),
+        word_shl(var("x"), word_lit(13)),
+        word_shr(var("x"), word_lit(13)),
+        word_sar(var("x"), word_lit(13)),
+        word_of_bool(word_ltu(var("x"), var("y"))),
+        word_of_bool(word_lts(var("x"), var("y"))),
+        word_of_bool(word_eq(var("x"), var("y"))),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let name = format!("wop{i}");
+        run(
+            Model::new(name.clone(), ["x", "y"], let_n("r", mk, var("r"))),
+            wspec(&name, &["x", "y"]),
+        );
+    }
+}
+
+#[test]
+fn arith_division_with_literal_divisors() {
+    run(
+        Model::new(
+            "div7",
+            ["x"],
+            let_n("q", word_divu(var("x"), word_lit(7)), let_n("r", word_remu(var("x"), word_lit(7)), word_add(word_mul(var("q"), word_lit(7)), var("r")))),
+        ),
+        wspec("div7", &["x"]),
+    );
+}
+
+#[test]
+fn arith_division_with_hypothesized_divisor() {
+    let spec = wspec("divy", &["x", "y"]).with_hint(Hyp::LtU(word_lit(0), var("y")));
+    run(
+        Model::new("divy", ["x", "y"], let_n("q", word_divu(var("x"), var("y")), var("q"))),
+        spec,
+    );
+}
+
+#[test]
+fn arith_byte_tower() {
+    // Byte arithmetic with wrap-around and casts both ways.
+    run(
+        Model::new(
+            "btower",
+            ["x"],
+            let_n(
+                "b",
+                byte_of_word(var("x")),
+                let_n(
+                    "c",
+                    byte_add(byte_shl(var("b"), byte_lit(3)), byte_lit(0xAB)),
+                    let_n("r", word_of_byte(byte_xor(var("c"), var("b"))), var("r")),
+                ),
+            ),
+        ),
+        wspec("btower", &["x"]),
+    );
+}
+
+#[test]
+fn arith_bool_algebra() {
+    run(
+        Model::new(
+            "boolz",
+            ["x", "y"],
+            let_n(
+                "p",
+                word_ltu(var("x"), var("y")),
+                let_n(
+                    "q",
+                    word_eq(var("x"), word_lit(0)),
+                    let_n("r", word_of_bool(andb(orb(var("p"), var("q")), not(var("q")))), var("r")),
+                ),
+            ),
+        ),
+        wspec("boolz", &["x", "y"]),
+    );
+}
+
+#[test]
+fn arith_nat_bounded() {
+    // Naturals compile under no-overflow side conditions; bounded inputs
+    // discharge them.
+    let spec = wspec("natz", &["x"]).with_hint(Hyp::LtU(var("x"), word_lit(1000)));
+    run(
+        Model::new(
+            "natz",
+            ["x"],
+            let_n(
+                "n",
+                nat_of_word(var("x")),
+                let_n(
+                    "m",
+                    nat_add(var("n"), nat_lit(17)),
+                    let_n("r", word_of_nat(nat_sub(var("m"), nat_lit(5))), var("r")),
+                ),
+            ),
+        ),
+        spec,
+    );
+}
+
+#[test]
+fn arith_deep_expression_nesting() {
+    let mut e = var("x");
+    for k in 0..12 {
+        e = word_xor(word_add(e, word_lit(k)), word_shr(var("x"), word_lit(k % 63)));
+    }
+    run(Model::new("deep", ["x"], let_n("r", e, var("r"))), wspec("deep", &["x"]));
+}
+
+// --- control flow ---
+
+#[test]
+fn conditional_chains() {
+    run(
+        Model::new(
+            "clamp",
+            ["x"],
+            let_n(
+                "a",
+                ite(word_ltu(var("x"), word_lit(10)), word_lit(10), var("x")),
+                let_n(
+                    "b",
+                    ite(word_ltu(word_lit(100), var("a")), word_lit(100), var("a")),
+                    var("b"),
+                ),
+            ),
+        ),
+        wspec("clamp", &["x"]),
+    );
+}
+
+#[test]
+fn nested_range_fold_and_conditional() {
+    // popcount-by-nibble via a ranged fold with a conditional body value.
+    run(
+        Model::new(
+            "nibsum",
+            ["x"],
+            let_n(
+                "r",
+                range_fold(
+                    "i",
+                    "acc",
+                    word_add(var("acc"), word_and(word_shr(var("x"), word_mul(var("i"), word_lit(4))), word_lit(0xf))),
+                    word_lit(0),
+                    word_lit(0),
+                    word_lit(16),
+                ),
+                var("r"),
+            ),
+        ),
+        wspec("nibsum", &["x"]),
+    );
+}
+
+#[test]
+fn early_exit_scan() {
+    // First power of two ≥ x (bounded search with break).
+    run(
+        Model::new(
+            "npow2",
+            ["x"],
+            let_n(
+                "r",
+                range_fold_break(
+                    "i",
+                    "acc",
+                    ite(
+                        word_ltu(var("acc"), var("x")),
+                        pair(bool_lit(true), word_mul(var("acc"), word_lit(2))),
+                        pair(bool_lit(false), var("acc")),
+                    ),
+                    word_lit(1),
+                    word_lit(0),
+                    word_lit(64),
+                ),
+                var("r"),
+            ),
+        ),
+        wspec("npow2", &["x"]).with_hint(Hyp::LtU(var("x"), word_lit(1 << 62))),
+    );
+}
+
+// --- arrays & tables ---
+
+#[test]
+fn array_reverse_complement_style_update() {
+    // Two puts guarded by a length hint.
+    let spec = aspec("swap2", RetSpec::InPlace { param: "s".into() })
+        .with_hint(Hyp::LtU(word_lit(1), array_len_b(var("s"))));
+    run(
+        Model::new(
+            "swap2",
+            ["s"],
+            let_n(
+                "a",
+                array_get_b(var("s"), word_lit(0)),
+                let_n(
+                    "b",
+                    array_get_b(var("s"), word_lit(1)),
+                    let_n(
+                        "s",
+                        array_put_b(var("s"), word_lit(0), var("b")),
+                        let_n("s", array_put_b(var("s"), word_lit(1), var("a")), var("s")),
+                    ),
+                ),
+            ),
+        ),
+        spec,
+    );
+}
+
+#[test]
+fn map_after_fold_reads_consistent_lengths() {
+    run(
+        Model::new(
+            "foldmap",
+            ["s"],
+            let_n(
+                "k",
+                array_fold_b("acc", "b", word_add(var("acc"), word_of_byte(var("b"))), word_lit(0), var("s")),
+                let_n(
+                    "s",
+                    array_map_b("b", byte_xor(var("b"), byte_of_word(var("k"))), var("s")),
+                    var("s"),
+                ),
+            ),
+        ),
+        aspec("foldmap", RetSpec::InPlace { param: "s".into() }),
+    );
+}
+
+#[test]
+fn multi_table_lookup() {
+    let t1: Vec<u8> = (0..=255u8).map(|b| b.rotate_left(1)).collect();
+    let t2: Vec<u8> = (0..=255u8).map(|b| b ^ 0x55).collect();
+    let model = Model::new(
+        "twotables",
+        ["s"],
+        let_n(
+            "s",
+            array_map_b(
+                "b",
+                table_get("t2", word_of_byte(table_get("t1", word_of_byte(var("b"))))),
+                var("s"),
+            ),
+            var("s"),
+        ),
+    )
+    .with_table(TableDef::bytes("t1", t1))
+    .with_table(TableDef::bytes("t2", t2));
+    run(model, aspec("twotables", RetSpec::InPlace { param: "s".into() }));
+}
+
+#[test]
+fn word_array_sum() {
+    let spec = FnSpec::new(
+        "wsum",
+        vec![
+            ArgSpec::ArrayPtr { name: "s".into(), param: "s".into(), elem: ElemKind::Word },
+            ArgSpec::LenOf { name: "len".into(), param: "s".into(), elem: ElemKind::Word },
+        ],
+        vec![RetSpec::Scalar { name: "out".into(), kind: ScalarKind::Word }],
+    );
+    run(
+        Model::new(
+            "wsum",
+            ["s"],
+            let_n(
+                "r",
+                array_fold_w("acc", "w", word_add(var("acc"), var("w")), word_lit(0), var("s")),
+                var("r"),
+            ),
+        ),
+        spec,
+    );
+}
+
+#[test]
+fn scatter_combine_two_arrays() {
+    // dst := fold_range 0 len (fun i dst => put dst i (dst[i] ^ src[i])) dst
+    // — the two-array combine that map cannot express (its body sees only
+    // the current element of one array).
+    let model = Model::new(
+        "xor_into",
+        ["dst", "src"],
+        let_n(
+            "dst",
+            range_fold(
+                "i",
+                "dst",
+                array_put_b(
+                    var("dst"),
+                    var("i"),
+                    byte_xor(
+                        array_get_b(var("dst"), var("i")),
+                        array_get_b(var("src"), var("i")),
+                    ),
+                ),
+                var("dst"),
+                word_lit(0),
+                array_len_b(var("dst")),
+            ),
+            var("dst"),
+        ),
+    );
+    let spec = FnSpec::new(
+        "xor_into",
+        vec![
+            ArgSpec::ArrayPtr { name: "dst".into(), param: "dst".into(), elem: ElemKind::Byte },
+            ArgSpec::LenOf { name: "len".into(), param: "dst".into(), elem: ElemKind::Byte },
+            ArgSpec::ArrayPtr { name: "src".into(), param: "src".into(), elem: ElemKind::Byte },
+        ],
+        vec![RetSpec::InPlace { param: "dst".into() }],
+    )
+    // The combine reads src at dst's indices: equal lengths required.
+    .with_hint(Hyp::EqWord(array_len_b(var("dst")), array_len_b(var("src"))));
+    run(model, spec);
+}
+
+#[test]
+fn scatter_reversed_copy_into_scratch() {
+    // t := stack [0; 0; 0; 0]; t := fold_range 0 4 (fun i t =>
+    //   put t i s[3 - i]) t — a reversed gather into a scratch buffer.
+    let model = Model::new(
+        "rev4",
+        ["s"],
+        let_n(
+            "t",
+            stack(rupicola::lang::Expr::Lit(Value::byte_list([0; 4]))),
+            let_n(
+                "t",
+                range_fold(
+                    "i",
+                    "t",
+                    array_put_b(
+                        var("t"),
+                        var("i"),
+                        array_get_b(var("s"), word_sub(word_lit(3), var("i"))),
+                    ),
+                    var("t"),
+                    word_lit(0),
+                    word_lit(4),
+                ),
+                let_n(
+                    "r",
+                    array_fold_b(
+                        "acc",
+                        "b",
+                        word_add(word_mul(var("acc"), word_lit(256)), word_of_byte(var("b"))),
+                        word_lit(0),
+                        var("t"),
+                    ),
+                    var("r"),
+                ),
+            ),
+        ),
+    );
+    let spec = aspec("rev4", RetSpec::Scalar { name: "out".into(), kind: ScalarKind::Word })
+        .with_hint(Hyp::EqWord(array_len_b(var("s")), word_lit(4)));
+    run(model, spec);
+}
+
+// --- cells ---
+
+#[test]
+fn cell_counter_protocol() {
+    let spec = FnSpec::new(
+        "proto",
+        vec![
+            ArgSpec::CellPtr { name: "c".into(), param: "c".into() },
+            ArgSpec::Scalar { name: "x".into(), param: "x".into(), kind: ScalarKind::Word },
+        ],
+        vec![RetSpec::InPlace { param: "c".into() }],
+    );
+    run(
+        Model::new(
+            "proto",
+            ["c", "x"],
+            let_n(
+                "c",
+                cell_put(var("c"), word_add(cell_get(var("c")), var("x"))),
+                let_n(
+                    "c",
+                    cell_put(var("c"), word_mul(cell_get(var("c")), word_lit(3))),
+                    var("c"),
+                ),
+            ),
+        ),
+        spec,
+    );
+}
+
+#[test]
+fn cell_read_into_scalar_result() {
+    let spec = FnSpec::new(
+        "peek_cell",
+        vec![ArgSpec::CellPtr { name: "c".into(), param: "c".into() }],
+        vec![RetSpec::Scalar { name: "out".into(), kind: ScalarKind::Word }],
+    );
+    run(
+        Model::new(
+            "peek_cell",
+            ["c"],
+            let_n("v", cell_get(var("c")), word_add(var("v"), word_lit(1))),
+        ),
+        spec,
+    );
+}
+
+// --- stack allocation ---
+
+#[test]
+fn stack_table_then_lookup() {
+    run(
+        Model::new(
+            "stacked",
+            ["x"],
+            let_n(
+                "t",
+                stack(Expr::Lit(Value::byte_list([1, 2, 4, 8, 16, 32, 64, 128]))),
+                let_n(
+                    "b",
+                    array_get_b(var("t"), word_and(var("x"), word_lit(7))),
+                    word_of_byte(var("b")),
+                ),
+            ),
+        ),
+        wspec("stacked", &["x"]),
+    );
+}
+
+#[test]
+fn stack_buffer_mutated_then_summed() {
+    run(
+        Model::new(
+            "stackmut",
+            ["x"],
+            let_n(
+                "t",
+                stack(Expr::Lit(Value::byte_list([0; 4]))),
+                let_n(
+                    "t",
+                    array_put_b(var("t"), word_lit(0), byte_of_word(var("x"))),
+                    let_n(
+                        "r",
+                        array_fold_b("acc", "b", word_add(var("acc"), word_of_byte(var("b"))), word_lit(0), var("t")),
+                        var("r"),
+                    ),
+                ),
+            ),
+        ),
+        wspec("stackmut", &["x"]),
+    );
+}
+
+// --- monadic extensions ---
+
+#[test]
+fn nondet_scratch_pipeline() {
+    let spec = wspec("ndpipe", &["x"]).with_monad(MonadCtx::Monadic(MonadKind::Nondet));
+    run(
+        Model::new(
+            "ndpipe",
+            ["x"],
+            bind(
+                MonadKind::Nondet,
+                "buf",
+                nondet_bytes(word_lit(4)),
+                let_n(
+                    "buf",
+                    array_put_b(var("buf"), word_lit(2), byte_of_word(var("x"))),
+                    let_n(
+                        "b",
+                        array_get_b(var("buf"), word_lit(2)),
+                        ret(MonadKind::Nondet, word_of_byte(var("b"))),
+                    ),
+                ),
+            ),
+        ),
+        spec,
+    );
+}
+
+#[test]
+fn io_echo_loop_free() {
+    let spec = FnSpec::new(
+        "pump3",
+        vec![],
+        vec![RetSpec::Scalar { name: "out".into(), kind: ScalarKind::Word }],
+    )
+    .with_monad(MonadCtx::Monadic(MonadKind::Io))
+    .with_trace(TraceSpec::MirrorsSource);
+    run(
+        Model::new(
+            "pump3",
+            Vec::<String>::new(),
+            bind(
+                MonadKind::Io,
+                "a",
+                io_read(),
+                bind(
+                    MonadKind::Io,
+                    "b",
+                    io_read(),
+                    bind(
+                        MonadKind::Io,
+                        "_",
+                        io_write(word_add(var("a"), var("b"))),
+                        bind(
+                            MonadKind::Io,
+                            "c",
+                            io_read(),
+                            ret(MonadKind::Io, word_xor(var("c"), var("a"))),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+        spec,
+    );
+}
+
+#[test]
+fn writer_logs_intermediates() {
+    let spec = wspec("logged", &["x"])
+        .with_monad(MonadCtx::Monadic(MonadKind::Writer))
+        .with_trace(TraceSpec::MirrorsSource);
+    run(
+        Model::new(
+            "logged",
+            ["x"],
+            bind(
+                MonadKind::Writer,
+                "y",
+                ret(MonadKind::Writer, word_mul(var("x"), var("x"))),
+                bind(
+                    MonadKind::Writer,
+                    "_",
+                    writer_tell(var("y")),
+                    bind(
+                        MonadKind::Writer,
+                        "_",
+                        writer_tell(word_add(var("y"), word_lit(1))),
+                        ret(MonadKind::Writer, var("y")),
+                    ),
+                ),
+            ),
+        ),
+        spec,
+    );
+}
+
+#[test]
+fn nondet_peek_guarded() {
+    let spec = wspec("pickle", &["x"])
+        .with_monad(MonadCtx::Monadic(MonadKind::Nondet))
+        .with_hint(Hyp::LtU(var("x"), word_lit(1 << 32)));
+    run(
+        Model::new(
+            "pickle",
+            ["x"],
+            bind(
+                MonadKind::Nondet,
+                "w",
+                nondet_word(word_add(var("x"), word_lit(1))),
+                ret(MonadKind::Nondet, word_add(var("w"), word_lit(5))),
+            ),
+        ),
+        spec,
+    );
+}
+
+// --- combinations ---
+
+#[test]
+fn checksum_then_uppercase() {
+    // A fold followed by an in-place map in the same function: two loops,
+    // two invariants, one shared array.
+    run(
+        Model::new(
+            "sum_up",
+            ["s"],
+            let_n(
+                "k",
+                array_fold_b("acc", "b", word_xor(var("acc"), word_of_byte(var("b"))), word_lit(0), var("s")),
+                let_n(
+                    "s",
+                    array_map_b("b", byte_and(var("b"), byte_lit(0xdf)), var("s")),
+                    let_n(
+                        "k2",
+                        array_fold_b("acc", "b", word_add(var("acc"), word_of_byte(var("b"))), var("k"), var("s")),
+                        pair(var("k2"), var("s")),
+                    ),
+                ),
+            ),
+        ),
+        FnSpec::new(
+            "sum_up",
+            vec![
+                ArgSpec::ArrayPtr { name: "s".into(), param: "s".into(), elem: ElemKind::Byte },
+                ArgSpec::LenOf { name: "len".into(), param: "s".into(), elem: ElemKind::Byte },
+            ],
+            vec![
+                RetSpec::Scalar { name: "out".into(), kind: ScalarKind::Word },
+                RetSpec::InPlace { param: "s".into() },
+            ],
+        ),
+    );
+}

@@ -1,0 +1,232 @@
+//! Property-based compiler metatheory: on randomized well-formed models,
+//! every successful derivation must pass the trusted checker — i.e. the
+//! composed lemma library never produces a witness the validator rejects.
+
+use proptest::prelude::*;
+use rupicola::core::check::{check_with, CheckConfig};
+use rupicola::core::fnspec::{ArgSpec, FnSpec, RetSpec};
+use rupicola::ext::standard_dbs;
+use rupicola::lang::dsl::*;
+use rupicola::lang::{ElemKind, Expr, Model};
+use rupicola::sep::ScalarKind;
+
+fn quick_config() -> CheckConfig {
+    CheckConfig { vectors: 6, ..CheckConfig::default() }
+}
+
+/// Random pure word expressions over one variable (kind-correct by
+/// construction).
+fn arb_word_expr(var_name: &'static str) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(var(var_name)),
+        (0u64..1000).prop_map(word_lit),
+        any::<u64>().prop_map(word_lit),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        (0usize..8, inner.clone(), inner).prop_map(|(op, a, b)| match op {
+            0 => word_add(a, b),
+            1 => word_sub(a, b),
+            2 => word_mul(a, b),
+            3 => word_and(a, b),
+            4 => word_or(a, b),
+            5 => word_xor(a, b),
+            6 => word_shl(a, word_lit(7)),
+            _ => word_shr(a, word_lit(3)),
+        })
+    })
+}
+
+/// Random pure byte expressions over one variable.
+fn arb_byte_expr(var_name: &'static str) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![Just(var(var_name)), any::<u8>().prop_map(byte_lit)];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        (0usize..6, inner.clone(), inner).prop_map(|(op, a, b)| match op {
+            0 => byte_and(a, b),
+            1 => byte_or(a, b),
+            2 => byte_xor(a, b),
+            3 => byte_add(a, b),
+            4 => byte_sub(a, b),
+            _ => byte_shr(a, byte_lit(1)),
+        })
+    })
+}
+
+fn scalar_spec(name: &str) -> FnSpec {
+    FnSpec::new(
+        name,
+        vec![ArgSpec::Scalar { name: "x".into(), param: "x".into(), kind: ScalarKind::Word }],
+        vec![RetSpec::Scalar { name: "out".into(), kind: ScalarKind::Word }],
+    )
+}
+
+fn array_spec(name: &str, ret: RetSpec) -> FnSpec {
+    FnSpec::new(
+        name,
+        vec![
+            ArgSpec::ArrayPtr { name: "s".into(), param: "s".into(), elem: ElemKind::Byte },
+            ArgSpec::LenOf { name: "len".into(), param: "s".into(), elem: ElemKind::Byte },
+        ],
+        vec![ret],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Chains of scalar lets over random word expressions compile and
+    /// certify, and the RV64 backend agrees with the Bedrock2 interpreter.
+    #[test]
+    fn straightline_models_certify(e1 in arb_word_expr("x"), e2 in arb_word_expr("y"), x in any::<u64>()) {
+        let model = Model::new(
+            "straight",
+            ["x"],
+            let_n("y", e1, let_n("z", e2, var("z"))),
+        );
+        let dbs = standard_dbs();
+        let compiled = rupicola::core::compile(&model, &scalar_spec("straight"), &dbs).unwrap();
+        check_with(&compiled, &dbs, &quick_config()).unwrap();
+        // Cross-backend agreement on a random input.
+        use rupicola::bedrock::{ExecState, Interpreter, Memory, NoExternals, Program};
+        let mut program = Program::new();
+        program.insert(compiled.function.clone());
+        let interp = Interpreter::new(&program);
+        let mut state = ExecState::new(Memory::new());
+        let r1 = interp.call("straight", &[x], &mut state, &mut NoExternals, 100_000).unwrap();
+        let art = rupicola::bedrock::rv_compile::compile_function(&compiled.function).unwrap();
+        let mut mem = Memory::new();
+        let r2 = rupicola::bedrock::rv_compile::run_function(&art, &mut mem, &[x], 100_000).unwrap();
+        prop_assert_eq!(r1, r2);
+    }
+
+    /// In-place maps with random byte bodies compile and certify (with
+    /// runtime invariant checking at every loop head).
+    #[test]
+    fn random_map_models_certify(f in arb_byte_expr("b")) {
+        let model = Model::new(
+            "mapped",
+            ["s"],
+            let_n("s", array_map_b("b", f, var("s")), var("s")),
+        );
+        let dbs = standard_dbs();
+        let compiled = rupicola::core::compile(
+            &model,
+            &array_spec("mapped", RetSpec::InPlace { param: "s".into() }),
+            &dbs,
+        )
+        .unwrap();
+        let report = check_with(&compiled, &dbs, &quick_config()).unwrap();
+        prop_assert!(report.invariant_checks > 0);
+    }
+
+    /// Folds with random word bodies over (acc, element) compile and
+    /// certify.
+    #[test]
+    fn random_fold_models_certify(f0 in arb_word_expr("acc"), init in any::<u64>()) {
+        // Mix the element in so the fold actually reads the array.
+        let f = word_xor(f0, word_of_byte(var("b")));
+        let model = Model::new(
+            "folded",
+            ["s"],
+            let_n("h", array_fold_b("acc", "b", f, word_lit(init), var("s")), var("h")),
+        );
+        let dbs = standard_dbs();
+        let compiled = rupicola::core::compile(
+            &model,
+            &array_spec("folded", RetSpec::Scalar { name: "out".into(), kind: ScalarKind::Word }),
+            &dbs,
+        )
+        .unwrap();
+        check_with(&compiled, &dbs, &quick_config()).unwrap();
+    }
+
+    /// Conditional bindings with random scalar branches certify, and the
+    /// branch condition's hypotheses never mislead the solver.
+    #[test]
+    fn random_conditionals_certify(t in arb_word_expr("x"), e in arb_word_expr("x"), c in any::<u64>()) {
+        let model = Model::new(
+            "condy",
+            ["x"],
+            let_n(
+                "y",
+                ite(word_ltu(var("x"), word_lit(c)), t, e),
+                var("y"),
+            ),
+        );
+        let dbs = standard_dbs();
+        let compiled = rupicola::core::compile(&model, &scalar_spec("condy"), &dbs).unwrap();
+        check_with(&compiled, &dbs, &quick_config()).unwrap();
+    }
+
+    /// Whole random *programs*: a chain of mixed statements — scalar lets,
+    /// in-place maps, folds, conditionals — over one array and one scalar,
+    /// assembled in random order. Every successful derivation certifies;
+    /// this is the composition stress test (ghost renaming, length
+    /// equations and loop invariants interacting across statements).
+    #[test]
+    fn random_statement_chains_certify(
+        steps in proptest::collection::vec((0usize..4, arb_byte_expr("b"), arb_word_expr("x")), 1..5),
+        ret_scalar in proptest::bool::ANY,
+    ) {
+        // Build the body inside-out.
+        let mut body = if ret_scalar {
+            pair(var("x"), var("s"))
+        } else {
+            pair(word_lit(0), var("s"))
+        };
+        for (kind, bexpr, wexpr) in steps.into_iter().rev() {
+            body = match kind {
+                0 => let_n("s", array_map_b("b", bexpr, var("s")), body),
+                1 => let_n(
+                    "x",
+                    array_fold_b("acc", "b", word_xor(var("acc"), word_of_byte(bexpr)), wexpr, var("s")),
+                    body,
+                ),
+                2 => let_n("x", wexpr, body),
+                _ => let_n(
+                    "x",
+                    ite(word_ltu(var("x"), word_lit(1000)), wexpr, var("x")),
+                    body,
+                ),
+            };
+        }
+        let model = Model::new("chain", ["s", "x"], body);
+        let spec = FnSpec::new(
+            "chain",
+            vec![
+                ArgSpec::ArrayPtr { name: "s".into(), param: "s".into(), elem: ElemKind::Byte },
+                ArgSpec::LenOf { name: "len".into(), param: "s".into(), elem: ElemKind::Byte },
+                ArgSpec::Scalar { name: "x".into(), param: "x".into(), kind: ScalarKind::Word },
+            ],
+            vec![
+                RetSpec::Scalar { name: "out".into(), kind: ScalarKind::Word },
+                RetSpec::InPlace { param: "s".into() },
+            ],
+        );
+        let dbs = standard_dbs();
+        let compiled = rupicola::core::compile(&model, &spec, &dbs).unwrap();
+        check_with(&compiled, &dbs, &quick_config()).unwrap();
+    }
+
+    /// Two stacked maps (rebinding the same name twice) certify: the ghost
+    /// renaming discipline composes.
+    #[test]
+    fn stacked_maps_certify(f in arb_byte_expr("b"), g in arb_byte_expr("b")) {
+        let model = Model::new(
+            "twice",
+            ["s"],
+            let_n(
+                "s",
+                array_map_b("b", f, var("s")),
+                let_n("s", array_map_b("b", g, var("s")), var("s")),
+            ),
+        );
+        let dbs = standard_dbs();
+        let compiled = rupicola::core::compile(
+            &model,
+            &array_spec("twice", RetSpec::InPlace { param: "s".into() }),
+            &dbs,
+        )
+        .unwrap();
+        check_with(&compiled, &dbs, &quick_config()).unwrap();
+    }
+}
