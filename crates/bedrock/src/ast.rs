@@ -85,20 +85,8 @@ impl BinOp {
             BinOp::Sub => a.wrapping_sub(b),
             BinOp::Mul => a.wrapping_mul(b),
             BinOp::MulHuu => ((u128::from(a) * u128::from(b)) >> 64) as u64,
-            BinOp::DivU => {
-                if b == 0 {
-                    u64::MAX
-                } else {
-                    a / b
-                }
-            }
-            BinOp::RemU => {
-                if b == 0 {
-                    a
-                } else {
-                    a % b
-                }
-            }
+            BinOp::DivU => a.checked_div(b).unwrap_or(u64::MAX),
+            BinOp::RemU => a.checked_rem(b).unwrap_or(a),
             BinOp::And => a & b,
             BinOp::Or => a | b,
             BinOp::Xor => a ^ b,

@@ -54,7 +54,7 @@ pub fn function_to_c(f: &BFunction) -> String {
             let _ = writeln!(out, "  uintptr_t {v} = 0;");
         }
     }
-    print_cmd(&mut out, f, &f.body, 1);
+    print_cmd(&mut out, &f.body, 1);
     match f.rets.len() {
         0 => {}
         _ => {
@@ -84,7 +84,7 @@ fn load_cast(size: AccessSize) -> &'static str {
 }
 
 /// Renders an expression.
-pub fn expr_to_c(f: &BFunction, e: &BExpr) -> String {
+pub fn expr_to_c(e: &BExpr) -> String {
     match e {
         BExpr::Lit(w) => {
             if *w > i64::MAX as u64 {
@@ -95,18 +95,18 @@ pub fn expr_to_c(f: &BFunction, e: &BExpr) -> String {
         }
         BExpr::Var(v) => v.clone(),
         BExpr::Load(size, addr) => {
-            format!("(uintptr_t)(*({}*)({}))", load_cast(*size), expr_to_c(f, addr))
+            format!("(uintptr_t)(*({}*)({}))", load_cast(*size), expr_to_c(addr))
         }
         BExpr::InlineTable { size, table, index } => match size {
-            AccessSize::One => format!("(uintptr_t){table}[{}]", expr_to_c(f, index)),
+            AccessSize::One => format!("(uintptr_t){table}[{}]", expr_to_c(index)),
             _ => format!(
                 "(uintptr_t)(*({}*)&{table}[{}])",
                 load_cast(*size),
-                expr_to_c(f, index)
+                expr_to_c(index)
             ),
         },
         BExpr::Op(op, a, b) => {
-            let (sa, sb) = (expr_to_c(f, a), expr_to_c(f, b));
+            let (sa, sb) = (expr_to_c(a), expr_to_c(b));
             match op {
                 BinOp::MulHuu => format!(
                     "(uintptr_t)(((unsigned __int128)({sa}) * (unsigned __int128)({sb})) >> 64)"
@@ -126,12 +126,12 @@ pub fn expr_to_c(f: &BFunction, e: &BExpr) -> String {
     }
 }
 
-fn print_cmd(out: &mut String, f: &BFunction, cmd: &Cmd, level: usize) {
+fn print_cmd(out: &mut String, cmd: &Cmd, level: usize) {
     match cmd {
         Cmd::Skip => {}
         Cmd::Set(v, e) => {
             indent(out, level);
-            let _ = writeln!(out, "{v} = {};", expr_to_c(f, e));
+            let _ = writeln!(out, "{v} = {};", expr_to_c(e));
         }
         Cmd::Unset(v) => {
             indent(out, level);
@@ -143,37 +143,37 @@ fn print_cmd(out: &mut String, f: &BFunction, cmd: &Cmd, level: usize) {
                 out,
                 "*({}*)({}) = ({})({});",
                 load_cast(*size),
-                expr_to_c(f, addr),
+                expr_to_c(addr),
                 load_cast(*size),
-                expr_to_c(f, val)
+                expr_to_c(val)
             );
         }
         Cmd::Seq(a, b) => {
-            print_cmd(out, f, a, level);
-            print_cmd(out, f, b, level);
+            print_cmd(out, a, level);
+            print_cmd(out, b, level);
         }
         Cmd::If { cond, then_, else_ } => {
             indent(out, level);
-            let _ = writeln!(out, "if ({}) {{", expr_to_c(f, cond));
-            print_cmd(out, f, then_, level + 1);
+            let _ = writeln!(out, "if ({}) {{", expr_to_c(cond));
+            print_cmd(out, then_, level + 1);
             if !matches!(**else_, Cmd::Skip) {
                 indent(out, level);
                 out.push_str("} else {\n");
-                print_cmd(out, f, else_, level + 1);
+                print_cmd(out, else_, level + 1);
             }
             indent(out, level);
             out.push_str("}\n");
         }
         Cmd::While { cond, body } => {
             indent(out, level);
-            let _ = writeln!(out, "while ({}) {{", expr_to_c(f, cond));
-            print_cmd(out, f, body, level + 1);
+            let _ = writeln!(out, "while ({}) {{", expr_to_c(cond));
+            print_cmd(out, body, level + 1);
             indent(out, level);
             out.push_str("}\n");
         }
         Cmd::Call { rets, func, args } => {
             indent(out, level);
-            let argv: Vec<String> = args.iter().map(|a| expr_to_c(f, a)).collect();
+            let argv: Vec<String> = args.iter().map(expr_to_c).collect();
             match rets.len() {
                 0 => {
                     let _ = writeln!(out, "{func}({});", argv.join(", "));
@@ -196,7 +196,7 @@ fn print_cmd(out: &mut String, f: &BFunction, cmd: &Cmd, level: usize) {
         }
         Cmd::Interact { rets, action, args } => {
             indent(out, level);
-            let argv: Vec<String> = args.iter().map(|a| expr_to_c(f, a)).collect();
+            let argv: Vec<String> = args.iter().map(expr_to_c).collect();
             match rets.len() {
                 0 => {
                     let _ = writeln!(out, "{action}({});", argv.join(", "));
@@ -216,7 +216,7 @@ fn print_cmd(out: &mut String, f: &BFunction, cmd: &Cmd, level: usize) {
             let _ = writeln!(out, "uint8_t {var}_buf[{nbytes}];");
             indent(out, level + 1);
             let _ = writeln!(out, "{var} = (uintptr_t){var}_buf;");
-            print_cmd(out, f, body, level + 1);
+            print_cmd(out, body, level + 1);
             indent(out, level);
             out.push_str("}\n");
         }

@@ -97,17 +97,16 @@ impl LoopHook for NoHook {
 /// A queue-backed handler for the `io_read` / `io_write` / `writer_tell`
 /// actions that Rupicola's monadic extensions compile to.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct QueueIo {
     /// Words served to `io_read`, front first.
     pub input: std::collections::VecDeque<u64>,
-    /// Filler byte served by `stackalloc` (see [`ExecState`]).
-    _reserved: (),
 }
 
 impl QueueIo {
     /// Creates a handler with the given input stream.
     pub fn new<I: IntoIterator<Item = u64>>(input: I) -> Self {
-        QueueIo { input: input.into_iter().collect(), _reserved: () }
+        QueueIo { input: input.into_iter().collect() }
     }
 }
 
@@ -214,6 +213,10 @@ pub struct ExecState {
     /// initial contents unspecified; the validator runs programs under two
     /// different poisons to detect code that depends on them.
     pub stack_poison: u8,
+    /// Fuel units consumed so far (one per function call and per loop
+    /// iteration). Callers that retry with escalated fuel read this to
+    /// distinguish "needed a little more" from "diverges".
+    pub fuel_used: u64,
 }
 
 impl Default for ExecState {
@@ -226,7 +229,7 @@ impl ExecState {
     /// Creates a state with the given memory, an empty trace and the
     /// default poison byte `0xAA`.
     pub fn new(mem: Memory) -> Self {
-        ExecState { mem, trace: Vec::new(), stack_poison: 0xAA }
+        ExecState { mem, trace: Vec::new(), stack_poison: 0xAA, fuel_used: 0 }
     }
 
     /// Sets the stack poison byte (builder style).
@@ -313,6 +316,7 @@ impl<'p> Interpreter<'p> {
             return Err(ExecError::OutOfFuel);
         }
         *fuel -= 1;
+        state.fuel_used += 1;
         let mut locals = Locals::new();
         for (p, a) in f.args.iter().zip(args) {
             locals.insert(p.clone(), *a);
@@ -374,7 +378,7 @@ impl<'p> Interpreter<'p> {
         }
     }
 
-    #[allow(clippy::too_many_lines)]
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
     fn exec(
         &self,
         f: &BFunction,
@@ -426,6 +430,7 @@ impl<'p> Interpreter<'p> {
                         return Err(ExecError::OutOfFuel);
                     }
                     *fuel -= 1;
+                    state.fuel_used += 1;
                     self.exec(f, body, locals, state, externals, fuel, hook)?;
                 }
             }

@@ -105,7 +105,7 @@ pub fn function_to_rust(f: &BFunction) -> Result<String, TranspileError> {
             let _ = writeln!(out, "    let mut {v}: u64 = 0;");
         }
     }
-    print_cmd(&mut out, f, &f.body, 1)?;
+    print_cmd(&mut out, &f.body, 1)?;
     match f.rets.len() {
         0 => {}
         1 => {
@@ -120,12 +120,12 @@ pub fn function_to_rust(f: &BFunction) -> Result<String, TranspileError> {
 }
 
 /// Renders an expression as Rust.
-pub fn expr_to_rust(f: &BFunction, e: &BExpr) -> String {
+pub fn expr_to_rust(e: &BExpr) -> String {
     match e {
         BExpr::Lit(w) => format!("{w}u64"),
         BExpr::Var(v) => v.clone(),
         BExpr::Load(size, addr) => {
-            let a = expr_to_rust(f, addr);
+            let a = expr_to_rust(addr);
             match size {
                 AccessSize::One => format!("u64::from(mem[({a}) as usize])"),
                 AccessSize::Two => format!(
@@ -141,7 +141,7 @@ pub fn expr_to_rust(f: &BFunction, e: &BExpr) -> String {
         }
         BExpr::InlineTable { size, table, index } => {
             let t = table_const(table);
-            let i = expr_to_rust(f, index);
+            let i = expr_to_rust(index);
             match size {
                 AccessSize::One => format!("u64::from({t}[({i}) as usize])"),
                 AccessSize::Two => format!(
@@ -156,7 +156,7 @@ pub fn expr_to_rust(f: &BFunction, e: &BExpr) -> String {
             }
         }
         BExpr::Op(op, a, b) => {
-            let (sa, sb) = (expr_to_rust(f, a), expr_to_rust(f, b));
+            let (sa, sb) = (expr_to_rust(a), expr_to_rust(b));
             match op {
                 BinOp::Add => format!("({sa}).wrapping_add({sb})"),
                 BinOp::Sub => format!("({sa}).wrapping_sub({sb})"),
@@ -190,23 +190,18 @@ fn indent(out: &mut String, level: usize) {
     }
 }
 
-fn print_cmd(
-    out: &mut String,
-    f: &BFunction,
-    cmd: &Cmd,
-    level: usize,
-) -> Result<(), TranspileError> {
+fn print_cmd(out: &mut String, cmd: &Cmd, level: usize) -> Result<(), TranspileError> {
     match cmd {
         Cmd::Skip => {}
         Cmd::Set(v, e) => {
             indent(out, level);
-            let _ = writeln!(out, "{v} = {};", expr_to_rust(f, e));
+            let _ = writeln!(out, "{v} = {};", expr_to_rust(e));
         }
         Cmd::Unset(_) => {}
         Cmd::Store(size, addr, val) => {
             indent(out, level);
-            let a = expr_to_rust(f, addr);
-            let v = expr_to_rust(f, val);
+            let a = expr_to_rust(addr);
+            let v = expr_to_rust(val);
             match size {
                 AccessSize::One => {
                     let _ = writeln!(out, "mem[({a}) as usize] = ({v}) as u8;");
@@ -223,31 +218,31 @@ fn print_cmd(
             }
         }
         Cmd::Seq(a, b) => {
-            print_cmd(out, f, a, level)?;
-            print_cmd(out, f, b, level)?;
+            print_cmd(out, a, level)?;
+            print_cmd(out, b, level)?;
         }
         Cmd::If { cond, then_, else_ } => {
             indent(out, level);
-            let _ = writeln!(out, "if ({}) != 0 {{", expr_to_rust(f, cond));
-            print_cmd(out, f, then_, level + 1)?;
+            let _ = writeln!(out, "if ({}) != 0 {{", expr_to_rust(cond));
+            print_cmd(out, then_, level + 1)?;
             if !matches!(**else_, Cmd::Skip) {
                 indent(out, level);
                 out.push_str("} else {\n");
-                print_cmd(out, f, else_, level + 1)?;
+                print_cmd(out, else_, level + 1)?;
             }
             indent(out, level);
             out.push_str("}\n");
         }
         Cmd::While { cond, body } => {
             indent(out, level);
-            let _ = writeln!(out, "while ({}) != 0 {{", expr_to_rust(f, cond));
-            print_cmd(out, f, body, level + 1)?;
+            let _ = writeln!(out, "while ({}) != 0 {{", expr_to_rust(cond));
+            print_cmd(out, body, level + 1)?;
             indent(out, level);
             out.push_str("}\n");
         }
         Cmd::Call { rets, func, args } => {
             indent(out, level);
-            let argv: Vec<String> = args.iter().map(|a| expr_to_rust(f, a)).collect();
+            let argv: Vec<String> = args.iter().map(expr_to_rust).collect();
             let call = format!(
                 "{func}(mem{}{})",
                 if argv.is_empty() { "" } else { ", " },
@@ -277,7 +272,7 @@ fn print_cmd(
             let _ = writeln!(out, "{var} = mem.len() as u64;");
             indent(out, level);
             let _ = writeln!(out, "mem.resize(mem.len() + {nbytes}, 0xAA);");
-            print_cmd(out, f, body, level)?;
+            print_cmd(out, body, level)?;
             indent(out, level);
             let _ = writeln!(out, "mem.truncate({var} as usize);");
         }

@@ -341,11 +341,11 @@ impl Machine {
                 ),
                 Instr::Divu(d, a, b) => {
                     let (x, y) = (self.get(*a), self.get(*b));
-                    self.set(*d, if y == 0 { u64::MAX } else { x / y });
+                    self.set(*d, x.checked_div(y).unwrap_or(u64::MAX));
                 }
                 Instr::Remu(d, a, b) => {
                     let (x, y) = (self.get(*a), self.get(*b));
-                    self.set(*d, if y == 0 { x } else { x % y });
+                    self.set(*d, x.checked_rem(y).unwrap_or(x));
                 }
                 Instr::And(d, a, b) => self.set(*d, self.get(*a) & self.get(*b)),
                 Instr::Or(d, a, b) => self.set(*d, self.get(*a) | self.get(*b)),

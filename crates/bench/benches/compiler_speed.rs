@@ -5,13 +5,14 @@
 //! 15 statements per second." This bench measures the Rust engine's
 //! statements/second on the same suite (the `fig2` analysis bin prints the
 //! derived rate).
+//!
+//! Dependency-free timing harness (`harness = false`).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rupicola_programs::suite;
 use std::hint::black_box;
-use std::time::Duration;
+use std::time::Instant;
 
-fn bench_compiler(c: &mut Criterion) {
+fn main() {
     let total_statements: usize = suite()
         .iter()
         .map(|e| {
@@ -21,20 +22,25 @@ fn bench_compiler(c: &mut Criterion) {
                 .statement_count()
         })
         .sum();
-    let mut group = c.benchmark_group("compiler_speed");
-    group
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(3))
-        .throughput(Throughput::Elements(total_statements as u64));
-    group.bench_function("compile_suite", |b| {
-        b.iter(|| {
-            for entry in suite() {
-                black_box((entry.compiled)().expect("compiles"));
-            }
-        });
-    });
-    group.finish();
-}
 
-criterion_group!(benches, bench_compiler);
-criterion_main!(benches);
+    // Warm up, then time repeated full-suite compilations.
+    for _ in 0..2 {
+        for entry in suite() {
+            black_box((entry.compiled)().expect("compiles"));
+        }
+    }
+    let iters = 10u32;
+    let start = Instant::now();
+    for _ in 0..iters {
+        for entry in suite() {
+            black_box((entry.compiled)().expect("compiles"));
+        }
+    }
+    let secs = start.elapsed().as_secs_f64() / f64::from(iters);
+    println!(
+        "compiler_speed/compile_suite: {:.1} ms/suite, {} statements, {:.0} statements/s",
+        secs * 1e3,
+        total_statements,
+        total_statements as f64 / secs
+    );
+}

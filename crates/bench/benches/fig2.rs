@@ -2,7 +2,7 @@
 //!
 //! For each suite program, three series are measured on 1 MiB inputs
 //! (the extraction baseline on 64 KiB — it is orders of magnitude slower
-//! and criterion normalizes per byte via `Throughput`):
+//! and we normalize per byte):
 //!
 //! - `generated`  — the certified Bedrock2 output, compiled natively;
 //! - `handwritten` — the C-style baseline (the paper's handwritten C);
@@ -11,53 +11,72 @@
 //!
 //! The claim under test is *relative*: generated ≈ handwritten, both ≫
 //! extraction.
+//!
+//! Dependency-free timing harness (`harness = false`): each series is
+//! warmed up, then timed over a fixed number of iterations and reported
+//! as ns/iter and MiB/s.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rupicola_bench::{fig2_rows, make_input, make_text_input};
 use std::hint::black_box;
-use std::time::Duration;
+use std::time::Instant;
 
 const MAIN_LEN: usize = 1 << 20; // 1 MiB
 const EXTRACTION_LEN: usize = 1 << 16; // 64 KiB
 
-fn bench_fig2(c: &mut Criterion) {
-    for row in fig2_rows() {
-        let mut group = c.benchmark_group(format!("fig2/{}", row.name));
-        group
-            .warm_up_time(Duration::from_millis(400))
-            .measurement_time(Duration::from_millis(1200))
-            .sample_size(10);
-        let make = if row.text_input { make_text_input } else { make_input };
-
-        let input = make(0xF16_2, MAIN_LEN);
-        group.throughput(Throughput::Bytes(MAIN_LEN as u64));
-        group.bench_function("generated", |b| {
-            let mut buf = input.clone();
-            b.iter(|| {
-                buf.copy_from_slice(&input);
-                black_box((row.generated)(black_box(&mut buf)))
-            });
-        });
-        group.bench_function("handwritten", |b| {
-            let mut buf = input.clone();
-            b.iter(|| {
-                buf.copy_from_slice(&input);
-                black_box((row.handwritten)(black_box(&mut buf)))
-            });
-        });
-
-        let small = make(0xF16_2, EXTRACTION_LEN);
-        group.throughput(Throughput::Bytes(EXTRACTION_LEN as u64));
-        group.bench_function("extraction", |b| {
-            let mut buf = small.clone();
-            b.iter(|| {
-                buf.copy_from_slice(&small);
-                black_box((row.extraction)(black_box(&mut buf)))
-            });
-        });
-        group.finish();
+/// Times `f` over `iters` runs after `warmup` runs; returns ns/iter.
+fn time_ns_per_iter(mut f: impl FnMut(), warmup: u32, iters: u32) -> f64 {
+    for _ in 0..warmup {
+        f();
     }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
 }
 
-criterion_group!(benches, bench_fig2);
-criterion_main!(benches);
+fn report(name: &str, series: &str, ns: f64, bytes: usize) {
+    let mibs = bytes as f64 / (ns / 1e9) / (1024.0 * 1024.0);
+    println!("fig2/{name}/{series}: {ns:>12.0} ns/iter  ({mibs:>8.1} MiB/s)");
+}
+
+fn main() {
+    for row in fig2_rows() {
+        let make = if row.text_input { make_text_input } else { make_input };
+
+        let input = make(0xF162, MAIN_LEN);
+        let mut buf = input.clone();
+        let ns = time_ns_per_iter(
+            || {
+                buf.copy_from_slice(&input);
+                black_box((row.generated)(black_box(&mut buf)));
+            },
+            2,
+            8,
+        );
+        report(row.name, "generated", ns, MAIN_LEN);
+
+        let mut buf = input.clone();
+        let ns = time_ns_per_iter(
+            || {
+                buf.copy_from_slice(&input);
+                black_box((row.handwritten)(black_box(&mut buf)));
+            },
+            2,
+            8,
+        );
+        report(row.name, "handwritten", ns, MAIN_LEN);
+
+        let small = make(0xF162, EXTRACTION_LEN);
+        let mut buf = small.clone();
+        let ns = time_ns_per_iter(
+            || {
+                buf.copy_from_slice(&small);
+                black_box((row.extraction)(black_box(&mut buf)));
+            },
+            1,
+            3,
+        );
+        report(row.name, "extraction", ns, EXTRACTION_LEN);
+    }
+}

@@ -1,0 +1,98 @@
+//! Runs the derivation-mutation fault-injection matrix over the §4.2
+//! benchmark suite.
+//!
+//! For every program, every mutant class of
+//! `rupicola_core::faultinject` is generated and fed to the trusted
+//! checker. Structural mutants (tampered witnesses, mismatched return
+//! slots) must be killed without exception — a survivor is a checker bug
+//! and fails the run. Semantic mutants (wrong code with an intact
+//! witness) are killed by differential execution; survivors are possible
+//! and listed explicitly so the residual risk is visible, not averaged
+//! away.
+//!
+//! Run with `cargo run --release -p rupicola-bench --bin faultmatrix`.
+
+use rupicola_core::check::CheckConfig;
+use rupicola_core::faultinject::{run_matrix, MutationClass, Survivor};
+use rupicola_ext::standard_dbs;
+use rupicola_programs::suite;
+
+fn main() {
+    let dbs = standard_dbs();
+    // Fewer vectors than a certification run: each mutant only needs one
+    // witness of divergence, and the matrix multiplies runs by mutants.
+    let config = CheckConfig { vectors: 8, ..CheckConfig::default() };
+
+    let mut totals: Vec<(MutationClass, usize, usize)> =
+        MutationClass::ALL.iter().map(|&c| (c, 0, 0)).collect();
+    let mut survivors: Vec<(&'static str, Survivor)> = Vec::new();
+    let mut structural_escapes = 0;
+
+    println!(
+        "{:<8} {:>8} {:>7} {:>9} {:>10}",
+        "program", "mutants", "killed", "survived", "structural"
+    );
+    for entry in suite() {
+        let name = entry.info.name;
+        let compiled = match (entry.compiled)() {
+            Ok(c) => c,
+            Err(e) => {
+                println!("{name:<8} COMPILATION FAILED: {e}");
+                std::process::exit(1);
+            }
+        };
+        let matrix = run_matrix(&compiled, &dbs, &config);
+        for stat in &matrix.stats {
+            let slot = totals
+                .iter_mut()
+                .find(|(c, _, _)| *c == stat.class)
+                .expect("all classes pre-seeded");
+            slot.1 += stat.generated;
+            slot.2 += stat.killed;
+        }
+        let clean = matrix.structural_clean();
+        if !clean {
+            structural_escapes += 1;
+        }
+        println!(
+            "{:<8} {:>8} {:>7} {:>9} {:>10}",
+            name,
+            matrix.generated(),
+            matrix.killed(),
+            matrix.survivors.len(),
+            if clean { "clean" } else { "ESCAPED" },
+        );
+        survivors.extend(matrix.survivors.into_iter().map(|s| (name, s)));
+    }
+
+    println!("\nper-class kill rate:");
+    for (class, generated, killed) in &totals {
+        let rate = if *generated == 0 {
+            "    —".to_string()
+        } else {
+            format!("{:>4.0}%", 100.0 * *killed as f64 / *generated as f64)
+        };
+        println!(
+            "  {:<22} {:>5}/{:<5} {}  [{}]",
+            class.to_string(),
+            killed,
+            generated,
+            rate,
+            if class.is_structural() { "structural" } else { "semantic" },
+        );
+    }
+
+    if survivors.is_empty() {
+        println!("\nno surviving mutants ✓");
+    } else {
+        println!("\nsurviving mutants ({}):", survivors.len());
+        for (program, s) in &survivors {
+            println!("  {program}: [{}] {}", s.class, s.description);
+        }
+    }
+
+    if structural_escapes > 0 {
+        println!("\n{structural_escapes} program(s) with surviving STRUCTURAL mutants — checker bug");
+        std::process::exit(1);
+    }
+}

@@ -52,8 +52,8 @@ fn main() {
     );
     for row in fig2_rows() {
         let make = if row.text_input { make_text_input } else { make_input };
-        let input = make(0xF16_2, MAIN_LEN);
-        let small = make(0xF16_2, EXTRACTION_LEN);
+        let input = make(0xF162, MAIN_LEN);
+        let small = make(0xF162, EXTRACTION_LEN);
         let g = measure(row.generated, &input);
         let h = measure(row.handwritten, &input);
         let n = measure(row.extraction, &small);

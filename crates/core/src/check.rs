@@ -41,8 +41,17 @@ pub struct CheckConfig {
     pub vectors: usize,
     /// RNG seed for vector generation.
     pub seed: u64,
-    /// Interpreter fuel per run.
+    /// Initial interpreter fuel per run. A run that exhausts it is retried
+    /// with doubled fuel (*escalation*) until it fits or [`max_fuel`] is
+    /// reached.
+    ///
+    /// [`max_fuel`]: CheckConfig::max_fuel
     pub fuel: u64,
+    /// Fuel ceiling of the escalation. Exhausting *this* is reported as
+    /// [`CheckError::Divergence`]: the code does not terminate within any
+    /// budget the deployment is willing to pay, as opposed to merely
+    /// needing more than the initial [`fuel`](CheckConfig::fuel).
+    pub max_fuel: u64,
     /// Whether to validate inferred loop invariants at loop heads.
     pub check_invariants: bool,
     /// Extern operations / effect handlers the model uses.
@@ -54,7 +63,8 @@ impl Default for CheckConfig {
         CheckConfig {
             vectors: 16,
             seed: 0xC0FF_EE00,
-            fuel: 50_000_000,
+            fuel: 1 << 20,
+            max_fuel: 1 << 30,
             check_invariants: true,
             externs: ExternRegistry::new(),
         }
@@ -75,6 +85,12 @@ pub struct CheckReport {
     pub invariant_checks: usize,
     /// Whether the two-poison nondeterminism discipline was exercised.
     pub poison_pair: bool,
+    /// Fuel-escalation retries performed (runs that exhausted the current
+    /// fuel and were re-executed with doubled fuel).
+    pub fuel_escalations: usize,
+    /// The largest fuel actually consumed by any single target run (from
+    /// the interpreter's fuel accounting).
+    pub max_fuel_used: u64,
 }
 
 /// A validation failure: the witness does not certify the program.
@@ -118,6 +134,24 @@ pub enum CheckError {
         /// Vectors attempted.
         attempted: usize,
     },
+    /// The compiled function exhausted the *escalated* fuel ceiling
+    /// ([`CheckConfig::max_fuel`]) — it diverges for practical purposes,
+    /// as opposed to [`CheckError::TargetStuck`] on a genuine stuck state
+    /// or a run that merely needed more than the initial fuel (which is
+    /// retried transparently).
+    Divergence {
+        /// The offending vector.
+        vector: String,
+        /// The ceiling that was exhausted.
+        fuel_cap: u64,
+    },
+    /// The witness's integrity counters disagree with its tree: records
+    /// were dropped, children truncated, or counters forged after
+    /// construction.
+    WitnessCorrupted {
+        /// What disagreed.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CheckError {
@@ -138,6 +172,16 @@ impl fmt::Display for CheckError {
             }
             CheckError::InsufficientCoverage { ran, attempted } => {
                 write!(f, "only {ran}/{attempted} vectors satisfied the model's precondition")
+            }
+            CheckError::Divergence { vector, fuel_cap } => {
+                write!(
+                    f,
+                    "compiled code on input {vector} still out of fuel at the escalation \
+                     ceiling ({fuel_cap}): divergent"
+                )
+            }
+            CheckError::WitnessCorrupted { detail } => {
+                write!(f, "witness integrity violation: {detail}")
             }
         }
     }
@@ -169,7 +213,32 @@ pub fn check_with(
 ) -> Result<CheckReport, CheckError> {
     let mut report = CheckReport::default();
 
-    // Layer 1: structural validation of the witness.
+    // Layer 1: structural validation of the witness. First the integrity
+    // counters — recompute both summaries from the tree; a mismatch means
+    // records were dropped or children truncated after construction.
+    let node_count = cf.derivation.root.size();
+    if node_count != cf.derivation.node_count {
+        return Err(CheckError::WitnessCorrupted {
+            detail: format!(
+                "tree has {node_count} node(s) but the witness records {}",
+                cf.derivation.node_count
+            ),
+        });
+    }
+    let mut sc_count = 0;
+    cf.derivation.root.walk(&mut |n| sc_count += n.side_conds.len());
+    if sc_count != cf.derivation.side_cond_count {
+        return Err(CheckError::WitnessCorrupted {
+            detail: format!(
+                "tree records {sc_count} side condition(s) but the witness counts {}",
+                cf.derivation.side_cond_count
+            ),
+        });
+    }
+
+    // Then per-node validation: every lemma registered, every side
+    // condition re-solved. Solvers are untrusted extensions: a panicking
+    // solver counts as "does not re-solve", not as a checker crash.
     let mut structural: Result<(), CheckError> = Ok(());
     cf.derivation.root.walk(&mut |node| {
         if structural.is_err() {
@@ -180,7 +249,9 @@ pub fn check_with(
             return;
         }
         for sc in &node.side_conds {
-            let solved = dbs.solvers().iter().any(|s| s.solve(&sc.cond, &sc.hyps));
+            let solved = dbs.solvers().iter().any(|s| {
+                crate::engine::catch_quiet(|| s.solve(&sc.cond, &sc.hyps)).unwrap_or(false)
+            });
             if !solved {
                 structural = Err(CheckError::SideCondition {
                     cond: sc.cond.to_string(),
@@ -236,36 +307,56 @@ pub fn check_with(
             };
             this_ran = true;
 
-            // Target run.
-            let call = concretize(&cf.spec, &cf.model.params, vector).map_err(|e| {
-                CheckError::Mismatch { vector: vector_desc.clone(), detail: e }
-            })?;
-            let mut state = ExecState::new(call.mem).with_stack_poison(poison);
-            let mut ext = CheckerExternals {
-                input: input_words.into_iter().collect(),
-                externs: config.externs.clone(),
+            // Target run, with bounded fuel escalation: a run that
+            // exhausts the current fuel is re-executed from scratch with
+            // doubled fuel, distinguishing "needs more fuel" (retried
+            // transparently) from "diverges" (still starving at the cap).
+            let mut fuel = config.fuel.clamp(1, config.max_fuel);
+            let (rets, state, regions, hook_checks) = loop {
+                let call = concretize(&cf.spec, &cf.model.params, vector).map_err(|e| {
+                    CheckError::Mismatch { vector: vector_desc.clone(), detail: e }
+                })?;
+                let mut state = ExecState::new(call.mem).with_stack_poison(poison);
+                let mut ext = CheckerExternals {
+                    input: input_words.iter().copied().collect(),
+                    externs: config.externs.clone(),
+                };
+                let mut hook = InvariantHook {
+                    invariants: &invariants,
+                    model: &cf.model,
+                    params: &cf.model.params,
+                    values: vector,
+                    externs: &config.externs,
+                    checks: 0,
+                };
+                let rets = if config.check_invariants {
+                    interp.call_with_hook(
+                        &cf.function.name,
+                        &call.args,
+                        &mut state,
+                        &mut ext,
+                        fuel,
+                        &mut hook,
+                    )
+                } else {
+                    interp.call(&cf.function.name, &call.args, &mut state, &mut ext, fuel)
+                };
+                report.max_fuel_used = report.max_fuel_used.max(state.fuel_used);
+                match rets {
+                    Err(rupicola_bedrock::ExecError::OutOfFuel) if fuel < config.max_fuel => {
+                        report.fuel_escalations += 1;
+                        fuel = fuel.saturating_mul(2).min(config.max_fuel);
+                    }
+                    Err(rupicola_bedrock::ExecError::OutOfFuel) => {
+                        return Err(CheckError::Divergence {
+                            vector: vector_desc.clone(),
+                            fuel_cap: config.max_fuel,
+                        });
+                    }
+                    other => break (other, state, call.regions, hook.checks),
+                }
             };
-            let mut hook = InvariantHook {
-                invariants: &invariants,
-                model: &cf.model,
-                params: &cf.model.params,
-                values: vector,
-                externs: &config.externs,
-                checks: 0,
-            };
-            let rets = if config.check_invariants {
-                interp.call_with_hook(
-                    &cf.function.name,
-                    &call.args,
-                    &mut state,
-                    &mut ext,
-                    config.fuel,
-                    &mut hook,
-                )
-            } else {
-                interp.call(&cf.function.name, &call.args, &mut state, &mut ext, config.fuel)
-            };
-            report.invariant_checks += hook.checks;
+            report.invariant_checks += hook_checks;
             let rets = rets.map_err(|e| match e {
                 rupicola_bedrock::ExecError::HookFailure(m) => CheckError::InvariantViolated {
                     vector: vector_desc.clone(),
@@ -277,7 +368,7 @@ pub fn check_with(
                 },
             })?;
 
-            compare_outputs(cf, &src_value, &rets, &state, &call.regions, vector, &vector_desc)?;
+            compare_outputs(cf, &src_value, &rets, &state, &regions, vector, &vector_desc)?;
             compare_traces(&cf.spec, &world, &state, &vector_desc)?;
         }
         if this_ran {
@@ -378,8 +469,7 @@ fn hints_hold(spec: &FnSpec, model: &Model, vector: &[Value], config: &CheckConf
     for (p, v) in model.params.iter().zip(vector) {
         env.insert(p.clone(), v.clone());
     }
-    let mut world = World::default();
-    world.externs = config.externs.clone();
+    let mut world = World { externs: config.externs.clone(), ..World::default() };
     for hint in &spec.hints {
         let (a, b, test): (&Expr, &Expr, fn(u64, u64) -> bool) = match hint {
             Hyp::EqWord(a, b) => (a, b, |x, y| x == y),
@@ -452,7 +542,8 @@ fn compare_outputs(
                     Some(elem) => Value::from_layout_bytes(elem, bytes),
                     None => bytes
                         .get(..8)
-                        .map(|b| Value::Cell(u64::from_le_bytes(b.try_into().expect("8 bytes")))),
+                        .and_then(|b| <[u8; 8]>::try_from(b).ok())
+                        .map(|b| Value::Cell(u64::from_le_bytes(b))),
                 };
                 let input_len = vector
                     .get(cf.model.params.iter().position(|p| p == param).unwrap_or(usize::MAX))
@@ -727,8 +818,7 @@ impl LoopHook for InvariantHook<'_> {
                 continue;
             }
             let Some(&i) = locals.get(&inv.index_local) else { continue };
-            let mut world = World::default();
-            world.externs = self.externs.clone();
+            let mut world = World { externs: self.externs.clone(), ..World::default() };
             let env = self.base_env(inv, &mut world)?;
             self.checks += 1;
             match &inv.kind {
@@ -742,7 +832,9 @@ impl LoopHook for InvariantHook<'_> {
                     let mut expected = arr_val.clone();
                     let mut env2 = env.clone();
                     for k in 0..i as usize {
-                        let xv = expected.list_get(k).expect("in range");
+                        let xv = expected
+                            .list_get(k)
+                            .ok_or_else(|| format!("invariant element {k} out of range"))?;
                         env2.insert(x.clone(), xv);
                         let fx = eval(f, &env2, &self.model.tables, &mut world)
                             .map_err(|e| format!("invariant map body: {e}"))?;
@@ -771,7 +863,10 @@ impl LoopHook for InvariantHook<'_> {
                     let mut env2 = env.clone();
                     for k in 0..i as usize {
                         env2.insert(acc.clone(), accv);
-                        env2.insert(x.clone(), arr_val.list_get(k).expect("in range"));
+                        let xv = arr_val
+                            .list_get(k)
+                            .ok_or_else(|| format!("invariant element {k} out of range"))?;
+                        env2.insert(x.clone(), xv);
                         accv = eval(f, &env2, &self.model.tables, &mut world)
                             .map_err(|e| format!("invariant fold body: {e}"))?;
                     }

@@ -107,12 +107,21 @@ impl fmt::Display for DerivationNode {
 }
 
 /// The full witness of one compilation run.
+///
+/// `side_cond_count` and `node_count` are *integrity counters*: they are
+/// computed once at construction, and the trusted checker recomputes both
+/// from the tree and rejects the witness on any mismatch. A corruption
+/// that drops a side-condition record or truncates children without
+/// consistently re-counting is therefore caught structurally, before any
+/// execution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Derivation {
     /// The derivation tree.
     pub root: DerivationNode,
     /// Number of side conditions discharged across the tree.
     pub side_cond_count: usize,
+    /// Number of nodes in the tree.
+    pub node_count: usize,
 }
 
 impl Derivation {
@@ -120,7 +129,8 @@ impl Derivation {
     pub fn new(root: DerivationNode) -> Self {
         let mut count = 0;
         root.walk(&mut |n| count += n.side_conds.len());
-        Derivation { root, side_cond_count: count }
+        let node_count = root.size();
+        Derivation { root, side_cond_count: count, node_count }
     }
 
     /// Total number of lemma applications.

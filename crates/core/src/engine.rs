@@ -21,8 +21,60 @@ use crate::error::CompileError;
 use crate::fnspec::FnSpec;
 use crate::goal::{flatten_result, Hyp, RetSlot, SideCond, StmtGoal};
 use crate::lemma::HintDbs;
+use crate::limits::{EngineLimits, FreshNamesExhausted, ResourceKind};
 use rupicola_bedrock::{BExpr, BFunction, BTable, Cmd};
 use rupicola_lang::{Expr, Model};
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+// --- panic isolation -------------------------------------------------------
+//
+// Extension lemmas and solvers are untrusted: a panic in `try_apply` or
+// `solve` must degrade the *request*, not the process. Every such call is
+// wrapped in `catch_unwind`. The default panic hook would still print a
+// backtrace for each caught panic, so while a guarded call is on the stack
+// we suppress the hook (per thread); the previous hook is chained for
+// panics originating anywhere else.
+
+thread_local! {
+    static SUPPRESS_PANIC_HOOK: Cell<u32> = const { Cell::new(0) };
+}
+
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if SUPPRESS_PANIC_HOOK.with(|s| s.get()) == 0 {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f`, catching panics without letting the global hook print.
+/// Shared with the trusted checker, which re-runs the same untrusted
+/// solvers during witness re-validation.
+pub(crate) fn catch_quiet<R>(f: impl FnOnce() -> R) -> Result<R, Box<dyn Any + Send>> {
+    install_quiet_hook();
+    SUPPRESS_PANIC_HOOK.with(|s| s.set(s.get() + 1));
+    let result = catch_unwind(AssertUnwindSafe(f));
+    SUPPRESS_PANIC_HOOK.with(|s| s.set(s.get() - 1));
+    result
+}
+
+/// Renders a caught panic payload (the common `&str`/`String` cases).
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "(non-string panic payload)".to_string()
+    }
+}
 
 /// Statistics of one compilation run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -52,12 +104,65 @@ pub struct Compiler<'a> {
     /// fragments"). Lemmas register callees with [`Compiler::link`].
     linked: Vec<BFunction>,
     fresh: usize,
+    /// Resource budgets for this run.
+    limits: EngineLimits,
+    /// Current recursion depth of the statement/expression judgments.
+    depth: usize,
+    /// Solver invocations so far.
+    solver_steps: usize,
+    /// Stack of lemma names currently being applied (derivation root
+    /// first); cloned into `ResourceExhausted`/`LemmaPanicked` errors.
+    path: Vec<String>,
 }
 
 impl<'a> Compiler<'a> {
-    /// Creates a compiler for `model` using the lemmas of `dbs`.
+    /// Creates a compiler for `model` using the lemmas of `dbs` with
+    /// default [`EngineLimits`].
     pub fn new(model: &'a Model, dbs: &'a HintDbs) -> Self {
-        Compiler { model, dbs, stats: CompileStats::default(), linked: Vec::new(), fresh: 0 }
+        Self::with_limits(model, dbs, EngineLimits::default())
+    }
+
+    /// Creates a compiler with explicit resource budgets.
+    pub fn with_limits(model: &'a Model, dbs: &'a HintDbs, limits: EngineLimits) -> Self {
+        Compiler {
+            model,
+            dbs,
+            stats: CompileStats::default(),
+            linked: Vec::new(),
+            fresh: 0,
+            limits,
+            depth: 0,
+            solver_steps: 0,
+            path: Vec::new(),
+        }
+    }
+
+    /// The budgets this run is metered against.
+    pub fn limits(&self) -> &EngineLimits {
+        &self.limits
+    }
+
+    /// The current derivation path (lemma names, root first).
+    pub fn derivation_path(&self) -> &[String] {
+        &self.path
+    }
+
+    fn exhausted(&self, resource: ResourceKind, limit: usize) -> CompileError {
+        CompileError::ResourceExhausted { resource, limit, path: self.path.clone() }
+    }
+
+    /// Converts a caught `try_apply` panic into a typed error: a
+    /// [`FreshNamesExhausted`] payload (thrown by [`Compiler::fresh_var`])
+    /// becomes `ResourceExhausted`, anything else `LemmaPanicked`.
+    fn panic_to_error(&self, lemma: &str, payload: Box<dyn Any + Send>) -> CompileError {
+        if let Some(e) = payload.downcast_ref::<FreshNamesExhausted>() {
+            return self.exhausted(ResourceKind::FreshNames, e.limit);
+        }
+        CompileError::LemmaPanicked {
+            lemma: lemma.to_string(),
+            message: panic_message(payload.as_ref()),
+            path: self.path.clone(),
+        }
     }
 
     /// Registers a callee to be linked into the final program (idempotent
@@ -68,19 +173,48 @@ impl<'a> Compiler<'a> {
         }
     }
 
-    /// A fresh Bedrock2 local name with the given prefix (e.g. `_i0`).
-    pub fn fresh_var(&mut self, prefix: &str) -> String {
+    /// Claims the next fresh index, unwinding with a typed payload when
+    /// the budget is exhausted (converted to `ResourceExhausted` at the
+    /// enclosing lemma-application boundary; fresh names are only minted
+    /// inside `try_apply`).
+    fn next_fresh(&mut self) -> usize {
+        if self.fresh >= self.limits.max_fresh_names {
+            std::panic::panic_any(FreshNamesExhausted { limit: self.limits.max_fresh_names });
+        }
         let n = self.fresh;
         self.fresh += 1;
+        n
+    }
+
+    /// A fresh Bedrock2 local name with the given prefix (e.g. `_i0`).
+    pub fn fresh_var(&mut self, prefix: &str) -> String {
+        let n = self.next_fresh();
         format!("{prefix}{n}")
     }
 
     /// A fresh *ghost* name derived from a source name; ghosts appear only
     /// in symbolic terms (they contain `'`, which no emitted local uses).
     pub fn fresh_ghost(&mut self, name: &str) -> String {
-        let n = self.fresh;
-        self.fresh += 1;
+        let n = self.next_fresh();
         format!("{name}'{n}")
+    }
+
+    /// Charges one judgment-entry against the depth and application
+    /// budgets. Returns the error to report if a budget is exceeded.
+    fn enter_judgment(&mut self) -> Result<(), CompileError> {
+        if self.depth >= self.limits.max_recursion_depth {
+            return Err(self.exhausted(
+                ResourceKind::RecursionDepth,
+                self.limits.max_recursion_depth,
+            ));
+        }
+        if self.stats.lemma_applications >= self.limits.max_lemma_applications {
+            return Err(self.exhausted(
+                ResourceKind::LemmaApplications,
+                self.limits.max_lemma_applications,
+            ));
+        }
+        Ok(())
     }
 
     /// Resolves a statement goal by trying each statement lemma in order,
@@ -89,16 +223,41 @@ impl<'a> Compiler<'a> {
     /// # Errors
     ///
     /// Propagates lemma failures (no backtracking) and reports a
-    /// [`CompileError::ResidualGoal`] when nothing applies.
+    /// [`CompileError::ResidualGoal`] when nothing applies. A panicking
+    /// lemma yields [`CompileError::LemmaPanicked`]; exceeding an
+    /// [`EngineLimits`] budget yields [`CompileError::ResourceExhausted`].
     pub fn compile_stmt(
         &mut self,
         goal: &StmtGoal,
     ) -> Result<(Cmd, DerivationNode), CompileError> {
-        for lemma in self.dbs.stmt_lemmas().to_vec() {
-            if let Some(res) = lemma.try_apply(goal, self) {
-                let applied = res?;
-                self.stats.lemma_applications += 1;
-                return Ok((applied.cmd, applied.node));
+        self.enter_judgment()?;
+        self.depth += 1;
+        let result = self.compile_stmt_inner(goal);
+        self.depth -= 1;
+        result
+    }
+
+    fn compile_stmt_inner(
+        &mut self,
+        goal: &StmtGoal,
+    ) -> Result<(Cmd, DerivationNode), CompileError> {
+        // Copy the `&HintDbs` out of `self` so iterating the lemma slice
+        // does not hold a borrow of the compiler across `try_apply` (the
+        // previous code cloned the whole database on every goal).
+        let dbs = self.dbs;
+        for lemma in dbs.stmt_lemmas() {
+            self.path.push(lemma.name().to_string());
+            match catch_quiet(AssertUnwindSafe(|| lemma.try_apply(goal, self))) {
+                Err(payload) => return Err(self.panic_to_error(lemma.name(), payload)),
+                Ok(None) => {
+                    self.path.pop();
+                }
+                Ok(Some(res)) => {
+                    let applied = res?;
+                    self.path.pop();
+                    self.stats.lemma_applications += 1;
+                    return Ok((applied.cmd, applied.node));
+                }
             }
         }
         self.compile_done(goal)
@@ -114,11 +273,32 @@ impl<'a> Compiler<'a> {
         term: &Expr,
         goal: &StmtGoal,
     ) -> Result<(BExpr, DerivationNode), CompileError> {
-        for lemma in self.dbs.expr_lemmas().to_vec() {
-            if let Some(res) = lemma.try_apply(term, goal, self) {
-                let applied = res?;
-                self.stats.lemma_applications += 1;
-                return Ok((applied.expr, applied.node));
+        self.enter_judgment()?;
+        self.depth += 1;
+        let result = self.compile_expr_inner(term, goal);
+        self.depth -= 1;
+        result
+    }
+
+    fn compile_expr_inner(
+        &mut self,
+        term: &Expr,
+        goal: &StmtGoal,
+    ) -> Result<(BExpr, DerivationNode), CompileError> {
+        let dbs = self.dbs;
+        for lemma in dbs.expr_lemmas() {
+            self.path.push(lemma.name().to_string());
+            match catch_quiet(AssertUnwindSafe(|| lemma.try_apply(term, goal, self))) {
+                Err(payload) => return Err(self.panic_to_error(lemma.name(), payload)),
+                Ok(None) => {
+                    self.path.pop();
+                }
+                Ok(Some(res)) => {
+                    let applied = res?;
+                    self.path.pop();
+                    self.stats.lemma_applications += 1;
+                    return Ok((applied.expr, applied.node));
+                }
             }
         }
         Err(CompileError::ResidualGoal {
@@ -132,17 +312,33 @@ impl<'a> Compiler<'a> {
 
     /// Discharges a side condition through the registered solvers.
     ///
+    /// Each solver invocation is one *step* against the
+    /// [`EngineLimits::solver_step_budget`]. A panicking solver is treated
+    /// as "does not prove it": the engine falls through to the next
+    /// registered solver, so one buggy solver cannot take down the others.
+    ///
     /// # Errors
     ///
-    /// Returns [`CompileError::SideCondition`] when no solver proves it.
+    /// Returns [`CompileError::SideCondition`] when no solver proves it,
+    /// or [`CompileError::ResourceExhausted`] when the step budget runs
+    /// out.
     pub fn solve(
         &mut self,
         lemma: &str,
         cond: SideCond,
         hyps: &[Hyp],
     ) -> Result<SideCondRecord, CompileError> {
-        for s in self.dbs.solvers() {
-            if s.solve(&cond, hyps) {
+        let dbs = self.dbs;
+        for s in dbs.solvers() {
+            if self.solver_steps >= self.limits.solver_step_budget {
+                return Err(
+                    self.exhausted(ResourceKind::SolverSteps, self.limits.solver_step_budget)
+                );
+            }
+            self.solver_steps += 1;
+            // `Ok(false)` means the solver declined; `Err(_)` means it
+            // panicked — same outcome, fall through to the next solver.
+            if let Ok(true) = catch_quiet(|| s.solve(&cond, hyps)) {
                 self.stats.side_conditions += 1;
                 return Ok(SideCondRecord {
                     cond,
@@ -244,8 +440,26 @@ pub fn compile(
     spec: &FnSpec,
     dbs: &HintDbs,
 ) -> Result<CompiledFunction, CompileError> {
+    compile_with_limits(model, spec, dbs, EngineLimits::default())
+}
+
+/// [`compile`] with explicit resource budgets: the entry point for serving
+/// untrusted extension sets, where a non-productive or panicking lemma must
+/// fail this request only.
+///
+/// # Errors
+///
+/// As [`compile`], plus [`CompileError::ResourceExhausted`] /
+/// [`CompileError::LemmaPanicked`] when a budget is exceeded or an
+/// extension panics.
+pub fn compile_with_limits(
+    model: &Model,
+    spec: &FnSpec,
+    dbs: &HintDbs,
+    limits: EngineLimits,
+) -> Result<CompiledFunction, CompileError> {
     let goal = spec.initial_goal(model)?;
-    let mut cx = Compiler::new(model, dbs);
+    let mut cx = Compiler::with_limits(model, dbs, limits);
     let (body, root) = cx.compile_stmt(&goal)?;
     let mut function = BFunction::new(
         spec.name.clone(),

@@ -5,6 +5,7 @@
 //! *residual goal* so that "users never have to guess at what is happening:
 //! they can learn the shape of missing lemmas from the goals printed".
 
+use crate::limits::ResourceKind;
 use std::fmt;
 
 /// Why a compilation run stopped.
@@ -32,6 +33,50 @@ pub enum CompileError {
     Spec(String),
     /// An internal invariant of the engine was violated (a bug).
     Internal(String),
+    /// A run budget of [`EngineLimits`](crate::limits::EngineLimits) was
+    /// exhausted: the extension set is non-productive (e.g. a lemma that
+    /// recurses without consuming source) or the program is far beyond the
+    /// configured capacity. Carries the partial derivation path (the stack
+    /// of lemma names active when the budget ran out) for diagnostics.
+    ResourceExhausted {
+        /// Which budget ran out.
+        resource: ResourceKind,
+        /// The configured ceiling.
+        limit: usize,
+        /// Lemma names from the derivation root to the active application.
+        path: Vec<String>,
+    },
+    /// An extension-supplied lemma panicked. The panic was caught at the
+    /// application boundary: only this derivation is aborted, the process
+    /// and other requests are unaffected.
+    LemmaPanicked {
+        /// The lemma whose `try_apply` panicked.
+        lemma: String,
+        /// The panic payload, rendered.
+        message: String,
+        /// Lemma names from the derivation root to the panicking
+        /// application (inclusive).
+        path: Vec<String>,
+    },
+}
+
+fn write_path(f: &mut fmt::Formatter<'_>, path: &[String]) -> fmt::Result {
+    const SHOWN: usize = 4;
+    if path.is_empty() {
+        write!(f, "(at the derivation root)")
+    } else if path.len() <= 2 * SHOWN {
+        write!(f, "derivation path: {}", path.join(" > "))
+    } else {
+        // A runaway recursion produces hundreds of identical entries;
+        // elide the middle.
+        write!(
+            f,
+            "derivation path: {} > … ({} more) … > {}",
+            path[..SHOWN].join(" > "),
+            path.len() - 2 * SHOWN,
+            path[path.len() - SHOWN..].join(" > ")
+        )
+    }
 }
 
 impl fmt::Display for CompileError {
@@ -52,6 +97,14 @@ impl fmt::Display for CompileError {
             }
             CompileError::Spec(m) => write!(f, "specification error: {m}"),
             CompileError::Internal(m) => write!(f, "internal compiler error: {m}"),
+            CompileError::ResourceExhausted { resource, limit, path } => {
+                writeln!(f, "compilation exceeded the {resource} budget ({limit})")?;
+                write_path(f, path)
+            }
+            CompileError::LemmaPanicked { lemma, message, path } => {
+                writeln!(f, "lemma `{lemma}` panicked: {message}")?;
+                write_path(f, path)
+            }
         }
     }
 }

@@ -147,10 +147,8 @@ impl StmtGoal {
         let sub = |e: &Expr| rupicola_sep::subst(e, name, &replacement);
         let names: Vec<String> = self.locals.iter().map(|(n, _)| n.to_string()).collect();
         for n in names {
-            if let Some(v) = self.locals.get(&n).cloned() {
-                if let SymValue::Scalar(k, term) = v {
-                    self.locals.set(n, SymValue::Scalar(k, sub(&term)));
-                }
+            if let Some(SymValue::Scalar(k, term)) = self.locals.get(&n).cloned() {
+                self.locals.set(n, SymValue::Scalar(k, sub(&term)));
             }
         }
         let ids: Vec<HeapletId> = self.heap.iter().map(|(id, _)| id).collect();

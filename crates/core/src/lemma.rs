@@ -151,6 +151,12 @@ impl HintDbs {
         self
     }
 
+    /// Registers a side-condition solver ahead of the existing ones.
+    pub fn register_solver_front<S: SideSolver + 'static>(&mut self, solver: S) -> &mut Self {
+        self.solvers.insert(0, Arc::new(solver));
+        self
+    }
+
     /// Statement lemmas, in application order.
     pub fn stmt_lemmas(&self) -> &[Arc<dyn StmtLemma>] {
         &self.stmt

@@ -52,13 +52,16 @@ pub mod check;
 pub mod derive;
 pub mod engine;
 pub mod error;
+pub mod faultinject;
 pub mod fnspec;
 pub mod goal;
 pub mod invariant;
 pub mod lemma;
+pub mod limits;
 pub mod solver;
 
-pub use engine::{compile, CompileStats, CompiledFunction, Compiler};
+pub use engine::{compile, compile_with_limits, CompileStats, CompiledFunction, Compiler};
 pub use error::CompileError;
+pub use limits::{EngineLimits, ResourceKind};
 pub use goal::{Hyp, MonadCtx, Post, RetSlot, SideCond, StmtGoal};
 pub use lemma::{Applied, AppliedExpr, ExprLemma, HintDbs, StmtLemma};

@@ -523,7 +523,7 @@ mod tests {
         let hyp = Hyp::LtU(var("i"), array_len_b(var("s")));
         assert!(lia(
             SideCond::Lt(var("i"), array_len_b(var("s"))),
-            &[hyp.clone()]
+            std::slice::from_ref(&hyp)
         ));
         // but not i < length t
         assert!(!lia(SideCond::Lt(var("i"), array_len_b(var("t"))), &[hyp]));

@@ -143,6 +143,30 @@ impl ExprLemma for ExprLit {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExprPrim;
 
+/// Pops the two operands of a binary primitive.
+///
+/// # Errors
+///
+/// [`CompileError::Internal`] when fewer than two operands were compiled —
+/// an arity bug in the model construction, surfaced as a typed error
+/// rather than a panic so one bad model cannot take down the pipeline.
+fn pop2(v: &mut Vec<BExpr>, op: PrimOp, term: &Expr) -> Result<(BExpr, BExpr), CompileError> {
+    match (v.pop(), v.pop()) {
+        (Some(b), Some(a)) => Ok((a, b)),
+        _ => Err(CompileError::Internal(format!(
+            "expr_prim: `{op:?}` needs two operands in `{term}`"
+        ))),
+    }
+}
+
+/// Pops the operand of a unary primitive; see [`pop2`] for the error
+/// contract.
+fn pop1(v: &mut Vec<BExpr>, op: PrimOp, term: &Expr) -> Result<BExpr, CompileError> {
+    v.pop().ok_or_else(|| {
+        CompileError::Internal(format!("expr_prim: `{op:?}` needs one operand in `{term}`"))
+    })
+}
+
 const BYTE_MASK: u64 = 0xff;
 /// Naturals are compiled only when operands provably fit half the word, so
 /// that addition cannot wrap; multiplication requires a quarter word.
@@ -184,57 +208,57 @@ impl ExprPrim {
             node.children.push(child);
         }
         let mask_byte = |e: BExpr| BExpr::op(BinOp::And, e, BExpr::lit(BYTE_MASK));
-        let bin = |op: BinOp, mut v: Vec<BExpr>| {
-            let b = v.pop().expect("binary");
-            let a = v.pop().expect("binary");
-            BExpr::op(op, a, b)
+        let bin = |bop: BinOp, mut v: Vec<BExpr>| -> Result<BExpr, CompileError> {
+            let (a, b) = pop2(&mut v, op, term)?;
+            Ok(BExpr::op(bop, a, b))
         };
-        let una = |mut v: Vec<BExpr>| v.pop().expect("unary");
+        let una = |mut v: Vec<BExpr>| -> Result<BExpr, CompileError> { pop1(&mut v, op, term) };
         let expr = match op {
             // Words map one-to-one.
-            WAdd => bin(BinOp::Add, compiled),
-            WSub => bin(BinOp::Sub, compiled),
-            WMul => bin(BinOp::Mul, compiled),
-            WAnd => bin(BinOp::And, compiled),
-            WOr => bin(BinOp::Or, compiled),
-            WXor => bin(BinOp::Xor, compiled),
-            WShl => bin(BinOp::Slu, compiled),
-            WShr => bin(BinOp::Sru, compiled),
-            WSar => bin(BinOp::Srs, compiled),
-            WLtU => bin(BinOp::LtU, compiled),
-            WLtS => bin(BinOp::LtS, compiled),
-            WEq => bin(BinOp::Eq, compiled),
+            WAdd => bin(BinOp::Add, compiled)?,
+            WSub => bin(BinOp::Sub, compiled)?,
+            WMul => bin(BinOp::Mul, compiled)?,
+            WAnd => bin(BinOp::And, compiled)?,
+            WOr => bin(BinOp::Or, compiled)?,
+            WXor => bin(BinOp::Xor, compiled)?,
+            WShl => bin(BinOp::Slu, compiled)?,
+            WShr => bin(BinOp::Sru, compiled)?,
+            WSar => bin(BinOp::Srs, compiled)?,
+            WLtU => bin(BinOp::LtU, compiled)?,
+            WLtS => bin(BinOp::LtS, compiled)?,
+            WEq => bin(BinOp::Eq, compiled)?,
             // Division differs at zero (source is partial, RISC-V total):
             // a side condition rules the divergence out.
             WDivU | WRemU => {
-                let sc = cx.solve(self.name(), SideCond::NonZero(args[1].clone()), &goal.hyps)?;
+                let divisor = args.get(1).cloned().ok_or_else(|| {
+                    CompileError::Internal(format!("expr_prim: `{op:?}` missing divisor in `{term}`"))
+                })?;
+                let sc = cx.solve(self.name(), SideCond::NonZero(divisor), &goal.hyps)?;
                 node.side_conds.push(sc);
-                bin(if op == WDivU { BinOp::DivU } else { BinOp::RemU }, compiled)
+                bin(if op == WDivU { BinOp::DivU } else { BinOp::RemU }, compiled)?
             }
             // Bytes live zero-extended in locals; arithmetic that can carry
             // out of 8 bits re-masks.
-            BAdd => mask_byte(bin(BinOp::Add, compiled)),
-            BSub => mask_byte(bin(BinOp::Sub, compiled)),
-            BAnd => bin(BinOp::And, compiled),
-            BOr => bin(BinOp::Or, compiled),
-            BXor => bin(BinOp::Xor, compiled),
+            BAdd => mask_byte(bin(BinOp::Add, compiled)?),
+            BSub => mask_byte(bin(BinOp::Sub, compiled)?),
+            BAnd => bin(BinOp::And, compiled)?,
+            BOr => bin(BinOp::Or, compiled)?,
+            BXor => bin(BinOp::Xor, compiled)?,
             BShl => {
-                let b = compiled.pop().expect("binary");
-                let a = compiled.pop().expect("binary");
+                let (a, b) = pop2(&mut compiled, op, term)?;
                 mask_byte(BExpr::op(BinOp::Slu, a, BExpr::op(BinOp::And, b, BExpr::lit(7))))
             }
             BShr => {
-                let b = compiled.pop().expect("binary");
-                let a = compiled.pop().expect("binary");
+                let (a, b) = pop2(&mut compiled, op, term)?;
                 BExpr::op(BinOp::Sru, a, BExpr::op(BinOp::And, b, BExpr::lit(7)))
             }
-            BLtU => bin(BinOp::LtU, compiled),
-            BEq => bin(BinOp::Eq, compiled),
+            BLtU => bin(BinOp::LtU, compiled)?,
+            BEq => bin(BinOp::Eq, compiled)?,
             // Booleans are 0/1.
-            Not => BExpr::op(BinOp::Xor, una(compiled), BExpr::lit(1)),
-            BoolAnd => bin(BinOp::And, compiled),
-            BoolOr => bin(BinOp::Or, compiled),
-            BoolEq => bin(BinOp::Eq, compiled),
+            Not => BExpr::op(BinOp::Xor, una(compiled)?, BExpr::lit(1)),
+            BoolAnd => bin(BinOp::And, compiled)?,
+            BoolOr => bin(BinOp::Or, compiled)?,
+            BoolEq => bin(BinOp::Eq, compiled)?,
             // Naturals: addition/subtraction/multiplication compile to word
             // operations under no-overflow side conditions.
             NAdd => {
@@ -246,7 +270,7 @@ impl ExprPrim {
                     )?;
                     node.side_conds.push(sc);
                 }
-                bin(BinOp::Add, compiled)
+                bin(BinOp::Add, compiled)?
             }
             NSub => {
                 // Truncated subtraction: (a - b) * (b ≤ a), branchless.
@@ -258,8 +282,7 @@ impl ExprPrim {
                     )?;
                     node.side_conds.push(sc);
                 }
-                let b = compiled.pop().expect("binary");
-                let a = compiled.pop().expect("binary");
+                let (a, b) = pop2(&mut compiled, op, term)?;
                 BExpr::op(
                     BinOp::Mul,
                     BExpr::op(BinOp::Sub, a.clone(), b.clone()),
@@ -275,13 +298,13 @@ impl ExprPrim {
                     )?;
                     node.side_conds.push(sc);
                 }
-                bin(BinOp::Mul, compiled)
+                bin(BinOp::Mul, compiled)?
             }
-            NLt => bin(BinOp::LtU, compiled),
-            NEq => bin(BinOp::Eq, compiled),
+            NLt => bin(BinOp::LtU, compiled)?,
+            NEq => bin(BinOp::Eq, compiled)?,
             // Casts: zero-extended representations make most casts free.
-            WordOfByte | WordOfNat | NatOfWord | WordOfBool => una(compiled),
-            ByteOfWord => mask_byte(una(compiled)),
+            WordOfByte | WordOfNat | NatOfWord | WordOfBool => una(compiled)?,
+            ByteOfWord => mask_byte(una(compiled)?),
         };
         // Sanity: the result kind must be inferable (tests rely on models
         // being kind-correct before compilation).

@@ -83,6 +83,7 @@ impl ExprLemma for ExprArrayGet {
 }
 
 impl ExprArrayGet {
+    #[allow(clippy::too_many_arguments)]
     fn apply(
         &self,
         goal: &StmtGoal,

@@ -44,6 +44,7 @@ impl StmtLemma for CompileStackInit {
 }
 
 impl CompileStackInit {
+    #[allow(clippy::too_many_arguments)]
     fn apply(
         &self,
         goal: &StmtGoal,

@@ -18,7 +18,7 @@ use std::sync::Arc;
 #[derive(Clone)]
 pub struct UnfoldExpr {
     tag: String,
-    unfold: Arc<dyn Fn(&[Expr]) -> Expr + Send + Sync>,
+    unfold: rupicola_lang::UnfoldFn,
 }
 
 impl fmt::Debug for UnfoldExpr {

@@ -35,8 +35,11 @@ pub struct ExternOp {
     /// Optional unfolding into core syntax: given the (syntactic) arguments,
     /// produce an equivalent core expression. Used by compilation lemmas that
     /// inline the operation instead of providing bespoke code for it.
-    pub unfold: Option<Arc<dyn Fn(&[Expr]) -> Expr + Send + Sync>>,
+    pub unfold: Option<UnfoldFn>,
 }
+
+/// An unfolding of an extern operation into core syntax.
+pub type UnfoldFn = Arc<dyn Fn(&[Expr]) -> Expr + Send + Sync>;
 
 impl fmt::Debug for ExternOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

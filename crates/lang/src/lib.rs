@@ -43,7 +43,7 @@ pub mod value;
 
 pub use ast::{Expr, Ident, MonadKind, PrimOp, TableDef};
 pub use eval::{EvalError, Event, Oracle, World};
-pub use externs::{ExternOp, ExternRegistry};
+pub use externs::{ExternOp, ExternRegistry, UnfoldFn};
 pub use value::{ElemKind, Value};
 
 /// A complete functional model: the unit Rupicola compiles.

@@ -1,0 +1,160 @@
+//! Minimal deterministic property-testing support.
+//!
+//! The test suite runs in hermetic environments with no access to a crate
+//! registry, so it cannot depend on `proptest` or `rand`. This crate
+//! provides the two pieces the suite actually needs:
+//!
+//! - [`Rng`], a splitmix64 generator with convenience samplers, and
+//! - [`check`], a case runner that derives one independent, reproducible
+//!   seed per case and reports the failing case's seed on panic.
+//!
+//! Every property is a plain function of `&mut Rng`; shrinking is traded
+//! for reproducibility (re-run a single failure with [`check_seed`]).
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// A splitmix64 pseudo-random generator: tiny state, full 64-bit output,
+/// passes through every value deterministically for a given seed.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = self.state;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// A uniform value in `0..n` (`n` must be nonzero).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+
+    /// A uniform `usize` in `lo..hi` (empty ranges collapse to `lo`).
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (self.below((hi - lo) as u64) as usize)
+    }
+
+    /// A uniform byte.
+    pub fn byte(&mut self) -> u8 {
+        (self.next_u64() & 0xff) as u8
+    }
+
+    /// A uniform boolean.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A byte vector of the given length.
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.byte()).collect()
+    }
+
+    /// A word vector of the given length.
+    pub fn words(&mut self, len: usize) -> Vec<u64> {
+        (0..len).map(|_| self.next_u64()).collect()
+    }
+
+    /// Picks one element of a nonempty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.range(0, xs.len())]
+    }
+}
+
+/// Derives the per-case seed used by [`check`] for `(base_seed, case)`.
+fn case_seed(base_seed: u64, case: u64) -> u64 {
+    // One splitmix step decorrelates consecutive case indices.
+    Rng::new(base_seed ^ case.wrapping_mul(0xA076_1D64_78BD_642F)).next_u64()
+}
+
+/// Runs `cases` instances of a property, each with an independent
+/// deterministic [`Rng`]. On failure, the panic is re-raised after printing
+/// the base seed and case index so the run can be reproduced with
+/// [`check_seed`].
+pub fn check<F: FnMut(&mut Rng)>(name: &str, cases: u64, mut prop: F) {
+    let base_seed = 0x5EED_0000_0000_0000 ^ fnv1a(name);
+    for case in 0..cases {
+        let seed = case_seed(base_seed, case);
+        let mut rng = Rng::new(seed);
+        let result = catch_unwind(AssertUnwindSafe(|| prop(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!(
+                "minicheck: property `{name}` failed on case {case}/{cases} \
+                 (reproduce with check_seed(\"{name}\", {seed:#x}, ..))"
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Re-runs a property on one specific seed (printed by a failing [`check`]).
+pub fn check_seed<F: FnMut(&mut Rng)>(_name: &str, seed: u64, mut prop: F) {
+    let mut rng = Rng::new(seed);
+    prop(&mut rng);
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_varied() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(1);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs[0], xs[1]);
+        let mut c = Rng::new(2);
+        assert_ne!(xs[0], c.next_u64());
+    }
+
+    #[test]
+    fn samplers_respect_bounds() {
+        let mut r = Rng::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+            let x = r.range(3, 9);
+            assert!((3..9).contains(&x));
+        }
+        assert_eq!(r.range(5, 5), 5);
+        assert_eq!(r.bytes(17).len(), 17);
+    }
+
+    #[test]
+    fn check_runs_all_cases() {
+        let mut n = 0;
+        check("counter", 25, |_| n += 1);
+        assert_eq!(n, 25);
+    }
+
+    #[test]
+    fn failing_case_is_reported_and_reraised() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            check("always_fails", 3, |_| panic!("boom"));
+        }));
+        assert!(caught.is_err());
+    }
+}

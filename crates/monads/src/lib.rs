@@ -168,8 +168,15 @@ pub struct IoState {
     pub output: Vec<u64>,
 }
 
+/// The interactions performed by a free-monad run: `(tag, args, result)`
+/// per command, in order.
+pub type InteractionTrace = Vec<(String, Vec<u64>, u64)>;
+
+/// The state-transformer representation underlying [`Io`].
+type IoThunk<A> = Box<dyn FnOnce(&mut IoState) -> Result<A, IoError>>;
+
 /// An I/O computation: a state transformer over [`IoState`].
-pub struct Io<A>(Box<dyn FnOnce(&mut IoState) -> Result<A, IoError>>);
+pub struct Io<A>(IoThunk<A>);
 
 /// Failure of an I/O computation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -291,7 +298,7 @@ impl<A: 'static> Free<A> {
     pub fn interpret<H>(
         self,
         handler: &mut H,
-    ) -> Result<(A, Vec<(String, Vec<u64>, u64)>), String>
+    ) -> Result<(A, InteractionTrace), String>
     where
         H: FnMut(&str, &[u64]) -> Result<u64, String>,
     {

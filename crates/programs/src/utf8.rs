@@ -160,8 +160,7 @@ pub fn naive(data: &[u8]) -> u64 {
     let l = List::from_slice(data);
     let mut acc = 0u64;
     let mut cur = &l;
-    loop {
-        let Some((b0, r1)) = cur.as_cons() else { break };
+    while let Some((b0, r1)) = cur.as_cons() {
         let Some((b1, r2)) = r1.as_cons() else { break };
         let Some((b2, r3)) = r2.as_cons() else { break };
         let Some((b3, _)) = r3.as_cons() else { break };

@@ -37,6 +37,7 @@ impl S {
     }
 
     /// `SAdd`.
+    #[allow(clippy::should_implement_trait)] // DSL constructor, not arithmetic
     pub fn add(a: S, b: S) -> S {
         S::Add(Box::new(a), Box::new(b))
     }
@@ -148,6 +149,7 @@ impl Rel {
     }
 
     /// The `StoT_RAdd` rule.
+    #[allow(clippy::should_implement_trait)] // DSL constructor, not arithmetic
     pub fn add(d1: Rel, d2: Rel) -> Rel {
         Rel::Add(Box::new(d1), Box::new(d2))
     }

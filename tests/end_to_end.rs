@@ -43,7 +43,7 @@ fn suite_pipeline_agrees_with_source_semantics() {
 
         let data = workload_for(name, 64);
         let input = Value::byte_list(data.iter().copied());
-        let expected = eval_model(&compiled.model, &[input.clone()], &mut World::default())
+        let expected = eval_model(&compiled.model, std::slice::from_ref(&input), &mut World::default())
             .unwrap_or_else(|e| panic!("{name} source eval: {e}"));
 
         let mut program = Program::new();

@@ -249,6 +249,198 @@ fn monadic_loop_cannot_smuggle_mutation_across_iterations() {
     }
 }
 
+/// A lemma with an injected implementation bug: it panics whenever it is
+/// consulted. The engine must convert the panic into a typed error instead
+/// of aborting the process.
+struct PanickyLemma;
+
+impl StmtLemma for PanickyLemma {
+    fn name(&self) -> &'static str {
+        "panicky"
+    }
+    fn try_apply(
+        &self,
+        _goal: &StmtGoal,
+        _cx: &mut Compiler<'_>,
+    ) -> Option<Result<Applied, CompileError>> {
+        panic!("injected lemma bug");
+    }
+}
+
+#[test]
+fn panicking_lemma_yields_typed_error_not_abort() {
+    let model = Model::new("inc", ["x"], let_n("y", word_add(var("x"), word_lit(1)), var("y")));
+    let mut dbs = standard_dbs();
+    dbs.register_stmt_front(PanickyLemma);
+    let err = compile(&model, &word_spec("inc"), &dbs).unwrap_err();
+    let CompileError::LemmaPanicked { lemma, message, .. } = err else {
+        panic!("expected LemmaPanicked, got {err}");
+    };
+    assert_eq!(lemma, "panicky");
+    assert!(message.contains("injected lemma bug"), "{message}");
+    // The pipeline survives: the same model compiles fine without the
+    // faulty extension.
+    let ok = compile(&model, &word_spec("inc"), &standard_dbs()).unwrap();
+    check(&ok, &standard_dbs()).unwrap();
+}
+
+/// A non-productive lemma: it "makes progress" by recursing on the exact
+/// same goal, so the search never terminates on its own.
+struct LoopForeverLemma;
+
+impl StmtLemma for LoopForeverLemma {
+    fn name(&self) -> &'static str {
+        "loop_forever"
+    }
+    fn try_apply(
+        &self,
+        goal: &StmtGoal,
+        cx: &mut Compiler<'_>,
+    ) -> Option<Result<Applied, CompileError>> {
+        Some(cx.compile_stmt(goal).map(|(cmd, node)| Applied {
+            cmd,
+            node: DerivationNode::leaf(self.name(), "loop").with_child(node),
+        }))
+    }
+}
+
+#[test]
+fn non_productive_recursion_exhausts_budget_not_the_stack() {
+    use rupicola::core::{compile_with_limits, EngineLimits, ResourceKind};
+    let model = Model::new("idw", ["x"], var("x"));
+    let mut dbs = standard_dbs();
+    dbs.register_stmt_front(LoopForeverLemma);
+    let err =
+        compile_with_limits(&model, &word_spec("idw"), &dbs, EngineLimits::tight()).unwrap_err();
+    let CompileError::ResourceExhausted { resource, limit, path } = err else {
+        panic!("expected ResourceExhausted, got {err}");
+    };
+    assert!(
+        matches!(resource, ResourceKind::RecursionDepth | ResourceKind::LemmaApplications),
+        "got {resource}"
+    );
+    assert!(limit > 0);
+    // The partial derivation path shows the runaway lemma.
+    assert!(path.iter().any(|l| l == "loop_forever"), "{path:?}");
+}
+
+/// A lemma that burns through the fresh-name supply without producing
+/// anything.
+struct NameHogLemma;
+
+impl StmtLemma for NameHogLemma {
+    fn name(&self) -> &'static str {
+        "name_hog"
+    }
+    fn try_apply(
+        &self,
+        _goal: &StmtGoal,
+        cx: &mut Compiler<'_>,
+    ) -> Option<Result<Applied, CompileError>> {
+        loop {
+            let _ = cx.fresh_var("hog");
+        }
+    }
+}
+
+#[test]
+fn fresh_name_exhaustion_is_a_typed_error() {
+    use rupicola::core::{compile_with_limits, EngineLimits, ResourceKind};
+    let model = Model::new("idw", ["x"], var("x"));
+    let mut dbs = standard_dbs();
+    dbs.register_stmt_front(NameHogLemma);
+    let err =
+        compile_with_limits(&model, &word_spec("idw"), &dbs, EngineLimits::tight()).unwrap_err();
+    let CompileError::ResourceExhausted { resource, .. } = err else {
+        panic!("expected ResourceExhausted, got {err}");
+    };
+    assert!(matches!(resource, ResourceKind::FreshNames), "got {resource}");
+}
+
+/// A solver with an injected bug: it panics on every query. The engine
+/// must treat it as "cannot solve" and fall through to the next solver.
+struct PanickySolver;
+
+impl rupicola::core::solver::SideSolver for PanickySolver {
+    fn name(&self) -> &'static str {
+        "panicky_solver"
+    }
+    fn solve(&self, _cond: &rupicola::core::SideCond, _hyps: &[rupicola::core::Hyp]) -> bool {
+        panic!("injected solver bug");
+    }
+}
+
+#[test]
+fn panicking_solver_falls_through_to_the_next_one() {
+    // Division generates a NonZero side condition; the panicking solver is
+    // consulted first, and `lia` still discharges the obligation.
+    let model = Model::new("div3", ["x"], let_n("y", word_divu(var("x"), word_lit(3)), var("y")));
+    let mut dbs = standard_dbs();
+    dbs.register_solver_front(PanickySolver);
+    let compiled = compile(&model, &word_spec("div3"), &dbs).unwrap();
+    let mut recorded = Vec::new();
+    compiled.derivation.root.walk(&mut |n| {
+        for sc in &n.side_conds {
+            recorded.push(sc.solver.clone());
+        }
+    });
+    assert!(recorded.iter().all(|s| s != "panicky_solver"), "{recorded:?}");
+    assert!(recorded.iter().any(|s| s == "lia"), "{recorded:?}");
+    check(&compiled, &dbs).unwrap();
+}
+
+#[test]
+fn every_structural_mutant_class_is_killed_by_its_layer() {
+    use rupicola::core::faultinject::{expect_killed, mutants, MutationClass};
+    let dbs = standard_dbs();
+    let config = CheckConfig { vectors: 6, ..CheckConfig::default() };
+    let compiled = rupicola::programs::upstr::compiled().unwrap();
+    let all = mutants(&compiled);
+    // The always-generated classes must be present.
+    for class in [MutationClass::ForgedSideCond, MutationClass::MismatchedRetSlot] {
+        assert!(all.iter().any(|m| m.class == class), "no {class} mutants generated");
+    }
+    for m in all.iter().filter(|m| m.class.is_structural()) {
+        let err = expect_killed(m, &dbs, &config)
+            .unwrap_or_else(|| panic!("structural mutant survived: [{}] {}", m.class, m.description));
+        match m.class {
+            // Stale-counter corruptions die in the integrity layer.
+            MutationClass::DroppedSideCond | MutationClass::TruncatedDerivation => {
+                assert!(matches!(err, CheckError::WitnessCorrupted { .. }), "got {err:?}");
+            }
+            // A forged record has consistent counters; re-solving kills it.
+            MutationClass::ForgedSideCond => {
+                assert!(matches!(err, CheckError::SideCondition { .. }), "got {err:?}");
+            }
+            // ABI mismatches die in differential comparison.
+            MutationClass::MismatchedRetSlot => {
+                assert!(matches!(err, CheckError::Mismatch { .. }), "got {err:?}");
+            }
+            _ => unreachable!("filtered to structural classes"),
+        }
+    }
+}
+
+#[test]
+fn fault_matrix_reports_full_structural_kill_rate() {
+    use rupicola::core::faultinject::run_matrix;
+    let dbs = standard_dbs();
+    let config = CheckConfig { vectors: 6, ..CheckConfig::default() };
+    for program in [
+        rupicola::programs::fnv1a::compiled().unwrap(),
+        rupicola::programs::m3s::compiled().unwrap(),
+    ] {
+        let matrix = run_matrix(&program, &dbs, &config);
+        assert!(matrix.generated() > 0);
+        assert!(
+            matrix.structural_clean(),
+            "{}: structural survivors: {:?}",
+            program.function.name,
+            matrix.survivors
+        );
+    }
+}
+
 #[test]
 fn vacuous_preconditions_are_not_silent() {
     // A spec whose hints exclude every generated input must fail loudly

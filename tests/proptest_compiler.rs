@@ -2,13 +2,13 @@
 //! every successful derivation must pass the trusted checker — i.e. the
 //! composed lemma library never produces a witness the validator rejects.
 
-use proptest::prelude::*;
 use rupicola::core::check::{check_with, CheckConfig};
 use rupicola::core::fnspec::{ArgSpec, FnSpec, RetSpec};
 use rupicola::ext::standard_dbs;
 use rupicola::lang::dsl::*;
 use rupicola::lang::{ElemKind, Expr, Model};
 use rupicola::sep::ScalarKind;
+use rupicola_minicheck::{check, Rng};
 
 fn quick_config() -> CheckConfig {
     CheckConfig { vectors: 6, ..CheckConfig::default() }
@@ -16,39 +16,43 @@ fn quick_config() -> CheckConfig {
 
 /// Random pure word expressions over one variable (kind-correct by
 /// construction).
-fn arb_word_expr(var_name: &'static str) -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        Just(var(var_name)),
-        (0u64..1000).prop_map(word_lit),
-        any::<u64>().prop_map(word_lit),
-    ];
-    leaf.prop_recursive(4, 24, 2, |inner| {
-        (0usize..8, inner.clone(), inner).prop_map(|(op, a, b)| match op {
-            0 => word_add(a, b),
-            1 => word_sub(a, b),
-            2 => word_mul(a, b),
-            3 => word_and(a, b),
-            4 => word_or(a, b),
-            5 => word_xor(a, b),
-            6 => word_shl(a, word_lit(7)),
-            _ => word_shr(a, word_lit(3)),
-        })
-    })
+fn arb_word_expr(rng: &mut Rng, var_name: &str, depth: usize) -> Expr {
+    if depth == 0 || rng.below(4) == 0 {
+        return match rng.below(3) {
+            0 => var(var_name),
+            1 => word_lit(rng.below(1000)),
+            _ => word_lit(rng.next_u64()),
+        };
+    }
+    let a = arb_word_expr(rng, var_name, depth - 1);
+    let b = arb_word_expr(rng, var_name, depth - 1);
+    match rng.below(8) {
+        0 => word_add(a, b),
+        1 => word_sub(a, b),
+        2 => word_mul(a, b),
+        3 => word_and(a, b),
+        4 => word_or(a, b),
+        5 => word_xor(a, b),
+        6 => word_shl(a, word_lit(7)),
+        _ => word_shr(a, word_lit(3)),
+    }
 }
 
 /// Random pure byte expressions over one variable.
-fn arb_byte_expr(var_name: &'static str) -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![Just(var(var_name)), any::<u8>().prop_map(byte_lit)];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        (0usize..6, inner.clone(), inner).prop_map(|(op, a, b)| match op {
-            0 => byte_and(a, b),
-            1 => byte_or(a, b),
-            2 => byte_xor(a, b),
-            3 => byte_add(a, b),
-            4 => byte_sub(a, b),
-            _ => byte_shr(a, byte_lit(1)),
-        })
-    })
+fn arb_byte_expr(rng: &mut Rng, var_name: &str, depth: usize) -> Expr {
+    if depth == 0 || rng.below(4) == 0 {
+        return if rng.bool() { var(var_name) } else { byte_lit(rng.byte()) };
+    }
+    let a = arb_byte_expr(rng, var_name, depth - 1);
+    let b = arb_byte_expr(rng, var_name, depth - 1);
+    match rng.below(6) {
+        0 => byte_and(a, b),
+        1 => byte_or(a, b),
+        2 => byte_xor(a, b),
+        3 => byte_add(a, b),
+        4 => byte_sub(a, b),
+        _ => byte_shr(a, byte_lit(1)),
+    }
 }
 
 fn scalar_spec(name: &str) -> FnSpec {
@@ -70,13 +74,14 @@ fn array_spec(name: &str, ret: RetSpec) -> FnSpec {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Chains of scalar lets over random word expressions compile and
-    /// certify, and the RV64 backend agrees with the Bedrock2 interpreter.
-    #[test]
-    fn straightline_models_certify(e1 in arb_word_expr("x"), e2 in arb_word_expr("y"), x in any::<u64>()) {
+/// Chains of scalar lets over random word expressions compile and
+/// certify, and the RV64 backend agrees with the Bedrock2 interpreter.
+#[test]
+fn straightline_models_certify() {
+    check("straightline_models_certify", 24, |rng| {
+        let e1 = arb_word_expr(rng, "x", 4);
+        let e2 = arb_word_expr(rng, "y", 4);
+        let x = rng.next_u64();
         let model = Model::new(
             "straight",
             ["x"],
@@ -95,13 +100,16 @@ proptest! {
         let art = rupicola::bedrock::rv_compile::compile_function(&compiled.function).unwrap();
         let mut mem = Memory::new();
         let r2 = rupicola::bedrock::rv_compile::run_function(&art, &mut mem, &[x], 100_000).unwrap();
-        prop_assert_eq!(r1, r2);
-    }
+        assert_eq!(r1, r2);
+    });
+}
 
-    /// In-place maps with random byte bodies compile and certify (with
-    /// runtime invariant checking at every loop head).
-    #[test]
-    fn random_map_models_certify(f in arb_byte_expr("b")) {
+/// In-place maps with random byte bodies compile and certify (with
+/// runtime invariant checking at every loop head).
+#[test]
+fn random_map_models_certify() {
+    check("random_map_models_certify", 24, |rng| {
+        let f = arb_byte_expr(rng, "b", 3);
         let model = Model::new(
             "mapped",
             ["s"],
@@ -115,13 +123,17 @@ proptest! {
         )
         .unwrap();
         let report = check_with(&compiled, &dbs, &quick_config()).unwrap();
-        prop_assert!(report.invariant_checks > 0);
-    }
+        assert!(report.invariant_checks > 0);
+    });
+}
 
-    /// Folds with random word bodies over (acc, element) compile and
-    /// certify.
-    #[test]
-    fn random_fold_models_certify(f0 in arb_word_expr("acc"), init in any::<u64>()) {
+/// Folds with random word bodies over (acc, element) compile and
+/// certify.
+#[test]
+fn random_fold_models_certify() {
+    check("random_fold_models_certify", 24, |rng| {
+        let f0 = arb_word_expr(rng, "acc", 4);
+        let init = rng.next_u64();
         // Mix the element in so the fold actually reads the array.
         let f = word_xor(f0, word_of_byte(var("b")));
         let model = Model::new(
@@ -137,12 +149,17 @@ proptest! {
         )
         .unwrap();
         check_with(&compiled, &dbs, &quick_config()).unwrap();
-    }
+    });
+}
 
-    /// Conditional bindings with random scalar branches certify, and the
-    /// branch condition's hypotheses never mislead the solver.
-    #[test]
-    fn random_conditionals_certify(t in arb_word_expr("x"), e in arb_word_expr("x"), c in any::<u64>()) {
+/// Conditional bindings with random scalar branches certify, and the
+/// branch condition's hypotheses never mislead the solver.
+#[test]
+fn random_conditionals_certify() {
+    check("random_conditionals_certify", 24, |rng| {
+        let t = arb_word_expr(rng, "x", 4);
+        let e = arb_word_expr(rng, "x", 4);
+        let c = rng.next_u64();
         let model = Model::new(
             "condy",
             ["x"],
@@ -155,18 +172,24 @@ proptest! {
         let dbs = standard_dbs();
         let compiled = rupicola::core::compile(&model, &scalar_spec("condy"), &dbs).unwrap();
         check_with(&compiled, &dbs, &quick_config()).unwrap();
-    }
+    });
+}
 
-    /// Whole random *programs*: a chain of mixed statements — scalar lets,
-    /// in-place maps, folds, conditionals — over one array and one scalar,
-    /// assembled in random order. Every successful derivation certifies;
-    /// this is the composition stress test (ghost renaming, length
-    /// equations and loop invariants interacting across statements).
-    #[test]
-    fn random_statement_chains_certify(
-        steps in proptest::collection::vec((0usize..4, arb_byte_expr("b"), arb_word_expr("x")), 1..5),
-        ret_scalar in proptest::bool::ANY,
-    ) {
+/// Whole random *programs*: a chain of mixed statements — scalar lets,
+/// in-place maps, folds, conditionals — over one array and one scalar,
+/// assembled in random order. Every successful derivation certifies;
+/// this is the composition stress test (ghost renaming, length
+/// equations and loop invariants interacting across statements).
+#[test]
+fn random_statement_chains_certify() {
+    check("random_statement_chains_certify", 24, |rng| {
+        let n_steps = rng.range(1, 5);
+        let steps: Vec<(u64, Expr, Expr)> = (0..n_steps)
+            .map(|_| {
+                (rng.below(4), arb_byte_expr(rng, "b", 3), arb_word_expr(rng, "x", 4))
+            })
+            .collect();
+        let ret_scalar = rng.bool();
         // Build the body inside-out.
         let mut body = if ret_scalar {
             pair(var("x"), var("s"))
@@ -205,12 +228,16 @@ proptest! {
         let dbs = standard_dbs();
         let compiled = rupicola::core::compile(&model, &spec, &dbs).unwrap();
         check_with(&compiled, &dbs, &quick_config()).unwrap();
-    }
+    });
+}
 
-    /// Two stacked maps (rebinding the same name twice) certify: the ghost
-    /// renaming discipline composes.
-    #[test]
-    fn stacked_maps_certify(f in arb_byte_expr("b"), g in arb_byte_expr("b")) {
+/// Two stacked maps (rebinding the same name twice) certify: the ghost
+/// renaming discipline composes.
+#[test]
+fn stacked_maps_certify() {
+    check("stacked_maps_certify", 24, |rng| {
+        let f = arb_byte_expr(rng, "b", 3);
+        let g = arb_byte_expr(rng, "b", 3);
         let model = Model::new(
             "twice",
             ["s"],
@@ -228,5 +255,5 @@ proptest! {
         )
         .unwrap();
         check_with(&compiled, &dbs, &quick_config()).unwrap();
-    }
+    });
 }

@@ -1,71 +1,88 @@
 //! Property-based tests of the substrate semantics: the source language's
 //! structural laws, the Bedrock2 memory model, and the §2 stack machine.
 
-use proptest::prelude::*;
 use rupicola::bedrock::{AccessSize, BinOp, Memory};
 use rupicola::lang::dsl::*;
 use rupicola::lang::eval::{eval, Env, World};
 use rupicola::lang::{Expr, Value};
 use rupicola::stackm;
+use rupicola_minicheck::{check, Rng};
 
 fn eval_pure(e: &Expr, env: &Env) -> Value {
     eval(e, env, &[], &mut World::default()).expect("pure eval")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// `ListArray.map` preserves length and acts elementwise.
-    #[test]
-    fn map_is_elementwise(data in proptest::collection::vec(any::<u8>(), 0..200), mask in any::<u8>()) {
+/// `ListArray.map` preserves length and acts elementwise.
+#[test]
+fn map_is_elementwise() {
+    check("map_is_elementwise", 128, |rng| {
+        let len = rng.range(0, 200);
+        let data = rng.bytes(len);
+        let mask = rng.byte();
         let mut env = Env::new();
         env.insert("s".into(), Value::byte_list(data.iter().copied()));
         let e = array_map_b("b", byte_and(var("b"), byte_lit(mask)), var("s"));
         let out = eval_pure(&e, &env);
         let expected: Vec<u8> = data.iter().map(|b| b & mask).collect();
-        prop_assert_eq!(out, Value::byte_list(expected));
-    }
+        assert_eq!(out, Value::byte_list(expected));
+    });
+}
 
-    /// `fold_left` agrees with the iterative computation.
-    #[test]
-    fn fold_agrees_with_iteration(data in proptest::collection::vec(any::<u8>(), 0..200), init in any::<u64>()) {
+/// `fold_left` agrees with the iterative computation.
+#[test]
+fn fold_agrees_with_iteration() {
+    check("fold_agrees_with_iteration", 128, |rng| {
+        let len = rng.range(0, 200);
+        let data = rng.bytes(len);
+        let init = rng.next_u64();
         let mut env = Env::new();
         env.insert("s".into(), Value::byte_list(data.iter().copied()));
         let e = array_fold_b(
-            "acc", "b",
+            "acc",
+            "b",
             word_add(word_mul(var("acc"), word_lit(31)), word_of_byte(var("b"))),
             word_lit(init),
             var("s"),
         );
         let out = eval_pure(&e, &env);
-        let expected = data.iter().fold(init, |acc, b| {
-            acc.wrapping_mul(31).wrapping_add(u64::from(*b))
-        });
-        prop_assert_eq!(out, Value::Word(expected));
-    }
+        let expected = data
+            .iter()
+            .fold(init, |acc, b| acc.wrapping_mul(31).wrapping_add(u64::from(*b)));
+        assert_eq!(out, Value::Word(expected));
+    });
+}
 
-    /// `get (put a i v) i = v` and other indices unchanged.
-    #[test]
-    fn put_get_roundtrip(data in proptest::collection::vec(any::<u8>(), 1..100), v in any::<u8>(), j in any::<prop::sample::Index>()) {
-        let i = j.index(data.len()) as u64;
+/// `get (put a i v) i = v` and other indices unchanged.
+#[test]
+fn put_get_roundtrip() {
+    check("put_get_roundtrip", 128, |rng| {
+        let len = rng.range(1, 100);
+        let data = rng.bytes(len);
+        let v = rng.byte();
+        let i = rng.below(data.len() as u64);
         let mut env = Env::new();
         env.insert("s".into(), Value::byte_list(data.iter().copied()));
         let put = array_put_b(var("s"), word_lit(i), byte_lit(v));
         let got = eval_pure(&array_get_b(put.clone(), word_lit(i)), &env);
-        prop_assert_eq!(got, Value::Byte(v));
+        assert_eq!(got, Value::Byte(v));
         // Another index is untouched.
         let k = (i + 1) % data.len() as u64;
         if k != i {
             let other = eval_pure(&array_get_b(put, word_lit(k)), &env);
-            prop_assert_eq!(other, Value::Byte(data[k as usize]));
+            assert_eq!(other, Value::Byte(data[k as usize]));
         }
-    }
+    });
+}
 
-    /// `range_fold` splits: folding 0..n equals folding 0..m then m..n.
-    #[test]
-    fn range_fold_splits(n in 0u64..64, m_idx in any::<prop::sample::Index>(), salt in any::<u64>()) {
-        let m = if n == 0 { 0 } else { m_idx.index(n as usize + 1) as u64 };
-        let body = |acc: Expr, i: Expr| word_add(word_mul(acc, word_lit(3)), word_xor(i, word_lit(salt)));
+/// `range_fold` splits: folding 0..n equals folding 0..m then m..n.
+#[test]
+fn range_fold_splits() {
+    check("range_fold_splits", 128, |rng| {
+        let n = rng.below(64);
+        let m = rng.below(n + 1);
+        let salt = rng.next_u64();
+        let body =
+            |acc: Expr, i: Expr| word_add(word_mul(acc, word_lit(3)), word_xor(i, word_lit(salt)));
         let env = Env::new();
         let whole = eval_pure(
             &range_fold("i", "a", body(var("a"), var("i")), word_lit(1), word_lit(0), word_lit(n)),
@@ -77,88 +94,109 @@ proptest! {
         );
         let Value::Word(first_w) = first else { unreachable!() };
         let second = eval_pure(
-            &range_fold("i", "a", body(var("a"), var("i")), word_lit(first_w), word_lit(m), word_lit(n)),
+            &range_fold(
+                "i",
+                "a",
+                body(var("a"), var("i")),
+                word_lit(first_w),
+                word_lit(m),
+                word_lit(n),
+            ),
             &env,
         );
-        prop_assert_eq!(whole, second);
-    }
+        assert_eq!(whole, second);
+    });
+}
 
-    /// Memory load/store roundtrips at every size, and neighbours survive.
-    #[test]
-    fn memory_roundtrips(len in 16usize..64, off in 0usize..8, value in any::<u64>(), size in 0usize..4) {
+/// Memory load/store roundtrips at every size, and neighbours survive.
+#[test]
+fn memory_roundtrips() {
+    check("memory_roundtrips", 128, |rng| {
+        let len = rng.range(16, 64);
+        let off = rng.range(0, 8);
+        let value = rng.next_u64();
         let sizes = [AccessSize::One, AccessSize::Two, AccessSize::Four, AccessSize::Eight];
-        let size = sizes[size];
+        let size = *rng.pick(&sizes);
         let mut m = Memory::new();
         let base = m.alloc(vec![0xCC; len]);
         let addr = base + off as u64;
         m.store(addr, size, value).unwrap();
         let loaded = m.load(addr, size).unwrap();
-        let mask = if size.bytes() == 8 { u64::MAX } else { (1 << (8 * size.bytes())) - 1 };
-        prop_assert_eq!(loaded, value & mask);
+        let mask =
+            if size.bytes() == 8 { u64::MAX } else { (1 << (8 * size.bytes())) - 1 };
+        assert_eq!(loaded, value & mask);
         // The byte just after the store is untouched.
         let after = addr + size.bytes();
         if after < base + len as u64 {
-            prop_assert_eq!(m.load(after, AccessSize::One).unwrap(), 0xCC);
+            assert_eq!(m.load(after, AccessSize::One).unwrap(), 0xCC);
         }
-    }
+    });
+}
 
-    /// Out-of-bounds accesses always trap, never wrap into other regions.
-    #[test]
-    fn memory_oob_always_traps(len in 0usize..32, past in 0u64..16) {
+/// Out-of-bounds accesses always trap, never wrap into other regions.
+#[test]
+fn memory_oob_always_traps() {
+    check("memory_oob_always_traps", 128, |rng| {
+        let len = rng.range(0, 32);
+        let past = rng.below(16);
         let mut m = Memory::new();
         let a = m.alloc(vec![0; len]);
         let _b = m.alloc(vec![0; 32]);
-        prop_assert!(m.load(a + len as u64 + past, AccessSize::One).is_err() || past >= 64);
-        prop_assert!(m.store(a + len as u64 + past, AccessSize::One, 1).is_err() || past >= 64);
-    }
+        assert!(m.load(a + len as u64 + past, AccessSize::One).is_err() || past >= 64);
+        assert!(m.store(a + len as u64 + past, AccessSize::One, 1).is_err() || past >= 64);
+    });
+}
 
-    /// Bedrock2's division/remainder match the RISC-V convention exactly.
-    #[test]
-    fn bedrock_divrem_riscv(a in any::<u64>(), b in any::<u64>()) {
+/// Bedrock2's division/remainder match the RISC-V convention exactly.
+#[test]
+fn bedrock_divrem_riscv() {
+    check("bedrock_divrem_riscv", 128, |rng| {
+        let (a, b) = (rng.next_u64(), if rng.below(8) == 0 { 0 } else { rng.next_u64() });
         let d = BinOp::DivU.eval(a, b);
         let r = BinOp::RemU.eval(a, b);
-        if b == 0 {
-            prop_assert_eq!(d, u64::MAX);
-            prop_assert_eq!(r, a);
-        } else {
-            prop_assert_eq!(d, a / b);
-            prop_assert_eq!(r, a % b);
-            prop_assert_eq!(d.wrapping_mul(b).wrapping_add(r), a);
+        assert_eq!(d, a.checked_div(b).unwrap_or(u64::MAX));
+        assert_eq!(r, a.checked_rem(b).unwrap_or(a));
+        if b != 0 {
+            assert_eq!(d.wrapping_mul(b).wrapping_add(r), a);
         }
-    }
+    });
 }
 
 // --- §2 stack machine ---
 
-fn arb_s() -> impl Strategy<Value = stackm::S> {
-    let leaf = any::<u64>().prop_map(stackm::S::int);
-    leaf.prop_recursive(6, 64, 2, |inner| {
-        (inner.clone(), inner).prop_map(|(a, b)| stackm::S::add(a, b))
-    })
+fn arb_s(rng: &mut Rng, depth: usize) -> stackm::S {
+    if depth == 0 || rng.below(3) == 0 {
+        return stackm::S::int(rng.next_u64());
+    }
+    stackm::S::add(arb_s(rng, depth - 1), arb_s(rng, depth - 1))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The functional compiler, the relational derivation and the source
-    /// semantics agree on arbitrary programs (§2's `StoT_ok`/`StoT_rel_ok`).
-    #[test]
-    fn stack_machine_compilers_agree(s in arb_s()) {
+/// The functional compiler, the relational derivation and the source
+/// semantics agree on arbitrary programs (§2's `StoT_ok`/`StoT_rel_ok`).
+#[test]
+fn stack_machine_compilers_agree() {
+    check("stack_machine_compilers_agree", 128, |rng| {
+        let s = arb_s(rng, 6);
         let t = stackm::compile(&s);
-        prop_assert!(stackm::equiv(&t, &s));
+        assert!(stackm::equiv(&t, &s));
         let d = stackm::derive(&s);
-        prop_assert_eq!(d.target(), t);
-        prop_assert!(d.validate());
-    }
+        assert_eq!(d.target(), t);
+        assert!(d.validate());
+    });
+}
 
-    /// Stack-machine execution leaves lower stack entries untouched
-    /// (the ∀zs quantification of `t ∼ s`).
-    #[test]
-    fn stack_machine_preserves_stack_below(s in arb_s(), zs in proptest::collection::vec(any::<u64>(), 0..5)) {
+/// Stack-machine execution leaves lower stack entries untouched
+/// (the ∀zs quantification of `t ∼ s`).
+#[test]
+fn stack_machine_preserves_stack_below() {
+    check("stack_machine_preserves_stack_below", 128, |rng| {
+        let s = arb_s(rng, 6);
+        let zs_len = rng.range(0, 5);
+        let zs = rng.words(zs_len);
         let t = stackm::compile(&s);
         let out = stackm::run(&t, zs.clone());
-        prop_assert_eq!(out.len(), zs.len() + 1);
-        prop_assert_eq!(&out[..zs.len()], &zs[..]);
-        prop_assert_eq!(out[zs.len()], s.eval());
-    }
+        assert_eq!(out.len(), zs.len() + 1);
+        assert_eq!(&out[..zs.len()], &zs[..]);
+        assert_eq!(out[zs.len()], s.eval());
+    });
 }
