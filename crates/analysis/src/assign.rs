@@ -1,0 +1,239 @@
+//! Definite assignment: every read of a local must be dominated by a write.
+//!
+//! Bedrock2 locals are untyped words with no implicit zero-initialization
+//! (the interpreter traps on [`UndefinedVariable`]); this forward
+//! must-analysis proves the trap unreachable. The state is the set of
+//! locals assigned on *every* path (intersection at joins), with a
+//! distinguished unreached element so the intersection does not degrade
+//! along not-yet-visited back edges.
+//!
+//! [`UndefinedVariable`]: rupicola_bedrock::interp::ExecError::UndefinedVariable
+
+use crate::dataflow::{forward_solve, ForwardAnalysis, Lattice};
+use crate::{Finding, FindingKind, Pass};
+use rupicola_bedrock::cfg::{Cfg, Stmt};
+use rupicola_bedrock::{BExpr, BFunction};
+use std::collections::BTreeSet;
+
+/// `None` = unreached; `Some(s)` = locals definitely assigned.
+#[derive(Clone, Debug, PartialEq)]
+struct Assigned(Option<BTreeSet<String>>);
+
+impl Lattice for Assigned {
+    fn join_with(&mut self, other: &Self) -> bool {
+        match (&mut self.0, &other.0) {
+            (_, None) => false,
+            (s @ None, Some(_)) => {
+                *s = other.0.clone();
+                true
+            }
+            (Some(a), Some(b)) => {
+                let before = a.len();
+                a.retain(|v| b.contains(v));
+                a.len() != before
+            }
+        }
+    }
+}
+
+struct DefiniteAssignment {
+    entry: BTreeSet<String>,
+}
+
+impl ForwardAnalysis for DefiniteAssignment {
+    type State = Assigned;
+
+    fn boundary(&self) -> Assigned {
+        Assigned(Some(self.entry.clone()))
+    }
+
+    fn bottom(&self) -> Assigned {
+        Assigned(None)
+    }
+
+    fn transfer(&self, stmt: &Stmt, state: &mut Assigned) {
+        let Some(set) = &mut state.0 else { return };
+        match stmt {
+            Stmt::Set { var, .. } | Stmt::AllocEnter { var, .. } => {
+                set.insert(var.clone());
+            }
+            Stmt::Unset(v) | Stmt::AllocExit { var: v, .. } => {
+                set.remove(v);
+            }
+            Stmt::Call { rets, .. } | Stmt::Interact { rets, .. } => {
+                set.extend(rets.iter().cloned());
+            }
+            Stmt::Store(..) => {}
+        }
+    }
+}
+
+fn check_expr(
+    expr: &BExpr,
+    assigned: &Assigned,
+    function: &str,
+    where_: &str,
+    findings: &mut Vec<Finding>,
+) {
+    let Some(set) = &assigned.0 else { return };
+    for v in expr.vars() {
+        if !set.contains(&v) {
+            findings.push(Finding {
+                pass: Pass::Assign,
+                kind: FindingKind::UseBeforeDef { var: v.clone() },
+                function: function.to_string(),
+                site: None,
+                message: format!("local `{v}` may be read before assignment in {where_}"),
+            });
+        }
+    }
+}
+
+/// Runs the pass over one function.
+pub fn run(f: &BFunction) -> Vec<Finding> {
+    let cfg = Cfg::build(&f.body);
+    let analysis = DefiniteAssignment { entry: f.args.iter().cloned().collect() };
+    let sol = forward_solve(&cfg, &analysis);
+    let mut findings = Vec::new();
+
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        let mut state = sol.ins[b].clone();
+        for stmt in &block.stmts {
+            match stmt {
+                Stmt::Set { var, expr, .. } => {
+                    check_expr(expr, &state, &f.name, &format!("`{var} = …`"), &mut findings);
+                }
+                Stmt::Store(_, addr, val) => {
+                    check_expr(addr, &state, &f.name, "a store address", &mut findings);
+                    check_expr(val, &state, &f.name, "a stored value", &mut findings);
+                }
+                Stmt::Call { args, .. } | Stmt::Interact { args, .. } => {
+                    for a in args {
+                        check_expr(a, &state, &f.name, "a call argument", &mut findings);
+                    }
+                }
+                Stmt::Unset(_) | Stmt::AllocEnter { .. } | Stmt::AllocExit { .. } => {}
+            }
+            analysis.transfer(stmt, &mut state);
+        }
+        if let rupicola_bedrock::cfg::Terminator::Branch { cond, .. } = &block.term {
+            check_expr(cond, &state, &f.name, "a branch condition", &mut findings);
+        }
+    }
+
+    // Returned locals must be assigned on every path reaching the exit.
+    // An unreached exit (e.g. `while (1)`) is the loop lint's report.
+    if let Some(set) = &sol.outs[cfg.exit].0 {
+        for r in &f.rets {
+            if !set.contains(r) {
+                findings.push(Finding {
+                    pass: Pass::Assign,
+                    kind: FindingKind::MissingReturn { var: r.clone() },
+                    function: f.name.clone(),
+                    site: None,
+                    message: format!(
+                        "returned local `{r}` is not assigned on every path to the exit"
+                    ),
+                });
+            }
+        }
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupicola_bedrock::ast::{BinOp, Cmd};
+
+    #[test]
+    fn straightline_clean() {
+        let f = BFunction::new(
+            "f",
+            ["a"],
+            ["out"],
+            Cmd::seq([
+                Cmd::set("x", BExpr::op(BinOp::Add, BExpr::var("a"), BExpr::lit(1))),
+                Cmd::set("out", BExpr::var("x")),
+            ]),
+        );
+        assert!(run(&f).is_empty());
+    }
+
+    #[test]
+    fn read_before_write_flagged() {
+        let f = BFunction::new(
+            "f",
+            Vec::<String>::new(),
+            ["out"],
+            Cmd::set("out", BExpr::var("x")),
+        );
+        let findings = run(&f);
+        assert!(findings
+            .iter()
+            .any(|f| matches!(&f.kind, FindingKind::UseBeforeDef { var } if var == "x")));
+    }
+
+    #[test]
+    fn one_armed_assignment_flagged() {
+        // x assigned only in the then-branch, read after the join.
+        let f = BFunction::new(
+            "f",
+            ["c"],
+            ["out"],
+            Cmd::seq([
+                Cmd::if_(BExpr::var("c"), Cmd::set("x", BExpr::lit(1)), Cmd::Skip),
+                Cmd::set("out", BExpr::var("x")),
+            ]),
+        );
+        let findings = run(&f);
+        assert!(findings
+            .iter()
+            .any(|f| matches!(&f.kind, FindingKind::UseBeforeDef { var } if var == "x")));
+    }
+
+    #[test]
+    fn both_arms_assignment_clean() {
+        let f = BFunction::new(
+            "f",
+            ["c"],
+            ["out"],
+            Cmd::seq([
+                Cmd::if_(
+                    BExpr::var("c"),
+                    Cmd::set("x", BExpr::lit(1)),
+                    Cmd::set("x", BExpr::lit(2)),
+                ),
+                Cmd::set("out", BExpr::var("x")),
+            ]),
+        );
+        assert!(run(&f).is_empty());
+    }
+
+    #[test]
+    fn missing_return_flagged() {
+        let f = BFunction::new("f", Vec::<String>::new(), ["out"], Cmd::Skip);
+        let findings = run(&f);
+        assert!(findings
+            .iter()
+            .any(|f| matches!(&f.kind, FindingKind::MissingReturn { var } if var == "out")));
+    }
+
+    #[test]
+    fn loop_counter_defined_before_loop_clean() {
+        let f = BFunction::new(
+            "f",
+            ["n"],
+            ["i"],
+            Cmd::seq([
+                Cmd::set("i", BExpr::lit(0)),
+                Cmd::while_(
+                    BExpr::op(BinOp::LtU, BExpr::var("i"), BExpr::var("n")),
+                    Cmd::set("i", BExpr::op(BinOp::Add, BExpr::var("i"), BExpr::lit(1))),
+                ),
+            ]),
+        );
+        assert!(run(&f).is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! Certificate cross-checking.
+//!
+//! A [`CompiledFunction`] bundles code, derivation witness, model, and
+//! spec. The trusted checker validates the derivation against the code;
+//! this pass validates the *bundle's internal consistency* without
+//! replaying the derivation, so a corrupted or forged certificate is
+//! caught even by a consumer that never runs the checker:
+//!
+//! - the witness summary counters must match a recount of the tree (a
+//!   truncated or pruned witness carries stale counters);
+//! - the function's ABI (argument and return lists) must match the spec
+//!   it claims to implement;
+//! - the spec must still produce an initial goal against the bundled model
+//!   (a re-pointed return slot or renamed parameter fails here);
+//! - every inline table must be byte-identical to the layout of the
+//!   model-level table it was derived from;
+//! - optionally, every lemma cited by the derivation must exist in the
+//!   hint databases the certificate will be re-validated against.
+
+use crate::{Finding, FindingKind, Pass};
+use rupicola_core::derive::Derivation;
+use rupicola_core::lemma::HintDbs;
+use rupicola_core::CompiledFunction;
+use std::collections::BTreeSet;
+
+fn finding(cf: &CompiledFunction, kind: FindingKind, message: String) -> Finding {
+    Finding { pass: Pass::CertCheck, kind, function: cf.function.name.clone(), site: None, message }
+}
+
+/// Runs the pass. `dbs` enables the cited-lemma existence check.
+pub fn run(cf: &CompiledFunction, dbs: Option<&HintDbs>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Witness integrity: recount the tree.
+    let recount = Derivation::new(cf.derivation.root.clone());
+    if recount.node_count != cf.derivation.node_count
+        || recount.side_cond_count != cf.derivation.side_cond_count
+    {
+        findings.push(finding(
+            cf,
+            FindingKind::CertMismatch,
+            format!(
+                "derivation summary counters are stale: recorded {} nodes / {} side \
+                 conditions, recounted {} / {}",
+                cf.derivation.node_count,
+                cf.derivation.side_cond_count,
+                recount.node_count,
+                recount.side_cond_count
+            ),
+        ));
+    }
+
+    // ABI: the function must expose exactly the spec's interface.
+    if cf.function.args != cf.spec.arg_names() {
+        findings.push(finding(
+            cf,
+            FindingKind::CertMismatch,
+            format!(
+                "function arguments {:?} do not match the spec's {:?}",
+                cf.function.args,
+                cf.spec.arg_names()
+            ),
+        ));
+    }
+    if cf.function.rets != cf.spec.ret_names() {
+        findings.push(finding(
+            cf,
+            FindingKind::CertMismatch,
+            format!(
+                "function returns {:?} do not match the spec's scalar returns {:?}",
+                cf.function.rets,
+                cf.spec.ret_names()
+            ),
+        ));
+    }
+
+    // The spec must still be consistent with the bundled model.
+    if let Err(e) = cf.initial_goal() {
+        findings.push(finding(
+            cf,
+            FindingKind::CertMismatch,
+            format!("spec and model no longer produce an initial goal: {e}"),
+        ));
+    }
+
+    // Inline tables must be the model tables, byte for byte.
+    for t in &cf.model.tables {
+        match (t.data.to_layout_bytes(), cf.function.table(&t.name)) {
+            (Some(expected), Some(actual)) => {
+                if expected != actual.data {
+                    findings.push(finding(
+                        cf,
+                        FindingKind::CertMismatch,
+                        format!(
+                            "inline table `{}` differs from the model table's layout bytes",
+                            t.name
+                        ),
+                    ));
+                }
+            }
+            (Some(_), None) => {
+                findings.push(finding(
+                    cf,
+                    FindingKind::CertMismatch,
+                    format!("model table `{}` is missing from the function", t.name),
+                ));
+            }
+            (None, _) => {
+                findings.push(finding(
+                    cf,
+                    FindingKind::CertMismatch,
+                    format!("model table `{}` has no byte layout", t.name),
+                ));
+            }
+        }
+    }
+    let model_tables: BTreeSet<&str> = cf.model.tables.iter().map(|t| t.name.as_str()).collect();
+    for t in &cf.function.tables {
+        if !model_tables.contains(t.name.as_str()) {
+            findings.push(finding(
+                cf,
+                FindingKind::CertMismatch,
+                format!("function carries table `{}` with no model counterpart", t.name),
+            ));
+        }
+    }
+
+    // Cited lemmas must exist where the certificate claims to be
+    // re-checkable.
+    if let Some(dbs) = dbs {
+        let mut cited = BTreeSet::new();
+        cf.derivation.root.walk(&mut |n| {
+            cited.insert(n.lemma.clone());
+        });
+        for lemma in cited {
+            if !dbs.knows_lemma(&lemma) {
+                findings.push(finding(
+                    cf,
+                    FindingKind::UnknownLemma { lemma: lemma.clone() },
+                    format!("derivation cites lemma `{lemma}` not present in the hint databases"),
+                ));
+            }
+        }
+    }
+
+    findings
+}

@@ -1,0 +1,206 @@
+//! A generic worklist dataflow solver over [`Cfg`]s.
+//!
+//! Analyses plug in a lattice (the abstract state) and transfer functions;
+//! the solver iterates to a fixpoint in reverse postorder (forward) or
+//! postorder (backward), switching from join to widening once a block has
+//! been revisited often enough to suggest an unstable ascending chain.
+
+use rupicola_bedrock::cfg::{BlockId, Cfg, Stmt, Terminator};
+use rupicola_bedrock::BExpr;
+
+/// Number of joins into a block before the solver starts widening. The
+/// interval domain's symbolic bounds stabilize in two or three visits on
+/// all benchmark programs; widening is a termination backstop for
+/// adversarial inputs, not the common path.
+const WIDEN_AFTER: usize = 5;
+
+/// An abstract-state lattice.
+///
+/// `join_with`/`widen_with` merge another state into `self` and report
+/// whether `self` changed; the solver uses the report to drive the
+/// worklist. The bottom element (provided by the analysis, not the trait)
+/// must be an identity for join: it encodes "no path reaches here yet".
+pub trait Lattice: Clone {
+    /// Least upper bound; returns `true` iff `self` changed.
+    fn join_with(&mut self, other: &Self) -> bool;
+
+    /// Widening; must over-approximate join and guarantee stabilization on
+    /// infinite-ascending-chain domains. Defaults to join (correct for
+    /// finite domains).
+    fn widen_with(&mut self, other: &Self) -> bool {
+        self.join_with(other)
+    }
+}
+
+/// A forward dataflow analysis.
+pub trait ForwardAnalysis {
+    /// The abstract state.
+    type State: Lattice;
+
+    /// The state at the function entry.
+    fn boundary(&self) -> Self::State;
+
+    /// The bottom element (unreached).
+    fn bottom(&self) -> Self::State;
+
+    /// Transfers one statement.
+    fn transfer(&self, stmt: &Stmt, state: &mut Self::State);
+
+    /// Refines the state along a branch edge, knowing `cond` evaluated to
+    /// nonzero (`taken`) or zero (`!taken`). Default: no refinement.
+    fn refine(&self, _cond: &BExpr, _taken: bool, _state: &mut Self::State) {}
+}
+
+/// Per-block states computed by a solver.
+pub struct Solution<S> {
+    /// State at each block's entry (forward) / the live state at each
+    /// block's entry (backward).
+    pub ins: Vec<S>,
+    /// State after each block's statements (forward: before the
+    /// terminator; backward: the state flowing in from the block's end,
+    /// terminator uses already applied).
+    pub outs: Vec<S>,
+}
+
+/// Runs a forward analysis to fixpoint and returns per-block entry/exit
+/// states.
+pub fn forward_solve<A: ForwardAnalysis>(cfg: &Cfg, a: &A) -> Solution<A::State> {
+    let n = cfg.blocks.len();
+    let mut ins: Vec<A::State> = (0..n).map(|_| a.bottom()).collect();
+    ins[cfg.entry] = a.boundary();
+    let mut joins = vec![0usize; n];
+
+    let rpo = cfg.reverse_postorder();
+    let mut queue: Vec<BlockId> = rpo.clone();
+    let mut queued = vec![false; n];
+    for &b in &queue {
+        queued[b] = true;
+    }
+    // Process in RPO by repeatedly draining a pending set in RPO order.
+    while !queue.is_empty() {
+        let mut next: Vec<BlockId> = Vec::new();
+        for &b in &queue {
+            queued[b] = false;
+        }
+        for &b in &queue {
+            let mut state = ins[b].clone();
+            for stmt in &cfg.blocks[b].stmts {
+                a.transfer(stmt, &mut state);
+            }
+            let edges: Vec<(BlockId, Option<(&BExpr, bool)>)> = match &cfg.blocks[b].term {
+                Terminator::Jump(t) => vec![(*t, None)],
+                Terminator::Branch { cond, then_, else_ } => {
+                    vec![(*then_, Some((cond, true))), (*else_, Some((cond, false)))]
+                }
+                Terminator::Return => vec![],
+            };
+            for (succ, refine) in edges {
+                let mut edge_state = state.clone();
+                if let Some((cond, taken)) = refine {
+                    a.refine(cond, taken, &mut edge_state);
+                }
+                let changed = if joins[succ] >= WIDEN_AFTER {
+                    ins[succ].widen_with(&edge_state)
+                } else {
+                    ins[succ].join_with(&edge_state)
+                };
+                if changed {
+                    joins[succ] += 1;
+                    if !queued[succ] {
+                        queued[succ] = true;
+                        next.push(succ);
+                    }
+                }
+            }
+        }
+        // Keep RPO order for the next sweep: it minimizes iterations on
+        // reducible graphs (which is all `Cmd` lowerings).
+        next.sort_by_key(|b| rpo.iter().position(|x| x == b).unwrap_or(usize::MAX));
+        queue = next;
+    }
+
+    let outs = (0..n)
+        .map(|b| {
+            let mut state = ins[b].clone();
+            for stmt in &cfg.blocks[b].stmts {
+                a.transfer(stmt, &mut state);
+            }
+            state
+        })
+        .collect();
+    Solution { ins, outs }
+}
+
+/// A backward dataflow analysis (e.g. liveness).
+pub trait BackwardAnalysis {
+    /// The abstract state.
+    type State: Lattice;
+
+    /// The state at the function exit.
+    fn boundary(&self) -> Self::State;
+
+    /// The bottom element.
+    fn bottom(&self) -> Self::State;
+
+    /// Transfers one statement *backwards* (state is the post-state, becomes
+    /// the pre-state).
+    fn transfer(&self, stmt: &Stmt, state: &mut Self::State);
+
+    /// Accounts for a terminator condition's uses (applied at block end).
+    fn cond_use(&self, _cond: &BExpr, _state: &mut Self::State) {}
+}
+
+/// Runs a backward analysis to fixpoint.
+///
+/// `outs[b]` is the state just after `b`'s last statement (successor needs
+/// joined, terminator-condition uses applied); `ins[b]` is the state at
+/// `b`'s entry.
+pub fn backward_solve<A: BackwardAnalysis>(cfg: &Cfg, a: &A) -> Solution<A::State> {
+    let n = cfg.blocks.len();
+    let mut ins: Vec<A::State> = (0..n).map(|_| a.bottom()).collect();
+    let mut joins = vec![0usize; n];
+
+    let mut po = cfg.reverse_postorder();
+    po.reverse();
+
+    let block_out = |a: &A, ins: &[A::State], b: BlockId| -> A::State {
+        let mut state = match &cfg.blocks[b].term {
+            Terminator::Return => a.boundary(),
+            Terminator::Jump(t) => ins[*t].clone(),
+            Terminator::Branch { then_, else_, .. } => {
+                let mut s = ins[*then_].clone();
+                s.join_with(&ins[*else_]);
+                s
+            }
+        };
+        if let Terminator::Branch { cond, .. } = &cfg.blocks[b].term {
+            a.cond_use(cond, &mut state);
+        }
+        state
+    };
+
+    let mut changed = true;
+    let mut sweeps = 0usize;
+    while changed {
+        changed = false;
+        sweeps += 1;
+        for &b in &po {
+            let mut state = block_out(a, &ins, b);
+            for stmt in cfg.blocks[b].stmts.iter().rev() {
+                a.transfer(stmt, &mut state);
+            }
+            let c = if joins[b] >= WIDEN_AFTER && sweeps > WIDEN_AFTER {
+                ins[b].widen_with(&state)
+            } else {
+                ins[b].join_with(&state)
+            };
+            if c {
+                joins[b] += 1;
+                changed = true;
+            }
+        }
+    }
+
+    let outs = (0..n).map(|b| block_out(a, &ins, b)).collect();
+    Solution { ins, outs }
+}

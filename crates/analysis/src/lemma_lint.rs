@@ -1,0 +1,211 @@
+//! Lemma-library linting.
+//!
+//! Rupicola's proof search is ordered and non-backtracking: the *first*
+//! matching lemma commits the derivation (§2.2). Library hygiene therefore
+//! matters in ways a backtracking prover would forgive:
+//!
+//! - two lemmas with the same name are indistinguishable to the
+//!   name-based witness checker — an error;
+//! - a lemma that always loses the race to an earlier one (matches only
+//!   goals an earlier lemma also matches, never cited by an actual
+//!   derivation) is *shadowed*: registered, billed, never used;
+//! - a lemma that matches no probed goal shape and no derivation is
+//!   *unreachable* for the probed corpus;
+//! - a solver whose every recorded discharge is also provable by an
+//!   earlier-registered solver is *redundant* on the corpus.
+//!
+//! Probing applies each statement lemma to the corpus programs' initial
+//! goals with a fresh, resource-limited compiler per probe, under a panic
+//! guard — a misbehaving extension lemma fails its own probe only.
+
+use crate::{Finding, FindingKind, Pass};
+use rupicola_core::lemma::HintDbs;
+use rupicola_core::{catch_quiet, Compiler, CompiledFunction, EngineLimits, StmtGoal};
+use rupicola_core::derive::Derivation;
+use rupicola_core::error::CompileError;
+use rupicola_lang::Model;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One probe subject: a program's initial goal plus the derivation its
+/// certificate recorded (the ground truth for "actually used").
+pub struct ProbeSuite {
+    /// Display name (the program's function name).
+    pub label: String,
+    /// The source model (probe compilers evaluate tables against it).
+    pub model: Model,
+    /// The initial compilation goal.
+    pub goal: StmtGoal,
+    /// The recorded derivation.
+    pub derivation: Derivation,
+}
+
+impl ProbeSuite {
+    /// Builds a suite from a compilation certificate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`CompileError`] if the certificate's spec no longer
+    /// produces an initial goal (cross-checked separately by the
+    /// certificate pass).
+    pub fn from_compiled(cf: &CompiledFunction) -> Result<ProbeSuite, CompileError> {
+        Ok(ProbeSuite {
+            label: cf.function.name.clone(),
+            model: cf.model.clone(),
+            goal: cf.initial_goal()?,
+            derivation: cf.derivation.clone(),
+        })
+    }
+}
+
+fn finding(kind: FindingKind, message: String) -> Finding {
+    Finding { pass: Pass::LemmaLint, kind, function: "(library)".to_string(), site: None, message }
+}
+
+/// Lints the hint databases against a corpus of probe suites.
+pub fn run(dbs: &HintDbs, suites: &[ProbeSuite]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Duplicate names: fatal, since witnesses cite lemmas by name.
+    let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
+    for l in dbs.stmt_lemmas() {
+        *seen.entry(l.name()).or_default() += 1;
+    }
+    for l in dbs.expr_lemmas() {
+        *seen.entry(l.name()).or_default() += 1;
+    }
+    for (name, count) in &seen {
+        if *count > 1 {
+            findings.push(finding(
+                FindingKind::DuplicateLemma { lemma: name.to_string() },
+                format!(
+                    "{count} registered lemmas share the name `{name}`; witness checking \
+                     is name-based and cannot tell them apart"
+                ),
+            ));
+        }
+    }
+    let mut solver_seen: BTreeMap<&str, usize> = BTreeMap::new();
+    for s in dbs.solvers() {
+        *solver_seen.entry(s.name()).or_default() += 1;
+    }
+    for (name, count) in &solver_seen {
+        if *count > 1 {
+            findings.push(finding(
+                FindingKind::DuplicateLemma { lemma: name.to_string() },
+                format!("{count} registered solvers share the name `{name}`"),
+            ));
+        }
+    }
+
+    // Ground truth: lemmas and solvers the corpus derivations actually
+    // cite.
+    let mut cited: BTreeSet<String> = BTreeSet::new();
+    let mut records = Vec::new();
+    for s in suites {
+        s.derivation.root.walk(&mut |n| {
+            cited.insert(n.lemma.clone());
+            for r in &n.side_conds {
+                records.push(r.clone());
+            }
+        });
+    }
+
+    // Probe statement lemmas against each suite's initial goal. A probe
+    // runs in a fresh, tightly-budgeted compiler: matching is what we
+    // measure, not whether the lemma completes a derivation.
+    let stmt = dbs.stmt_lemmas();
+    let n = stmt.len();
+    let mut matched_somewhere = vec![false; n];
+    let mut first_somewhere = vec![false; n];
+    for suite in suites {
+        let mut first_seen = false;
+        for (i, lemma) in stmt.iter().enumerate() {
+            let matched = catch_quiet(|| {
+                let mut cx = Compiler::with_limits(&suite.model, dbs, EngineLimits::default());
+                lemma.try_apply(&suite.goal, &mut cx).is_some()
+            })
+            // A panicking lemma engaged with the goal: count it as a match
+            // (its brokenness is reported by the engine's own isolation).
+            .unwrap_or(true);
+            if matched {
+                matched_somewhere[i] = true;
+                if !first_seen {
+                    first_somewhere[i] = true;
+                }
+                first_seen = true;
+            }
+        }
+    }
+    for (i, lemma) in stmt.iter().enumerate() {
+        let name = lemma.name();
+        if cited.contains(name) {
+            continue;
+        }
+        if matched_somewhere[i] && !first_somewhere[i] {
+            findings.push(finding(
+                FindingKind::ShadowedLemma { lemma: name.to_string() },
+                format!(
+                    "statement lemma `{name}` matches corpus goals but is always preceded \
+                     by an earlier match, and no corpus derivation cites it (shadowed)"
+                ),
+            ));
+        } else if !matched_somewhere[i] && !suites.is_empty() {
+            findings.push(finding(
+                FindingKind::UnreachableLemma { lemma: name.to_string() },
+                format!(
+                    "statement lemma `{name}` matches no corpus goal and no corpus \
+                     derivation cites it (unreachable for these goal shapes)"
+                ),
+            ));
+        }
+    }
+
+    // Expression lemmas are matched deep inside derivations; citation is
+    // the only reliable reachability signal.
+    if !suites.is_empty() {
+        for lemma in dbs.expr_lemmas() {
+            let name = lemma.name();
+            if !cited.contains(name) {
+                findings.push(finding(
+                    FindingKind::UnreachableLemma { lemma: name.to_string() },
+                    format!(
+                        "expression lemma `{name}` is cited by no corpus derivation \
+                         (unreachable for these goal shapes)"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Solver redundancy: a solver is redundant on the corpus if every side
+    // condition it discharged is also discharged by an earlier-registered
+    // solver.
+    let solvers = dbs.solvers();
+    for (si, solver) in solvers.iter().enumerate() {
+        if si == 0 {
+            continue;
+        }
+        let name = solver.name();
+        let mine: Vec<_> = records.iter().filter(|r| r.solver == name).collect();
+        if mine.is_empty() {
+            continue;
+        }
+        let all_covered = mine.iter().all(|r| {
+            solvers[..si].iter().any(|earlier| {
+                catch_quiet(|| earlier.solve(&r.cond, &r.hyps)).unwrap_or(false)
+            })
+        });
+        if all_covered {
+            findings.push(finding(
+                FindingKind::RedundantSolver { solver: name.to_string() },
+                format!(
+                    "solver `{name}` discharged {} side condition(s), all of which an \
+                     earlier-registered solver also discharges (redundant on this corpus)",
+                    mine.len()
+                ),
+            ));
+        }
+    }
+
+    findings
+}

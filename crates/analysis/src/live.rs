@@ -1,0 +1,211 @@
+//! Liveness and dead-store detection.
+//!
+//! A backward union (may) analysis: a local is live at a point if some path
+//! from there reads it before overwriting it. A `Set` whose target is dead
+//! immediately afterwards is a *dead store* — computed work the function
+//! never observes. Relational compilation should never emit one (every
+//! emitted statement is justified by a lemma that consumed source), so a
+//! dead store in certified output indicates a lemma emitting vestigial
+//! code.
+//!
+//! Only stores whose right-hand side is free of memory reads (`Load`,
+//! inline tables) are reported: those are the ones that can be deleted
+//! without also deleting a potential trap, which keeps the findings
+//! actionable and lets the property-based soundness test remove every
+//! flagged site and re-run the program expecting identical behavior.
+
+use crate::dataflow::{backward_solve, BackwardAnalysis, Lattice};
+use crate::{Finding, FindingKind, Pass};
+use rupicola_bedrock::cfg::{Cfg, Stmt};
+use rupicola_bedrock::{BExpr, BFunction};
+use std::collections::BTreeSet;
+
+#[derive(Clone, Debug, PartialEq)]
+struct Live(BTreeSet<String>);
+
+impl Lattice for Live {
+    fn join_with(&mut self, other: &Self) -> bool {
+        let before = self.0.len();
+        self.0.extend(other.0.iter().cloned());
+        self.0.len() != before
+    }
+}
+
+struct Liveness {
+    rets: BTreeSet<String>,
+}
+
+fn add_uses(expr: &BExpr, live: &mut BTreeSet<String>) {
+    live.extend(expr.vars());
+}
+
+impl BackwardAnalysis for Liveness {
+    type State = Live;
+
+    fn boundary(&self) -> Live {
+        Live(self.rets.clone())
+    }
+
+    fn bottom(&self) -> Live {
+        Live(BTreeSet::new())
+    }
+
+    fn transfer(&self, stmt: &Stmt, state: &mut Live) {
+        let live = &mut state.0;
+        match stmt {
+            Stmt::Set { var, expr, .. } => {
+                live.remove(var);
+                add_uses(expr, live);
+            }
+            Stmt::Unset(v) => {
+                live.remove(v);
+            }
+            Stmt::Store(_, addr, val) => {
+                add_uses(addr, live);
+                add_uses(val, live);
+            }
+            Stmt::Call { rets, args, .. } | Stmt::Interact { rets, args, .. } => {
+                for r in rets {
+                    live.remove(r);
+                }
+                for a in args {
+                    add_uses(a, live);
+                }
+            }
+            Stmt::AllocEnter { var, .. } => {
+                live.remove(var);
+            }
+            // The scope end consumes the base pointer (the region is
+            // popped by address).
+            Stmt::AllocExit { var, .. } => {
+                live.insert(var.clone());
+            }
+        }
+    }
+
+    fn cond_use(&self, cond: &BExpr, state: &mut Live) {
+        add_uses(cond, &mut state.0);
+    }
+}
+
+/// Whether deleting `Set(_, expr)` is observationally safe: the RHS must
+/// not touch memory (a deleted `Load` could also delete a trap).
+fn removal_safe(expr: &BExpr) -> bool {
+    match expr {
+        BExpr::Lit(_) | BExpr::Var(_) => true,
+        BExpr::Load(..) | BExpr::InlineTable { .. } => false,
+        BExpr::Op(_, a, b) => removal_safe(a) && removal_safe(b),
+    }
+}
+
+/// Runs the pass over one function. Findings carry the assignment `site`
+/// ordinal, compatible with [`rupicola_bedrock::cfg::remove_set_sites`].
+pub fn run(f: &BFunction) -> Vec<Finding> {
+    let cfg = Cfg::build(&f.body);
+    let analysis = Liveness { rets: f.rets.iter().cloned().collect() };
+    let sol = backward_solve(&cfg, &analysis);
+    let mut findings = Vec::new();
+
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        // Walk the block backwards from its end state; at each `Set`, the
+        // current state is exactly the liveness after that statement.
+        let mut state = sol.outs[b].clone();
+        for stmt in block.stmts.iter().rev() {
+            if let Stmt::Set { var, expr, site } = stmt {
+                if !state.0.contains(var) && removal_safe(expr) {
+                    findings.push(Finding {
+                        pass: Pass::Liveness,
+                        kind: FindingKind::DeadStore { var: var.clone() },
+                        function: f.name.clone(),
+                        site: Some(*site),
+                        message: format!(
+                            "`{var}` is assigned here but never read afterwards (dead store)"
+                        ),
+                    });
+                }
+            }
+            analysis.transfer(stmt, &mut state);
+        }
+    }
+
+    findings.sort_by_key(|f| f.site);
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupicola_bedrock::ast::{AccessSize, BinOp, Cmd};
+
+    #[test]
+    fn overwritten_store_flagged_with_site() {
+        let f = BFunction::new(
+            "f",
+            Vec::<String>::new(),
+            ["x"],
+            Cmd::seq([Cmd::set("x", BExpr::lit(1)), Cmd::set("x", BExpr::lit(2))]),
+        );
+        let findings = run(&f);
+        assert_eq!(findings.len(), 1);
+        assert!(matches!(&findings[0].kind, FindingKind::DeadStore { var } if var == "x"));
+        assert_eq!(findings[0].site, Some(0));
+    }
+
+    #[test]
+    fn value_read_later_not_flagged() {
+        let f = BFunction::new(
+            "f",
+            Vec::<String>::new(),
+            ["y"],
+            Cmd::seq([
+                Cmd::set("x", BExpr::lit(1)),
+                Cmd::set("y", BExpr::op(BinOp::Add, BExpr::var("x"), BExpr::lit(1))),
+            ]),
+        );
+        assert!(run(&f).is_empty());
+    }
+
+    #[test]
+    fn loop_carried_value_not_flagged() {
+        // `i` is read by the guard and the body on the next iteration.
+        let f = BFunction::new(
+            "f",
+            ["n"],
+            ["i"],
+            Cmd::seq([
+                Cmd::set("i", BExpr::lit(0)),
+                Cmd::while_(
+                    BExpr::op(BinOp::LtU, BExpr::var("i"), BExpr::var("n")),
+                    Cmd::set("i", BExpr::op(BinOp::Add, BExpr::var("i"), BExpr::lit(1))),
+                ),
+            ]),
+        );
+        assert!(run(&f).is_empty());
+    }
+
+    #[test]
+    fn load_rhs_not_reported_even_if_dead() {
+        let f = BFunction::new(
+            "f",
+            ["p"],
+            Vec::<String>::new(),
+            Cmd::set("x", BExpr::load(AccessSize::One, BExpr::var("p"))),
+        );
+        // Dead, but deleting it would delete a potential trap: not flagged.
+        assert!(run(&f).is_empty());
+    }
+
+    #[test]
+    fn store_address_keeps_value_live() {
+        let f = BFunction::new(
+            "f",
+            ["p"],
+            Vec::<String>::new(),
+            Cmd::seq([
+                Cmd::set("v", BExpr::lit(7)),
+                Cmd::store(AccessSize::One, BExpr::var("p"), BExpr::var("v")),
+            ]),
+        );
+        assert!(run(&f).is_empty());
+    }
+}

@@ -1,0 +1,283 @@
+//! Loop-progress lint.
+//!
+//! Bedrock2 loops only have meaning when they terminate (the interpreter is
+//! fuel-indexed); relational compilation emits loops from bounded folds, so
+//! every certified loop should exhibit an evident progress argument. This
+//! lint re-derives one syntactically: some guard variable must be a
+//! *counter* — updated by a constant step in one direction on every path
+//! through the body — moving toward a bound built from loop-invariant
+//! terms. Loops with no such counter (a guard nobody advances, a counter
+//! stepped both ways, a bound the body itself moves) are flagged.
+//!
+//! Accepted shapes:
+//!
+//! - `while (v < B) { …; v = v + k; … }` with `k ≥ 1`, every path updating
+//!   `v` upward, and no variable of `B` assigned in the body;
+//! - `while (B < v) { …; v = v - 1; … }` symmetrically (downward steps
+//!   must be exactly 1, or the counter could wrap past the bound);
+//! - `while (v) { …; v = v - 1; … }` (countdown to zero; step must be
+//!   exactly 1 so zero cannot be skipped).
+
+use crate::{Finding, FindingKind, Pass};
+use rupicola_bedrock::ast::{BExpr, BFunction, BinOp, Cmd};
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Direction {
+    Up,
+    Down,
+}
+
+/// The constant-step update shape `v = v + k` / `v = v - k`, if `expr`
+/// matches it for variable `v`.
+fn step_of(v: &str, expr: &BExpr) -> Option<(Direction, u64)> {
+    match expr {
+        BExpr::Op(BinOp::Add, a, b) => match (&**a, &**b) {
+            (BExpr::Var(x), BExpr::Lit(k)) | (BExpr::Lit(k), BExpr::Var(x))
+                if x == v && *k >= 1 =>
+            {
+                Some((Direction::Up, *k))
+            }
+            _ => None,
+        },
+        BExpr::Op(BinOp::Sub, a, b) => match (&**a, &**b) {
+            (BExpr::Var(x), BExpr::Lit(k)) if x == v && *k >= 1 => Some((Direction::Down, *k)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Whether every path through `body` assigns `v` (loops may iterate zero
+/// times, so nested `While` bodies don't count).
+fn always_updates(body: &Cmd, v: &str) -> bool {
+    match body {
+        Cmd::Set(x, _) => x == v,
+        Cmd::Call { rets, .. } | Cmd::Interact { rets, .. } => rets.iter().any(|r| r == v),
+        Cmd::Seq(a, b) => always_updates(a, v) || always_updates(b, v),
+        Cmd::If { then_, else_, .. } => always_updates(then_, v) && always_updates(else_, v),
+        Cmd::StackAlloc { body, .. } => always_updates(body, v),
+        Cmd::Skip | Cmd::Unset(_) | Cmd::Store(..) | Cmd::While { .. } => false,
+    }
+}
+
+/// All `Set(v, e)` right-hand sides for `v` anywhere in `body`.
+fn sets_of<'c>(body: &'c Cmd, v: &str, out: &mut Vec<&'c BExpr>) {
+    match body {
+        Cmd::Set(x, e) if x == v => out.push(e),
+        Cmd::Seq(a, b) => {
+            sets_of(a, v, out);
+            sets_of(b, v, out);
+        }
+        Cmd::If { then_, else_, .. } => {
+            sets_of(then_, v, out);
+            sets_of(else_, v, out);
+        }
+        Cmd::While { body, .. } | Cmd::StackAlloc { body, .. } => sets_of(body, v, out),
+        _ => {}
+    }
+}
+
+/// Whether `v` is a monotone counter in `body`: assigned on every path,
+/// every assignment a constant step in direction `dir`, and never a target
+/// of a call/interact.
+fn monotone_counter(body: &Cmd, v: &str, dir: Direction) -> bool {
+    if !always_updates(body, v) {
+        return false;
+    }
+    if body.assigned_vars().contains(&v.to_string()) {
+        let mut rhss = Vec::new();
+        sets_of(body, v, &mut rhss);
+        if rhss.is_empty() {
+            // Assigned only through calls: direction unknown.
+            return false;
+        }
+        // Downward steps must be exactly 1: `v - k` for `k > 1` can wrap
+        // past the bound (e.g. `while (0 < v) { v -= 2 }` from `v = 1`).
+        rhss.iter()
+            .all(|e| step_of(v, e).is_some_and(|(d, k)| d == dir && (d == Direction::Up || k == 1)))
+    } else {
+        false
+    }
+}
+
+/// Whether all variables of `bound` are loop-invariant (not assigned in
+/// `body`).
+fn invariant_in(bound: &BExpr, body: &Cmd) -> bool {
+    let assigned = body.assigned_vars();
+    bound.vars().iter().all(|v| !assigned.contains(v))
+}
+
+fn loop_ok(cond: &BExpr, body: &Cmd) -> bool {
+    match cond {
+        BExpr::Op(BinOp::LtU, a, b) => {
+            let up = matches!(&**a, BExpr::Var(v)
+                if monotone_counter(body, v, Direction::Up) && invariant_in(b, body));
+            let down = matches!(&**b, BExpr::Var(v)
+                if monotone_counter(body, v, Direction::Down) && invariant_in(a, body));
+            up || down
+        }
+        BExpr::Var(v) => {
+            // Countdown: every update must be `v = v - 1` so the guard's
+            // zero cannot be stepped over.
+            let mut rhss = Vec::new();
+            sets_of(body, v, &mut rhss);
+            always_updates(body, v)
+                && !rhss.is_empty()
+                && rhss
+                    .iter()
+                    .all(|e| step_of(v, e) == Some((Direction::Down, 1)))
+        }
+        _ => false,
+    }
+}
+
+fn walk(cmd: &Cmd, fname: &str, findings: &mut Vec<Finding>) {
+    match cmd {
+        Cmd::While { cond, body } => {
+            if !loop_ok(cond, body) {
+                findings.push(Finding {
+                    pass: Pass::LoopProgress,
+                    kind: FindingKind::LoopNoProgress,
+                    function: fname.to_string(),
+                    site: None,
+                    message: format!(
+                        "loop guard `{}` has no evident progress argument: no guard variable \
+                         is stepped by a constant toward a loop-invariant bound on every \
+                         iteration",
+                        rupicola_bedrock::cprint::expr_to_c(cond)
+                    ),
+                });
+            }
+            walk(body, fname, findings);
+        }
+        Cmd::Seq(a, b) => {
+            walk(a, fname, findings);
+            walk(b, fname, findings);
+        }
+        Cmd::If { then_, else_, .. } => {
+            walk(then_, fname, findings);
+            walk(else_, fname, findings);
+        }
+        Cmd::StackAlloc { body, .. } => walk(body, fname, findings),
+        _ => {}
+    }
+}
+
+/// Runs the pass over one function.
+pub fn run(f: &BFunction) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    walk(&f.body, &f.name, &mut findings);
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn func(body: Cmd) -> BFunction {
+        BFunction::new("f", ["n"], Vec::<String>::new(), body)
+    }
+
+    fn incr(v: &str, k: u64) -> Cmd {
+        Cmd::set(v, BExpr::op(BinOp::Add, BExpr::var(v), BExpr::lit(k)))
+    }
+
+    #[test]
+    fn counted_up_loop_clean() {
+        let f = func(Cmd::seq([
+            Cmd::set("i", BExpr::lit(0)),
+            Cmd::while_(
+                BExpr::op(BinOp::LtU, BExpr::var("i"), BExpr::var("n")),
+                incr("i", 1),
+            ),
+        ]));
+        assert!(run(&f).is_empty());
+    }
+
+    #[test]
+    fn countdown_guard_clean() {
+        let f = func(Cmd::seq([
+            Cmd::set("v", BExpr::var("n")),
+            Cmd::while_(
+                BExpr::var("v"),
+                Cmd::set("v", BExpr::op(BinOp::Sub, BExpr::var("v"), BExpr::lit(1))),
+            ),
+        ]));
+        assert!(run(&f).is_empty());
+    }
+
+    #[test]
+    fn infinite_loop_flagged() {
+        let f = func(Cmd::while_(BExpr::lit(1), Cmd::Skip));
+        let findings = run(&f);
+        assert!(findings.iter().any(|f| matches!(f.kind, FindingKind::LoopNoProgress)));
+    }
+
+    #[test]
+    fn counter_never_updated_flagged() {
+        let f = func(Cmd::seq([
+            Cmd::set("i", BExpr::lit(0)),
+            Cmd::while_(
+                BExpr::op(BinOp::LtU, BExpr::var("i"), BExpr::var("n")),
+                Cmd::set("x", BExpr::var("i")),
+            ),
+        ]));
+        assert!(!run(&f).is_empty());
+    }
+
+    #[test]
+    fn non_monotone_counter_flagged() {
+        // i stepped up in one branch, down in the other.
+        let f = func(Cmd::seq([
+            Cmd::set("i", BExpr::lit(0)),
+            Cmd::while_(
+                BExpr::op(BinOp::LtU, BExpr::var("i"), BExpr::var("n")),
+                Cmd::if_(
+                    BExpr::var("i"),
+                    incr("i", 1),
+                    Cmd::set("i", BExpr::op(BinOp::Sub, BExpr::var("i"), BExpr::lit(1))),
+                ),
+            ),
+        ]));
+        assert!(!run(&f).is_empty());
+    }
+
+    #[test]
+    fn bound_moved_by_body_flagged() {
+        let f = func(Cmd::seq([
+            Cmd::set("i", BExpr::lit(0)),
+            Cmd::set("m", BExpr::var("n")),
+            Cmd::while_(
+                BExpr::op(BinOp::LtU, BExpr::var("i"), BExpr::var("m")),
+                Cmd::seq([incr("i", 1), incr("m", 1)]),
+            ),
+        ]));
+        assert!(!run(&f).is_empty());
+    }
+
+    #[test]
+    fn one_armed_update_flagged() {
+        // i only advances when the branch is taken: not on every path.
+        let f = func(Cmd::seq([
+            Cmd::set("i", BExpr::lit(0)),
+            Cmd::while_(
+                BExpr::op(BinOp::LtU, BExpr::var("i"), BExpr::var("n")),
+                Cmd::if_(BExpr::var("i"), incr("i", 1), Cmd::Skip),
+            ),
+        ]));
+        assert!(!run(&f).is_empty());
+    }
+
+    #[test]
+    fn eq_guard_flagged() {
+        // The shape a swapped-comparison fault produces.
+        let f = func(Cmd::seq([
+            Cmd::set("i", BExpr::lit(0)),
+            Cmd::while_(
+                BExpr::op(BinOp::Eq, BExpr::var("i"), BExpr::var("n")),
+                incr("i", 1),
+            ),
+        ]));
+        assert!(!run(&f).is_empty());
+    }
+}

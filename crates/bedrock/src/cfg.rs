@@ -1,0 +1,430 @@
+//! A control-flow graph over [`Cmd`], for dataflow analyses.
+//!
+//! Bedrock2 commands are structured (no `goto`), so the CFG is computed by a
+//! single syntactic walk: `Seq` extends the current block, `If` ends it with
+//! a [`Terminator::Branch`] into two sub-chains that re-join, `While` becomes
+//! a dedicated head block whose branch condition guards the body chain and
+//! whose back edge returns to the head. `stackalloc` is linearized into an
+//! [`Stmt::AllocEnter`]/[`Stmt::AllocExit`] bracket so analyses can model the
+//! scratch region's lexical lifetime.
+//!
+//! Branch edges keep the branch condition (and polarity), which lets forward
+//! analyses refine their state along each edge — the CFG analog of learning
+//! `i < n` when entering a loop body.
+//!
+//! Every `Set` statement carries a `site` ordinal assigned in syntactic
+//! order (the same order a plain left-to-right walk of the `Cmd` visits
+//! assignments). [`remove_set_sites`] rewrites a command by that numbering,
+//! so a client can compute a set of assignment sites on the CFG (e.g. dead
+//! stores) and delete exactly those from the structured tree.
+
+use crate::ast::{AccessSize, BExpr, Cmd};
+
+/// Index of a basic block within a [`Cfg`].
+pub type BlockId = usize;
+
+/// A straight-line statement inside a basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `x = e`. `site` is the syntactic ordinal of this assignment in the
+    /// original command (see [`remove_set_sites`]).
+    Set {
+        /// Assigned local.
+        var: String,
+        /// Right-hand side.
+        expr: BExpr,
+        /// Syntactic assignment ordinal.
+        site: usize,
+    },
+    /// Removes a local from scope.
+    Unset(String),
+    /// `store<size>(addr, value)`.
+    Store(AccessSize, BExpr, BExpr),
+    /// A call to another function.
+    Call {
+        /// Variables receiving the results.
+        rets: Vec<String>,
+        /// Callee name.
+        func: String,
+        /// Arguments.
+        args: Vec<BExpr>,
+    },
+    /// An external interaction.
+    Interact {
+        /// Variables receiving the response words.
+        rets: Vec<String>,
+        /// Action name.
+        action: String,
+        /// Arguments.
+        args: Vec<BExpr>,
+    },
+    /// Start of a `stackalloc` scope: `var` receives the base address of a
+    /// fresh `nbytes`-byte scratch region. `site` numbers the allocation
+    /// syntactically (loop iterations share a site).
+    AllocEnter {
+        /// Variable bound to the base address.
+        var: String,
+        /// Region size in bytes.
+        nbytes: u64,
+        /// Syntactic allocation ordinal.
+        site: usize,
+    },
+    /// End of the `stackalloc` scope opened by the matching `site`: the
+    /// region is freed and must no longer be accessed.
+    AllocExit {
+        /// The variable of the matching [`Stmt::AllocEnter`].
+        var: String,
+        /// Matching allocation ordinal.
+        site: usize,
+    },
+}
+
+/// How control leaves a basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional transfer.
+    Jump(BlockId),
+    /// Two-way branch on `cond != 0`.
+    Branch {
+        /// The condition.
+        cond: BExpr,
+        /// Successor when the condition is nonzero.
+        then_: BlockId,
+        /// Successor when the condition is zero.
+        else_: BlockId,
+    },
+    /// Function exit.
+    Return,
+}
+
+/// A basic block: straight-line statements plus a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// The statements, in execution order.
+    pub stmts: Vec<Stmt>,
+    /// How the block ends.
+    pub term: Terminator,
+}
+
+/// A control-flow graph lowered from a [`Cmd`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cfg {
+    /// The blocks; [`BlockId`]s index into this vector.
+    pub blocks: Vec<Block>,
+    /// The unique entry block.
+    pub entry: BlockId,
+    /// The unique exit block (terminated by [`Terminator::Return`]).
+    pub exit: BlockId,
+}
+
+struct Builder {
+    blocks: Vec<Block>,
+    set_sites: usize,
+    alloc_sites: usize,
+}
+
+impl Builder {
+    fn new_block(&mut self) -> BlockId {
+        self.blocks.push(Block { stmts: Vec::new(), term: Terminator::Return });
+        self.blocks.len() - 1
+    }
+
+    /// Lowers `cmd`, appending to `cur`; returns the block where control
+    /// continues afterwards.
+    fn lower(&mut self, cmd: &Cmd, cur: BlockId) -> BlockId {
+        match cmd {
+            Cmd::Skip => cur,
+            Cmd::Set(var, expr) => {
+                let site = self.set_sites;
+                self.set_sites += 1;
+                self.blocks[cur].stmts.push(Stmt::Set {
+                    var: var.clone(),
+                    expr: expr.clone(),
+                    site,
+                });
+                cur
+            }
+            Cmd::Unset(v) => {
+                self.blocks[cur].stmts.push(Stmt::Unset(v.clone()));
+                cur
+            }
+            Cmd::Store(size, addr, val) => {
+                self.blocks[cur]
+                    .stmts
+                    .push(Stmt::Store(*size, addr.clone(), val.clone()));
+                cur
+            }
+            Cmd::Seq(a, b) => {
+                let mid = self.lower(a, cur);
+                self.lower(b, mid)
+            }
+            Cmd::If { cond, then_, else_ } => {
+                let t_entry = self.new_block();
+                let t_exit = self.lower(then_, t_entry);
+                let e_entry = self.new_block();
+                let e_exit = self.lower(else_, e_entry);
+                let join = self.new_block();
+                self.blocks[cur].term = Terminator::Branch {
+                    cond: cond.clone(),
+                    then_: t_entry,
+                    else_: e_entry,
+                };
+                self.blocks[t_exit].term = Terminator::Jump(join);
+                self.blocks[e_exit].term = Terminator::Jump(join);
+                join
+            }
+            Cmd::While { cond, body } => {
+                let head = self.new_block();
+                let b_entry = self.new_block();
+                let b_exit = self.lower(body, b_entry);
+                let after = self.new_block();
+                self.blocks[cur].term = Terminator::Jump(head);
+                self.blocks[head].term = Terminator::Branch {
+                    cond: cond.clone(),
+                    then_: b_entry,
+                    else_: after,
+                };
+                self.blocks[b_exit].term = Terminator::Jump(head);
+                after
+            }
+            Cmd::Call { rets, func, args } => {
+                self.blocks[cur].stmts.push(Stmt::Call {
+                    rets: rets.clone(),
+                    func: func.clone(),
+                    args: args.clone(),
+                });
+                cur
+            }
+            Cmd::Interact { rets, action, args } => {
+                self.blocks[cur].stmts.push(Stmt::Interact {
+                    rets: rets.clone(),
+                    action: action.clone(),
+                    args: args.clone(),
+                });
+                cur
+            }
+            Cmd::StackAlloc { var, nbytes, body } => {
+                let site = self.alloc_sites;
+                self.alloc_sites += 1;
+                self.blocks[cur].stmts.push(Stmt::AllocEnter {
+                    var: var.clone(),
+                    nbytes: *nbytes,
+                    site,
+                });
+                let exit = self.lower(body, cur);
+                self.blocks[exit]
+                    .stmts
+                    .push(Stmt::AllocExit { var: var.clone(), site });
+                exit
+            }
+        }
+    }
+}
+
+impl Cfg {
+    /// Lowers a command body into a CFG.
+    pub fn build(body: &Cmd) -> Cfg {
+        let mut b = Builder { blocks: Vec::new(), set_sites: 0, alloc_sites: 0 };
+        let entry = b.new_block();
+        let exit = b.lower(body, entry);
+        b.blocks[exit].term = Terminator::Return;
+        Cfg { blocks: b.blocks, entry, exit }
+    }
+
+    /// The successor blocks of `b`, in edge order.
+    pub fn successors(&self, b: BlockId) -> Vec<BlockId> {
+        match &self.blocks[b].term {
+            Terminator::Jump(t) => vec![*t],
+            Terminator::Branch { then_, else_, .. } => vec![*then_, *else_],
+            Terminator::Return => vec![],
+        }
+    }
+
+    /// Predecessor lists, indexed by block.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for b in 0..self.blocks.len() {
+            for s in self.successors(b) {
+                preds[s].push(b);
+            }
+        }
+        preds
+    }
+
+    /// Blocks in reverse postorder from the entry (a good iteration order
+    /// for forward analyses). Unreachable blocks are excluded.
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut post = Vec::with_capacity(self.blocks.len());
+        // Iterative DFS with an explicit "children done" marker.
+        let mut stack = vec![(self.entry, false)];
+        while let Some((b, children_done)) = stack.pop() {
+            if children_done {
+                post.push(b);
+                continue;
+            }
+            if visited[b] {
+                continue;
+            }
+            visited[b] = true;
+            stack.push((b, true));
+            for s in self.successors(b).into_iter().rev() {
+                if !visited[s] {
+                    stack.push((s, false));
+                }
+            }
+        }
+        post.reverse();
+        post
+    }
+}
+
+/// Rewrites `body`, deleting the `Set` statements whose syntactic ordinal
+/// (the `site` numbering of [`Cfg::build`]) is in `sites`. Used to strip
+/// dead stores flagged by a liveness analysis.
+pub fn remove_set_sites(body: &Cmd, sites: &std::collections::BTreeSet<usize>) -> Cmd {
+    fn go(cmd: &Cmd, next: &mut usize, sites: &std::collections::BTreeSet<usize>) -> Cmd {
+        match cmd {
+            Cmd::Set(v, e) => {
+                let site = *next;
+                *next += 1;
+                if sites.contains(&site) {
+                    Cmd::Skip
+                } else {
+                    Cmd::Set(v.clone(), e.clone())
+                }
+            }
+            Cmd::Skip | Cmd::Unset(_) | Cmd::Store(..) | Cmd::Call { .. } | Cmd::Interact { .. } => {
+                cmd.clone()
+            }
+            Cmd::Seq(a, b) => {
+                let a = go(a, next, sites);
+                let b = go(b, next, sites);
+                Cmd::Seq(Box::new(a), Box::new(b))
+            }
+            Cmd::If { cond, then_, else_ } => {
+                let t = go(then_, next, sites);
+                let e = go(else_, next, sites);
+                Cmd::If { cond: cond.clone(), then_: Box::new(t), else_: Box::new(e) }
+            }
+            Cmd::While { cond, body } => {
+                let b = go(body, next, sites);
+                Cmd::While { cond: cond.clone(), body: Box::new(b) }
+            }
+            Cmd::StackAlloc { var, nbytes, body } => Cmd::StackAlloc {
+                var: var.clone(),
+                nbytes: *nbytes,
+                body: Box::new(go(body, next, sites)),
+            },
+        }
+    }
+    let mut next = 0;
+    go(body, &mut next, sites)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BinOp;
+
+    fn counted_loop() -> Cmd {
+        // i = 0; while (i < n) { acc = acc + i; i = i + 1; } out = acc
+        Cmd::seq([
+            Cmd::set("i", BExpr::lit(0)),
+            Cmd::while_(
+                BExpr::op(BinOp::LtU, BExpr::var("i"), BExpr::var("n")),
+                Cmd::seq([
+                    Cmd::set("acc", BExpr::op(BinOp::Add, BExpr::var("acc"), BExpr::var("i"))),
+                    Cmd::set("i", BExpr::op(BinOp::Add, BExpr::var("i"), BExpr::lit(1))),
+                ]),
+            ),
+            Cmd::set("out", BExpr::var("acc")),
+        ])
+    }
+
+    #[test]
+    fn loop_gets_head_body_and_after_blocks() {
+        let cfg = Cfg::build(&counted_loop());
+        // entry -> head -(true)-> body -> head -(false)-> after(exit)
+        let preds = cfg.predecessors();
+        let head = match &cfg.blocks[cfg.entry].term {
+            Terminator::Jump(h) => *h,
+            other => panic!("entry should jump to the loop head, got {other:?}"),
+        };
+        assert!(matches!(cfg.blocks[head].term, Terminator::Branch { .. }));
+        // The head has two predecessors: the entry and the body (back edge).
+        assert_eq!(preds[head].len(), 2);
+        assert!(matches!(cfg.blocks[cfg.exit].term, Terminator::Return));
+    }
+
+    #[test]
+    fn if_rejoins() {
+        let c = Cmd::if_(
+            BExpr::var("c"),
+            Cmd::set("x", BExpr::lit(1)),
+            Cmd::set("x", BExpr::lit(2)),
+        );
+        let cfg = Cfg::build(&c);
+        let preds = cfg.predecessors();
+        // The join block (exit) has both branch arms as predecessors.
+        assert_eq!(preds[cfg.exit].len(), 2);
+    }
+
+    #[test]
+    fn set_sites_follow_syntactic_order() {
+        let cfg = Cfg::build(&counted_loop());
+        let mut sites = Vec::new();
+        for b in cfg.reverse_postorder() {
+            for s in &cfg.blocks[b].stmts {
+                if let Stmt::Set { var, site, .. } = s {
+                    sites.push((*site, var.clone()));
+                }
+            }
+        }
+        sites.sort();
+        let names: Vec<_> = sites.iter().map(|(_, v)| v.as_str()).collect();
+        assert_eq!(names, vec!["i", "acc", "i", "out"]);
+    }
+
+    #[test]
+    fn remove_set_sites_deletes_by_ordinal() {
+        let body = counted_loop();
+        // Site 1 is `acc = acc + i` (the first body statement).
+        let stripped = remove_set_sites(&body, &[1usize].into_iter().collect());
+        assert_eq!(stripped.statement_count(), body.statement_count() - 1);
+        // Unrelated sites survive.
+        let cfg = Cfg::build(&stripped);
+        let all: Vec<_> = cfg
+            .blocks
+            .iter()
+            .flat_map(|b| &b.stmts)
+            .filter_map(|s| match s {
+                Stmt::Set { var, .. } => Some(var.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(all.contains(&"out".to_string()));
+        assert!(!all.iter().any(|v| v == "acc"));
+    }
+
+    #[test]
+    fn stackalloc_brackets_share_a_site() {
+        let c = Cmd::StackAlloc {
+            var: "p".into(),
+            nbytes: 16,
+            body: Box::new(Cmd::set("x", BExpr::lit(0))),
+        };
+        let cfg = Cfg::build(&c);
+        let stmts = &cfg.blocks[cfg.entry].stmts;
+        assert!(matches!(stmts[0], Stmt::AllocEnter { site: 0, .. }));
+        assert!(matches!(stmts[2], Stmt::AllocExit { site: 0, .. }));
+    }
+
+    #[test]
+    fn reverse_postorder_starts_at_entry() {
+        let cfg = Cfg::build(&counted_loop());
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], cfg.entry);
+        assert_eq!(rpo.len(), cfg.blocks.len());
+    }
+}

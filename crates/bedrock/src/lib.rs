@@ -48,6 +48,7 @@
 //! ```
 
 pub mod ast;
+pub mod cfg;
 pub mod cprint;
 pub mod interp;
 pub mod mem;
@@ -56,5 +57,6 @@ pub mod rv;
 pub mod rv_compile;
 
 pub use ast::{AccessSize, BExpr, BFunction, BTable, BinOp, Cmd, Program};
+pub use cfg::{Block, BlockId, Cfg, Stmt, Terminator};
 pub use interp::{ExecError, ExecState, ExternalHandler, Interpreter, LoopHook, NoExternals, NoHook, TraceEvent};
 pub use mem::Memory;

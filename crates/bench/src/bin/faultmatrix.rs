@@ -2,20 +2,33 @@
 //! benchmark suite.
 //!
 //! For every program, every mutant class of
-//! `rupicola_core::faultinject` is generated and fed to the trusted
-//! checker. Structural mutants (tampered witnesses, mismatched return
-//! slots) must be killed without exception — a survivor is a checker bug
-//! and fails the run. Semantic mutants (wrong code with an intact
+//! `rupicola_core::faultinject` is generated and fed to *two* independent
+//! defenses: the trusted checker (replaying the witness) and the static
+//! analyzer (derivation-blind dataflow over the mutated artifact).
+//! Structural mutants (tampered witnesses, mismatched return slots) must
+//! be killed by the checker without exception — a survivor is a checker
+//! bug and fails the run. Semantic mutants (wrong code with an intact
 //! witness) are killed by differential execution; survivors are possible
 //! and listed explicitly so the residual risk is visible, not averaged
-//! away.
+//! away. The analyzer's kill rate is reported per class but not enforced:
+//! it is a diversity metric (how much of the fault space the second,
+//! independent line of defense covers), not a gate.
 //!
 //! Run with `cargo run --release -p rupicola-bench --bin faultmatrix`.
 
-use rupicola_core::check::CheckConfig;
-use rupicola_core::faultinject::{run_matrix, MutationClass, Survivor};
+use rupicola_analysis::analyze_with_dbs;
+use rupicola_bench::json::{write_results, Json};
+use rupicola_core::check::{check_with, CheckConfig};
+use rupicola_core::faultinject::{mutants, MutationClass};
 use rupicola_ext::standard_dbs;
 use rupicola_programs::suite;
+
+struct ClassTally {
+    class: MutationClass,
+    generated: usize,
+    checker_killed: usize,
+    analyzer_killed: usize,
+}
 
 fn main() {
     let dbs = standard_dbs();
@@ -23,14 +36,17 @@ fn main() {
     // witness of divergence, and the matrix multiplies runs by mutants.
     let config = CheckConfig { vectors: 8, ..CheckConfig::default() };
 
-    let mut totals: Vec<(MutationClass, usize, usize)> =
-        MutationClass::ALL.iter().map(|&c| (c, 0, 0)).collect();
-    let mut survivors: Vec<(&'static str, Survivor)> = Vec::new();
+    let mut totals: Vec<ClassTally> = MutationClass::ALL
+        .iter()
+        .map(|&class| ClassTally { class, generated: 0, checker_killed: 0, analyzer_killed: 0 })
+        .collect();
+    let mut survivors: Vec<(&'static str, MutationClass, String)> = Vec::new();
     let mut structural_escapes = 0;
+    let mut program_rows: Vec<Json> = Vec::new();
 
     println!(
-        "{:<8} {:>8} {:>7} {:>9} {:>10}",
-        "program", "mutants", "killed", "survived", "structural"
+        "{:<8} {:>8} {:>7} {:>9} {:>9} {:>10}",
+        "program", "mutants", "killed", "survived", "analyzer", "structural"
     );
     for entry in suite() {
         let name = entry.info.name;
@@ -41,54 +57,125 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        let matrix = run_matrix(&compiled, &dbs, &config);
-        for stat in &matrix.stats {
-            let slot = totals
-                .iter_mut()
-                .find(|(c, _, _)| *c == stat.class)
-                .expect("all classes pre-seeded");
-            slot.1 += stat.generated;
-            slot.2 += stat.killed;
+        let all = mutants(&compiled);
+        let (mut generated, mut checker_killed, mut analyzer_killed) = (0usize, 0usize, 0usize);
+        let mut structural_clean = true;
+        for m in all {
+            let checker_kill = check_with(&m.cf, &dbs, &config).is_err();
+            let analyzer_kill = analyze_with_dbs(&m.cf, Some(&dbs)).has_errors();
+            generated += 1;
+            if checker_kill {
+                checker_killed += 1;
+            } else {
+                if m.class.is_structural() {
+                    structural_clean = false;
+                }
+                survivors.push((name, m.class, m.description));
+            }
+            if analyzer_kill {
+                analyzer_killed += 1;
+            }
+            if let Some(slot) = totals.iter_mut().find(|t| t.class == m.class) {
+                slot.generated += 1;
+                if checker_kill {
+                    slot.checker_killed += 1;
+                }
+                if analyzer_kill {
+                    slot.analyzer_killed += 1;
+                }
+            }
         }
-        let clean = matrix.structural_clean();
-        if !clean {
+        if !structural_clean {
             structural_escapes += 1;
         }
         println!(
-            "{:<8} {:>8} {:>7} {:>9} {:>10}",
+            "{:<8} {:>8} {:>7} {:>9} {:>9} {:>10}",
             name,
-            matrix.generated(),
-            matrix.killed(),
-            matrix.survivors.len(),
-            if clean { "clean" } else { "ESCAPED" },
+            generated,
+            checker_killed,
+            generated - checker_killed,
+            analyzer_killed,
+            if structural_clean { "clean" } else { "ESCAPED" },
         );
-        survivors.extend(matrix.survivors.into_iter().map(|s| (name, s)));
+        program_rows.push(Json::obj([
+            ("program", Json::str(name)),
+            ("mutants", Json::U64(generated as u64)),
+            ("checker_killed", Json::U64(checker_killed as u64)),
+            ("analyzer_killed", Json::U64(analyzer_killed as u64)),
+            ("structural_clean", Json::Bool(structural_clean)),
+        ]));
     }
 
-    println!("\nper-class kill rate:");
-    for (class, generated, killed) in &totals {
-        let rate = if *generated == 0 {
-            "    —".to_string()
-        } else {
-            format!("{:>4.0}%", 100.0 * *killed as f64 / *generated as f64)
+    println!("\nper-class kill rate (checker | analyzer):");
+    let mut class_rows: Vec<Json> = Vec::new();
+    for t in &totals {
+        let rate = |killed: usize| {
+            if t.generated == 0 {
+                "    —".to_string()
+            } else {
+                format!("{:>4.0}%", 100.0 * killed as f64 / t.generated as f64)
+            }
         };
         println!(
-            "  {:<22} {:>5}/{:<5} {}  [{}]",
-            class.to_string(),
-            killed,
-            generated,
-            rate,
-            if class.is_structural() { "structural" } else { "semantic" },
+            "  {:<22} {:>5}/{:<5} {} | {}  [{}]",
+            t.class.to_string(),
+            t.checker_killed,
+            t.generated,
+            rate(t.checker_killed),
+            rate(t.analyzer_killed),
+            if t.class.is_structural() { "structural" } else { "semantic" },
         );
+        class_rows.push(Json::obj([
+            ("class", Json::str(t.class.to_string())),
+            ("structural", Json::Bool(t.class.is_structural())),
+            ("generated", Json::U64(t.generated as u64)),
+            ("checker_killed", Json::U64(t.checker_killed as u64)),
+            ("analyzer_killed", Json::U64(t.analyzer_killed as u64)),
+        ]));
     }
 
     if survivors.is_empty() {
         println!("\nno surviving mutants ✓");
     } else {
         println!("\nsurviving mutants ({}):", survivors.len());
-        for (program, s) in &survivors {
-            println!("  {program}: [{}] {}", s.class, s.description);
+        for (program, class, description) in &survivors {
+            println!("  {program}: [{class}] {description}");
         }
+    }
+
+    let total_generated: usize = totals.iter().map(|t| t.generated).sum();
+    let total_analyzer: usize = totals.iter().map(|t| t.analyzer_killed).sum();
+    let summary = Json::obj([
+        ("programs", Json::Arr(program_rows)),
+        ("classes", Json::Arr(class_rows)),
+        (
+            "survivors",
+            Json::Arr(
+                survivors
+                    .iter()
+                    .map(|(p, c, d)| {
+                        Json::obj([
+                            ("program", Json::str(*p)),
+                            ("class", Json::str(c.to_string())),
+                            ("description", Json::str(d.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("structural_escapes", Json::U64(structural_escapes as u64)),
+        (
+            "analyzer_kill_rate",
+            if total_generated == 0 {
+                Json::F64(f64::NAN)
+            } else {
+                Json::F64(total_analyzer as f64 / total_generated as f64)
+            },
+        ),
+    ]);
+    match write_results("faultmatrix.json", &summary) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => println!("\nfailed to write results: {e}"),
     }
 
     if structural_escapes > 0 {

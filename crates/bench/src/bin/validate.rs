@@ -5,6 +5,7 @@
 //!
 //! Run with `cargo run -p rupicola-bench --bin validate`.
 
+use rupicola_bench::json::{write_results, Json};
 use rupicola_core::check::{check_with, CheckConfig};
 use rupicola_ext::standard_dbs;
 use rupicola_programs::suite;
@@ -17,17 +18,28 @@ fn main() {
         "program", "stmts", "lemmas", "sides", "vectors", "skipped", "invchks", "poison²"
     );
     let mut failures = 0;
+    let mut rows: Vec<Json> = Vec::new();
     for entry in suite() {
         let name = entry.info.name;
         match (entry.compiled)() {
             Err(e) => {
                 failures += 1;
                 println!("{name:<8} COMPILATION FAILED: {e}");
+                rows.push(Json::obj([
+                    ("program", Json::str(name)),
+                    ("certified", Json::Bool(false)),
+                    ("error", Json::str(format!("compilation failed: {e}"))),
+                ]));
             }
             Ok(compiled) => match check_with(&compiled, &dbs, &config) {
                 Err(e) => {
                     failures += 1;
                     println!("{name:<8} CHECK FAILED: {e}");
+                    rows.push(Json::obj([
+                        ("program", Json::str(name)),
+                        ("certified", Json::Bool(false)),
+                        ("error", Json::str(format!("check failed: {e}"))),
+                    ]));
                 }
                 Ok(report) => {
                     println!(
@@ -41,9 +53,29 @@ fn main() {
                         report.invariant_checks,
                         if report.poison_pair { "yes" } else { "no" },
                     );
+                    rows.push(Json::obj([
+                        ("program", Json::str(name)),
+                        ("certified", Json::Bool(true)),
+                        ("statements", Json::U64(compiled.function.statement_count() as u64)),
+                        ("derivation_nodes", Json::U64(compiled.derivation.size() as u64)),
+                        ("side_conditions", Json::U64(compiled.derivation.side_cond_count as u64)),
+                        ("vectors_run", Json::U64(report.vectors_run as u64)),
+                        ("vectors_skipped", Json::U64(report.vectors_skipped as u64)),
+                        ("invariant_checks", Json::U64(report.invariant_checks as u64)),
+                        ("poison_pair", Json::Bool(report.poison_pair)),
+                    ]));
                 }
             },
         }
+    }
+    let summary = Json::obj([
+        ("programs", Json::Arr(rows)),
+        ("failures", Json::U64(failures as u64)),
+        ("all_certified", Json::Bool(failures == 0)),
+    ]);
+    match write_results("validate.json", &summary) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => println!("\nfailed to write results: {e}"),
     }
     if failures == 0 {
         println!("\nall programs certified ✓");

@@ -6,6 +6,8 @@
 //! need a growable memory (stack allocations extend it).
 #![allow(clippy::ptr_arg)]
 
+pub mod json;
+
 /// The certified Bedrock2 functions, transpiled to Rust at build time (see
 /// `build.rs`). Addresses index into the `mem` slice; the drivers below
 /// place each buffer at offset 0.

@@ -56,8 +56,9 @@ fn install_quiet_hook() {
 
 /// Runs `f`, catching panics without letting the global hook print.
 /// Shared with the trusted checker, which re-runs the same untrusted
-/// solvers during witness re-validation.
-pub(crate) fn catch_quiet<R>(f: impl FnOnce() -> R) -> Result<R, Box<dyn Any + Send>> {
+/// solvers during witness re-validation, and with the lemma-library
+/// linter, which probes untrusted lemmas against benchmark goal shapes.
+pub fn catch_quiet<R>(f: impl FnOnce() -> R) -> Result<R, Box<dyn Any + Send>> {
     install_quiet_hook();
     SUPPRESS_PANIC_HOOK.with(|s| s.set(s.get() + 1));
     let result = catch_unwind(AssertUnwindSafe(f));
@@ -425,6 +426,21 @@ pub struct CompiledFunction {
     pub linked: Vec<BFunction>,
     /// Run statistics.
     pub stats: CompileStats,
+}
+
+impl CompiledFunction {
+    /// Rebuilds the initial compilation goal from the bundled model and
+    /// spec. Analyses use this to recover the separation-logic footprint
+    /// and hypothesis set the certificate was derived under, without
+    /// trusting anything recorded in the derivation itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Spec`] when the bundled spec no longer
+    /// matches the bundled model (a corrupted certificate).
+    pub fn initial_goal(&self) -> Result<crate::goal::StmtGoal, CompileError> {
+        self.spec.initial_goal(&self.model)
+    }
 }
 
 /// Compiles a model against its specification using the given databases —

@@ -60,7 +60,7 @@ pub mod lemma;
 pub mod limits;
 pub mod solver;
 
-pub use engine::{compile, compile_with_limits, CompileStats, CompiledFunction, Compiler};
+pub use engine::{catch_quiet, compile, compile_with_limits, CompileStats, CompiledFunction, Compiler};
 pub use error::CompileError;
 pub use limits::{EngineLimits, ResourceKind};
 pub use goal::{Hyp, MonadCtx, Post, RetSlot, SideCond, StmtGoal};

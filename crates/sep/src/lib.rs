@@ -164,6 +164,58 @@ impl SymHeap {
     }
 }
 
+/// The extent of one region in a [`Footprint`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegionSize {
+    /// `count` elements of the given kind (`count` is a source-level term;
+    /// for function inputs it is typically `ArrayLen(Var(param))`).
+    Elems {
+        /// Element representation.
+        elem: ElemKind,
+        /// Source term for the element count.
+        count: Expr,
+    },
+    /// A fixed number of bytes (cells and scratch regions).
+    Bytes(u64),
+}
+
+/// One entry of a [`SymHeap`]'s footprint: a region the code may access,
+/// identified by the heaplet that owns it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionFootprint {
+    /// The owning heaplet.
+    pub id: HeapletId,
+    /// The ghost pointer name (for reporting).
+    pub ptr_name: Ident,
+    /// The region's extent.
+    pub size: RegionSize,
+}
+
+impl SymHeap {
+    /// Exports the heap's *footprint*: the extents of all regions the
+    /// separation-logic precondition grants access to. This is what an
+    /// independent analyzer checks generated memory accesses against —
+    /// every `Load`/`Store` must land inside one of these regions.
+    pub fn footprint(&self) -> Vec<RegionFootprint> {
+        self.iter()
+            .map(|(id, h)| RegionFootprint {
+                id,
+                ptr_name: h.ptr_name.clone(),
+                size: match &h.kind {
+                    HeapletKind::Array { elem } => match &h.len {
+                        Some(count) => RegionSize::Elems { elem: *elem, count: count.clone() },
+                        // An array without a length term grants no
+                        // statically-known extent.
+                        None => RegionSize::Bytes(0),
+                    },
+                    HeapletKind::Cell => RegionSize::Bytes(8),
+                    HeapletKind::Scratch { nbytes } => RegionSize::Bytes(*nbytes),
+                },
+            })
+            .collect()
+    }
+}
+
 impl fmt::Display for SymHeap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut first = true;

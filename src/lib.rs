@@ -3,6 +3,7 @@
 //! This facade crate re-exports the full toolkit. See the repository README
 //! for a guided tour and `DESIGN.md` for the system inventory.
 
+pub use rupicola_analysis as analysis;
 pub use rupicola_bedrock as bedrock;
 pub use rupicola_core as core;
 pub use rupicola_ext as ext;
