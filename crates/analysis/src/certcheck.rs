@@ -136,7 +136,7 @@ pub fn run(cf: &CompiledFunction, dbs: Option<&HintDbs>) -> Vec<Finding> {
             if !dbs.knows_lemma(&lemma) {
                 findings.push(finding(
                     cf,
-                    FindingKind::UnknownLemma { lemma: lemma.clone() },
+                    FindingKind::UnknownLemma { lemma: lemma.to_string() },
                     format!("derivation cites lemma `{lemma}` not present in the hint databases"),
                 ));
             }

@@ -103,7 +103,7 @@ pub fn run(dbs: &HintDbs, suites: &[ProbeSuite]) -> Vec<Finding> {
     let mut records = Vec::new();
     for s in suites {
         s.derivation.root.walk(&mut |n| {
-            cited.insert(n.lemma.clone());
+            cited.insert(n.lemma.to_string());
             for r in &n.side_conds {
                 records.push(r.clone());
             }

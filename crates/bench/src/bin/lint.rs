@@ -14,7 +14,7 @@
 use rupicola_analysis::{analyze_with_dbs, lemma_lint, ProbeSuite, Severity};
 use rupicola_bench::json::{write_results, Json};
 use rupicola_ext::standard_dbs;
-use rupicola_programs::suite;
+use rupicola_programs::parallel::compile_suite_parallel;
 
 fn main() {
     let dbs = standard_dbs();
@@ -23,9 +23,13 @@ fn main() {
     let mut rows: Vec<Json> = Vec::new();
 
     println!("{:<8} {:>8} {:>8} {:>8}", "program", "errors", "warnings", "verdict");
-    for entry in suite() {
-        let name = entry.info.name;
-        let compiled = match (entry.compiled)() {
+    // One suite-parallel compilation pass shared by both analysis layers:
+    // the per-program dataflow lints and the lemma-library linter's probe
+    // suites below both consume these same compiled artifacts, instead of
+    // each re-running the compiler.
+    for compiled_entry in compile_suite_parallel(&dbs) {
+        let name = compiled_entry.name;
+        let compiled = match compiled_entry.result {
             Ok(c) => c,
             Err(e) => {
                 println!("{name:<8} COMPILATION FAILED: {e}");

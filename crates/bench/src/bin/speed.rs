@@ -1,0 +1,144 @@
+//! Compiler-throughput harness: statements/second of the proof-search
+//! engine on the §4.2 suite, across the three pipeline configurations the
+//! throughput layer introduces (§4.3 reports Coq-Rupicola at 2–15
+//! statements/second; the paper names compiler speed as the practical
+//! bottleneck):
+//!
+//! - `serial` — the seed-faithful baseline: [`DispatchMode::Linear`]
+//!   (every lemma tried for every goal, memo cache off), programs
+//!   compiled one after another;
+//! - `indexed` — goal-head dispatch index + side-condition memo cache,
+//!   still one program at a time;
+//! - `indexed+parallel` — the indexed engine with one `thread::scope`
+//!   worker per program.
+//!
+//! All three modes are timed in one process, interleaved per repetition,
+//! so the comparison is not polluted by machine-load drift between runs.
+//! Writes `results/compiler_speed.json` and exits nonzero if the
+//! optimized pipeline is slower than the baseline (the CI smoke
+//! assertion).
+//!
+//! Run with `cargo run --release -p rupicola-bench --bin speed`.
+//! `SPEED_REPS` overrides the repetition count (default 30).
+
+use rupicola_bench::json::{write_results, Json};
+use rupicola_core::{CompileStats, DispatchMode, HintDbs};
+use rupicola_ext::standard_dbs;
+use rupicola_programs::parallel::{compile_suite_parallel, compile_suite_serial, SuiteResult};
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Mode {
+    name: &'static str,
+    dbs: HintDbs,
+    parallel: bool,
+}
+
+fn run(mode: &Mode) -> Vec<SuiteResult> {
+    if mode.parallel {
+        compile_suite_parallel(&mode.dbs)
+    } else {
+        compile_suite_serial(&mode.dbs)
+    }
+}
+
+/// Aggregates compile stats over one full-suite run.
+fn aggregate(results: &[SuiteResult]) -> CompileStats {
+    let mut total = CompileStats::default();
+    for r in results {
+        let s = r.result.as_ref().expect("suite compiles").stats;
+        total.lemma_applications += s.lemma_applications;
+        total.side_conditions += s.side_conditions;
+        total.solver_cache_hits += s.solver_cache_hits;
+        total.solver_cache_misses += s.solver_cache_misses;
+    }
+    total
+}
+
+fn main() {
+    let reps: u32 = std::env::var("SPEED_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(30);
+
+    let mut serial_dbs = standard_dbs();
+    serial_dbs.set_dispatch_mode(DispatchMode::Linear);
+    let modes = [
+        Mode { name: "serial", dbs: serial_dbs, parallel: false },
+        Mode { name: "indexed", dbs: standard_dbs(), parallel: false },
+        Mode { name: "indexed+parallel", dbs: standard_dbs(), parallel: true },
+    ];
+
+    // The statement count is a property of the emitted code and identical
+    // across modes (the equivalence battery proves it); count it once.
+    let reference = run(&modes[0]);
+    let total_statements: usize = reference
+        .iter()
+        .map(|r| r.result.as_ref().expect("suite compiles").function.statement_count())
+        .sum();
+
+    // Warm-up, then interleave the modes per repetition and keep each
+    // mode's best suite time, so load spikes hit all modes alike.
+    for mode in &modes {
+        black_box(run(mode));
+    }
+    let mut best = [f64::INFINITY; 3];
+    for _ in 0..reps {
+        for (i, mode) in modes.iter().enumerate() {
+            let t0 = Instant::now();
+            black_box(run(mode));
+            best[i] = best[i].min(t0.elapsed().as_secs_f64());
+        }
+    }
+
+    let throughput = |secs: f64| total_statements as f64 / secs;
+    println!(
+        "{:<18} {:>10} {:>14} {:>12} {:>12}",
+        "mode", "ms/suite", "statements/s", "cache hits", "cache misses"
+    );
+    let mut rows = Vec::new();
+    for (i, mode) in modes.iter().enumerate() {
+        let stats = aggregate(&run(mode));
+        println!(
+            "{:<18} {:>10.3} {:>14.0} {:>12} {:>12}",
+            mode.name,
+            best[i] * 1e3,
+            throughput(best[i]),
+            stats.solver_cache_hits,
+            stats.solver_cache_misses,
+        );
+        rows.push(Json::obj([
+            ("mode", Json::str(mode.name)),
+            ("ms_per_suite", Json::F64(best[i] * 1e3)),
+            ("statements_per_s", Json::F64(throughput(best[i]))),
+            ("solver_cache_hits", Json::U64(stats.solver_cache_hits as u64)),
+            ("solver_cache_misses", Json::U64(stats.solver_cache_misses as u64)),
+            (
+                "solver_cache_hit_rate",
+                stats.solver_cache_hit_rate().map_or(Json::Bool(false), Json::F64),
+            ),
+        ]));
+    }
+    let speedup_indexed = best[0] / best[1];
+    let speedup_parallel = best[0] / best[2];
+    println!(
+        "\nspeedup: indexed {speedup_indexed:.2}x, indexed+parallel {speedup_parallel:.2}x \
+         over the serial baseline ({total_statements} statements)"
+    );
+
+    let summary = Json::obj([
+        ("statements", Json::U64(total_statements as u64)),
+        ("repetitions", Json::U64(u64::from(reps))),
+        ("modes", Json::Arr(rows)),
+        ("speedup_indexed", Json::F64(speedup_indexed)),
+        ("speedup_indexed_parallel", Json::F64(speedup_parallel)),
+    ]);
+    match write_results("compiler_speed.json", &summary) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => println!("failed to write results: {e}"),
+    }
+
+    // CI smoke assertion: the optimized pipeline must not be slower than
+    // the seed baseline.
+    if speedup_parallel < 1.0 {
+        println!("FAIL: indexed+parallel is slower than the serial baseline");
+        std::process::exit(1);
+    }
+}

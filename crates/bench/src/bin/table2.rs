@@ -41,8 +41,31 @@ fn main() {
     }
     println!();
     println!("# Compilation footprint (statements emitted / lemma applications /");
-    println!("# side conditions discharged), measured at build time:");
-    for (name, stmts, lemmas, sides) in rupicola_bench::generated::COMPILE_STATS {
-        println!("#   {name:<7} {stmts:>3} statements, {lemmas:>3} lemmas, {sides:>2} side conditions");
+    println!("# side conditions discharged), recompiled live (suite-parallel):");
+    let dbs = rupicola_ext::standard_dbs();
+    let live = rupicola_programs::parallel::compile_suite_parallel(&dbs);
+    for r in &live {
+        let c = r.result.as_ref().expect("suite compiles");
+        println!(
+            "#   {:<7} {:>3} statements, {:>3} lemmas, {:>2} side conditions",
+            r.name,
+            c.function.statement_count(),
+            c.stats.lemma_applications,
+            c.derivation.side_cond_count
+        );
     }
+    // Cross-check against the constants captured at build time: a drift
+    // here means the engine stopped being deterministic between the build
+    // script's compile and this one.
+    for (r, (name, stmts, lemmas, sides)) in live.iter().zip(rupicola_bench::generated::COMPILE_STATS)
+    {
+        let c = r.result.as_ref().expect("suite compiles");
+        assert_eq!(r.name, *name);
+        assert_eq!(
+            (c.function.statement_count(), c.stats.lemma_applications, c.derivation.side_cond_count),
+            (*stmts, *lemmas, *sides),
+            "{name}: live compile drifted from build-time stats"
+        );
+    }
+    println!("#   (matches the build-time COMPILE_STATS constants)");
 }

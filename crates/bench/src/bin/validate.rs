@@ -8,7 +8,7 @@
 use rupicola_bench::json::{write_results, Json};
 use rupicola_core::check::{check_with, CheckConfig};
 use rupicola_ext::standard_dbs;
-use rupicola_programs::suite;
+use rupicola_programs::parallel::compile_suite_parallel;
 
 fn main() {
     let dbs = standard_dbs();
@@ -19,9 +19,11 @@ fn main() {
     );
     let mut failures = 0;
     let mut rows: Vec<Json> = Vec::new();
-    for entry in suite() {
-        let name = entry.info.name;
-        match (entry.compiled)() {
+    // One suite-parallel compilation pass; checking then consumes the
+    // results in deterministic suite order.
+    for compiled_entry in compile_suite_parallel(&dbs) {
+        let name = compiled_entry.name;
+        match compiled_entry.result {
             Err(e) => {
                 failures += 1;
                 println!("{name:<8} COMPILATION FAILED: {e}");

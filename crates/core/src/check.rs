@@ -245,7 +245,7 @@ pub fn check_with(
             return;
         }
         if !dbs.knows_lemma(&node.lemma) {
-            structural = Err(CheckError::UnknownLemma(node.lemma.clone()));
+            structural = Err(CheckError::UnknownLemma(node.lemma.to_string()));
             return;
         }
         for sc in &node.side_conds {
@@ -255,7 +255,7 @@ pub fn check_with(
             if !solved {
                 structural = Err(CheckError::SideCondition {
                     cond: sc.cond.to_string(),
-                    lemma: node.lemma.clone(),
+                    lemma: node.lemma.to_string(),
                 });
                 return;
             }
@@ -1023,7 +1023,7 @@ mod tests {
         node.side_conds.push(crate::derive::SideCondRecord {
             cond: crate::goal::SideCond::Lt(word_lit(5), word_lit(3)),
             solver: "lia".into(),
-            hyps: vec![],
+            hyps: Vec::new().into(),
         });
         cf.derivation = Derivation::new(node);
         let err = check(&cf, &HintDbs::new()).unwrap_err();

@@ -11,17 +11,27 @@
 
 use crate::goal::{Hyp, SideCond};
 use crate::invariant::LoopInvariant;
+use std::borrow::Cow;
 use std::fmt;
+use std::sync::Arc;
 
 /// A discharged side condition, as recorded in a derivation node.
+///
+/// Name fields are `Cow<'static, str>`: in the overwhelmingly common case
+/// they are the `&'static str` names lemmas and solvers register under, and
+/// borrowing them keeps witness construction allocation-free; fault
+/// injection and tests can still store arbitrary owned strings. Equality is
+/// by content either way.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SideCondRecord {
     /// The condition.
     pub cond: SideCond,
     /// The registered solver that discharged it.
-    pub solver: String,
-    /// The hypotheses that were in scope.
-    pub hyps: Vec<Hyp>,
+    pub solver: Cow<'static, str>,
+    /// The hypotheses that were in scope. Shared (`Arc`) because the memo
+    /// cache and every record of a repeated condition hold the same
+    /// snapshot; equality is still structural.
+    pub hyps: Arc<[Hyp]>,
 }
 
 impl fmt::Display for SideCondRecord {
@@ -35,7 +45,7 @@ impl fmt::Display for SideCondRecord {
 pub struct DerivationNode {
     /// Name of the lemma (as registered in the hint database) or of the
     /// engine-internal rule (`"done"`).
-    pub lemma: String,
+    pub lemma: Cow<'static, str>,
     /// A rendering of the source focus the lemma consumed.
     pub focus: String,
     /// Discharged side conditions.
@@ -48,7 +58,7 @@ pub struct DerivationNode {
 
 impl DerivationNode {
     /// A leaf node for lemma `lemma` applied to `focus`.
-    pub fn leaf(lemma: impl Into<String>, focus: impl Into<String>) -> Self {
+    pub fn leaf(lemma: impl Into<Cow<'static, str>>, focus: impl Into<String>) -> Self {
         DerivationNode {
             lemma: lemma.into(),
             focus: focus.into(),
@@ -156,7 +166,7 @@ mod tests {
         node.side_conds.push(SideCondRecord {
             cond: SideCond::Lt(var("i"), var("n")),
             solver: "lia".into(),
-            hyps: vec![],
+            hyps: Vec::new().into(),
         });
         let root = DerivationNode::leaf("compile_let", "let/n s := …")
             .with_child(node)

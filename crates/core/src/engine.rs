@@ -26,8 +26,10 @@ use rupicola_bedrock::{BExpr, BFunction, BTable, Cmd};
 use rupicola_lang::{Expr, Model};
 use std::any::Any;
 use std::cell::Cell;
+use std::borrow::Cow;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Once;
+use std::sync::{Arc, Once};
 
 // --- panic isolation -------------------------------------------------------
 //
@@ -66,6 +68,23 @@ pub fn catch_quiet<R>(f: impl FnOnce() -> R) -> Result<R, Box<dyn Any + Send>> {
     result
 }
 
+/// Canonical memo-cache hash for a side-condition discharge. The key
+/// hashes the condition and the hypothesis *count* — not the hypotheses
+/// themselves, which can be large and would be walked structurally on
+/// every solve. The hash only selects a bucket; every candidate in it is
+/// confirmed by a full structural-equality compare (cheap, because shared
+/// subterms compare by pointer), so collisions cannot corrupt the cache,
+/// and hypothesis order still distinguishes entries at confirmation time.
+/// `DefaultHasher::new()` is keyed with fixed constants, so the hash is
+/// deterministic across runs and threads.
+fn memo_hash(cond: &SideCond, hyps: &[Hyp]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    cond.hash(&mut h);
+    hyps.len().hash(&mut h);
+    h.finish()
+}
+
 /// Renders a caught panic payload (the common `&str`/`String` cases).
 fn panic_message(payload: &(dyn Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -84,6 +103,20 @@ pub struct CompileStats {
     pub lemma_applications: usize,
     /// Number of side conditions discharged.
     pub side_conditions: usize,
+    /// Side conditions discharged from the memo cache (no solver ran).
+    pub solver_cache_hits: usize,
+    /// Side conditions that went through the solver loop while the memo
+    /// cache was enabled (cacheable misses). Zero when the cache is off.
+    pub solver_cache_misses: usize,
+}
+
+impl CompileStats {
+    /// Cache hits as a fraction of cacheable side-condition discharges
+    /// (`None` when the cache never engaged).
+    pub fn solver_cache_hit_rate(&self) -> Option<f64> {
+        let total = self.solver_cache_hits + self.solver_cache_misses;
+        (total > 0).then(|| self.solver_cache_hits as f64 / total as f64)
+    }
 }
 
 /// The compiler state threaded through lemma applications.
@@ -112,9 +145,21 @@ pub struct Compiler<'a> {
     /// Solver invocations so far.
     solver_steps: usize,
     /// Stack of lemma names currently being applied (derivation root
-    /// first); cloned into `ResourceExhausted`/`LemmaPanicked` errors.
-    path: Vec<String>,
+    /// first); rendered into `ResourceExhausted`/`LemmaPanicked` errors.
+    /// Names are `&'static str` so pushing a frame never allocates — this
+    /// runs once per *tried* lemma, the engine's hottest edge.
+    path: Vec<&'static str>,
+    /// Side-condition memo cache: structural hash of `(cond, hyps)` →
+    /// entries confirmed by full equality → index of the solver that
+    /// discharged it. Only successful discharges are cached; a solver that
+    /// declines or panics is always re-consulted.
+    side_cache: HashMap<u64, Vec<SideCacheEntry>>,
 }
+
+/// One confirmed memo-cache entry: the condition and hypothesis snapshot
+/// (compared in full on a hash-bucket hit) and the index of the solver
+/// that discharged them.
+type SideCacheEntry = (SideCond, Arc<[Hyp]>, usize);
 
 impl<'a> Compiler<'a> {
     /// Creates a compiler for `model` using the lemmas of `dbs` with
@@ -135,6 +180,7 @@ impl<'a> Compiler<'a> {
             depth: 0,
             solver_steps: 0,
             path: Vec::new(),
+            side_cache: HashMap::new(),
         }
     }
 
@@ -143,13 +189,117 @@ impl<'a> Compiler<'a> {
         &self.limits
     }
 
+    /// Whether this run uses the optimized engine paths.
+    ///
+    /// `true` under [`DispatchMode::Indexed`](crate::DispatchMode::Indexed).
+    /// Under `Linear` the engine is the *reference configuration*: it keeps
+    /// the seed's implementations end to end (linear lemma scans, no
+    /// side-condition memoization, and the original allocating helper
+    /// routines in the extension crates). Helpers that grew a faster
+    /// implementation branch on this so the reference configuration stays
+    /// byte-for-byte the seed engine — that is what the equivalence battery
+    /// compares the optimized pipeline against.
+    #[must_use]
+    pub fn fast_path(&self) -> bool {
+        self.dbs.dispatch_mode() == crate::DispatchMode::Indexed
+    }
+
+    /// Copies a goal under the active configuration's cost model: a
+    /// structure-sharing `clone()` on the fast path, the seed's node-by-node
+    /// [`StmtGoal::deep_clone`] in the reference configuration. Both
+    /// results are `==` to `goal`; only the allocation behavior differs.
+    #[must_use]
+    pub fn clone_goal(&self, goal: &StmtGoal) -> StmtGoal {
+        if self.fast_path() {
+            goal.clone()
+        } else {
+            goal.deep_clone()
+        }
+    }
+
+    /// Copies a term under the active configuration's cost model (see
+    /// [`Compiler::clone_goal`]).
+    #[must_use]
+    pub fn clone_term(&self, term: &Expr) -> Expr {
+        if self.fast_path() {
+            term.clone()
+        } else {
+            term.deep_clone()
+        }
+    }
+
+    /// Renders a derivation focus of the form `{term}`. Fast path: one
+    /// buffer through [`Expr::write_into`]. Reference configuration: the
+    /// seed's `format!` through the `Display` reference printer. Identical
+    /// bytes either way (the printer-agreement invariant; the equivalence
+    /// battery compares these strings across engines).
+    #[must_use]
+    pub fn focus_term(&self, term: &Expr) -> String {
+        if self.fast_path() {
+            term.display_string()
+        } else {
+            format!("{term}")
+        }
+    }
+
+    /// Renders a binding focus `let/n {name} := {value}` (see
+    /// [`Compiler::focus_term`]).
+    #[must_use]
+    pub fn focus_let(&self, name: &str, value: &Expr) -> String {
+        if self.fast_path() {
+            let mut s = String::with_capacity(64);
+            s.push_str("let/n ");
+            s.push_str(name);
+            s.push_str(" := ");
+            value.write_into(&mut s);
+            s
+        } else {
+            format!("let/n {name} := {value}")
+        }
+    }
+
+    /// Renders a resolution focus `{term} ↦ {target}` (see
+    /// [`Compiler::focus_term`]).
+    #[must_use]
+    pub fn focus_mapsto(&self, term: &Expr, target: &str) -> String {
+        if self.fast_path() {
+            let mut s = String::with_capacity(48);
+            term.write_into(&mut s);
+            s.push_str(" ↦ ");
+            s.push_str(target);
+            s
+        } else {
+            format!("{term} ↦ {target}")
+        }
+    }
+
+    /// Renders a literal-resolution focus `{term} ↦ {w}` (see
+    /// [`Compiler::focus_term`]).
+    #[must_use]
+    pub fn focus_mapsto_word(&self, term: &Expr, w: u64) -> String {
+        if self.fast_path() {
+            use std::fmt::Write;
+            let mut s = String::with_capacity(48);
+            term.write_into(&mut s);
+            s.push_str(" ↦ ");
+            let _ = write!(s, "{w}");
+            s
+        } else {
+            format!("{term} ↦ {w}")
+        }
+    }
+
     /// The current derivation path (lemma names, root first).
-    pub fn derivation_path(&self) -> &[String] {
+    pub fn derivation_path(&self) -> &[&'static str] {
         &self.path
     }
 
+    fn path_strings(&self) -> Vec<String> {
+        self.path.iter().map(|s| (*s).to_string()).collect()
+    }
+
     fn exhausted(&self, resource: ResourceKind, limit: usize) -> CompileError {
-        CompileError::ResourceExhausted { resource, limit, path: self.path.clone() }
+        CompileError::ResourceExhausted { resource, limit, path: self.path_strings() }
     }
 
     /// Converts a caught `try_apply` panic into a typed error: a
@@ -162,7 +312,7 @@ impl<'a> Compiler<'a> {
         CompileError::LemmaPanicked {
             lemma: lemma.to_string(),
             message: panic_message(payload.as_ref()),
-            path: self.path.clone(),
+            path: self.path_strings(),
         }
     }
 
@@ -243,11 +393,15 @@ impl<'a> Compiler<'a> {
         goal: &StmtGoal,
     ) -> Result<(Cmd, DerivationNode), CompileError> {
         // Copy the `&HintDbs` out of `self` so iterating the lemma slice
-        // does not hold a borrow of the compiler across `try_apply` (the
-        // previous code cloned the whole database on every goal).
+        // does not hold a borrow of the compiler across `try_apply`.
+        // `stmt_order` is the dispatch index: only lemmas whose declared
+        // head set admits the goal's head, in registration order (or all of
+        // them, in `DispatchMode::Linear`).
         let dbs = self.dbs;
-        for lemma in dbs.stmt_lemmas() {
-            self.path.push(lemma.name().to_string());
+        let lemmas = dbs.stmt_lemmas();
+        for &i in dbs.stmt_order(&goal.prog) {
+            let lemma = &lemmas[i as usize];
+            self.path.push(lemma.name());
             match catch_quiet(AssertUnwindSafe(|| lemma.try_apply(goal, self))) {
                 Err(payload) => return Err(self.panic_to_error(lemma.name(), payload)),
                 Ok(None) => {
@@ -287,8 +441,10 @@ impl<'a> Compiler<'a> {
         goal: &StmtGoal,
     ) -> Result<(BExpr, DerivationNode), CompileError> {
         let dbs = self.dbs;
-        for lemma in dbs.expr_lemmas() {
-            self.path.push(lemma.name().to_string());
+        let lemmas = dbs.expr_lemmas();
+        for &i in dbs.expr_order(term) {
+            let lemma = &lemmas[i as usize];
+            self.path.push(lemma.name());
             match catch_quiet(AssertUnwindSafe(|| lemma.try_apply(term, goal, self))) {
                 Err(payload) => return Err(self.panic_to_error(lemma.name(), payload)),
                 Ok(None) => {
@@ -330,7 +486,38 @@ impl<'a> Compiler<'a> {
         hyps: &[Hyp],
     ) -> Result<SideCondRecord, CompileError> {
         let dbs = self.dbs;
-        for s in dbs.solvers() {
+        // Memo cache: solvers are consulted in a fixed order and must be
+        // pure in `(cond, hyps)` (see `HintDbs::set_solver_memo`), so the
+        // first solver to discharge a condition is a function of the
+        // canonicalized pair — replaying the recorded solver name yields a
+        // byte-identical `SideCondRecord` without re-running anything.
+        // Only *successes* are cached: a decline (or a panic, which is
+        // treated as a decline) leaves no trace, so a flaky solver is
+        // always re-consulted.
+        let key = dbs.solver_memo_enabled().then(|| memo_hash(&cond, hyps));
+        if let Some(k) = key {
+            let hit = self.side_cache.get(&k).and_then(|bucket| {
+                bucket
+                    .iter()
+                    .find(|(c, h, _)| *c == cond && h.as_ref() == hyps)
+                    .map(|(_, h, idx)| (h.clone(), *idx))
+            });
+            if let Some((shared, idx)) = hit {
+                self.stats.side_conditions += 1;
+                self.stats.solver_cache_hits += 1;
+                // The cached snapshot is structurally equal to `hyps`
+                // (checked above), so reusing it keeps the record
+                // byte-identical to what the solver loop would produce —
+                // without cloning the hypotheses again.
+                return Ok(SideCondRecord {
+                    cond,
+                    solver: Cow::Borrowed(dbs.solvers()[idx].name()),
+                    hyps: shared,
+                });
+            }
+            self.stats.solver_cache_misses += 1;
+        }
+        for (idx, s) in dbs.solvers().iter().enumerate() {
             if self.solver_steps >= self.limits.solver_step_budget {
                 return Err(
                     self.exhausted(ResourceKind::SolverSteps, self.limits.solver_step_budget)
@@ -341,10 +528,25 @@ impl<'a> Compiler<'a> {
             // panicked — same outcome, fall through to the next solver.
             if let Ok(true) = catch_quiet(|| s.solve(&cond, hyps)) {
                 self.stats.side_conditions += 1;
+                // Snapshot the hypotheses for the record. Fast path: shallow
+                // copies into one shared allocation (also the memo-cache
+                // entry). Reference configuration: the seed's node-by-node
+                // copies.
+                let shared: Arc<[Hyp]> = if self.fast_path() {
+                    hyps.into()
+                } else {
+                    hyps.iter().map(Hyp::deep_clone).collect()
+                };
+                if let Some(k) = key {
+                    self.side_cache
+                        .entry(k)
+                        .or_default()
+                        .push((cond.clone(), shared.clone(), idx));
+                }
                 return Ok(SideCondRecord {
                     cond,
-                    solver: s.name().to_string(),
-                    hyps: hyps.to_vec(),
+                    solver: Cow::Borrowed(s.name()),
+                    hyps: shared,
                 });
             }
         }
@@ -375,7 +577,7 @@ impl<'a> Compiler<'a> {
             });
         }
         let mut cmds = Vec::new();
-        let mut node = DerivationNode::leaf("done", format!("{result}"));
+        let mut node = DerivationNode::leaf("done", self.focus_term(result));
         for (slot, comp) in goal.post.slots.iter().zip(components) {
             match slot {
                 RetSlot::ScalarTo(ret_var) => {

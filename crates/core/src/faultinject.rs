@@ -393,7 +393,7 @@ fn witness_mutants(cf: &CompiledFunction, out: &mut Vec<Mutant>) {
         root.side_conds.push(SideCondRecord {
             cond: SideCond::Lt(word_lit(5), word_lit(3)),
             solver: "lia".into(),
-            hyps: vec![],
+            hyps: Vec::new().into(),
         });
         let mut mutated = cf.clone();
         mutated.derivation = Derivation::new(root);

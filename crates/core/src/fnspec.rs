@@ -206,7 +206,7 @@ impl FnSpec {
                         content: Expr::Var(param.clone()),
                         len: Some(Expr::ArrayLen {
                             elem: *elem,
-                            arr: Box::new(Expr::Var(param.clone())),
+                            arr: Expr::Var(param.clone()).boxed(),
                         }),
                         ptr_name: name.clone(),
                     });
@@ -221,7 +221,7 @@ impl FnSpec {
                             ScalarKind::Word,
                             Expr::ArrayLen {
                                 elem: *elem,
-                                arr: Box::new(Expr::Var(param.clone())),
+                                arr: Expr::Var(param.clone()).boxed(),
                             },
                         ),
                     );
@@ -270,7 +270,7 @@ impl FnSpec {
             hyps.push(Hyp::EqWord(
                 Expr::ArrayLen {
                     elem: t.elem,
-                    arr: Box::new(Expr::Var(format!("table:{}", t.name))),
+                    arr: Expr::Var(format!("table:{}", t.name)).boxed(),
                 },
                 Expr::Lit(Value::Word(t.len() as u64)),
             ));

@@ -19,7 +19,7 @@ use std::fmt;
 ///
 /// All comparisons are on the numeric denotation of scalar terms (words,
 /// bytes, naturals and booleans all denote numbers).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Hyp {
     /// The two terms denote the same number.
     EqWord(Expr, Expr),
@@ -27,6 +27,20 @@ pub enum Hyp {
     LtU(Expr, Expr),
     /// Unsigned less-than-or-equal.
     LeU(Expr, Expr),
+}
+
+impl Hyp {
+    /// A copy sharing no term structure with `self` (see
+    /// [`Expr::deep_clone`]; used by the reference engine configuration to
+    /// keep the seed's copy discipline when snapshotting hypotheses).
+    #[must_use]
+    pub fn deep_clone(&self) -> Hyp {
+        match self {
+            Hyp::EqWord(a, b) => Hyp::EqWord(a.deep_clone(), b.deep_clone()),
+            Hyp::LtU(a, b) => Hyp::LtU(a.deep_clone(), b.deep_clone()),
+            Hyp::LeU(a, b) => Hyp::LeU(a.deep_clone(), b.deep_clone()),
+        }
+    }
 }
 
 impl fmt::Display for Hyp {
@@ -41,7 +55,7 @@ impl fmt::Display for Hyp {
 
 /// A side condition generated during compilation, to be discharged by a
 /// registered solver.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum SideCond {
     /// `idx < len` (an index-bounds obligation).
     Lt(Expr, Expr),
@@ -173,6 +187,35 @@ impl StmtGoal {
     /// The `(name, definition)` evaluation prefix (see the `defs` field).
     pub fn binding_defs(&self) -> Vec<(Ident, Expr)> {
         self.defs.clone()
+    }
+
+    /// A copy sharing no term structure with `self`: the program remainder,
+    /// every locals binding, heaplet content/length, hypothesis, and
+    /// definition equation is rebuilt node by node
+    /// ([`Expr::deep_clone`]).
+    ///
+    /// With `Box<Expr>` subterms (the seed representation) this is what
+    /// `clone()` always did; with [`rupicola_lang::ExprRef`] sharing,
+    /// `clone()` is a handful of reference-count bumps. The reference
+    /// (`Linear`) engine configuration calls this wherever the seed engine
+    /// cloned a goal, so that the serial baseline the speed harness
+    /// measures preserves the seed compiler's allocation behavior (see
+    /// `Compiler::clone_goal`).
+    #[must_use]
+    pub fn deep_clone(&self) -> StmtGoal {
+        StmtGoal {
+            prog: self.prog.deep_clone(),
+            locals: self.locals.deep_clone(),
+            heap: self.heap.deep_clone(),
+            hyps: self.hyps.iter().map(Hyp::deep_clone).collect(),
+            monad: self.monad,
+            post: self.post.clone(),
+            defs: self
+                .defs
+                .iter()
+                .map(|(n, e)| (n.clone(), e.deep_clone()))
+                .collect(),
+        }
     }
 }
 

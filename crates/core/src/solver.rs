@@ -182,7 +182,7 @@ pub fn rewrite(e: &Expr, hyps: &[Hyp], depth: usize) -> Expr {
         },
         Expr::ArrayLen { elem, arr } => Expr::ArrayLen {
             elem: *elem,
-            arr: Box::new(rewrite(arr, hyps, depth - 1)),
+            arr: rewrite(arr, hyps, depth - 1).boxed(),
         },
         _ => e.clone(),
     }

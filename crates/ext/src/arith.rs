@@ -18,7 +18,16 @@
 
 use crate::helpers::kind_of;
 use rupicola_core::derive::DerivationNode;
-use rupicola_core::{AppliedExpr, CompileError, Compiler, ExprLemma, SideCond, StmtGoal};
+use rupicola_core::{
+    AppliedExpr,
+    CompileError,
+    Compiler,
+    Dispatch,
+    ExprLemma,
+    HeadKey,
+    SideCond,
+    StmtGoal,
+};
 use rupicola_bedrock::{BExpr, BinOp};
 use rupicola_lang::{Expr, PrimOp};
 
@@ -36,15 +45,85 @@ impl ExprLemma for ExprLocal {
         "expr_local"
     }
 
+    // Deliberately inherits `Dispatch::Wildcard`: the equational-hypothesis
+    // chase can resolve a term of *any* head shape to a bound local, so no
+    // head-key bound is sound for this lemma.
+
     fn try_apply(
         &self,
         term: &Expr,
         goal: &StmtGoal,
-        _cx: &mut Compiler<'_>,
+        cx: &mut Compiler<'_>,
     ) -> Option<Result<AppliedExpr, CompileError>> {
-        // Terms equal to `term` under the equational hypotheses, breadth
-        // first, bounded.
-        let mut candidates = vec![term.clone()];
+        if cx.fast_path() {
+            self.chase_borrowed(term, goal, cx)
+        } else {
+            self.chase_cloning(term, goal)
+        }
+    }
+}
+
+impl ExprLocal {
+    /// Optimized chase: terms equal to `term` under the equational
+    /// hypotheses, breadth first, bounded. The frontier holds *borrowed*
+    /// terms — `term` itself, then sides of `EqWord` hypotheses — so the
+    /// common case (hit or miss with no chase) allocates nothing.
+    fn chase_borrowed(
+        &self,
+        term: &Expr,
+        goal: &StmtGoal,
+        cx: &Compiler<'_>,
+    ) -> Option<Result<AppliedExpr, CompileError>> {
+        let mut candidates: Vec<&Expr> = vec![term];
+        let mut i = 0;
+        while i < candidates.len() && candidates.len() < 16 {
+            let cur = candidates[i];
+            if let Some((local, _)) = goal.locals.find_scalar(cur) {
+                return Some(Ok(AppliedExpr {
+                    expr: BExpr::var(local),
+                    node: DerivationNode::leaf(self.name(), cx.focus_mapsto(term, local)),
+                }));
+            }
+            // A chase that lands on a literal (e.g. a stack buffer's
+            // recorded length) compiles to that literal.
+            if i > 0 {
+                if let Expr::Lit(v) = cur {
+                    if let Some(w) = v.to_scalar_word() {
+                        return Some(Ok(AppliedExpr {
+                            expr: BExpr::lit(w),
+                            node: DerivationNode::leaf(self.name(), cx.focus_mapsto_word(term, w)),
+                        }));
+                    }
+                }
+            }
+            for h in &goal.hyps {
+                if let rupicola_core::Hyp::EqWord(a, b) = h {
+                    if a == cur && !candidates.contains(&b) {
+                        candidates.push(b);
+                    }
+                    if b == cur && !candidates.contains(&a) {
+                        candidates.push(a);
+                    }
+                }
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Reference chase: the seed's implementation, kept for the `Linear`
+    /// configuration. Same traversal in the same order, but the frontier
+    /// owns copied terms — `deep_clone`, because that is what `clone()`
+    /// was when subterms were `Box<Expr>`, so the reference configuration
+    /// keeps the seed's allocation behavior as well as its answers. The
+    /// equivalence battery relies on this being the seed engine's exact
+    /// behavior.
+    fn chase_cloning(
+        &self,
+        term: &Expr,
+        goal: &StmtGoal,
+    ) -> Option<Result<AppliedExpr, CompileError>> {
+        let mut candidates = vec![term.deep_clone()];
         let mut i = 0;
         while i < candidates.len() && candidates.len() < 16 {
             let cur = candidates[i].clone();
@@ -54,8 +133,6 @@ impl ExprLemma for ExprLocal {
                     node: DerivationNode::leaf(self.name(), format!("{term} ↦ {local}")),
                 }));
             }
-            // A chase that lands on a literal (e.g. a stack buffer's
-            // recorded length) compiles to that literal.
             if i > 0 {
                 if let Expr::Lit(v) = &cur {
                     if let Some(w) = v.to_scalar_word() {
@@ -69,10 +146,10 @@ impl ExprLemma for ExprLocal {
             for h in &goal.hyps {
                 if let rupicola_core::Hyp::EqWord(a, b) = h {
                     if a == &cur && !candidates.contains(b) {
-                        candidates.push(b.clone());
+                        candidates.push(b.deep_clone());
                     }
                     if b == &cur && !candidates.contains(a) {
-                        candidates.push(a.clone());
+                        candidates.push(a.deep_clone());
                     }
                 }
             }
@@ -93,6 +170,10 @@ impl ExprLemma for ExprProj {
         "expr_proj"
     }
 
+    fn dispatch(&self) -> Dispatch {
+        Dispatch::Heads(&[HeadKey::Fst, HeadKey::Snd])
+    }
+
     fn try_apply(
         &self,
         term: &Expr,
@@ -108,7 +189,7 @@ impl ExprLemma for ExprProj {
         Some(match cx.compile_expr(picked, goal) {
             Ok((expr, child)) => Ok(AppliedExpr {
                 expr,
-                node: DerivationNode::leaf(self.name(), format!("{term}")).with_child(child),
+                node: DerivationNode::leaf(self.name(), cx.focus_term(term)).with_child(child),
             }),
             Err(e) => Err(e),
         })
@@ -124,17 +205,21 @@ impl ExprLemma for ExprLit {
         "expr_lit"
     }
 
+    fn dispatch(&self) -> Dispatch {
+        Dispatch::Heads(&[HeadKey::Lit])
+    }
+
     fn try_apply(
         &self,
         term: &Expr,
         _goal: &StmtGoal,
-        _cx: &mut Compiler<'_>,
+        cx: &mut Compiler<'_>,
     ) -> Option<Result<AppliedExpr, CompileError>> {
         let Expr::Lit(v) = term else { return None };
         let w = v.to_scalar_word()?;
         Some(Ok(AppliedExpr {
             expr: BExpr::lit(w),
-            node: DerivationNode::leaf(self.name(), format!("{term}")),
+            node: DerivationNode::leaf(self.name(), cx.focus_term(term)),
         }))
     }
 }
@@ -178,6 +263,10 @@ impl ExprLemma for ExprPrim {
         "expr_prim"
     }
 
+    fn dispatch(&self) -> Dispatch {
+        Dispatch::Heads(&[HeadKey::Prim])
+    }
+
     #[allow(clippy::too_many_lines)]
     fn try_apply(
         &self,
@@ -200,7 +289,7 @@ impl ExprPrim {
         cx: &mut Compiler<'_>,
     ) -> Result<AppliedExpr, CompileError> {
         use PrimOp::*;
-        let mut node = DerivationNode::leaf(self.name(), format!("{term}"));
+        let mut node = DerivationNode::leaf(self.name(), cx.focus_term(term));
         let mut compiled = Vec::with_capacity(args.len());
         for a in args {
             let (e, child) = cx.compile_expr(a, goal)?;

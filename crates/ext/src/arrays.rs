@@ -20,7 +20,17 @@ use crate::helpers::{
 use rupicola_core::derive::DerivationNode;
 use rupicola_core::invariant::{LoopInvariant, LoopInvariantKind};
 use rupicola_core::{
-    Applied, AppliedExpr, CompileError, Compiler, ExprLemma, Hyp, SideCond, StmtGoal, StmtLemma,
+    Applied,
+    AppliedExpr,
+    CompileError,
+    Compiler,
+    Dispatch,
+    ExprLemma,
+    HeadKey,
+    Hyp,
+    SideCond,
+    StmtGoal,
+    StmtLemma,
 };
 use rupicola_bedrock::{BExpr, BinOp, Cmd};
 use rupicola_lang::{ElemKind, Expr, Model};
@@ -70,6 +80,10 @@ impl ExprLemma for ExprArrayGet {
         "expr_array_get"
     }
 
+    fn dispatch(&self) -> Dispatch {
+        Dispatch::Heads(&[HeadKey::ArrayGet])
+    }
+
     fn try_apply(
         &self,
         term: &Expr,
@@ -99,7 +113,7 @@ impl ExprArrayGet {
             .get(id)
             .and_then(|h| h.len.clone())
             .ok_or_else(|| CompileError::Internal("array heaplet without length".into()))?;
-        let mut node = DerivationNode::leaf(self.name(), format!("{term}"));
+        let mut node = DerivationNode::leaf(self.name(), cx.focus_term(term));
         let sc = cx.solve(self.name(), SideCond::Lt(idx.clone(), len), &goal.hyps)?;
         node.side_conds.push(sc);
         let (idx_e, child) = cx.compile_expr(idx, goal)?;
@@ -122,6 +136,10 @@ pub struct CompileArrayPut;
 impl StmtLemma for CompileArrayPut {
     fn name(&self) -> &'static str {
         "compile_array_put"
+    }
+
+    fn dispatch(&self) -> Dispatch {
+        Dispatch::Heads(&[HeadKey::Let])
     }
 
     fn try_apply(
@@ -160,7 +178,7 @@ impl CompileArrayPut {
             .and_then(|h| h.len.clone())
             .ok_or_else(|| CompileError::Internal("array heaplet without length".into()))?;
         let mut node =
-            DerivationNode::leaf(self.name(), format!("let/n {name} := {value}"));
+            DerivationNode::leaf(self.name(), cx.focus_let(name, value));
         let sc = cx.solve(self.name(), SideCond::Lt(idx.clone(), len), &goal.hyps)?;
         node.side_conds.push(sc);
         let (idx_e, c1) = cx.compile_expr(idx, goal)?;
@@ -189,6 +207,10 @@ pub struct CompileArrayMap;
 impl StmtLemma for CompileArrayMap {
     fn name(&self) -> &'static str {
         "compile_array_map"
+    }
+
+    fn dispatch(&self) -> Dispatch {
+        Dispatch::Heads(&[HeadKey::Let])
     }
 
     fn try_apply(
@@ -232,7 +254,7 @@ impl CompileArrayMap {
             .and_then(|h| h.len.clone())
             .ok_or_else(|| CompileError::Internal("array heaplet without length".into()))?;
         let mut node =
-            DerivationNode::leaf(self.name(), format!("let/n {name} := {value}"));
+            DerivationNode::leaf(self.name(), cx.focus_let(name, value));
         let (len_e, c_len) = cx.compile_expr(&len_term, goal)?;
         node.children.push(c_len);
 
@@ -294,6 +316,10 @@ impl StmtLemma for CompileArrayFold {
         "compile_array_fold"
     }
 
+    fn dispatch(&self) -> Dispatch {
+        Dispatch::Heads(&[HeadKey::Let])
+    }
+
     fn try_apply(
         &self,
         goal: &StmtGoal,
@@ -344,7 +370,7 @@ impl CompileArrayFold {
             .and_then(|h| h.len.clone())
             .ok_or_else(|| CompileError::Internal("array heaplet without length".into()))?;
         let mut node =
-            DerivationNode::leaf(self.name(), format!("let/n {name} := {value}"));
+            DerivationNode::leaf(self.name(), cx.focus_let(name, value));
         let (init_e, c_init) = cx.compile_expr(init, goal)?;
         let (len_e, c_len) = cx.compile_expr(&len_term, goal)?;
         node.children.push(c_init);
@@ -423,6 +449,10 @@ impl StmtLemma for CompileRangeFoldArrayPut {
         "compile_range_fold_array_put"
     }
 
+    fn dispatch(&self) -> Dispatch {
+        Dispatch::Heads(&[HeadKey::Let])
+    }
+
     fn try_apply(
         &self,
         goal: &StmtGoal,
@@ -466,7 +496,7 @@ impl CompileRangeFoldArrayPut {
         value: &Expr,
         body: &Expr,
     ) -> Result<Applied, CompileError> {
-        let mut node = DerivationNode::leaf(self.name(), format!("let/n {name} := {value}"));
+        let mut node = DerivationNode::leaf(self.name(), cx.focus_let(name, value));
         let (from_e, c0) = cx.compile_expr(from, goal)?;
         let (to_e, c1) = cx.compile_expr(to, goal)?;
         node.children.push(c0);
@@ -478,13 +508,13 @@ impl CompileRangeFoldArrayPut {
         // length-preservation equation.
         let mut body_goal = goal.clone();
         for b in [i, acc] {
-            if crate::helpers::state_mentions(&body_goal, b) {
+            if crate::helpers::state_mentions(cx, &body_goal, b) {
                 let ghost = cx.fresh_ghost(b);
                 body_goal.shadow(b, &ghost);
             }
         }
         let old_len = body_goal.heap.get(id).and_then(|h| h.len.clone());
-        let acc_len = Expr::ArrayLen { elem, arr: Box::new(Expr::Var(acc.to_string())) };
+        let acc_len = Expr::ArrayLen { elem, arr: Expr::Var(acc.to_string()).boxed() };
         if let Some(h) = body_goal.heap.get_mut(id) {
             h.content = Expr::Var(acc.to_string());
             h.len = Some(acc_len.clone());

@@ -7,7 +7,17 @@
 
 use crate::helpers::state_mentions;
 use rupicola_core::derive::DerivationNode;
-use rupicola_core::{Applied, AppliedExpr, CompileError, Compiler, ExprLemma, StmtGoal, StmtLemma};
+use rupicola_core::{
+    Applied,
+    AppliedExpr,
+    CompileError,
+    Compiler,
+    Dispatch,
+    ExprLemma,
+    HeadKey,
+    StmtGoal,
+    StmtLemma,
+};
 use rupicola_bedrock::{AccessSize, BExpr, BinOp, Cmd};
 use rupicola_lang::{Expr, PrimOp};
 use rupicola_sep::SymValue;
@@ -21,18 +31,22 @@ impl ExprLemma for ExprCellGet {
         "expr_cell_get"
     }
 
+    fn dispatch(&self) -> Dispatch {
+        Dispatch::Heads(&[HeadKey::CellGet])
+    }
+
     fn try_apply(
         &self,
         term: &Expr,
         goal: &StmtGoal,
-        _cx: &mut Compiler<'_>,
+        cx: &mut Compiler<'_>,
     ) -> Option<Result<AppliedExpr, CompileError>> {
         let Expr::CellGet(cell) = term else { return None };
         let id = goal.heap.find_by_content(cell)?;
         let ptr = goal.locals.find_ptr(id)?.to_string();
         Some(Ok(AppliedExpr {
             expr: BExpr::load(AccessSize::Eight, BExpr::var(ptr)),
-            node: DerivationNode::leaf(self.name(), format!("{term}")),
+            node: DerivationNode::leaf(self.name(), cx.focus_term(term)),
         }))
     }
 }
@@ -47,7 +61,7 @@ fn rebind_cell(
     body: &Expr,
 ) -> StmtGoal {
     let mut g = goal.clone();
-    if state_mentions(&g, name) {
+    if state_mentions(cx, &g, name) {
         let ghost = cx.fresh_ghost(name);
         g.shadow(name, &ghost);
         g.defs.push((ghost, Expr::Var(name.to_string())));
@@ -70,6 +84,10 @@ pub struct CompileCellPut;
 impl StmtLemma for CompileCellPut {
     fn name(&self) -> &'static str {
         "compile_cell_put"
+    }
+
+    fn dispatch(&self) -> Dispatch {
+        Dispatch::Heads(&[HeadKey::Let])
     }
 
     fn try_apply(
@@ -101,7 +119,7 @@ impl CompileCellPut {
         value: &Expr,
         body: &Expr,
     ) -> Result<Applied, CompileError> {
-        let mut node = DerivationNode::leaf(self.name(), format!("let/n {name} := {value}"));
+        let mut node = DerivationNode::leaf(self.name(), cx.focus_let(name, value));
         let (val_e, c0) = cx.compile_expr(val, goal)?;
         node.children.push(c0);
         let k_goal = rebind_cell(cx, goal, name, id, value, body);
@@ -123,6 +141,10 @@ pub struct CompileCellIncr;
 impl StmtLemma for CompileCellIncr {
     fn name(&self) -> &'static str {
         "compile_cell_iadd"
+    }
+
+    fn dispatch(&self) -> Dispatch {
+        Dispatch::Heads(&[HeadKey::Let])
     }
 
     fn try_apply(
@@ -159,7 +181,7 @@ impl CompileCellIncr {
         value: &Expr,
         body: &Expr,
     ) -> Result<Applied, CompileError> {
-        let mut node = DerivationNode::leaf(self.name(), format!("let/n {name} := {value}"));
+        let mut node = DerivationNode::leaf(self.name(), cx.focus_let(name, value));
         let (delta_e, c0) = cx.compile_expr(delta, goal)?;
         node.children.push(c0);
         let k_goal = rebind_cell(cx, goal, name, id, value, body);
@@ -193,6 +215,10 @@ pub struct CompileCellCas;
 impl StmtLemma for CompileCellCas {
     fn name(&self) -> &'static str {
         "compile_cell_cas"
+    }
+
+    fn dispatch(&self) -> Dispatch {
+        Dispatch::Heads(&[HeadKey::Let])
     }
 
     fn try_apply(
@@ -282,6 +308,10 @@ impl StmtLemma for CompileCellCasPair {
         "compile_cell_cas_pair"
     }
 
+    fn dispatch(&self) -> Dispatch {
+        Dispatch::Heads(&[HeadKey::Let])
+    }
+
     fn try_apply(
         &self,
         goal: &StmtGoal,
@@ -349,10 +379,10 @@ impl CompileCellCasPair {
         let me = Expr::Var(name.to_string());
         g.locals.set(
             flag_local.clone(),
-            SymValue::Scalar(kr, Expr::Fst(Box::new(me.clone()))),
+            SymValue::Scalar(kr, Expr::Fst(me.clone().boxed())),
         );
         if let Some(h) = g.heap.get_mut(id) {
-            h.content = Expr::Snd(Box::new(me));
+            h.content = Expr::Snd(me.boxed());
         }
         g.defs.push((name.to_string(), value.clone()));
         g.prog = body.clone();

@@ -15,7 +15,7 @@
 use crate::helpers::{access_size, heaplet_and_ptr, is_plain_scalar_value, kind_of, rebind_scalar};
 use rupicola_core::derive::DerivationNode;
 use rupicola_core::solver::{linearize, rewrite};
-use rupicola_core::{Applied, CompileError, Compiler, Hyp, StmtGoal, StmtLemma};
+use rupicola_core::{Applied, CompileError, Compiler, Dispatch, HeadKey, Hyp, StmtGoal, StmtLemma};
 use rupicola_bedrock::{BExpr, BinOp, Cmd};
 use rupicola_lang::{ElemKind, Expr, Value};
 use rupicola_sep::{Heaplet, HeapletKind, SymValue};
@@ -27,6 +27,10 @@ pub struct CompileCopyScalar;
 impl StmtLemma for CompileCopyScalar {
     fn name(&self) -> &'static str {
         "compile_copy_scalar"
+    }
+
+    fn dispatch(&self) -> Dispatch {
+        Dispatch::Heads(&[HeadKey::Let])
     }
 
     fn try_apply(
@@ -68,7 +72,7 @@ impl CompileCopyScalar {
 /// hypotheses (stack allocations record `length t = n`; callers may supply
 /// the same fact as a spec hint).
 fn constant_len(goal: &StmtGoal, elem: ElemKind, arr: &Expr) -> Option<u64> {
-    let len_term = Expr::ArrayLen { elem, arr: Box::new(arr.clone()) };
+    let len_term = Expr::ArrayLen { elem, arr: arr.clone().boxed() };
     let reduced = rewrite(&len_term, &goal.hyps, 8);
     let lin = linearize(&reduced);
     lin.as_constant().and_then(|c| u64::try_from(c).ok())
@@ -82,6 +86,10 @@ pub struct CompileCopyArrayStack;
 impl StmtLemma for CompileCopyArrayStack {
     fn name(&self) -> &'static str {
         "compile_copy_array_stack"
+    }
+
+    fn dispatch(&self) -> Dispatch {
+        Dispatch::Heads(&[HeadKey::Let])
     }
 
     fn try_apply(
@@ -119,12 +127,12 @@ impl CompileCopyArrayStack {
         let id = k_goal.heap.add(Heaplet {
             kind: HeapletKind::Array { elem },
             content: Expr::Var(name.to_string()),
-            len: Some(Expr::ArrayLen { elem, arr: Box::new(Expr::Var(name.to_string())) }),
+            len: Some(Expr::ArrayLen { elem, arr: Expr::Var(name.to_string()).boxed() }),
             ptr_name: format!("&{name}"),
         });
         k_goal.locals.set(name.to_string(), SymValue::Ptr(id));
         k_goal.hyps.push(Hyp::EqWord(
-            Expr::ArrayLen { elem, arr: Box::new(Expr::Var(name.to_string())) },
+            Expr::ArrayLen { elem, arr: Expr::Var(name.to_string()).boxed() },
             Expr::Lit(Value::Word(n)),
         ));
         k_goal.defs.push((name.to_string(), inner.clone()));

@@ -51,11 +51,26 @@ pub fn heaplet_and_ptr(goal: &StmtGoal, term: &Expr) -> Option<(HeapletId, Strin
 }
 
 /// Whether any piece of the symbolic state mentions the source name.
-pub fn state_mentions(goal: &StmtGoal, name: &str) -> bool {
+///
+/// Two implementations, selected by [`Compiler::fast_path`]: the optimized
+/// engine uses the allocation-free [`Expr::mentions`] walk; the reference
+/// (`Linear`) configuration keeps the seed's `free_vars()`-based scan so
+/// the baseline the speed harness and equivalence battery measure against
+/// is the seed engine, not a half-optimized hybrid. Both return the same
+/// answer on every input (`mentions` is `free_vars().contains` fused into
+/// one binder-aware traversal).
+pub fn state_mentions(cx: &Compiler<'_>, goal: &StmtGoal, name: &str) -> bool {
     if goal.locals.get(name).is_some() {
         return true;
     }
-    let as_var = |e: &Expr| e.free_vars().iter().any(|v| v == name);
+    let fast = cx.fast_path();
+    let as_var = |e: &Expr| {
+        if fast {
+            e.mentions(name)
+        } else {
+            e.free_vars().iter().any(|v| v == name)
+        }
+    };
     for (_, v) in goal.locals.iter() {
         if let SymValue::Scalar(_, t) = v {
             if as_var(t) {
@@ -86,9 +101,9 @@ pub fn rebind_scalar(
     value: &Expr,
     body: &Expr,
 ) -> StmtGoal {
-    let mut g = goal.clone();
-    let mut shadowed_value = value.clone();
-    if state_mentions(&g, name) {
+    let mut g = cx.clone_goal(goal);
+    let mut shadowed_value = cx.clone_term(value);
+    if state_mentions(cx, &g, name) {
         let ghost = cx.fresh_ghost(name);
         g.shadow(name, &ghost);
         shadowed_value = rupicola_sep::subst(value, name, &Expr::Var(ghost.clone()));
@@ -101,9 +116,9 @@ pub fn rebind_scalar(
     g.hyps
         .push(Hyp::EqWord(Expr::Var(name.clone()), shadowed_value));
     if !value.is_monadic() {
-        g.defs.push((name.clone(), value.clone()));
+        g.defs.push((name.clone(), cx.clone_term(value)));
     }
-    g.prog = body.clone();
+    g.prog = cx.clone_term(body);
     g
 }
 
@@ -122,17 +137,17 @@ pub fn rebind_pointer(
     value: &Expr,
     body: &Expr,
 ) -> StmtGoal {
-    let mut g = goal.clone();
-    if state_mentions(&g, name) {
+    let mut g = cx.clone_goal(goal);
+    if state_mentions(cx, &g, name) {
         let ghost = cx.fresh_ghost(name);
         g.shadow(name, &ghost);
         g.defs.push((ghost, Expr::Var(name.clone())));
     }
     if !value.is_monadic() {
-        g.defs.push((name.clone(), value.clone()));
+        g.defs.push((name.clone(), cx.clone_term(value)));
     }
     let old_len = g.heap.get(id).and_then(|h| h.len.clone());
-    let new_len = Expr::ArrayLen { elem, arr: Box::new(Expr::Var(name.clone())) };
+    let new_len = Expr::ArrayLen { elem, arr: Expr::Var(name.clone()).boxed() };
     if let Some(h) = g.heap.get_mut(id) {
         h.content = Expr::Var(name.clone());
         h.len = Some(new_len.clone());
@@ -143,7 +158,7 @@ pub fn rebind_pointer(
         }
     }
     g.locals.set(name.clone(), SymValue::Ptr(id));
-    g.prog = body.clone();
+    g.prog = cx.clone_term(body);
     g
 }
 
@@ -175,9 +190,9 @@ pub fn loop_body_goal(
     binders: &[(Ident, String, ScalarKind)],
     extra_hyps: Vec<Hyp>,
 ) -> StmtGoal {
-    let mut g = goal.clone();
+    let mut g = cx.clone_goal(goal);
     for (src, _, _) in binders {
-        if state_mentions(&g, src) {
+        if state_mentions(cx, &g, src) {
             let ghost = cx.fresh_ghost(src);
             g.shadow(src, &ghost);
         }

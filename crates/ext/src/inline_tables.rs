@@ -10,7 +10,16 @@
 
 use crate::helpers::access_size;
 use rupicola_core::derive::DerivationNode;
-use rupicola_core::{AppliedExpr, CompileError, Compiler, ExprLemma, SideCond, StmtGoal};
+use rupicola_core::{
+    AppliedExpr,
+    CompileError,
+    Compiler,
+    Dispatch,
+    ExprLemma,
+    HeadKey,
+    SideCond,
+    StmtGoal,
+};
 use rupicola_bedrock::{BExpr, BinOp};
 use rupicola_lang::{ElemKind, Expr, Value};
 
@@ -23,6 +32,10 @@ pub struct ExprTableGet;
 impl ExprLemma for ExprTableGet {
     fn name(&self) -> &'static str {
         "expr_table_get"
+    }
+
+    fn dispatch(&self) -> Dispatch {
+        Dispatch::Heads(&[HeadKey::TableGet])
     }
 
     fn try_apply(
@@ -46,7 +59,7 @@ impl ExprTableGet {
         idx: &Expr,
         term: &Expr,
     ) -> Result<AppliedExpr, CompileError> {
-        let mut node = DerivationNode::leaf(self.name(), format!("{term}"));
+        let mut node = DerivationNode::leaf(self.name(), cx.focus_term(term));
         let len = def.len() as u64;
         let sc = cx.solve(
             self.name(),

@@ -11,7 +11,7 @@
 
 use crate::helpers::{is_plain_scalar_value, kind_of, rebind_scalar};
 use rupicola_core::derive::DerivationNode;
-use rupicola_core::{Applied, CompileError, Compiler, StmtLemma, StmtGoal};
+use rupicola_core::{Applied, CompileError, Compiler, Dispatch, HeadKey, StmtGoal, StmtLemma};
 use rupicola_bedrock::Cmd;
 use rupicola_lang::Expr;
 
@@ -22,6 +22,10 @@ pub struct CompileLetScalar;
 impl StmtLemma for CompileLetScalar {
     fn name(&self) -> &'static str {
         "compile_let_scalar"
+    }
+
+    fn dispatch(&self) -> Dispatch {
+        Dispatch::Heads(&[HeadKey::Let])
     }
 
     fn try_apply(
@@ -59,7 +63,7 @@ impl CompileLetScalar {
         let (e, value_node) = cx.compile_expr(value, goal)?;
         let k_goal = rebind_scalar(cx, goal, &name.to_string(), kind, value, body);
         let (k_cmd, k_node) = cx.compile_stmt(&k_goal)?;
-        let node = DerivationNode::leaf(self.name(), format!("let/n {name} := {value}"))
+        let node = DerivationNode::leaf(self.name(), cx.focus_let(name, value))
             .with_child(value_node)
             .with_child(k_node);
         Ok(Applied {
@@ -79,6 +83,10 @@ pub struct CompileLetPair;
 impl StmtLemma for CompileLetPair {
     fn name(&self) -> &'static str {
         "compile_let_pair"
+    }
+
+    fn dispatch(&self) -> Dispatch {
+        Dispatch::Heads(&[HeadKey::Let])
     }
 
     fn try_apply(

@@ -10,7 +10,7 @@
 use crate::helpers::{binder_local, kind_of, loop_body_goal, rebind_scalar};
 use rupicola_core::derive::DerivationNode;
 use rupicola_core::invariant::{LoopInvariant, LoopInvariantKind};
-use rupicola_core::{Applied, CompileError, Compiler, Hyp, StmtGoal, StmtLemma};
+use rupicola_core::{Applied, CompileError, Compiler, Dispatch, HeadKey, Hyp, StmtGoal, StmtLemma};
 use rupicola_bedrock::{BExpr, BinOp, Cmd};
 use rupicola_lang::{Expr, Value};
 use rupicola_sep::ScalarKind;
@@ -22,6 +22,10 @@ pub struct CompileRangeFold;
 impl StmtLemma for CompileRangeFold {
     fn name(&self) -> &'static str {
         "compile_range_fold"
+    }
+
+    fn dispatch(&self) -> Dispatch {
+        Dispatch::Heads(&[HeadKey::Let])
     }
 
     fn try_apply(
@@ -55,7 +59,7 @@ impl CompileRangeFold {
         value: &Expr,
         body: &Expr,
     ) -> Result<Applied, CompileError> {
-        let mut node = DerivationNode::leaf(self.name(), format!("let/n {name} := {value}"));
+        let mut node = DerivationNode::leaf(self.name(), cx.focus_let(name, value));
         let (init_e, c0) = cx.compile_expr(init, goal)?;
         let (from_e, c1) = cx.compile_expr(from, goal)?;
         let (to_e, c2) = cx.compile_expr(to, goal)?;
@@ -127,6 +131,10 @@ impl StmtLemma for CompileRangeFoldBreak {
         "compile_range_fold_break"
     }
 
+    fn dispatch(&self) -> Dispatch {
+        Dispatch::Heads(&[HeadKey::Let])
+    }
+
     fn try_apply(
         &self,
         goal: &StmtGoal,
@@ -177,7 +185,7 @@ impl CompileRangeFoldBreak {
         value: &Expr,
         body: &Expr,
     ) -> Result<Applied, CompileError> {
-        let mut node = DerivationNode::leaf(self.name(), format!("let/n {name} := {value}"));
+        let mut node = DerivationNode::leaf(self.name(), cx.focus_let(name, value));
         let (init_e, c0) = cx.compile_expr(init, goal)?;
         let (from_e, c1) = cx.compile_expr(from, goal)?;
         let (to_e, c2) = cx.compile_expr(to, goal)?;
@@ -267,6 +275,10 @@ impl StmtLemma for CompileRangeFoldM {
         "compile_range_fold_monadic"
     }
 
+    fn dispatch(&self) -> Dispatch {
+        Dispatch::Heads(&[HeadKey::Bind])
+    }
+
     fn try_apply(
         &self,
         goal: &StmtGoal,
@@ -341,7 +353,7 @@ impl CompileRangeFoldM {
         node.children.push(c_body);
 
         let mut k_goal = goal.clone();
-        if crate::helpers::state_mentions(&k_goal, name) {
+        if crate::helpers::state_mentions(cx, &k_goal, name) {
             let ghost = cx.fresh_ghost(name);
             k_goal.shadow(name, &ghost);
             k_goal.defs.push((ghost, Expr::Var(name.to_string())));

@@ -11,7 +11,17 @@
 //! bytes is caught.
 
 use rupicola_core::derive::DerivationNode;
-use rupicola_core::{Applied, CompileError, Compiler, Hyp, SideCond, StmtGoal, StmtLemma};
+use rupicola_core::{
+    Applied,
+    CompileError,
+    Compiler,
+    Dispatch,
+    HeadKey,
+    Hyp,
+    SideCond,
+    StmtGoal,
+    StmtLemma,
+};
 use rupicola_bedrock::Cmd;
 use rupicola_lang::{ElemKind, Expr, MonadKind, Value};
 use rupicola_sep::{Heaplet, HeapletKind, ScalarKind, SymValue};
@@ -24,6 +34,10 @@ pub struct CompileNondetAlloc;
 impl StmtLemma for CompileNondetAlloc {
     fn name(&self) -> &'static str {
         "compile_nondet_alloc"
+    }
+
+    fn dispatch(&self) -> Dispatch {
+        Dispatch::Heads(&[HeadKey::Bind])
     }
 
     fn try_apply(
@@ -62,7 +76,7 @@ impl CompileNondetAlloc {
             content: Expr::Var(name.to_string()),
             len: Some(Expr::ArrayLen {
                 elem: ElemKind::Byte,
-                arr: Box::new(Expr::Var(name.to_string())),
+                arr: Expr::Var(name.to_string()).boxed(),
             }),
             ptr_name: format!("&{name}"),
         });
@@ -70,7 +84,7 @@ impl CompileNondetAlloc {
         k_goal.hyps.push(Hyp::EqWord(
             Expr::ArrayLen {
                 elem: ElemKind::Byte,
-                arr: Box::new(Expr::Var(name.to_string())),
+                arr: Expr::Var(name.to_string()).boxed(),
             },
             Expr::Lit(Value::Word(n)),
         ));
@@ -97,6 +111,10 @@ pub struct CompileNondetPeek;
 impl StmtLemma for CompileNondetPeek {
     fn name(&self) -> &'static str {
         "compile_nondet_peek"
+    }
+
+    fn dispatch(&self) -> Dispatch {
+        Dispatch::Heads(&[HeadKey::Bind])
     }
 
     fn try_apply(
@@ -139,7 +157,7 @@ impl CompileNondetPeek {
         k_goal
             .hyps
             .push(Hyp::LtU(Expr::Var(name.to_string()), bound.clone()));
-        k_goal.defs.push((name.to_string(), Expr::NondetWord { bound: Box::new(bound.clone()) }));
+        k_goal.defs.push((name.to_string(), Expr::NondetWord { bound: bound.clone().boxed() }));
         k_goal.prog = body.clone();
         let (k_cmd, k_node) = cx.compile_stmt(&k_goal)?;
         node.children.push(k_node);

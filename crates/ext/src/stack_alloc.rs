@@ -9,7 +9,7 @@
 //! [`crate::nondet`].
 
 use rupicola_core::derive::DerivationNode;
-use rupicola_core::{Applied, CompileError, Compiler, Hyp, StmtGoal, StmtLemma};
+use rupicola_core::{Applied, CompileError, Compiler, Dispatch, HeadKey, Hyp, StmtGoal, StmtLemma};
 use rupicola_bedrock::{AccessSize, BExpr, Cmd};
 use rupicola_lang::{ElemKind, Expr, Value};
 use rupicola_sep::{Heaplet, HeapletKind, SymValue};
@@ -22,6 +22,10 @@ pub struct CompileStackInit;
 impl StmtLemma for CompileStackInit {
     fn name(&self) -> &'static str {
         "compile_stack_init"
+    }
+
+    fn dispatch(&self) -> Dispatch {
+        Dispatch::Heads(&[HeadKey::Let])
     }
 
     fn try_apply(
@@ -89,13 +93,13 @@ impl CompileStackInit {
             content: Expr::Var(name.to_string()),
             len: Some(Expr::ArrayLen {
                 elem,
-                arr: Box::new(Expr::Var(name.to_string())),
+                arr: Expr::Var(name.to_string()).boxed(),
             }),
             ptr_name: format!("&{name}"),
         });
         k_goal.locals.set(name.to_string(), SymValue::Ptr(id));
         k_goal.hyps.push(Hyp::EqWord(
-            Expr::ArrayLen { elem, arr: Box::new(Expr::Var(name.to_string())) },
+            Expr::ArrayLen { elem, arr: Expr::Var(name.to_string()).boxed() },
             Expr::Lit(Value::Word(n)),
         ));
         k_goal.defs.push((name.to_string(), init_term.clone()));

@@ -209,12 +209,23 @@ impl TableDef {
     }
 }
 
+/// A shared, immutable reference to a subterm. `Arc` (not `Box`): terms
+/// are cloned into symbolic goals, hypotheses, and definition chains on
+/// nearly every compilation step, and reference counting turns those deep
+/// copies into pointer bumps; `Arc` (not `Rc`) so models and compiled
+/// artifacts stay `Send + Sync` for the suite-parallel driver.
+pub type ExprRef = std::sync::Arc<Expr>;
+
 /// Expressions of the lowered-Gallina language.
 ///
 /// Programs meant for compilation are shaped as "sequences of let-bindings,
 /// one per desired assignment in the target language" (§3.4.1); the
 /// evaluator accepts any well-formed term.
-#[derive(Debug, Clone, PartialEq)]
+// The manual `PartialEq` below is the derived comparison plus an
+// `Arc::ptr_eq` shortcut; equal terms still hash equally, so the derived
+// `Hash` (used by the solver memo cache) remains consistent with it.
+#[allow(clippy::derived_hash_with_manual_eq)]
+#[derive(Debug, Clone, Eq, Hash)]
 pub enum Expr {
     /// A variable reference.
     Var(Ident),
@@ -229,76 +240,76 @@ pub enum Expr {
     /// an array-valued variable signals in-place mutation to the compiler.
     Let {
         name: Ident,
-        value: Box<Expr>,
-        body: Box<Expr>,
+        value: ExprRef,
+        body: ExprRef,
     },
     /// Forces the bound value to be *copied* rather than mutated in place
     /// (the paper's `copy : ∀α. α → α` annotation). Semantically the
     /// identity.
-    Copy(Box<Expr>),
+    Copy(ExprRef),
     /// Requests stack allocation for the wrapped value (§4.1.2). Semantically
     /// the identity.
-    Stack(Box<Expr>),
+    Stack(ExprRef),
     /// A conditional.
     If {
-        cond: Box<Expr>,
-        then_: Box<Expr>,
-        else_: Box<Expr>,
+        cond: ExprRef,
+        then_: ExprRef,
+        else_: ExprRef,
     },
     /// Pair construction.
-    Pair(Box<Expr>, Box<Expr>),
+    Pair(ExprRef, ExprRef),
     /// First projection.
-    Fst(Box<Expr>),
+    Fst(ExprRef),
     /// Second projection.
-    Snd(Box<Expr>),
+    Snd(ExprRef),
     /// Reads a one-word mutable cell (pure model: unwraps the content).
-    CellGet(Box<Expr>),
+    CellGet(ExprRef),
     /// Writes a one-word mutable cell (pure model: builds a new cell).
-    CellPut { cell: Box<Expr>, val: Box<Expr> },
+    CellPut { cell: ExprRef, val: ExprRef },
     /// `ListArray.length` — list length as a word.
-    ArrayLen { elem: ElemKind, arr: Box<Expr> },
+    ArrayLen { elem: ElemKind, arr: ExprRef },
     /// `ListArray.get` — element load; out-of-bounds is an evaluation error
     /// (and a compilation side condition).
     ArrayGet {
         elem: ElemKind,
-        arr: Box<Expr>,
-        idx: Box<Expr>,
+        arr: ExprRef,
+        idx: ExprRef,
     },
     /// `ListArray.put` — pure replacement at an index.
     ArrayPut {
         elem: ElemKind,
-        arr: Box<Expr>,
-        idx: Box<Expr>,
-        val: Box<Expr>,
+        arr: ExprRef,
+        idx: ExprRef,
+        val: ExprRef,
     },
     /// `InlineTable.get` on a table of the enclosing [`crate::Model`].
-    TableGet { table: Ident, idx: Box<Expr> },
+    TableGet { table: Ident, idx: ExprRef },
     /// `ListArray.map (fun x => f) arr` — the element variable `x` is bound
     /// in `f`; `f` must produce a scalar of the element kind.
     ArrayMap {
         elem: ElemKind,
         x: Ident,
-        f: Box<Expr>,
-        arr: Box<Expr>,
+        f: ExprRef,
+        arr: ExprRef,
     },
     /// `List.fold_left (fun acc x => f) arr init`.
     ArrayFold {
         elem: ElemKind,
         acc: Ident,
         x: Ident,
-        f: Box<Expr>,
-        init: Box<Expr>,
-        arr: Box<Expr>,
+        f: ExprRef,
+        init: ExprRef,
+        arr: ExprRef,
     },
     /// A ranged fold: `fold i = from .. to-1 over (fun i acc => f)`, the
     /// compilation image of `Nat.iter`-style numeric loops.
     RangeFold {
         i: Ident,
         acc: Ident,
-        f: Box<Expr>,
-        init: Box<Expr>,
-        from: Box<Expr>,
-        to: Box<Expr>,
+        f: ExprRef,
+        init: ExprRef,
+        from: ExprRef,
+        to: ExprRef,
     },
     /// A ranged fold with early exit: `f` produces `(continue?, acc')`; the
     /// loop stops when `continue?` is false ("iteration patterns … with and
@@ -306,10 +317,10 @@ pub enum Expr {
     RangeFoldBreak {
         i: Ident,
         acc: Ident,
-        f: Box<Expr>,
-        init: Box<Expr>,
-        from: Box<Expr>,
-        to: Box<Expr>,
+        f: ExprRef,
+        init: ExprRef,
+        from: ExprRef,
+        to: ExprRef,
     },
     /// A *monadic* ranged fold: the body `f` is a computation in the
     /// ambient monad (a chain of binds ending in `ret acc'`), so iterations
@@ -318,41 +329,163 @@ pub enum Expr {
         monad: MonadKind,
         i: Ident,
         acc: Ident,
-        f: Box<Expr>,
-        init: Box<Expr>,
-        from: Box<Expr>,
-        to: Box<Expr>,
+        f: ExprRef,
+        init: ExprRef,
+        from: ExprRef,
+        to: ExprRef,
     },
     /// Monadic return.
-    Ret { monad: MonadKind, value: Box<Expr> },
+    Ret { monad: MonadKind, value: ExprRef },
     /// Monadic bind: `bind ma (fun name => body)`.
     Bind {
         monad: MonadKind,
         name: Ident,
-        ma: Box<Expr>,
-        body: Box<Expr>,
+        ma: ExprRef,
+        body: ExprRef,
     },
     /// Nondeterministic allocation: a byte list of the given length with
     /// unspecified contents (Table 1's `alloc`).
-    NondetBytes { len: Box<Expr> },
+    NondetBytes { len: ExprRef },
     /// Nondeterministic choice of a word strictly below the bound (Table 1's
     /// `peek` of an abstract set).
-    NondetWord { bound: Box<Expr> },
+    NondetWord { bound: ExprRef },
     /// Reads one word from the external input stream (io monad).
     IoRead,
     /// Writes one word to the external output stream (io monad).
-    IoWrite(Box<Expr>),
+    IoWrite(ExprRef),
     /// Emits one word of writer output (§3.4.1, writer monad).
-    WriterTell(Box<Expr>),
+    WriterTell(ExprRef),
     /// A command of the free monad, interpreted by the extern registry's
     /// effect handlers.
     FreeOp { tag: String, args: Vec<Expr> },
 }
 
+/// Subterm equality with a pointer fast path: shared `Arc`s are equal
+/// without walking them. Symbolic goals, hypotheses, and the memo cache
+/// hold `clone()`s of the same terms, so the engine's innermost loops
+/// (equational-hypothesis chases, `find_scalar`, heaplet-content lookups,
+/// cache-hit confirmation) compare terms that are usually *the same
+/// allocation* — this turns those deep structural walks into one pointer
+/// compare. Pointer equality implies structural equality (terms are
+/// immutable), so `Expr`'s manual `PartialEq` below answers exactly as the
+/// derived one would.
+fn ref_eq(a: &ExprRef, b: &ExprRef) -> bool {
+    std::sync::Arc::ptr_eq(a, b) || **a == **b
+}
+
+impl PartialEq for Expr {
+    fn eq(&self, other: &Self) -> bool {
+        use Expr::{
+            ArrayFold, ArrayGet, ArrayLen, ArrayMap, ArrayPut, Bind, CellGet, CellPut, Copy,
+            Extern, FreeOp, Fst, If, IoRead, IoWrite, Let, Lit, NondetBytes, NondetWord, Pair,
+            Prim, RangeFold, RangeFoldBreak, RangeFoldM, Ret, Snd, Stack, TableGet, Var,
+            WriterTell,
+        };
+        match (self, other) {
+            (Var(a), Var(b)) => a == b,
+            (Lit(a), Lit(b)) => a == b,
+            (Prim { op: o1, args: a1 }, Prim { op: o2, args: a2 }) => o1 == o2 && a1 == a2,
+            (Extern { tag: t1, args: a1 }, Extern { tag: t2, args: a2 })
+            | (FreeOp { tag: t1, args: a1 }, FreeOp { tag: t2, args: a2 }) => {
+                t1 == t2 && a1 == a2
+            }
+            (
+                Let { name: n1, value: v1, body: b1 },
+                Let { name: n2, value: v2, body: b2 },
+            ) => n1 == n2 && ref_eq(v1, v2) && ref_eq(b1, b2),
+            (Copy(a), Copy(b))
+            | (Stack(a), Stack(b))
+            | (Fst(a), Fst(b))
+            | (Snd(a), Snd(b))
+            | (CellGet(a), CellGet(b))
+            | (IoWrite(a), IoWrite(b))
+            | (WriterTell(a), WriterTell(b)) => ref_eq(a, b),
+            (
+                If { cond: c1, then_: t1, else_: e1 },
+                If { cond: c2, then_: t2, else_: e2 },
+            ) => ref_eq(c1, c2) && ref_eq(t1, t2) && ref_eq(e1, e2),
+            (Pair(a1, b1), Pair(a2, b2)) => ref_eq(a1, a2) && ref_eq(b1, b2),
+            (CellPut { cell: c1, val: v1 }, CellPut { cell: c2, val: v2 }) => {
+                ref_eq(c1, c2) && ref_eq(v1, v2)
+            }
+            (ArrayLen { elem: e1, arr: a1 }, ArrayLen { elem: e2, arr: a2 }) => {
+                e1 == e2 && ref_eq(a1, a2)
+            }
+            (
+                ArrayGet { elem: e1, arr: a1, idx: i1 },
+                ArrayGet { elem: e2, arr: a2, idx: i2 },
+            ) => e1 == e2 && ref_eq(a1, a2) && ref_eq(i1, i2),
+            (
+                ArrayPut { elem: e1, arr: a1, idx: i1, val: v1 },
+                ArrayPut { elem: e2, arr: a2, idx: i2, val: v2 },
+            ) => e1 == e2 && ref_eq(a1, a2) && ref_eq(i1, i2) && ref_eq(v1, v2),
+            (TableGet { table: t1, idx: i1 }, TableGet { table: t2, idx: i2 }) => {
+                t1 == t2 && ref_eq(i1, i2)
+            }
+            (
+                ArrayMap { elem: e1, x: x1, f: f1, arr: a1 },
+                ArrayMap { elem: e2, x: x2, f: f2, arr: a2 },
+            ) => e1 == e2 && x1 == x2 && ref_eq(f1, f2) && ref_eq(a1, a2),
+            (
+                ArrayFold { elem: e1, acc: c1, x: x1, f: f1, init: n1, arr: a1 },
+                ArrayFold { elem: e2, acc: c2, x: x2, f: f2, init: n2, arr: a2 },
+            ) => {
+                e1 == e2
+                    && c1 == c2
+                    && x1 == x2
+                    && ref_eq(f1, f2)
+                    && ref_eq(n1, n2)
+                    && ref_eq(a1, a2)
+            }
+            (
+                RangeFold { i: i1, acc: c1, f: f1, init: n1, from: lo1, to: hi1 },
+                RangeFold { i: i2, acc: c2, f: f2, init: n2, from: lo2, to: hi2 },
+            )
+            | (
+                RangeFoldBreak { i: i1, acc: c1, f: f1, init: n1, from: lo1, to: hi1 },
+                RangeFoldBreak { i: i2, acc: c2, f: f2, init: n2, from: lo2, to: hi2 },
+            ) => {
+                i1 == i2
+                    && c1 == c2
+                    && ref_eq(f1, f2)
+                    && ref_eq(n1, n2)
+                    && ref_eq(lo1, lo2)
+                    && ref_eq(hi1, hi2)
+            }
+            (
+                RangeFoldM { monad: m1, i: i1, acc: c1, f: f1, init: n1, from: lo1, to: hi1 },
+                RangeFoldM { monad: m2, i: i2, acc: c2, f: f2, init: n2, from: lo2, to: hi2 },
+            ) => {
+                m1 == m2
+                    && i1 == i2
+                    && c1 == c2
+                    && ref_eq(f1, f2)
+                    && ref_eq(n1, n2)
+                    && ref_eq(lo1, lo2)
+                    && ref_eq(hi1, hi2)
+            }
+            (Ret { monad: m1, value: v1 }, Ret { monad: m2, value: v2 }) => {
+                m1 == m2 && ref_eq(v1, v2)
+            }
+            (
+                Bind { monad: m1, name: n1, ma: a1, body: b1 },
+                Bind { monad: m2, name: n2, ma: a2, body: b2 },
+            ) => m1 == m2 && n1 == n2 && ref_eq(a1, a2) && ref_eq(b1, b2),
+            (NondetBytes { len: l1 }, NondetBytes { len: l2 }) => ref_eq(l1, l2),
+            (NondetWord { bound: b1 }, NondetWord { bound: b2 }) => ref_eq(b1, b2),
+            (IoRead, IoRead) => true,
+            _ => false,
+        }
+    }
+}
+
 impl Expr {
-    /// Boxes `self` (ergonomics for manual AST construction).
-    pub fn boxed(self) -> Box<Expr> {
-        Box::new(self)
+    /// Wraps `self` in a shared reference (ergonomics for manual AST
+    /// construction). Subterms are reference-counted so cloning a term —
+    /// which the symbolic-state machinery does constantly — shares
+    /// structure instead of deep-copying it.
+    pub fn boxed(self) -> ExprRef {
+        ExprRef::new(self)
     }
 
     /// Counts statements: the number of `let`/`bind` spines plus one for the
@@ -371,6 +504,60 @@ impl Expr {
         let mut bound = Vec::new();
         self.free_vars_into(&mut bound, &mut out);
         out
+    }
+
+    /// Whether `name` occurs free in the expression — equivalent to
+    /// `free_vars().contains(&name)` without building the set. This sits on
+    /// the engine's hot path (every `let` rebinding scans the symbolic
+    /// state with it), hence the allocation-free form.
+    pub fn mentions(&self, name: &str) -> bool {
+        match self {
+            Expr::Var(v) => v == name,
+            Expr::Lit(_) | Expr::IoRead => false,
+            Expr::Prim { args, .. } | Expr::Extern { args, .. } | Expr::FreeOp { args, .. } => {
+                args.iter().any(|a| a.mentions(name))
+            }
+            Expr::Let { name: n, value, body } | Expr::Bind { name: n, ma: value, body, .. } => {
+                value.mentions(name) || (n != name && body.mentions(name))
+            }
+            Expr::Copy(e)
+            | Expr::Stack(e)
+            | Expr::Fst(e)
+            | Expr::Snd(e)
+            | Expr::CellGet(e)
+            | Expr::IoWrite(e)
+            | Expr::WriterTell(e) => e.mentions(name),
+            Expr::If { cond, then_, else_ } => {
+                cond.mentions(name) || then_.mentions(name) || else_.mentions(name)
+            }
+            Expr::Pair(a, b) => a.mentions(name) || b.mentions(name),
+            Expr::CellPut { cell, val } => cell.mentions(name) || val.mentions(name),
+            Expr::ArrayLen { arr, .. } => arr.mentions(name),
+            Expr::ArrayGet { arr, idx, .. } => arr.mentions(name) || idx.mentions(name),
+            Expr::ArrayPut { arr, idx, val, .. } => {
+                arr.mentions(name) || idx.mentions(name) || val.mentions(name)
+            }
+            Expr::TableGet { idx, .. } => idx.mentions(name),
+            Expr::ArrayMap { x, f, arr, .. } => {
+                arr.mentions(name) || (x != name && f.mentions(name))
+            }
+            Expr::ArrayFold { acc, x, f, init, arr, .. } => {
+                init.mentions(name)
+                    || arr.mentions(name)
+                    || (acc != name && x != name && f.mentions(name))
+            }
+            Expr::RangeFold { i, acc, f, init, from, to }
+            | Expr::RangeFoldBreak { i, acc, f, init, from, to }
+            | Expr::RangeFoldM { i, acc, f, init, from, to, .. } => {
+                init.mentions(name)
+                    || from.mentions(name)
+                    || to.mentions(name)
+                    || (i != name && acc != name && f.mentions(name))
+            }
+            Expr::Ret { value, .. } => value.mentions(name),
+            Expr::NondetBytes { len } => len.mentions(name),
+            Expr::NondetWord { bound: b } => b.mentions(name),
+        }
     }
 
     fn free_vars_into(&self, bound: &mut Vec<Ident>, out: &mut Vec<Ident>) {
@@ -474,6 +661,360 @@ impl Expr {
     }
 }
 
+impl Expr {
+    /// Renders `self` into `out`: the optimized pretty-printer used by the
+    /// fast (indexed) engine to build derivation focus strings. A direct
+    /// `String`-push recursion — one pre-sized buffer, no per-node
+    /// `fmt::Formatter` dispatch — because focus rendering sits on the
+    /// compiler's hot path.
+    ///
+    /// [`fmt::Display`] keeps the original `Formatter`-recursive
+    /// implementation, verbatim, as the *reference printer*: the two must
+    /// produce byte-identical output on every term. `printers_agree` in
+    /// this module checks that grammar-directed, and the cross-engine
+    /// equivalence battery checks it on every focus string of every suite
+    /// program (the reference engine renders through `Display`, the fast
+    /// engine through here, and whole derivations must compare equal).
+    pub fn write_into(&self, out: &mut String) {
+        use fmt::Write as _;
+        let args_into = |out: &mut String, args: &[Expr]| {
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                a.write_into(out);
+            }
+        };
+        match self {
+            Expr::Var(v) => out.push_str(v),
+            Expr::Lit(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Expr::Prim { op, args } => {
+                out.push_str(op.name());
+                out.push('(');
+                args_into(out, args);
+                out.push(')');
+            }
+            Expr::Extern { tag, args } | Expr::FreeOp { tag, args } => {
+                out.push_str(tag);
+                out.push('(');
+                args_into(out, args);
+                out.push(')');
+            }
+            Expr::Let { name, value, body } => {
+                out.push_str("let/n ");
+                out.push_str(name);
+                out.push_str(" := ");
+                value.write_into(out);
+                out.push_str(" in ");
+                body.write_into(out);
+            }
+            Expr::Copy(e) => {
+                out.push_str("copy(");
+                e.write_into(out);
+                out.push(')');
+            }
+            Expr::Stack(e) => {
+                out.push_str("stack(");
+                e.write_into(out);
+                out.push(')');
+            }
+            Expr::If { cond, then_, else_ } => {
+                out.push_str("if ");
+                cond.write_into(out);
+                out.push_str(" then ");
+                then_.write_into(out);
+                out.push_str(" else ");
+                else_.write_into(out);
+            }
+            Expr::Pair(a, b) => {
+                out.push('(');
+                a.write_into(out);
+                out.push_str(", ");
+                b.write_into(out);
+                out.push(')');
+            }
+            Expr::Fst(e) => {
+                out.push_str("fst(");
+                e.write_into(out);
+                out.push(')');
+            }
+            Expr::Snd(e) => {
+                out.push_str("snd(");
+                e.write_into(out);
+                out.push(')');
+            }
+            Expr::CellGet(e) => {
+                out.push_str("get(");
+                e.write_into(out);
+                out.push(')');
+            }
+            Expr::CellPut { cell, val } => {
+                out.push_str("put(");
+                cell.write_into(out);
+                out.push_str(", ");
+                val.write_into(out);
+                out.push(')');
+            }
+            Expr::ArrayLen { arr, .. } => {
+                out.push_str("ListArray.length(");
+                arr.write_into(out);
+                out.push(')');
+            }
+            Expr::ArrayGet { arr, idx, .. } => {
+                out.push_str("ListArray.get(");
+                arr.write_into(out);
+                out.push_str(", ");
+                idx.write_into(out);
+                out.push(')');
+            }
+            Expr::ArrayPut { arr, idx, val, .. } => {
+                out.push_str("ListArray.put(");
+                arr.write_into(out);
+                out.push_str(", ");
+                idx.write_into(out);
+                out.push_str(", ");
+                val.write_into(out);
+                out.push(')');
+            }
+            Expr::TableGet { table, idx } => {
+                out.push_str("InlineTable.get(");
+                out.push_str(table);
+                out.push_str(", ");
+                idx.write_into(out);
+                out.push(')');
+            }
+            Expr::ArrayMap { x, f: fun, arr, .. } => {
+                out.push_str("ListArray.map (fun ");
+                out.push_str(x);
+                out.push_str(" => ");
+                fun.write_into(out);
+                out.push_str(") ");
+                arr.write_into(out);
+            }
+            Expr::ArrayFold { acc, x, f: fun, init, arr, .. } => {
+                out.push_str("List.fold_left (fun ");
+                out.push_str(acc);
+                out.push(' ');
+                out.push_str(x);
+                out.push_str(" => ");
+                fun.write_into(out);
+                out.push_str(") ");
+                arr.write_into(out);
+                out.push(' ');
+                init.write_into(out);
+            }
+            Expr::RangeFold { i, acc, f: fun, init, from, to } => {
+                out.push_str("fold_range ");
+                Self::range_fold_into(out, i, acc, fun, init, from, to);
+            }
+            Expr::RangeFoldBreak { i, acc, f: fun, init, from, to } => {
+                out.push_str("fold_range_break ");
+                Self::range_fold_into(out, i, acc, fun, init, from, to);
+            }
+            Expr::RangeFoldM { monad, i, acc, f: fun, init, from, to } => {
+                out.push_str("fold_range[");
+                let _ = write!(out, "{monad}");
+                out.push_str("] ");
+                Self::range_fold_into(out, i, acc, fun, init, from, to);
+            }
+            Expr::Ret { monad, value } => {
+                out.push_str("ret[");
+                let _ = write!(out, "{monad}");
+                out.push_str("] ");
+                value.write_into(out);
+            }
+            Expr::Bind { monad, name, ma, body } => {
+                out.push_str("let/n! ");
+                out.push_str(name);
+                out.push_str(" :=[");
+                let _ = write!(out, "{monad}");
+                out.push_str("] ");
+                ma.write_into(out);
+                out.push_str(" in ");
+                body.write_into(out);
+            }
+            Expr::NondetBytes { len } => {
+                out.push_str("nondet.bytes(");
+                len.write_into(out);
+                out.push(')');
+            }
+            Expr::NondetWord { bound } => {
+                out.push_str("nondet.word(< ");
+                bound.write_into(out);
+                out.push(')');
+            }
+            Expr::IoRead => out.push_str("io.read()"),
+            Expr::IoWrite(e) => {
+                out.push_str("io.write(");
+                e.write_into(out);
+                out.push(')');
+            }
+            Expr::WriterTell(e) => {
+                out.push_str("writer.tell(");
+                e.write_into(out);
+                out.push(')');
+            }
+        }
+    }
+
+    /// Shared tail of the three ranged-fold renderings:
+    /// `{from} {to} (fun {i} {acc} => {f}) {init}`.
+    fn range_fold_into(
+        out: &mut String,
+        i: &str,
+        acc: &str,
+        fun: &Expr,
+        init: &Expr,
+        from: &Expr,
+        to: &Expr,
+    ) {
+        from.write_into(out);
+        out.push(' ');
+        to.write_into(out);
+        out.push_str(" (fun ");
+        out.push_str(i);
+        out.push(' ');
+        out.push_str(acc);
+        out.push_str(" => ");
+        fun.write_into(out);
+        out.push_str(") ");
+        init.write_into(out);
+    }
+
+    /// Renders `self` to a fresh `String` through [`Expr::write_into`]:
+    /// the hot-path equivalent of `format!("{self}")`, byte-identical to
+    /// it by the printer-agreement invariant.
+    pub fn display_string(&self) -> String {
+        let mut s = String::with_capacity(64);
+        self.write_into(&mut s);
+        s
+    }
+
+    /// Structurally reconstructs the whole term: every node is
+    /// re-allocated, nothing is shared with `self`. This is exactly what
+    /// `Clone` did when subterms were `Box<Expr>` (the seed
+    /// representation) — since the switch to [`ExprRef`], `clone()` is a
+    /// reference-count bump. The reference (`Linear`) engine
+    /// configuration deep-clones wherever the seed engine cloned, so the
+    /// baseline the speed harness measures keeps the seed compiler's copy
+    /// discipline. The result is `==` to `self`.
+    #[must_use]
+    pub fn deep_clone(&self) -> Expr {
+        fn dc(e: &ExprRef) -> ExprRef {
+            ExprRef::new(e.deep_clone())
+        }
+        fn dcv(v: &[Expr]) -> Vec<Expr> {
+            v.iter().map(Expr::deep_clone).collect()
+        }
+        match self {
+            Expr::Var(v) => Expr::Var(v.clone()),
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Prim { op, args } => Expr::Prim { op: *op, args: dcv(args) },
+            Expr::Extern { tag, args } => {
+                Expr::Extern { tag: tag.clone(), args: dcv(args) }
+            }
+            Expr::FreeOp { tag, args } => {
+                Expr::FreeOp { tag: tag.clone(), args: dcv(args) }
+            }
+            Expr::Let { name, value, body } => {
+                Expr::Let { name: name.clone(), value: dc(value), body: dc(body) }
+            }
+            Expr::Copy(e) => Expr::Copy(dc(e)),
+            Expr::Stack(e) => Expr::Stack(dc(e)),
+            Expr::If { cond, then_, else_ } => {
+                Expr::If { cond: dc(cond), then_: dc(then_), else_: dc(else_) }
+            }
+            Expr::Pair(a, b) => Expr::Pair(dc(a), dc(b)),
+            Expr::Fst(e) => Expr::Fst(dc(e)),
+            Expr::Snd(e) => Expr::Snd(dc(e)),
+            Expr::CellGet(e) => Expr::CellGet(dc(e)),
+            Expr::CellPut { cell, val } => {
+                Expr::CellPut { cell: dc(cell), val: dc(val) }
+            }
+            Expr::ArrayLen { elem, arr } => {
+                Expr::ArrayLen { elem: *elem, arr: dc(arr) }
+            }
+            Expr::ArrayGet { elem, arr, idx } => {
+                Expr::ArrayGet { elem: *elem, arr: dc(arr), idx: dc(idx) }
+            }
+            Expr::ArrayPut { elem, arr, idx, val } => Expr::ArrayPut {
+                elem: *elem,
+                arr: dc(arr),
+                idx: dc(idx),
+                val: dc(val),
+            },
+            Expr::TableGet { table, idx } => {
+                Expr::TableGet { table: table.clone(), idx: dc(idx) }
+            }
+            Expr::ArrayMap { elem, x, f, arr } => Expr::ArrayMap {
+                elem: *elem,
+                x: x.clone(),
+                f: dc(f),
+                arr: dc(arr),
+            },
+            Expr::ArrayFold { elem, acc, x, f, init, arr } => Expr::ArrayFold {
+                elem: *elem,
+                acc: acc.clone(),
+                x: x.clone(),
+                f: dc(f),
+                init: dc(init),
+                arr: dc(arr),
+            },
+            Expr::RangeFold { i, acc, f, init, from, to } => Expr::RangeFold {
+                i: i.clone(),
+                acc: acc.clone(),
+                f: dc(f),
+                init: dc(init),
+                from: dc(from),
+                to: dc(to),
+            },
+            Expr::RangeFoldBreak { i, acc, f, init, from, to } => {
+                Expr::RangeFoldBreak {
+                    i: i.clone(),
+                    acc: acc.clone(),
+                    f: dc(f),
+                    init: dc(init),
+                    from: dc(from),
+                    to: dc(to),
+                }
+            }
+            Expr::RangeFoldM { monad, i, acc, f, init, from, to } => {
+                Expr::RangeFoldM {
+                    monad: *monad,
+                    i: i.clone(),
+                    acc: acc.clone(),
+                    f: dc(f),
+                    init: dc(init),
+                    from: dc(from),
+                    to: dc(to),
+                }
+            }
+            Expr::Ret { monad, value } => {
+                Expr::Ret { monad: *monad, value: dc(value) }
+            }
+            Expr::Bind { monad, name, ma, body } => Expr::Bind {
+                monad: *monad,
+                name: name.clone(),
+                ma: dc(ma),
+                body: dc(body),
+            },
+            Expr::NondetBytes { len } => Expr::NondetBytes { len: dc(len) },
+            Expr::NondetWord { bound } => Expr::NondetWord { bound: dc(bound) },
+            Expr::IoRead => Expr::IoRead,
+            Expr::IoWrite(e) => Expr::IoWrite(dc(e)),
+            Expr::WriterTell(e) => Expr::WriterTell(dc(e)),
+        }
+    }
+}
+
+/// The reference printer. This is the seed compiler's `Display`
+/// implementation, kept verbatim: `format!`-based focus construction in
+/// the reference (`Linear`) engine configuration goes through here, so the
+/// baseline that the speed harness measures is the seed's rendering code,
+/// while the fast engine uses [`Expr::write_into`]. Both printers must
+/// agree byte-for-byte (see `write_into`'s doc).
 impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

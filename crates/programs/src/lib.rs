@@ -23,6 +23,7 @@ pub mod fnv1a;
 pub mod funclist;
 pub mod ip;
 pub mod m3s;
+pub mod parallel;
 pub mod upstr;
 pub mod utf8;
 
@@ -68,12 +69,18 @@ pub struct ProgramInfo {
 }
 
 /// One row of the suite: metadata plus the constructors the harnesses use.
+#[derive(Clone)]
 pub struct SuiteEntry {
     /// Static metadata.
     pub info: ProgramInfo,
     /// Builds the functional model.
     pub model: fn() -> Model,
-    /// Runs the relational compiler.
+    /// Builds the ABI specification. Together with `model` this lets a
+    /// harness compile the program against *its own* hint databases (e.g.
+    /// forced-linear or memo-disabled ones) instead of the standard ones
+    /// `compiled` uses.
+    pub spec: fn() -> rupicola_core::fnspec::FnSpec,
+    /// Runs the relational compiler against the standard databases.
     pub compiled: fn() -> Result<CompiledFunction, CompileError>,
 }
 
@@ -84,15 +91,46 @@ impl std::fmt::Debug for SuiteEntry {
 }
 
 /// The full benchmark suite, in Table 2 order.
+///
+/// The metadata rows are built once per process (each `info()` measures
+/// Source/Lemmas line counts by scanning the module sources, which is far
+/// more expensive than the fn-pointer plumbing around it) and cloned out,
+/// so suite-level drivers — including the throughput harness, which calls
+/// this on every timed repetition — pay only a small constant copy.
 pub fn suite() -> Vec<SuiteEntry> {
+    static SUITE: std::sync::OnceLock<Vec<SuiteEntry>> = std::sync::OnceLock::new();
+    SUITE.get_or_init(build_suite).clone()
+}
+
+fn build_suite() -> Vec<SuiteEntry> {
     vec![
-        SuiteEntry { info: fnv1a::info(), model: fnv1a::model, compiled: fnv1a::compiled },
-        SuiteEntry { info: utf8::info(), model: utf8::model, compiled: utf8::compiled },
-        SuiteEntry { info: upstr::info(), model: upstr::model, compiled: upstr::compiled },
-        SuiteEntry { info: m3s::info(), model: m3s::model, compiled: m3s::compiled },
-        SuiteEntry { info: ip::info(), model: ip::model, compiled: ip::compiled },
-        SuiteEntry { info: fasta::info(), model: fasta::model, compiled: fasta::compiled },
-        SuiteEntry { info: crc32::info(), model: crc32::model, compiled: crc32::compiled },
+        SuiteEntry {
+            info: fnv1a::info(),
+            model: fnv1a::model,
+            spec: fnv1a::spec,
+            compiled: fnv1a::compiled,
+        },
+        SuiteEntry { info: utf8::info(), model: utf8::model, spec: utf8::spec, compiled: utf8::compiled },
+        SuiteEntry {
+            info: upstr::info(),
+            model: upstr::model,
+            spec: upstr::spec,
+            compiled: upstr::compiled,
+        },
+        SuiteEntry { info: m3s::info(), model: m3s::model, spec: m3s::spec, compiled: m3s::compiled },
+        SuiteEntry { info: ip::info(), model: ip::model, spec: ip::spec, compiled: ip::compiled },
+        SuiteEntry {
+            info: fasta::info(),
+            model: fasta::model,
+            spec: fasta::spec,
+            compiled: fasta::compiled,
+        },
+        SuiteEntry {
+            info: crc32::info(),
+            model: crc32::model,
+            spec: crc32::spec,
+            compiled: crc32::compiled,
+        },
     ]
 }
 

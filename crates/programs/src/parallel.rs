@@ -1,0 +1,121 @@
+//! Suite-level compilation drivers: serial and `std::thread::scope`
+//! parallel compilation of the §4.2 suite, with deterministic result
+//! ordering.
+//!
+//! The parallel driver spawns one worker per program. Workers share the
+//! hint databases by reference (`HintDbs` is `Sync`: lemmas and solvers
+//! are stateless `Send + Sync` trait objects) but each owns its private
+//! `Compiler` state — including the side-condition memo cache — so runs
+//! are isolated exactly as in the serial driver. Results are collected
+//! into a slot per suite index before the scope closes, so the output
+//! order is suite order regardless of OS scheduling, and a harness
+//! comparing serial vs parallel output can `assert_eq!` the two vectors
+//! directly.
+
+use crate::suite;
+use rupicola_core::{compile, CompileError, CompiledFunction, HintDbs};
+
+/// The outcome of compiling one suite program.
+#[derive(Debug)]
+pub struct SuiteResult {
+    /// Program name (`ProgramInfo::name`).
+    pub name: &'static str,
+    /// The compilation outcome.
+    pub result: Result<CompiledFunction, CompileError>,
+}
+
+/// Compiles every suite program against `dbs`, one after another, in
+/// suite order. This is the baseline the parallel driver is compared to
+/// by the determinism battery.
+pub fn compile_suite_serial(dbs: &HintDbs) -> Vec<SuiteResult> {
+    suite()
+        .into_iter()
+        .map(|entry| SuiteResult {
+            name: entry.info.name,
+            result: compile(&(entry.model)(), &(entry.spec)(), dbs),
+        })
+        .collect()
+}
+
+/// Compiles every suite program against `dbs` under `std::thread::scope`,
+/// with the worker count capped at the machine's available parallelism
+/// (and at the suite size). Hermetic: `std::thread::scope` only, no
+/// external crates.
+///
+/// Programs are assigned to workers by striding over suite indices
+/// (worker `w` takes indices `w, w + W, w + 2W, …`), which is a pure
+/// function of the suite order and the worker count — no work queue, no
+/// scheduling-dependent assignment. On a single-core machine the cap
+/// degenerates to one worker and the driver compiles inline without
+/// spawning at all, so the parallel entry point never pays thread-spawn
+/// overhead it cannot recoup.
+///
+/// Determinism: each worker writes into its own pre-allocated slots and
+/// compilation itself is a pure function of `(model, spec, dbs)` — no
+/// shared mutable state, no iteration-order dependence — so the returned
+/// vector is byte-identical to [`compile_suite_serial`]'s.
+pub fn compile_suite_parallel(dbs: &HintDbs) -> Vec<SuiteResult> {
+    let entries = suite();
+    // `available_parallelism` inspects cgroup quota files on Linux, which
+    // costs tens of microseconds per call — comparable to a whole program
+    // compile. The machine does not change under us; ask once per process.
+    static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    let workers = (*WORKERS
+        .get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get)))
+    .min(entries.len());
+    if workers <= 1 {
+        return entries
+            .into_iter()
+            .map(|entry| SuiteResult {
+                name: entry.info.name,
+                result: compile(&(entry.model)(), &(entry.spec)(), dbs),
+            })
+            .collect();
+    }
+    let mut slots: Vec<Option<SuiteResult>> = Vec::new();
+    slots.resize_with(entries.len(), || None);
+    std::thread::scope(|scope| {
+        // Hand each worker a disjoint strided view of the slots:
+        // chunk-by-stride keeps slot w in worker (w mod workers) without
+        // any shared mutable state.
+        let mut views: Vec<Vec<(&crate::SuiteEntry, &mut Option<SuiteResult>)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (i, (entry, slot)) in entries.iter().zip(slots.iter_mut()).enumerate() {
+            views[i % workers].push((entry, slot));
+        }
+        for view in views {
+            scope.spawn(move || {
+                for (entry, slot) in view {
+                    *slot = Some(SuiteResult {
+                        name: entry.info.name,
+                        result: compile(&(entry.model)(), &(entry.spec)(), dbs),
+                    });
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every worker fills its slot before the scope closes"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupicola_ext::standard_dbs;
+
+    #[test]
+    fn parallel_matches_serial() {
+        let dbs = standard_dbs();
+        let serial = compile_suite_serial(&dbs);
+        let parallel = compile_suite_parallel(&dbs);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(s.name, p.name);
+            let (s, p) = (s.result.as_ref().unwrap(), p.result.as_ref().unwrap());
+            assert_eq!(s.function, p.function);
+            assert_eq!(s.derivation, p.derivation);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Equivalence battery for the throughput layer.
+//!
+//! The dispatch index and the solver memo cache are *performance* features:
+//! by construction they must not change which lemma discharges a goal, the
+//! recorded witness, or the emitted code. These tests check that claim
+//! end-to-end, the way translation validation would: run the optimized
+//! engine and the seed-faithful forced-linear engine on the same inputs and
+//! require byte-identical artifacts.
+//!
+//! The property test goes further than the standard databases: it samples
+//! random *subsets* of the lemma library (preserving registration order,
+//! which is semantically significant — first match wins) and requires the
+//! two engines to agree on every suite program, including agreeing that a
+//! crippled library fails to compile. A dispatch-index bug — a lemma
+//! bucketed under the wrong head constructor — shows up here as the indexed
+//! engine failing (or worse, picking a later lemma) where the linear scan
+//! succeeds.
+
+use rupicola::bedrock::cprint::function_to_c;
+use rupicola::core::{compile, DispatchMode, HintDbs};
+use rupicola::ext::standard_dbs;
+use rupicola::programs::suite;
+use rupicola_minicheck::{check, Rng};
+
+/// Rebuilds `base` with the lemmas selected by `keep_stmt`/`keep_expr`, in
+/// the original registration order, and with every solver. Returns the pair
+/// (indexed, forced-linear) over the *same* library.
+fn subset_dbs(base: &HintDbs, keep_stmt: &[bool], keep_expr: &[bool]) -> (HintDbs, HintDbs) {
+    let mut indexed = HintDbs::new();
+    let mut linear = HintDbs::new();
+    for (l, keep) in base.stmt_lemmas().iter().zip(keep_stmt) {
+        if *keep {
+            indexed.register_stmt_arc(l.clone());
+            linear.register_stmt_arc(l.clone());
+        }
+    }
+    for (l, keep) in base.expr_lemmas().iter().zip(keep_expr) {
+        if *keep {
+            indexed.register_expr_arc(l.clone());
+            linear.register_expr_arc(l.clone());
+        }
+    }
+    for s in base.solvers() {
+        indexed.register_solver_arc(s.clone());
+        linear.register_solver_arc(s.clone());
+    }
+    indexed.set_dispatch_mode(DispatchMode::Indexed);
+    linear.set_dispatch_mode(DispatchMode::Linear);
+    (indexed, linear)
+}
+
+/// Compiles every suite program under both engines and asserts agreement:
+/// same success/failure verdict, and on success byte-identical Bedrock2,
+/// C rendering, and `Derivation` tree.
+fn assert_engines_agree(indexed: &HintDbs, linear: &HintDbs) {
+    for entry in suite() {
+        let name = entry.info.name;
+        let (model, spec) = ((entry.model)(), (entry.spec)());
+        let fast = compile(&model, &spec, indexed);
+        let slow = compile(&model, &spec, linear);
+        assert_eq!(
+            fast.is_ok(),
+            slow.is_ok(),
+            "{name}: engines disagree on compilability (indexed: {fast:?}, linear: {slow:?})"
+        );
+        let (Ok(fast), Ok(slow)) = (fast, slow) else { continue };
+        assert_eq!(fast.function, slow.function, "{name}: Bedrock2 output differs");
+        assert_eq!(
+            function_to_c(&fast.function),
+            function_to_c(&slow.function),
+            "{name}: C rendering differs"
+        );
+        assert_eq!(fast.derivation, slow.derivation, "{name}: derivation tree differs");
+        assert_eq!(
+            fast.derivation.node_count, slow.derivation.node_count,
+            "{name}: witness node counts differ"
+        );
+    }
+}
+
+#[test]
+fn indexed_engine_matches_linear_on_standard_dbs() {
+    let base = standard_dbs();
+    let all_stmt = vec![true; base.stmt_lemmas().len()];
+    let all_expr = vec![true; base.expr_lemmas().len()];
+    let (indexed, linear) = subset_dbs(&base, &all_stmt, &all_expr);
+    assert_engines_agree(&indexed, &linear);
+}
+
+#[test]
+fn indexed_engine_matches_linear_on_random_lemma_subsets() {
+    let base = standard_dbs();
+    let n_stmt = base.stmt_lemmas().len();
+    let n_expr = base.expr_lemmas().len();
+    check("equivalence/random-subsets", 24, |rng: &mut Rng| {
+        // Bias toward large subsets so a healthy fraction of cases still
+        // compile (all-lemmas is exercised by the test above; tiny subsets
+        // mostly check that both engines fail identically).
+        let keep = |rng: &mut Rng, n: usize| -> Vec<bool> {
+            (0..n).map(|_| rng.below(8) != 0).collect()
+        };
+        let keep_stmt = keep(rng, n_stmt);
+        let keep_expr = keep(rng, n_expr);
+        let (indexed, linear) = subset_dbs(&base, &keep_stmt, &keep_expr);
+        assert_engines_agree(&indexed, &linear);
+    });
+}
+
+#[test]
+fn memo_cache_does_not_change_artifacts() {
+    // Same dispatch mode, cache on vs off: the memo can only change *how
+    // fast* a side condition is discharged, never by which solver or with
+    // what record.
+    let mut cached = standard_dbs();
+    cached.set_solver_memo(true);
+    let mut uncached = standard_dbs();
+    uncached.set_solver_memo(false);
+    for entry in suite() {
+        let name = entry.info.name;
+        let (model, spec) = ((entry.model)(), (entry.spec)());
+        let with_memo = compile(&model, &spec, &cached).expect("suite compiles");
+        let without = compile(&model, &spec, &uncached).expect("suite compiles");
+        assert_eq!(with_memo.function, without.function, "{name}: Bedrock2 differs");
+        assert_eq!(with_memo.derivation, without.derivation, "{name}: derivation differs");
+        assert!(
+            with_memo.stats.solver_cache_hits + with_memo.stats.solver_cache_misses
+                >= without.stats.solver_cache_hits,
+            "{name}: cache counters malformed"
+        );
+        assert_eq!(
+            without.stats.solver_cache_hits, 0,
+            "{name}: disabled cache must record no hits"
+        );
+    }
+}

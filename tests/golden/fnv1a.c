@@ -1,0 +1,15 @@
+uintptr_t fnv1a(uintptr_t s, uintptr_t len) {
+  uintptr_t acc = 0;
+  uintptr_t _i0 = 0;
+  uintptr_t b = 0;
+  uintptr_t out = 0;
+  acc = (uintptr_t)0xcbf29ce484222325ULL;
+  _i0 = (uintptr_t)0ULL;
+  while (((uintptr_t)((_i0) < (len)))) {
+    b = (uintptr_t)(*(uint8_t*)(((s) + (_i0))));
+    acc = ((((acc) ^ (b))) * ((uintptr_t)1099511628211ULL));
+    _i0 = ((_i0) + ((uintptr_t)1ULL));
+  }
+  out = acc;
+  return out;
+}

@@ -1,0 +1,21 @@
+uintptr_t ip(uintptr_t s, uintptr_t len) {
+  uintptr_t n = 0;
+  uintptr_t acc = 0;
+  uintptr_t i = 0;
+  uintptr_t r = 0;
+  uintptr_t out = 0;
+  n = ((len) >> (((uintptr_t)1ULL) & 63));
+  acc = (uintptr_t)0ULL;
+  i = (uintptr_t)0ULL;
+  while (((uintptr_t)((i) < (n)))) {
+    acc = ((acc) + ((((((uintptr_t)(*(uint8_t*)(((s) + ((((uintptr_t)2ULL) * (i))))))) << (((uintptr_t)8ULL) & 63))) | ((uintptr_t)(*(uint8_t*)(((s) + ((((((uintptr_t)2ULL) * (i))) + ((uintptr_t)1ULL))))))))));
+    i = ((i) + ((uintptr_t)1ULL));
+  }
+  acc = ((((acc) & ((uintptr_t)65535ULL))) + (((acc) >> (((uintptr_t)16ULL) & 63))));
+  acc = ((((acc) & ((uintptr_t)65535ULL))) + (((acc) >> (((uintptr_t)16ULL) & 63))));
+  acc = ((((acc) & ((uintptr_t)65535ULL))) + (((acc) >> (((uintptr_t)16ULL) & 63))));
+  acc = ((((acc) & ((uintptr_t)65535ULL))) + (((acc) >> (((uintptr_t)16ULL) & 63))));
+  r = ((acc) ^ ((uintptr_t)65535ULL));
+  out = r;
+  return out;
+}

@@ -1,0 +1,8 @@
+uintptr_t m3s(uintptr_t k) {
+  uintptr_t out = 0;
+  k = ((((k) * ((uintptr_t)3432918353ULL))) & ((uintptr_t)4294967295ULL));
+  k = ((((((k) << (((uintptr_t)15ULL) & 63))) | (((k) >> (((uintptr_t)17ULL) & 63))))) & ((uintptr_t)4294967295ULL));
+  k = ((((k) * ((uintptr_t)461845907ULL))) & ((uintptr_t)4294967295ULL));
+  out = k;
+  return out;
+}

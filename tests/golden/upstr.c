@@ -1,0 +1,10 @@
+void upstr(uintptr_t s, uintptr_t len) {
+  uintptr_t _i0 = 0;
+  uintptr_t b = 0;
+  _i0 = (uintptr_t)0ULL;
+  while (((uintptr_t)((_i0) < (len)))) {
+    b = (uintptr_t)(*(uint8_t*)(((s) + (_i0))));
+    *(uint8_t*)(((s) + (_i0))) = (uint8_t)(((b) ^ (((((((uintptr_t)((((((b) - ((uintptr_t)97ULL))) & ((uintptr_t)255ULL))) < ((uintptr_t)26ULL)))) << (((uintptr_t)5ULL) & 63))) & ((uintptr_t)255ULL)))));
+    _i0 = ((_i0) + ((uintptr_t)1ULL));
+  }
+}

@@ -1,0 +1,15 @@
+uintptr_t utf8(uintptr_t s, uintptr_t len) {
+  uintptr_t n = 0;
+  uintptr_t acc = 0;
+  uintptr_t i = 0;
+  uintptr_t out = 0;
+  n = ((len) - ((uintptr_t)3ULL));
+  acc = (uintptr_t)0ULL;
+  i = (uintptr_t)0ULL;
+  while (((uintptr_t)((i) < (n)))) {
+    acc = ((acc) + ((((((((uintptr_t)(*(uint8_t*)(((s) + (i))))) * (((uintptr_t)(((uintptr_t)(*(uint8_t*)(((s) + (i))))) < ((uintptr_t)128ULL)))))) + ((((((((((uintptr_t)(*(uint8_t*)(((s) + (i))))) & ((uintptr_t)31ULL))) << (((uintptr_t)6ULL) & 63))) | ((((uintptr_t)(*(uint8_t*)(((s) + (((i) + ((uintptr_t)1ULL))))))) & ((uintptr_t)63ULL))))) * (((uintptr_t)(((((uintptr_t)(*(uint8_t*)(((s) + (i))))) >> (((uintptr_t)5ULL) & 63))) == ((uintptr_t)6ULL)))))))) + ((((((((((((uintptr_t)(*(uint8_t*)(((s) + (i))))) & ((uintptr_t)15ULL))) << (((uintptr_t)12ULL) & 63))) | ((((((((uintptr_t)(*(uint8_t*)(((s) + (((i) + ((uintptr_t)1ULL))))))) & ((uintptr_t)63ULL))) << (((uintptr_t)6ULL) & 63))) | ((((uintptr_t)(*(uint8_t*)(((s) + (((i) + ((uintptr_t)2ULL))))))) & ((uintptr_t)63ULL))))))) * (((uintptr_t)(((((uintptr_t)(*(uint8_t*)(((s) + (i))))) >> (((uintptr_t)4ULL) & 63))) == ((uintptr_t)14ULL)))))) + ((((((((((uintptr_t)(*(uint8_t*)(((s) + (i))))) & ((uintptr_t)7ULL))) << (((uintptr_t)18ULL) & 63))) | ((((((((uintptr_t)(*(uint8_t*)(((s) + (((i) + ((uintptr_t)1ULL))))))) & ((uintptr_t)63ULL))) << (((uintptr_t)12ULL) & 63))) | ((((((((uintptr_t)(*(uint8_t*)(((s) + (((i) + ((uintptr_t)2ULL))))))) & ((uintptr_t)63ULL))) << (((uintptr_t)6ULL) & 63))) | ((((uintptr_t)(*(uint8_t*)(((s) + (((i) + ((uintptr_t)3ULL))))))) & ((uintptr_t)63ULL))))))))) * (((uintptr_t)(((((uintptr_t)(*(uint8_t*)(((s) + (i))))) >> (((uintptr_t)3ULL) & 63))) == ((uintptr_t)30ULL)))))))))));
+    i = ((i) + ((uintptr_t)1ULL));
+  }
+  out = acc;
+  return out;
+}

@@ -88,7 +88,7 @@ fn lemma_library_has_no_errors() {
     }
     for f in &findings {
         if let FindingKind::UnreachableLemma { lemma } = &f.kind {
-            assert!(!cited.contains(lemma), "cited lemma flagged unreachable: {lemma}");
+            assert!(!cited.contains(lemma.as_str()), "cited lemma flagged unreachable: {lemma}");
         }
     }
 }
