@@ -55,6 +55,7 @@ pub mod mem;
 pub mod rsprint;
 pub mod rv;
 pub mod rv_compile;
+pub mod serial;
 
 pub use ast::{AccessSize, BExpr, BFunction, BTable, BinOp, Cmd, Program};
 pub use cfg::{Block, BlockId, Cfg, Stmt, Terminator};

@@ -1,0 +1,173 @@
+//! Cold-vs-warm benchmark of the persistent artifact store.
+//!
+//! Runs the incremental suite driver twice against the same store:
+//!
+//! 1. **cold** — the store is wiped first (unless `CACHEBENCH_KEEP_STORE=1`),
+//!    so every program is compiled by the engine and filed;
+//! 2. **warm** — every program must come back as a verified cache load:
+//!    zero engine derivations, every certificate re-checked by the
+//!    independent checker on the way out of the store.
+//!
+//! Asserts (exit nonzero on violation):
+//!
+//! - the warm pass is 100% cache hits with no evictions;
+//! - cold and warm results are structurally identical (function,
+//!   derivation, stats);
+//! - warm wall-time ≤ 0.5× cold wall-time — only enforced when phase 1
+//!   actually compiled everything (with `CACHEBENCH_KEEP_STORE=1` both
+//!   phases may be warm and the ratio is reported but not gated).
+//!
+//! With `CACHEBENCH_EXPECT_WARM=1` the *first* pass must already be fully
+//! warm too — the CI mode for the second of two back-to-back runs.
+//!
+//! Writes `results/cache.json`. Respects `SERVICE_STORE` for the store
+//! root. Run with `cargo run --release -p rupicola-bench --bin cachebench`.
+
+use rupicola_bench::json::{write_results, Json};
+use rupicola_ext::standard_dbs;
+use rupicola_service::{compile_suite_cached, env, CachedResult, Provenance, Store};
+use std::time::Instant;
+
+fn run_pass(store: &mut Store, dbs: &rupicola_core::HintDbs) -> (Vec<CachedResult>, f64) {
+    let t0 = Instant::now();
+    let results = compile_suite_cached(store, dbs);
+    let secs = t0.elapsed().as_secs_f64();
+    for r in &results {
+        if let Err(e) = &r.result {
+            eprintln!("cachebench: {} failed to compile: {e}", r.name);
+            std::process::exit(1);
+        }
+    }
+    (results, secs)
+}
+
+fn provenance_rows(results: &[CachedResult]) -> Vec<Json> {
+    results
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("program", Json::str(r.name)),
+                ("cached", Json::Bool(r.provenance == Provenance::Cache)),
+            ])
+        })
+        .collect()
+}
+
+fn main() {
+    let keep_store = env::flag_or_exit("CACHEBENCH_KEEP_STORE");
+    let expect_warm = env::flag_or_exit("CACHEBENCH_EXPECT_WARM");
+    let mut store = Store::open_from_env().unwrap_or_else(|e| {
+        eprintln!("cachebench: {e}");
+        std::process::exit(2);
+    });
+    if !keep_store {
+        let root = store.root().to_path_buf();
+        drop(store);
+        if let Err(e) = std::fs::remove_dir_all(&root) {
+            if e.kind() != std::io::ErrorKind::NotFound {
+                eprintln!("cachebench: cannot wipe store {}: {e}", root.display());
+                std::process::exit(2);
+            }
+        }
+        store = Store::open(root).unwrap_or_else(|e| {
+            eprintln!("cachebench: {e}");
+            std::process::exit(2);
+        });
+    }
+    let dbs = standard_dbs();
+
+    let (first, cold_secs) = run_pass(&mut store, &dbs);
+    let first_hits = first.iter().filter(|r| r.provenance == Provenance::Cache).count();
+    let fully_cold = first_hits == 0;
+    if expect_warm && first_hits != first.len() {
+        eprintln!(
+            "cachebench: CACHEBENCH_EXPECT_WARM=1 but first pass had {}/{} cache hits",
+            first_hits,
+            first.len()
+        );
+        std::process::exit(1);
+    }
+
+    // Warm phase: every repetition must be 100% verified cache loads;
+    // the *best* of the repetitions is the gated number, so a scheduler
+    // hiccup in one rep doesn't fail an otherwise-healthy cache. Every
+    // rep still performs the full verified-load ladder.
+    let warm_reps: u32 = env::parsed_or_exit("CACHEBENCH_WARM_REPS", 3);
+    let mut warm_secs = f64::INFINITY;
+    let mut second = Vec::new();
+    for _ in 0..warm_reps.max(1) {
+        let stats_before = store.stats();
+        let (pass, secs) = run_pass(&mut store, &dbs);
+        let stats = store.stats();
+        let warm_hits = stats.hits - stats_before.hits;
+        let warm_evictions = stats.evictions - stats_before.evictions;
+        if warm_hits != pass.len()
+            || warm_evictions != 0
+            || pass.iter().any(|r| r.provenance != Provenance::Cache)
+        {
+            eprintln!(
+                "cachebench: warm pass not fully cached: {warm_hits}/{} hits, \
+                 {warm_evictions} eviction(s)",
+                pass.len()
+            );
+            std::process::exit(1);
+        }
+        warm_secs = warm_secs.min(secs);
+        second = pass;
+    }
+    let stats = store.stats();
+    let warm_hits = second.len();
+    // And must serve exactly what the first pass produced.
+    for (c, w) in first.iter().zip(second.iter()) {
+        let (c, w) = (c.result.as_ref().expect("checked"), w.result.as_ref().expect("checked"));
+        if c.function != w.function || c.derivation != w.derivation || c.stats != w.stats {
+            eprintln!("cachebench: warm artifact for {} differs from cold", w.function.name);
+            std::process::exit(1);
+        }
+    }
+
+    let ratio = warm_secs / cold_secs;
+    println!("cachebench: store root {}", store.root().display());
+    println!(
+        "  first pass:  {:>8.2} ms ({} hit(s), fully_cold={fully_cold})",
+        cold_secs * 1e3,
+        first_hits
+    );
+    println!("  warm pass:   {:>8.2} ms ({warm_hits} verified hit(s))", warm_secs * 1e3);
+    println!(
+        "  warm/cold:   {ratio:>8.3}  (verify time {:.2} ms total)",
+        stats.verify_nanos as f64 / 1e6
+    );
+
+    let summary = Json::obj([
+        ("cold_secs", Json::F64(cold_secs)),
+        ("warm_secs", Json::F64(warm_secs)),
+        ("warm_over_cold", Json::F64(ratio)),
+        ("fully_cold_first_pass", Json::Bool(fully_cold)),
+        ("warm_hits", Json::U64(warm_hits as u64)),
+        ("programs", Json::Arr(provenance_rows(&second))),
+        ("cache", stats.to_json()),
+    ]);
+    // Only a genuinely cold first pass measures the advertised cold/warm
+    // ratio; an already-warm run (CACHEBENCH_KEEP_STORE=1 in CI's second
+    // invocation) must not clobber that record with warm-vs-warm numbers.
+    if fully_cold {
+        match write_results("cache.json", &summary) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("cachebench: failed to write results: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        println!("store was warm; leaving results/cache.json untouched");
+    }
+
+    // The perf gate: a verified warm load must cost at most half a cold
+    // compile. Only meaningful when phase 1 really compiled everything.
+    if fully_cold && ratio > 0.5 {
+        eprintln!("cachebench: FAIL: warm pass took {ratio:.3}x of cold (gate: 0.5x)");
+        std::process::exit(1);
+    }
+    println!("cachebench: ok");
+}

@@ -21,7 +21,7 @@ use rupicola_bench::json::{write_results, Json};
 use rupicola_core::check::{check_with, CheckConfig};
 use rupicola_core::faultinject::{mutants, MutationClass};
 use rupicola_ext::standard_dbs;
-use rupicola_programs::parallel::compile_suite_parallel;
+use rupicola_service::suite_via_store;
 
 struct ClassTally {
     class: MutationClass,
@@ -48,15 +48,19 @@ fn main() {
         "{:<8} {:>8} {:>7} {:>9} {:>9} {:>10}",
         "program", "mutants", "killed", "survived", "analyzer", "structural"
     );
-    // One suite-parallel compilation pass: each program is compiled once
-    // and its artifact shared by every mutant derived from it. What CANNOT
+    // One incremental suite pass (verified cache loads, parallel
+    // compilation of the misses): each program's artifact is obtained once
+    // and shared by every mutant derived from it. A cache-served artifact
+    // is safe to mutate from: the verified load re-checked it, so mutants
+    // still start from a pristine witness. What CANNOT
     // be shared, by design: (a) mutant generation clones the pristine
     // artifact per mutant, since each mutation must start from an
     // uncorrupted witness; (b) `check_with`/`analyze_with_dbs` re-run per
     // mutant, because the checker replaying the (mutated) witness is
     // exactly the defense under test — caching any part of a check across
     // mutants would let one mutant's verdict leak into another's.
-    for compiled_entry in compile_suite_parallel(&dbs) {
+    let (results, _cache) = suite_via_store(&dbs);
+    for compiled_entry in results {
         let name = compiled_entry.name;
         let compiled = match compiled_entry.result {
             Ok(c) => c,

@@ -74,9 +74,23 @@ fn main() {
     println!("# than the extraction baseline.");
     println!();
     println!("# Compiler throughput (paper §4.3: Coq runs at 2–15 statements/s):");
-    // Suite-parallel compilation of the whole suite per repetition — the
-    // same driver the `speed` harness benchmarks in detail.
     let dbs = rupicola_ext::standard_dbs();
+    // One incremental (store-backed) pass first: on a warm store this
+    // serves and re-verifies the artifacts without a single derivation,
+    // and it is what populates the store for the other harness binaries.
+    let (cached, cache) = rupicola_service::suite_via_store(&dbs);
+    let suite_statements: usize = cached
+        .iter()
+        .map(|r| r.result.as_ref().expect("suite compiles").function.statement_count())
+        .sum();
+    println!(
+        "#   incremental pass: {suite_statements} statements; cache {} hit(s), {} miss(es)",
+        cache.hits, cache.misses
+    );
+    // Then time the engine proper: suite-parallel compilation per
+    // repetition — the same driver the `speed` harness benchmarks in
+    // detail. Deliberately NOT store-backed: this number is proof-search
+    // throughput, and serving from the cache would measure the checker.
     let t0 = Instant::now();
     let reps = 20;
     let mut statements = 0usize;

@@ -14,7 +14,7 @@
 use rupicola_analysis::{analyze_with_dbs, lemma_lint, ProbeSuite, Severity};
 use rupicola_bench::json::{write_results, Json};
 use rupicola_ext::standard_dbs;
-use rupicola_programs::parallel::compile_suite_parallel;
+use rupicola_service::suite_via_store;
 
 fn main() {
     let dbs = standard_dbs();
@@ -23,11 +23,14 @@ fn main() {
     let mut rows: Vec<Json> = Vec::new();
 
     println!("{:<8} {:>8} {:>8} {:>8}", "program", "errors", "warnings", "verdict");
-    // One suite-parallel compilation pass shared by both analysis layers:
-    // the per-program dataflow lints and the lemma-library linter's probe
+    // One incremental suite pass (verified cache loads first, parallel
+    // compilation of the misses) shared by both analysis layers: the
+    // per-program dataflow lints and the lemma-library linter's probe
     // suites below both consume these same compiled artifacts, instead of
-    // each re-running the compiler.
-    for compiled_entry in compile_suite_parallel(&dbs) {
+    // each re-running the compiler — and on a warm store, instead of
+    // running it at all.
+    let (results, cache) = suite_via_store(&dbs);
+    for compiled_entry in results {
         let name = compiled_entry.name;
         let compiled = match compiled_entry.result {
             Ok(c) => c,
@@ -94,6 +97,7 @@ fn main() {
             Json::Arr(library.iter().map(|f| Json::str(f.to_string())).collect()),
         ),
         ("clean", Json::Bool(program_findings == 0 && library_errors == 0)),
+        ("cache", cache.to_json()),
     ]);
     match write_results("lint.json", &summary) {
         Ok(path) => println!("\nwrote {}", path.display()),

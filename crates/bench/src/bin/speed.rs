@@ -56,7 +56,9 @@ fn aggregate(results: &[SuiteResult]) -> CompileStats {
 }
 
 fn main() {
-    let reps: u32 = std::env::var("SPEED_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(30);
+    // Strict: a set-but-unparseable SPEED_REPS (e.g. `3O`) aborts with an
+    // explanation instead of silently running the 30-rep default.
+    let reps: u32 = rupicola_service::env::parsed_or_exit("SPEED_REPS", 30);
 
     let mut serial_dbs = standard_dbs();
     serial_dbs.set_dispatch_mode(DispatchMode::Linear);

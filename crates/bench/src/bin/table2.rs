@@ -41,9 +41,10 @@ fn main() {
     }
     println!();
     println!("# Compilation footprint (statements emitted / lemma applications /");
-    println!("# side conditions discharged), recompiled live (suite-parallel):");
+    println!("# side conditions discharged), via the incremental store-backed");
+    println!("# driver (verified cache loads; misses compiled suite-parallel):");
     let dbs = rupicola_ext::standard_dbs();
-    let live = rupicola_programs::parallel::compile_suite_parallel(&dbs);
+    let (live, cache) = rupicola_service::suite_via_store(&dbs);
     for r in &live {
         let c = r.result.as_ref().expect("suite compiles");
         println!(
@@ -68,4 +69,8 @@ fn main() {
         );
     }
     println!("#   (matches the build-time COMPILE_STATS constants)");
+    println!(
+        "#   cache: {} hit(s), {} miss(es), {} eviction(s)",
+        cache.hits, cache.misses, cache.evictions
+    );
 }

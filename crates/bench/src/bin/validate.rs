@@ -8,7 +8,7 @@
 use rupicola_bench::json::{write_results, Json};
 use rupicola_core::check::{check_with, CheckConfig};
 use rupicola_ext::standard_dbs;
-use rupicola_programs::parallel::compile_suite_parallel;
+use rupicola_service::suite_via_store;
 
 fn main() {
     let dbs = standard_dbs();
@@ -19,9 +19,13 @@ fn main() {
     );
     let mut failures = 0;
     let mut rows: Vec<Json> = Vec::new();
-    // One suite-parallel compilation pass; checking then consumes the
-    // results in deterministic suite order.
-    for compiled_entry in compile_suite_parallel(&dbs) {
+    // One incremental suite pass (verified cache loads, parallel
+    // compilation of the misses); checking then consumes the results in
+    // deterministic suite order. Note cached artifacts are checked twice —
+    // once by the verified load, once here — which is exactly the point:
+    // this binary's claim is independent of where the artifact came from.
+    let (results, cache) = suite_via_store(&dbs);
+    for compiled_entry in results {
         let name = compiled_entry.name;
         match compiled_entry.result {
             Err(e) => {
@@ -70,10 +74,15 @@ fn main() {
             },
         }
     }
+    println!(
+        "\ncache: {} hit(s), {} miss(es), {} eviction(s)",
+        cache.hits, cache.misses, cache.evictions
+    );
     let summary = Json::obj([
         ("programs", Json::Arr(rows)),
         ("failures", Json::U64(failures as u64)),
         ("all_certified", Json::Bool(failures == 0)),
+        ("cache", cache.to_json()),
     ]);
     match write_results("validate.json", &summary) {
         Ok(path) => println!("\nwrote {}", path.display()),

@@ -1,121 +1,13 @@
-//! Minimal JSON emission for machine-readable result summaries.
+//! JSON emission for machine-readable result summaries.
 //!
-//! The workspace is hermetic (no external crates), so this is a tiny
-//! value tree + renderer rather than serde. Only what the `results/*.json`
-//! summaries need: objects, arrays, strings, integers, floats, booleans.
+//! The value tree itself now lives at the bottom of the crate stack
+//! ([`rupicola_lang::json`]) so the artifact codec and the service layer
+//! can share it; this module re-exports it and keeps the one
+//! harness-specific piece: writing a summary under `results/`.
 
-use std::fmt::Write as _;
 use std::path::PathBuf;
 
-/// A JSON value.
-#[derive(Debug, Clone)]
-pub enum Json {
-    /// `true` / `false`.
-    Bool(bool),
-    /// A non-negative integer (all our counters).
-    U64(u64),
-    /// A float, rendered with enough precision for rates.
-    F64(f64),
-    /// A string (escaped on render).
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Convenience: a string value.
-    pub fn str(s: impl Into<String>) -> Json {
-        Json::Str(s.into())
-    }
-
-    /// Convenience: an object from key/value pairs.
-    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
-        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-    }
-
-    fn render_into(&self, out: &mut String, indent: usize) {
-        match self {
-            Json::Bool(b) => {
-                let _ = write!(out, "{b}");
-            }
-            Json::U64(n) => {
-                let _ = write!(out, "{n}");
-            }
-            Json::F64(x) => {
-                if x.is_finite() {
-                    let _ = write!(out, "{x:.4}");
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\r' => out.push_str("\\r"),
-                        '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => {
-                            let _ = write!(out, "\\u{:04x}", c as u32);
-                        }
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    out.push_str(&"  ".repeat(indent + 1));
-                    item.render_into(out, indent + 1);
-                }
-                out.push('\n');
-                out.push_str(&"  ".repeat(indent));
-                out.push(']');
-            }
-            Json::Obj(pairs) => {
-                if pairs.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (k, v)) in pairs.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    out.push_str(&"  ".repeat(indent + 1));
-                    Json::Str(k.clone()).render_into(out, indent + 1);
-                    out.push_str(": ");
-                    v.render_into(out, indent + 1);
-                }
-                out.push('\n');
-                out.push_str(&"  ".repeat(indent));
-                out.push('}');
-            }
-        }
-    }
-
-    /// Renders pretty-printed JSON with a trailing newline.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.render_into(&mut out, 0);
-        out.push('\n');
-        out
-    }
-}
+pub use rupicola_lang::json::{parse, Json, ParseError};
 
 /// Writes a summary to `results/<name>` (creating the directory) and
 /// returns the path.
@@ -136,7 +28,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn renders_nested_values_with_escapes() {
+    fn reexported_json_renders_and_reparses() {
         let v = Json::obj([
             ("name", Json::str("a\"b\\c\nd")),
             ("n", Json::U64(7)),
@@ -150,5 +42,7 @@ mod tests {
         assert!(s.contains("\"rate\": 0.5000"));
         assert!(s.contains("\"empty\": []"));
         assert!(s.ends_with("}\n"));
+        let back = parse(&s).unwrap();
+        assert_eq!(back.get("n").and_then(Json::as_u64), Some(7));
     }
 }

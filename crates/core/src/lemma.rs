@@ -528,6 +528,47 @@ impl HintDbs {
             || self.expr.iter().any(|l| l.name() == name)
     }
 
+    /// A canonical textual identity of this database *as a compiler
+    /// configuration*: statement-lemma names in try order, then
+    /// expression-lemma names, then solver names, then the dispatch mode
+    /// and effective memo flag.
+    ///
+    /// Two databases with equal identity strings consult the same lemmas
+    /// and solvers in the same order under the same engine configuration —
+    /// exactly the property the persistent artifact store's fingerprint
+    /// needs: reordering lemmas, adding or removing one, switching
+    /// [`DispatchMode`], or toggling the memo cache all change the string,
+    /// so a cached artifact can never be served for a *different* compiler
+    /// than the one that produced it. (Lemma *names* stand in for lemma
+    /// *behavior*; a behavioral change under an unchanged name is caught
+    /// by the verify-on-load checker pass instead.)
+    pub fn identity_string(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(256);
+        s.push_str("stmt=");
+        for l in &self.stmt {
+            s.push_str(l.name());
+            s.push(',');
+        }
+        s.push_str(";expr=");
+        for l in &self.expr {
+            s.push_str(l.name());
+            s.push(',');
+        }
+        s.push_str(";solvers=");
+        for sv in &self.solvers {
+            s.push_str(sv.name());
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            ";mode={:?};memo={}",
+            self.mode,
+            self.solver_memo_enabled()
+        );
+        s
+    }
+
     /// All registered lemma names (statement then expression).
     pub fn lemma_names(&self) -> Vec<&'static str> {
         self.stmt

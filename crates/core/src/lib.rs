@@ -58,6 +58,7 @@ pub mod goal;
 pub mod invariant;
 pub mod lemma;
 pub mod limits;
+pub mod serial;
 pub mod solver;
 
 pub use engine::{catch_quiet, compile, compile_with_limits, CompileStats, CompiledFunction, Compiler};

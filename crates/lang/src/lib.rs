@@ -36,9 +36,11 @@
 //! ```
 
 pub mod ast;
+pub mod codec;
 pub mod dsl;
 pub mod eval;
 pub mod externs;
+pub mod json;
 pub mod value;
 
 pub use ast::{Expr, Ident, MonadKind, PrimOp, TableDef};

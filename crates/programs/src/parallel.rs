@@ -55,7 +55,17 @@ pub fn compile_suite_serial(dbs: &HintDbs) -> Vec<SuiteResult> {
 /// shared mutable state, no iteration-order dependence — so the returned
 /// vector is byte-identical to [`compile_suite_serial`]'s.
 pub fn compile_suite_parallel(dbs: &HintDbs) -> Vec<SuiteResult> {
-    let entries = suite();
+    compile_entries_parallel(&suite(), dbs)
+}
+
+/// Compiles an arbitrary slice of suite entries against `dbs` in parallel,
+/// preserving slice order in the result.
+///
+/// This is the primitive the incremental (store-backed) driver uses: on a
+/// warm cache only the *missing* entries are handed to this function, so
+/// a fully warm run spawns no workers and performs zero derivations.
+/// [`compile_suite_parallel`] is the whole-suite special case.
+pub fn compile_entries_parallel(entries: &[crate::SuiteEntry], dbs: &HintDbs) -> Vec<SuiteResult> {
     // `available_parallelism` inspects cgroup quota files on Linux, which
     // costs tens of microseconds per call — comparable to a whole program
     // compile. The machine does not change under us; ask once per process.
@@ -65,7 +75,7 @@ pub fn compile_suite_parallel(dbs: &HintDbs) -> Vec<SuiteResult> {
     .min(entries.len());
     if workers <= 1 {
         return entries
-            .into_iter()
+            .iter()
             .map(|entry| SuiteResult {
                 name: entry.info.name,
                 result: compile(&(entry.model)(), &(entry.spec)(), dbs),

@@ -39,16 +39,36 @@ pub enum ScalarKind {
     Unit,
 }
 
-impl fmt::Display for ScalarKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl ScalarKind {
+    /// The stable wire/display name of the kind. Used both by `Display`
+    /// and by the artifact codec in `rupicola-core`, so it must not change
+    /// for already-stored artifacts to keep decoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
             ScalarKind::Word => "word",
             ScalarKind::Byte => "byte",
             ScalarKind::Bool => "bool",
             ScalarKind::Nat => "nat",
             ScalarKind::Unit => "unit",
-        };
-        write!(f, "{s}")
+        }
+    }
+
+    /// Inverse of [`ScalarKind::as_str`].
+    pub fn from_str_tag(s: &str) -> Option<ScalarKind> {
+        match s {
+            "word" => Some(ScalarKind::Word),
+            "byte" => Some(ScalarKind::Byte),
+            "bool" => Some(ScalarKind::Bool),
+            "nat" => Some(ScalarKind::Nat),
+            "unit" => Some(ScalarKind::Unit),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ScalarKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
     }
 }
 

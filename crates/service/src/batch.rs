@@ -1,0 +1,252 @@
+//! The JSON-lines batch front-end.
+//!
+//! Protocol (one JSON object per line, responses in request order):
+//!
+//! ```text
+//! request  := {"op":"compile","program":<name>}   compile one suite program
+//!           | {"op":"suite"}                       compile the whole suite
+//!           | {"op":"stats"}                       report cache counters
+//! response := {"ok":true, "op":..., ...}           per-request payload
+//!           | {"ok":false, "error":<message>}      malformed/unknown request
+//! ```
+//!
+//! The front-end is a *batch* service: [`serve`] reads every queued
+//! request up front (to end-of-input), computes the set of programs any
+//! of them mention, resolves that set **once** through the incremental
+//! driver — verified cache loads first, one parallel compilation pass
+//! over the misses — and then answers each request in order from the
+//! resolved results. Queued duplicates are free, and `stats` responses
+//! reflect the cache counters after the batch's resolution (loads and
+//! stores included), which is what an operator piping requests through
+//! `served` wants to see.
+//!
+//! A malformed line never aborts the batch: it produces an
+//! `{"ok":false}` response in its slot and processing continues.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+
+use crate::incremental::{compile_programs_cached, CachedResult, Provenance};
+use crate::store::Store;
+use rupicola_core::HintDbs;
+use rupicola_lang::json::{parse, Json};
+use rupicola_programs::{suite, SuiteEntry};
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Compile (or serve from cache) one named suite program.
+    Compile(String),
+    /// Compile the whole suite.
+    Suite,
+    /// Report the store's cache counters.
+    Stats,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed JSON, missing/unknown
+/// `op`, or a missing `program` field.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let j = parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let op = j
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing string field `op`".to_string())?;
+    match op {
+        "compile" => {
+            let program = j
+                .get("program")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "`compile` needs a string field `program`".to_string())?;
+            Ok(Request::Compile(program.to_string()))
+        }
+        "suite" => Ok(Request::Suite),
+        "stats" => Ok(Request::Stats),
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+fn error_response(message: &str) -> Json {
+    Json::obj([("ok", Json::Bool(false)), ("error", Json::str(message))])
+}
+
+fn program_response(r: &CachedResult) -> Json {
+    match &r.result {
+        Ok(cf) => Json::obj([
+            ("ok", Json::Bool(true)),
+            ("program", Json::str(r.name)),
+            ("cached", Json::Bool(r.provenance == Provenance::Cache)),
+            ("statements", Json::U64(cf.function.statement_count() as u64)),
+            ("derivation_nodes", Json::U64(cf.derivation.node_count as u64)),
+            ("side_conditions", Json::U64(cf.derivation.side_cond_count as u64)),
+            ("lemma_applications", Json::U64(cf.stats.lemma_applications as u64)),
+        ]),
+        Err(e) => Json::obj([
+            ("ok", Json::Bool(false)),
+            ("program", Json::str(r.name)),
+            ("error", Json::str(format!("{e}"))),
+        ]),
+    }
+}
+
+/// Runs one batch: reads requests from `input` until end-of-input,
+/// resolves them against `store`/`dbs`, writes one response line per
+/// request to `output`.
+///
+/// Returns the number of requests answered (including error responses).
+///
+/// # Errors
+///
+/// Only I/O errors on `input`/`output` are fatal; bad requests and failed
+/// compilations are reported in-band.
+pub fn serve(
+    input: impl BufRead,
+    mut output: impl Write,
+    store: &mut Store,
+    dbs: &HintDbs,
+) -> std::io::Result<usize> {
+    // Phase 1: read and parse every queued request.
+    let mut requests: Vec<Result<Request, String>> = Vec::new();
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        requests.push(parse_request(&line));
+    }
+
+    // Phase 2: resolve the union of mentioned programs in ONE incremental
+    // pass (cache loads first, parallel compilation of the misses).
+    let all = suite();
+    let mut wanted: Vec<&SuiteEntry> = Vec::new();
+    for req in requests.iter().flatten() {
+        match req {
+            Request::Suite => wanted.extend(all.iter()),
+            Request::Compile(name) => wanted.extend(all.iter().filter(|e| e.info.name == name)),
+            Request::Stats => {}
+        }
+    }
+    // Dedup in suite order: resolve each program at most once per batch.
+    let mut entries: Vec<SuiteEntry> = Vec::new();
+    for entry in &all {
+        if wanted.iter().any(|w| w.info.name == entry.info.name)
+            && !entries.iter().any(|e| e.info.name == entry.info.name)
+        {
+            entries.push(entry.clone());
+        }
+    }
+    let resolved = compile_programs_cached(&entries, store, dbs);
+    let by_name: BTreeMap<&str, &CachedResult> =
+        resolved.iter().map(|r| (r.name, r)).collect();
+
+    // Phase 3: answer in request order.
+    let mut answered = 0;
+    for req in &requests {
+        let response = match req {
+            Err(message) => error_response(message),
+            Ok(Request::Stats) => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("op", Json::str("stats")),
+                ("cache", store.stats().to_json()),
+            ]),
+            Ok(Request::Compile(name)) => match by_name.get(name.as_str()) {
+                Some(r) => program_response(r),
+                None => error_response(&format!("unknown program `{name}`")),
+            },
+            Ok(Request::Suite) => {
+                let rows: Vec<Json> = all
+                    .iter()
+                    .filter_map(|e| by_name.get(e.info.name))
+                    .map(|r| program_response(r))
+                    .collect();
+                let cached =
+                    rows.iter().filter(|r| r.get("cached").and_then(Json::as_bool) == Some(true));
+                Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("op", Json::str("suite")),
+                    ("cached", Json::U64(cached.count() as u64)),
+                    ("programs", Json::Arr(rows)),
+                ])
+            }
+        };
+        output.write_all(response.render_compact().as_bytes())?;
+        output.write_all(b"\n")?;
+        answered += 1;
+    }
+    output.flush()?;
+    Ok(answered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupicola_ext::standard_dbs;
+
+    fn scratch_store(tag: &str) -> Store {
+        let root = std::env::temp_dir()
+            .join(format!("rupicola-batch-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        Store::open(root).unwrap()
+    }
+
+    fn run(input: &str, store: &mut Store) -> Vec<Json> {
+        let dbs = standard_dbs();
+        let mut out = Vec::new();
+        serve(input.as_bytes(), &mut out, store, &dbs).unwrap();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| parse(l).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn parse_request_accepts_the_grammar() {
+        assert_eq!(
+            parse_request(r#"{"op":"compile","program":"fnv1a"}"#).unwrap(),
+            Request::Compile("fnv1a".into())
+        );
+        assert_eq!(parse_request(r#"{"op":"suite"}"#).unwrap(), Request::Suite);
+        assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert!(parse_request(r#"{"op":"reboot"}"#).is_err());
+        assert!(parse_request(r#"{"program":"fnv1a"}"#).is_err());
+        assert!(parse_request("not json").is_err());
+    }
+
+    #[test]
+    fn batch_answers_in_order_and_deduplicates_work() {
+        let mut store = scratch_store("order");
+        let input = "\
+{\"op\":\"compile\",\"program\":\"fnv1a\"}\n\
+{\"op\":\"compile\",\"program\":\"fnv1a\"}\n\
+{\"op\":\"stats\"}\n\
+{\"op\":\"compile\",\"program\":\"nosuch\"}\n\
+bogus\n";
+        let responses = run(input, &mut store);
+        assert_eq!(responses.len(), 5);
+        assert_eq!(responses[0].get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(responses[0].get("program").and_then(Json::as_str), Some("fnv1a"));
+        // The duplicate was answered from the same single resolution.
+        assert_eq!(responses[1].get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(store.stats().stores, 1, "fnv1a resolved exactly once");
+        // Stats reflect the batch's resolution.
+        let cache = responses[2].get("cache").unwrap();
+        assert_eq!(cache.get("stores").and_then(Json::as_u64), Some(1));
+        assert_eq!(responses[3].get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(responses[4].get("ok").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn suite_request_reports_cache_provenance() {
+        let mut store = scratch_store("suite");
+        let cold = run("{\"op\":\"suite\"}\n", &mut store);
+        assert_eq!(cold[0].get("cached").and_then(Json::as_u64), Some(0));
+        assert_eq!(cold[0].get("programs").and_then(Json::as_arr).unwrap().len(), 7);
+        let warm = run("{\"op\":\"suite\"}\n", &mut store);
+        assert_eq!(warm[0].get("cached").and_then(Json::as_u64), Some(7));
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+}

@@ -1,0 +1,39 @@
+//! `served` — the batch compilation service front-end.
+//!
+//! Reads JSON-lines requests from stdin until EOF, answers on stdout:
+//!
+//! ```text
+//! $ printf '%s\n' '{"op":"suite"}' '{"op":"stats"}' | served
+//! ```
+//!
+//! Store root: `$SERVICE_STORE` if set (must be non-empty valid Unicode;
+//! anything else is a hard error, not a silent fallback), else
+//! `results/store`. Set `SERVED_LINT=1` to also run the static-analysis
+//! lints on every cache load.
+
+use std::io::{BufReader, Write as _};
+
+use rupicola_ext::standard_dbs;
+use rupicola_service::{env, serve, Store};
+
+fn main() {
+    let result = (|| -> Result<usize, String> {
+        let lint = env::flag("SERVED_LINT")?;
+        let mut store = Store::open_from_env()?.with_lint_on_load(lint);
+        let dbs = standard_dbs();
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        let n = serve(BufReader::new(stdin.lock()), stdout.lock(), &mut store, &dbs)
+            .map_err(|e| format!("I/O error: {e}"))?;
+        let stats = store.stats();
+        eprintln!(
+            "served: {n} request(s); cache: {} hit(s), {} miss(es), {} eviction(s), {} store(s)",
+            stats.hits, stats.misses, stats.evictions, stats.stores
+        );
+        Ok(n)
+    })();
+    if let Err(message) = result {
+        let _ = writeln!(std::io::stderr(), "served: error: {message}");
+        std::process::exit(2);
+    }
+}

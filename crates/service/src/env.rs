@@ -1,0 +1,111 @@
+//! Strict environment-variable parsing for the harness binaries.
+//!
+//! The failure mode these helpers exist to kill: a user sets
+//! `SPEED_REPS=3O` (a typo) or `BLESS=yes`, the old `ok().and_then(…)
+//! .unwrap_or(default)` chain silently falls back, and the run *looks*
+//! configured but isn't — a 30-repetition benchmark masquerading as the
+//! 3-rep smoke run, or a golden-bless that never blessed. A set-but-
+//! unparseable variable is a hard, explained error; only *unset* selects
+//! the default.
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// Parses `$name` as a `T`, defaulting only when the variable is unset.
+///
+/// # Errors
+///
+/// A set-but-empty, non-Unicode, or unparseable value is an error naming
+/// the variable, the offending value, and the expected type.
+pub fn parsed_or<T>(name: &str, default: T) -> Result<T, String>
+where
+    T: FromStr,
+    T::Err: Display,
+{
+    match std::env::var(name) {
+        Err(std::env::VarError::NotPresent) => Ok(default),
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            Err(format!("{name} is set but not valid Unicode: {raw:?}"))
+        }
+        Ok(v) if v.trim().is_empty() => {
+            Err(format!("{name} is set but empty; unset it to use the default"))
+        }
+        Ok(v) => v.parse::<T>().map_err(|e| {
+            format!("{name}=`{v}` is not a valid {}: {e}", std::any::type_name::<T>())
+        }),
+    }
+}
+
+/// Parses `$name` as a boolean flag: unset/`0`/`false` ⇒ false,
+/// `1`/`true` ⇒ true, anything else ⇒ error.
+///
+/// # Errors
+///
+/// Any other set value is an error (`BLESS=yes` must not silently mean
+/// *unset*, nor silently mean *set*).
+pub fn flag(name: &str) -> Result<bool, String> {
+    match std::env::var(name) {
+        Err(std::env::VarError::NotPresent) => Ok(false),
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            Err(format!("{name} is set but not valid Unicode: {raw:?}"))
+        }
+        Ok(v) => match v.as_str() {
+            "1" | "true" => Ok(true),
+            "0" | "false" => Ok(false),
+            other => Err(format!("{name} must be 0/1/true/false, got `{other}`")),
+        },
+    }
+}
+
+/// `parsed_or` for binaries: prints the error to stderr and exits 2.
+pub fn parsed_or_exit<T>(name: &str, default: T) -> T
+where
+    T: FromStr,
+    T::Err: Display,
+{
+    parsed_or(name, default).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// `flag` for binaries: prints the error to stderr and exits 2.
+pub fn flag_or_exit(name: &str) -> bool {
+    flag(name).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test fn: env vars are process-global and libtest runs tests on
+    // threads, so all mutation happens in a single sequential body, on
+    // names no other test reads.
+    #[test]
+    fn strictness_ladder() {
+        std::env::remove_var("RUPICOLA_ENV_TEST");
+        assert_eq!(parsed_or("RUPICOLA_ENV_TEST", 30u32).unwrap(), 30);
+        assert!(!flag("RUPICOLA_ENV_TEST").unwrap());
+
+        std::env::set_var("RUPICOLA_ENV_TEST", "7");
+        assert_eq!(parsed_or("RUPICOLA_ENV_TEST", 30u32).unwrap(), 7);
+
+        std::env::set_var("RUPICOLA_ENV_TEST", "3O");
+        let err = parsed_or("RUPICOLA_ENV_TEST", 30u32).unwrap_err();
+        assert!(err.contains("RUPICOLA_ENV_TEST") && err.contains("3O"), "{err}");
+
+        std::env::set_var("RUPICOLA_ENV_TEST", "  ");
+        assert!(parsed_or("RUPICOLA_ENV_TEST", 30u32).is_err());
+
+        for (v, want) in [("1", true), ("true", true), ("0", false), ("false", false)] {
+            std::env::set_var("RUPICOLA_ENV_TEST", v);
+            assert_eq!(flag("RUPICOLA_ENV_TEST").unwrap(), want);
+        }
+        std::env::set_var("RUPICOLA_ENV_TEST", "yes");
+        assert!(flag("RUPICOLA_ENV_TEST").is_err());
+        std::env::remove_var("RUPICOLA_ENV_TEST");
+    }
+}

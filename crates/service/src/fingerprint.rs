@@ -1,0 +1,180 @@
+//! Stable structural fingerprints for compilation requests.
+//!
+//! The artifact store is *content-addressed by input*: the key under which
+//! a [`CompiledFunction`] is filed is a fingerprint of everything the
+//! compilation result depends on —
+//!
+//! 1. the functional **model** (its canonical JSON encoding),
+//! 2. the ABI **spec** (canonical JSON),
+//! 3. the **hint-database identity** (`HintDbs::identity_string`): lemma
+//!    names in registration order, solver names, [`DispatchMode`], and
+//!    whether the solver memo cache is enabled — registration *order*
+//!    matters because first-match dispatch makes it semantically relevant,
+//! 4. the **engine limits** (a run that fails under tight budgets is not
+//!    the same request as one under default budgets),
+//! 5. a **format version**, so a codec change invalidates the whole store
+//!    instead of mis-decoding old artifacts.
+//!
+//! The hash is FNV-1a/64 over those canonical bytes — hand-rolled, fully
+//! specified, and therefore stable across processes, platforms and runs
+//! (unlike `DefaultHasher`, whose keys are randomized per process). FNV is
+//! not collision-resistant against adversaries, but the store does not
+//! rely on key uniqueness for soundness: every load is re-checked by the
+//! independent checker, so a collision costs one spurious eviction, never
+//! a wrong artifact (see `store`).
+//!
+//! [`CompiledFunction`]: rupicola_core::CompiledFunction
+//! [`DispatchMode`]: rupicola_core::DispatchMode
+
+use rupicola_core::fnspec::FnSpec;
+use rupicola_core::serial::encode_fn_spec;
+use rupicola_core::{EngineLimits, HintDbs};
+use rupicola_lang::codec::encode_model;
+use rupicola_lang::Model;
+
+/// Version of the on-disk artifact format. Bump whenever the codec or the
+/// canonical-bytes layout changes: old artifacts then miss (different key)
+/// or evict (envelope mismatch) instead of being mis-read.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// A stable 64-bit structural fingerprint of a compilation request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fingerprint(pub u64);
+
+impl Fingerprint {
+    /// The fingerprint as 16 lowercase hex digits — the filename stem used
+    /// by the store.
+    pub fn as_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a/64 over `bytes`, continuing from `state`.
+fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// The canonical byte string a request hashes to. Exposed (crate-public)
+/// so tests can assert on *why* two keys differ, not just that they do.
+pub(crate) fn canonical_bytes(
+    model: &Model,
+    spec: &FnSpec,
+    dbs: &HintDbs,
+    limits: &EngineLimits,
+) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(4096);
+    bytes.extend_from_slice(b"rupicola-artifact-v");
+    bytes.extend_from_slice(FORMAT_VERSION.to_string().as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(encode_model(model).render_compact().as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(encode_fn_spec(spec).render_compact().as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(dbs.identity_string().as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(
+        format!(
+            "limits:lemmas={};depth={};names={};solver={}",
+            limits.max_lemma_applications,
+            limits.max_recursion_depth,
+            limits.max_fresh_names,
+            limits.solver_step_budget
+        )
+        .as_bytes(),
+    );
+    bytes
+}
+
+/// Fingerprints a compilation request.
+pub fn fingerprint(
+    model: &Model,
+    spec: &FnSpec,
+    dbs: &HintDbs,
+    limits: &EngineLimits,
+) -> Fingerprint {
+    Fingerprint(fnv1a(FNV_OFFSET, &canonical_bytes(model, spec, dbs, limits)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupicola_core::DispatchMode;
+    use rupicola_ext::standard_dbs;
+
+    fn request() -> (Model, FnSpec) {
+        (rupicola_programs::fnv1a::model(), rupicola_programs::fnv1a::spec())
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Reference vectors for FNV-1a/64 (from the FNV spec).
+        assert_eq!(fnv1a(FNV_OFFSET, b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(FNV_OFFSET, b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(FNV_OFFSET, b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn deterministic_within_process() {
+        let (model, spec) = request();
+        let dbs = standard_dbs();
+        let limits = EngineLimits::default();
+        assert_eq!(
+            fingerprint(&model, &spec, &dbs, &limits),
+            fingerprint(&model, &spec, &dbs, &limits)
+        );
+    }
+
+    #[test]
+    fn different_programs_different_keys() {
+        let dbs = standard_dbs();
+        let limits = EngineLimits::default();
+        let (m1, s1) = request();
+        let m2 = rupicola_programs::crc32::model();
+        let s2 = rupicola_programs::crc32::spec();
+        assert_ne!(fingerprint(&m1, &s1, &dbs, &limits), fingerprint(&m2, &s2, &dbs, &limits));
+    }
+
+    #[test]
+    fn dispatch_mode_is_part_of_the_key() {
+        let (model, spec) = request();
+        let limits = EngineLimits::default();
+        let indexed = standard_dbs();
+        let mut linear = standard_dbs();
+        linear.set_dispatch_mode(DispatchMode::Linear);
+        assert_ne!(
+            fingerprint(&model, &spec, &indexed, &limits),
+            fingerprint(&model, &spec, &linear, &limits)
+        );
+    }
+
+    #[test]
+    fn limits_are_part_of_the_key() {
+        let (model, spec) = request();
+        let dbs = standard_dbs();
+        assert_ne!(
+            fingerprint(&model, &spec, &dbs, &EngineLimits::default()),
+            fingerprint(&model, &spec, &dbs, &EngineLimits::tight())
+        );
+    }
+
+    #[test]
+    fn hex_key_is_16_lowercase_digits() {
+        let (model, spec) = request();
+        let key = fingerprint(&model, &spec, &standard_dbs(), &EngineLimits::default()).as_hex();
+        assert_eq!(key.len(), 16);
+        assert!(key.bytes().all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase()));
+    }
+}

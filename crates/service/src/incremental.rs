@@ -1,0 +1,160 @@
+//! The incremental suite driver: consult the store first, compile (in
+//! parallel) only the misses, file the fresh results back.
+//!
+//! This is the cached counterpart of
+//! [`rupicola_programs::parallel::compile_suite_parallel`]: a fully warm
+//! run performs **zero** engine derivations — every program is served
+//! from disk after passing the verified-load ladder — while a cold or
+//! partially-stale run hands exactly the missing entries to the parallel
+//! driver and stores what it produced.
+//!
+//! Results come back in suite order regardless of which side (store or
+//! compiler) produced them, so downstream consumers (`table2`, `lint`,
+//! `validate`, the benches) can swap this in for the parallel driver
+//! without re-sorting.
+
+use crate::store::{LoadOutcome, Store};
+use rupicola_core::{CompileError, CompiledFunction, EngineLimits, HintDbs};
+use rupicola_lang::Model;
+use rupicola_programs::parallel::{compile_entries_parallel, SuiteResult};
+use rupicola_programs::{suite, SuiteEntry};
+
+/// How one suite program was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Served from the store after a verified load.
+    Cache,
+    /// Freshly compiled (store miss or eviction).
+    Compiled,
+}
+
+/// One suite program's outcome, tagged with where it came from.
+#[derive(Debug)]
+pub struct CachedResult {
+    /// Program name.
+    pub name: &'static str,
+    /// Compilation (or verified-load) outcome.
+    pub result: Result<CompiledFunction, CompileError>,
+    /// Cache or fresh compile.
+    pub provenance: Provenance,
+}
+
+/// Compiles the whole suite through `store`, recompiling only what the
+/// store could not serve. Fresh results are written back; write failures
+/// are non-fatal (the result is still returned, the next run just misses).
+pub fn compile_suite_cached(store: &mut Store, dbs: &HintDbs) -> Vec<CachedResult> {
+    compile_programs_cached(&suite(), store, dbs)
+}
+
+/// [`compile_suite_cached`] over an arbitrary entry subset (the batch
+/// front-end resolves exactly the programs its queued requests mention).
+pub fn compile_programs_cached(
+    entries: &[SuiteEntry],
+    store: &mut Store,
+    dbs: &HintDbs,
+) -> Vec<CachedResult> {
+    let limits = EngineLimits::default();
+    // Pass 1: verified loads, batched so the store can parallelize the
+    // read+re-check work. Remember which entries missed (or evicted) and
+    // the slot their fresh result must land in.
+    let mut slots: Vec<Option<CachedResult>> = Vec::new();
+    slots.resize_with(entries.len(), || None);
+    let mut missing: Vec<usize> = Vec::new();
+    let requests: Vec<(Model, rupicola_core::fnspec::FnSpec)> =
+        entries.iter().map(|e| ((e.model)(), (e.spec)())).collect();
+    let request_refs: Vec<(&Model, &rupicola_core::fnspec::FnSpec)> =
+        requests.iter().map(|(m, s)| (m, s)).collect();
+    for (i, (entry, outcome)) in entries
+        .iter()
+        .zip(store.load_verified_many(&request_refs, dbs, &limits))
+        .enumerate()
+    {
+        match outcome {
+            LoadOutcome::Hit(cf) => {
+                slots[i] = Some(CachedResult {
+                    name: entry.info.name,
+                    result: Ok(*cf),
+                    provenance: Provenance::Cache,
+                });
+            }
+            LoadOutcome::Miss | LoadOutcome::Evicted { .. } => missing.push(i),
+        }
+    }
+    // Pass 2: parallel compilation of exactly the misses.
+    if !missing.is_empty() {
+        let todo: Vec<SuiteEntry> = missing.iter().map(|&i| entries[i].clone()).collect();
+        let fresh: Vec<SuiteResult> = compile_entries_parallel(&todo, dbs);
+        for (&i, fresh) in missing.iter().zip(fresh) {
+            if let Ok(cf) = &fresh.result {
+                let key = store.key_for(&cf.model, &cf.spec, dbs, &limits);
+                let _ = store.put(key, cf);
+            }
+            slots[i] = Some(CachedResult {
+                name: fresh.name,
+                result: fresh.result,
+                provenance: Provenance::Compiled,
+            });
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| match s {
+            Some(r) => r,
+            // Unreachable by construction: every index is either filled in
+            // pass 1 or listed in `missing` and filled in pass 2.
+            None => CachedResult {
+                name: "?",
+                result: Err(CompileError::Internal("incremental driver lost a slot".into())),
+                provenance: Provenance::Compiled,
+            },
+        })
+        .collect()
+}
+
+/// Harness-binary convenience: opens the environment-resolved store
+/// (`$SERVICE_STORE`, default `results/store`), runs the cached suite
+/// pass, and returns the results together with the store's counters.
+/// Prints the error and exits 2 if the store cannot be opened — for the
+/// `table2`/`lint`/`validate`-style binaries whose other failure paths
+/// already exit nonzero.
+pub fn suite_via_store(dbs: &HintDbs) -> (Vec<CachedResult>, crate::store::CacheStats) {
+    let mut store = Store::open_from_env().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let results = compile_suite_cached(&mut store, dbs);
+    (results, store.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupicola_ext::standard_dbs;
+
+    #[test]
+    fn cold_then_warm_run_serves_everything_from_cache() {
+        let root = std::env::temp_dir()
+            .join(format!("rupicola-incremental-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut store = Store::open(&root).unwrap();
+        let dbs = standard_dbs();
+
+        let cold = compile_suite_cached(&mut store, &dbs);
+        assert_eq!(cold.len(), 7);
+        assert!(cold.iter().all(|r| r.provenance == Provenance::Compiled));
+        assert!(cold.iter().all(|r| r.result.is_ok()));
+        assert_eq!(store.stats().stores, 7);
+
+        let warm = compile_suite_cached(&mut store, &dbs);
+        assert!(warm.iter().all(|r| r.provenance == Provenance::Cache), "{warm:?}");
+        assert_eq!(store.stats().hits, 7);
+        for (c, w) in cold.iter().zip(warm.iter()) {
+            assert_eq!(c.name, w.name);
+            let (c, w) = (c.result.as_ref().unwrap(), w.result.as_ref().unwrap());
+            assert_eq!(c.function, w.function);
+            assert_eq!(c.derivation, w.derivation);
+            assert_eq!(c.stats, w.stats);
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,43 @@
+//! Persistent proof-carrying compilation service.
+//!
+//! Relational compilation is proof search: every run of the engine
+//! produces not just Bedrock2 code but a [`Derivation`] witness that an
+//! independent checker re-validates. That makes compilation *cacheable
+//! without trust*: an artifact persisted to disk can be reloaded later —
+//! by a different process, on a different day — and re-checked exactly as
+//! a fresh compilation would be, so the cache can be wrong, stale, or
+//! corrupted without ever being able to smuggle a bad artifact past the
+//! caller. This crate builds that service layer out of three pieces:
+//!
+//! - [`fingerprint`] — stable structural keys: FNV-1a/64 over the
+//!   canonical encoding of (model, spec, hint-db identity, engine limits,
+//!   format version). Same inputs ⇒ same key across processes; changing a
+//!   lemma, the registration order, the [`DispatchMode`], or the budgets
+//!   changes the key.
+//! - [`store`] — the content-addressed on-disk store with *verified
+//!   loads*: decode, cross-check the stored inputs against the request,
+//!   re-run the checker (optionally the analysis lints), and evict on any
+//!   failure. Counters ([`CacheStats`]) account every hit, miss,
+//!   eviction, store, and verify-nanosecond.
+//! - [`incremental`] — the suite driver that consults the store first and
+//!   hands only the misses to the parallel compilation driver; a fully
+//!   warm run performs zero derivations.
+//! - [`batch`] — a JSON-lines front-end (`served` binary): queued
+//!   `compile`/`suite`/`stats` requests are resolved in one incremental
+//!   pass and answered in order.
+//!
+//! [`Derivation`]: rupicola_core::derive::Derivation
+//! [`DispatchMode`]: rupicola_core::DispatchMode
+
+pub mod batch;
+pub mod env;
+pub mod fingerprint;
+pub mod incremental;
+pub mod store;
+
+pub use batch::{parse_request, serve, Request};
+pub use fingerprint::{fingerprint, Fingerprint, FORMAT_VERSION};
+pub use incremental::{
+    compile_programs_cached, compile_suite_cached, suite_via_store, CachedResult, Provenance,
+};
+pub use store::{store_root_from_env, CacheStats, LoadOutcome, Store, DEFAULT_ROOT, STORE_ENV};

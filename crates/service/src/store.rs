@@ -1,0 +1,488 @@
+//! The content-addressed, *verified* artifact store.
+//!
+//! Layout: one file per artifact under the store root,
+//! `"<program>-<fingerprint>.json"`, holding an envelope
+//!
+//! ```json
+//! { "format": 1, "key": "<16 hex>", "program": "...", "artifact": { … } }
+//! ```
+//!
+//! where `artifact` is `rupicola_core::serial::encode_compiled_function`.
+//!
+//! # The cache adds no trust
+//!
+//! A warm load is CompCert-style *verified*: after decoding, the store
+//!
+//! 1. cross-checks the envelope (format version, key, program name),
+//! 2. cross-checks that the decoded model and spec are structurally equal
+//!    to the *requested* ones (a fingerprint collision or a hand-edited
+//!    file thus turns into an eviction, never a wrong answer),
+//! 3. re-runs the independent checker ([`check_with`]) on the decoded
+//!    artifact — the same witness re-validation a fresh compilation gets,
+//! 4. optionally re-runs the static-analysis lints ([`lint_on_load`]).
+//!
+//! Any failure at any step *evicts* the artifact (the file is deleted)
+//! and reports [`LoadOutcome::Evicted`]; the caller recompiles. A decode
+//! error is indistinguishable from corruption by design: decoders are
+//! total, so a bit flip is at worst an eviction.
+//!
+//! [`lint_on_load`]: Store::with_lint_on_load
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use crate::fingerprint::{fingerprint, Fingerprint, FORMAT_VERSION};
+use rupicola_core::check::{check_with, CheckConfig};
+use rupicola_core::fnspec::FnSpec;
+use rupicola_core::serial::{decode_compiled_function, encode_compiled_function};
+use rupicola_core::{CompiledFunction, EngineLimits, HintDbs};
+use rupicola_lang::json::Json;
+use rupicola_lang::Model;
+
+/// Name of the environment variable overriding the store root.
+pub const STORE_ENV: &str = "SERVICE_STORE";
+
+/// Differential-test vectors per poison used by the *load-time* re-check.
+///
+/// Certification runs use [`CheckConfig::default`]'s 16; loads default to
+/// fewer because the threat model differs: a load guards against
+/// corruption and staleness of an artifact that already passed full
+/// certification when it was stored, and every structural layer of the
+/// checker (witness integrity counters, side-condition re-solving,
+/// invariant replay) runs in full regardless of the vector count. Callers
+/// that want certification-strength loads can say
+/// [`Store::with_check_config`]`(CheckConfig::default())`.
+pub const LOAD_CHECK_VECTORS: usize = 4;
+
+/// Default store root, relative to the current directory.
+pub const DEFAULT_ROOT: &str = "results/store";
+
+/// Resolves the store root: `$SERVICE_STORE` if set, else [`DEFAULT_ROOT`].
+///
+/// # Errors
+///
+/// Fails loudly — instead of silently falling back — when the variable is
+/// set but unusable (empty, or not valid Unicode). An operator who set the
+/// variable meant it; quietly writing to `results/store` anyway would be
+/// the env-var equivalent of an unverified cache hit.
+pub fn store_root_from_env() -> Result<PathBuf, String> {
+    match std::env::var(STORE_ENV) {
+        Ok(v) if v.trim().is_empty() => {
+            Err(format!("{STORE_ENV} is set but empty; unset it or point it at a directory"))
+        }
+        Ok(v) => Ok(PathBuf::from(v)),
+        Err(std::env::VarError::NotPresent) => Ok(PathBuf::from(DEFAULT_ROOT)),
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            Err(format!("{STORE_ENV} is set but not valid Unicode: {raw:?}"))
+        }
+    }
+}
+
+/// Counters describing what the store did over its lifetime.
+///
+/// Same spirit as `CompileStats`: plain counters a harness can print or
+/// serialize next to compilation stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Verified loads served from disk.
+    pub hits: usize,
+    /// Keys with no artifact on disk.
+    pub misses: usize,
+    /// Artifacts found but rejected (decode error, stale inputs, failed
+    /// re-check or lint) and deleted.
+    pub evictions: usize,
+    /// Artifacts written.
+    pub stores: usize,
+    /// Total nanoseconds spent re-verifying loaded artifacts (decode +
+    /// cross-check + checker + lints), over hits *and* evictions.
+    pub verify_nanos: u128,
+}
+
+impl CacheStats {
+    /// Renders the counters as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("hits", Json::U64(self.hits as u64)),
+            ("misses", Json::U64(self.misses as u64)),
+            ("evictions", Json::U64(self.evictions as u64)),
+            ("stores", Json::U64(self.stores as u64)),
+            ("verify_nanos", Json::U64(u64::try_from(self.verify_nanos).unwrap_or(u64::MAX))),
+        ])
+    }
+}
+
+/// Outcome of a [`Store::load_verified`] call.
+#[derive(Debug)]
+pub enum LoadOutcome {
+    /// A verified artifact, served from disk. No derivation was performed.
+    Hit(Box<CompiledFunction>),
+    /// Nothing stored under this key.
+    Miss,
+    /// An artifact existed but failed verification and was deleted.
+    Evicted {
+        /// Why the artifact was rejected.
+        reason: String,
+    },
+}
+
+/// A content-addressed on-disk artifact store with verified loads.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+    check: CheckConfig,
+    lint_on_load: bool,
+    stats: CacheStats,
+}
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Store, String> {
+        let root = root.into();
+        fs::create_dir_all(&root)
+            .map_err(|e| format!("cannot create store root {}: {e}", root.display()))?;
+        let check = CheckConfig { vectors: LOAD_CHECK_VECTORS, ..CheckConfig::default() };
+        Ok(Store { root, check, lint_on_load: false, stats: CacheStats::default() })
+    }
+
+    /// Opens the store at the environment-resolved root
+    /// (see [`store_root_from_env`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment and filesystem errors.
+    pub fn open_from_env() -> Result<Store, String> {
+        Store::open(store_root_from_env()?)
+    }
+
+    /// Replaces the checker configuration used by verified loads.
+    #[must_use]
+    pub fn with_check_config(mut self, check: CheckConfig) -> Store {
+        self.check = check;
+        self
+    }
+
+    /// Enables (or disables) running the static-analysis lints on every
+    /// load; a lint *error* evicts the artifact like a failed check.
+    #[must_use]
+    pub fn with_lint_on_load(mut self, enabled: bool) -> Store {
+        self.lint_on_load = enabled;
+        self
+    }
+
+    /// The store root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The file an artifact for `(name, key)` lives in.
+    pub fn path_for(&self, name: &str, key: Fingerprint) -> PathBuf {
+        self.root.join(format!("{name}-{key}.json"))
+    }
+
+    /// Fingerprints a request with this store's conventions.
+    pub fn key_for(
+        &self,
+        model: &Model,
+        spec: &FnSpec,
+        dbs: &HintDbs,
+        limits: &EngineLimits,
+    ) -> Fingerprint {
+        fingerprint(model, spec, dbs, limits)
+    }
+
+    /// Writes `cf` under `key`. The write goes through a temporary file in
+    /// the same directory followed by a rename, so concurrent readers see
+    /// either the old artifact or the new one, never a torn file.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors; the store counters are only bumped on success.
+    pub fn put(&mut self, key: Fingerprint, cf: &CompiledFunction) -> Result<PathBuf, String> {
+        let envelope = Json::obj([
+            ("format", Json::U64(FORMAT_VERSION)),
+            ("key", Json::str(key.as_hex())),
+            ("program", Json::str(cf.function.name.clone())),
+            ("artifact", encode_compiled_function(cf)),
+        ]);
+        let path = self.path_for(&cf.function.name, key);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let write = (|| -> std::io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(envelope.render().as_bytes())?;
+            f.sync_all()?;
+            fs::rename(&tmp, &path)
+        })();
+        if let Err(e) = write {
+            let _ = fs::remove_file(&tmp);
+            return Err(format!("cannot write artifact {}: {e}", path.display()));
+        }
+        self.stats.stores += 1;
+        Ok(path)
+    }
+
+    /// Attempts a verified load of the artifact for `(model, spec, dbs,
+    /// limits)`. See the module docs for the verification ladder; on any
+    /// failure the artifact is evicted and the caller should recompile.
+    pub fn load_verified(
+        &mut self,
+        model: &Model,
+        spec: &FnSpec,
+        dbs: &HintDbs,
+        limits: &EngineLimits,
+    ) -> LoadOutcome {
+        let key = self.key_for(model, spec, dbs, limits);
+        let path = self.path_for(&spec.name, key);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.stats.misses += 1;
+                return LoadOutcome::Miss;
+            }
+            Err(e) => return self.evict(&path, format!("unreadable: {e}")),
+        };
+        let started = Instant::now();
+        let outcome = self.verify(&text, key, model, spec, dbs);
+        self.stats.verify_nanos += started.elapsed().as_nanos();
+        match outcome {
+            Ok(cf) => {
+                self.stats.hits += 1;
+                LoadOutcome::Hit(cf)
+            }
+            Err(reason) => self.evict(&path, reason),
+        }
+    }
+
+    /// Batch form of [`Store::load_verified`]: runs the read+verify part
+    /// of every request in parallel (`std::thread::scope`, worker count
+    /// capped at available parallelism), then applies counter updates and
+    /// evictions serially. Results come back in request order, and the
+    /// counters end up exactly as if the requests had been issued one by
+    /// one — verification is a pure function of the file contents and the
+    /// request, so only the bookkeeping needs the `&mut`.
+    pub fn load_verified_many(
+        &mut self,
+        requests: &[(&Model, &FnSpec)],
+        dbs: &HintDbs,
+        limits: &EngineLimits,
+    ) -> Vec<LoadOutcome> {
+        enum Raw {
+            Miss,
+            Hit(Box<CompiledFunction>, u128),
+            Evict(PathBuf, String, u128),
+        }
+        let attempt = |&(model, spec): &(&Model, &FnSpec)| -> Raw {
+            let key = self.key_for(model, spec, dbs, limits);
+            let path = self.path_for(&spec.name, key);
+            let text = match fs::read_to_string(&path) {
+                Ok(text) => text,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Raw::Miss,
+                Err(e) => return Raw::Evict(path, format!("unreadable: {e}"), 0),
+            };
+            let started = Instant::now();
+            let outcome = self.verify(&text, key, model, spec, dbs);
+            let nanos = started.elapsed().as_nanos();
+            match outcome {
+                Ok(cf) => Raw::Hit(cf, nanos),
+                Err(reason) => Raw::Evict(path, reason, nanos),
+            }
+        };
+        let workers = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZero::get)
+            .min(requests.len());
+        let mut raws: Vec<Option<Raw>> = Vec::new();
+        raws.resize_with(requests.len(), || None);
+        if workers <= 1 {
+            for (slot, req) in raws.iter_mut().zip(requests) {
+                *slot = Some(attempt(req));
+            }
+        } else {
+            std::thread::scope(|scope| {
+                type Slot<'v, 'r> = (&'v (&'r Model, &'r FnSpec), &'v mut Option<Raw>);
+                let mut views: Vec<Vec<Slot<'_, '_>>> =
+                    (0..workers).map(|_| Vec::new()).collect();
+                for (i, (req, slot)) in requests.iter().zip(raws.iter_mut()).enumerate() {
+                    views[i % workers].push((req, slot));
+                }
+                for view in views {
+                    scope.spawn(|| {
+                        for (req, slot) in view {
+                            *slot = Some(attempt(req));
+                        }
+                    });
+                }
+            });
+        }
+        raws.into_iter()
+            .map(|raw| match raw {
+                Some(Raw::Miss) | None => {
+                    self.stats.misses += 1;
+                    LoadOutcome::Miss
+                }
+                Some(Raw::Hit(cf, nanos)) => {
+                    self.stats.verify_nanos += nanos;
+                    self.stats.hits += 1;
+                    LoadOutcome::Hit(cf)
+                }
+                Some(Raw::Evict(path, reason, nanos)) => {
+                    self.stats.verify_nanos += nanos;
+                    self.evict(&path, reason)
+                }
+            })
+            .collect()
+    }
+
+    /// The verification ladder proper: envelope → decode → input
+    /// cross-check → independent checker → (optional) lints.
+    fn verify(
+        &self,
+        text: &str,
+        key: Fingerprint,
+        model: &Model,
+        spec: &FnSpec,
+        dbs: &HintDbs,
+    ) -> Result<Box<CompiledFunction>, String> {
+        let envelope =
+            rupicola_lang::json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        match envelope.get("format").and_then(Json::as_u64) {
+            Some(FORMAT_VERSION) => {}
+            Some(v) => return Err(format!("format version {v}, expected {FORMAT_VERSION}")),
+            None => return Err("missing format version".to_string()),
+        }
+        if envelope.get("key").and_then(Json::as_str) != Some(key.as_hex().as_str()) {
+            return Err("stored key does not match filename key".to_string());
+        }
+        let artifact = envelope.get("artifact").ok_or("missing artifact")?;
+        let cf = decode_compiled_function(artifact).map_err(|e| format!("decode: {e}"))?;
+        // Stale-input cross-check: the artifact must be *for this request*,
+        // not merely a well-formed artifact filed under a colliding key.
+        if cf.function.name != spec.name {
+            return Err(format!(
+                "artifact is for `{}`, requested `{}`",
+                cf.function.name, spec.name
+            ));
+        }
+        if cf.model != *model {
+            return Err("stored model differs from requested model".to_string());
+        }
+        if cf.spec != *spec {
+            return Err("stored spec differs from requested spec".to_string());
+        }
+        // The load-bearing step: the independent checker re-validates the
+        // witness and re-runs the differential test battery, exactly as it
+        // would after a fresh compilation. The cache adds no trust.
+        check_with(&cf, dbs, &self.check).map_err(|e| format!("re-check failed: {e}"))?;
+        if self.lint_on_load {
+            let report = rupicola_analysis::analyze_with_dbs(&cf, Some(dbs));
+            if report.has_errors() {
+                let first = report
+                    .errors()
+                    .next()
+                    .map_or_else(|| "unknown lint error".to_string(), |f| f.to_string());
+                return Err(format!("lint-on-load failed: {first}"));
+            }
+        }
+        Ok(Box::new(cf))
+    }
+
+    fn evict(&mut self, path: &Path, reason: String) -> LoadOutcome {
+        let _ = fs::remove_file(path);
+        self.stats.evictions += 1;
+        LoadOutcome::Evicted { reason }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupicola_ext::standard_dbs;
+
+    fn scratch_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("rupicola-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_then_load_verified_hits() {
+        let mut store = Store::open(scratch_root("hit")).unwrap();
+        let dbs = standard_dbs();
+        let limits = EngineLimits::default();
+        let model = rupicola_programs::fnv1a::model();
+        let spec = rupicola_programs::fnv1a::spec();
+        let cf = rupicola_programs::fnv1a::compiled().unwrap();
+        let key = store.key_for(&model, &spec, &dbs, &limits);
+        store.put(key, &cf).unwrap();
+        match store.load_verified(&model, &spec, &dbs, &limits) {
+            LoadOutcome::Hit(loaded) => {
+                assert_eq!(loaded.function, cf.function);
+                assert_eq!(loaded.derivation, cf.derivation);
+                assert_eq!(loaded.stats, cf.stats);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions, stats.stores), (1, 0, 0, 1));
+        assert!(stats.verify_nanos > 0);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn empty_store_misses() {
+        let mut store = Store::open(scratch_root("miss")).unwrap();
+        let dbs = standard_dbs();
+        let outcome = store.load_verified(
+            &rupicola_programs::fnv1a::model(),
+            &rupicola_programs::fnv1a::spec(),
+            &dbs,
+            &EngineLimits::default(),
+        );
+        assert!(matches!(outcome, LoadOutcome::Miss));
+        assert_eq!(store.stats().misses, 1);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn garbage_artifact_is_evicted() {
+        let mut store = Store::open(scratch_root("garbage")).unwrap();
+        let dbs = standard_dbs();
+        let limits = EngineLimits::default();
+        let model = rupicola_programs::fnv1a::model();
+        let spec = rupicola_programs::fnv1a::spec();
+        let key = store.key_for(&model, &spec, &dbs, &limits);
+        let path = store.path_for(&spec.name, key);
+        fs::write(&path, "{ not json").unwrap();
+        match store.load_verified(&model, &spec, &dbs, &limits) {
+            LoadOutcome::Evicted { reason } => assert!(reason.contains("invalid JSON"), "{reason}"),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert!(!path.exists(), "evicted artifact must be deleted");
+        // Next lookup is a clean miss: the poisoned file is gone.
+        assert!(matches!(store.load_verified(&model, &spec, &dbs, &limits), LoadOutcome::Miss));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn store_env_rejects_empty_value() {
+        // Serialize env mutation within this test only; other tests don't
+        // read SERVICE_STORE.
+        std::env::set_var(STORE_ENV, "   ");
+        let err = store_root_from_env().unwrap_err();
+        assert!(err.contains("empty"), "{err}");
+        std::env::set_var(STORE_ENV, "/tmp/some-store");
+        assert_eq!(store_root_from_env().unwrap(), PathBuf::from("/tmp/some-store"));
+        std::env::remove_var(STORE_ENV);
+        assert_eq!(store_root_from_env().unwrap(), PathBuf::from(DEFAULT_ROOT));
+    }
+}

@@ -12,4 +12,6 @@ pub use rupicola_lang as lang;
 pub use rupicola_monads as monads;
 pub use rupicola_programs as programs;
 pub use rupicola_sep as sep;
+pub use rupicola_service as service;
+pub use rupicola_service::{compile_suite_cached, CachedResult, Store};
 pub use rupicola_stackm as stackm;

@@ -27,7 +27,9 @@ fn golden_dir() -> PathBuf {
 
 #[test]
 fn c_output_matches_checked_in_goldens() {
-    let bless = std::env::var_os("BLESS").is_some();
+    // Strict flag parse: `BLESS=yes` or `BLESS=` is an error, not a silent
+    // bless (or silent non-bless) — only 0/1/true/false/unset are valid.
+    let bless = rupicola::service::env::flag("BLESS").expect("BLESS");
     let dir = golden_dir();
     let dbs = standard_dbs();
     let mut mismatches = Vec::new();
@@ -66,7 +68,7 @@ fn c_output_matches_checked_in_goldens() {
 
 #[test]
 fn goldens_cover_exactly_the_suite() {
-    if std::env::var_os("BLESS").is_some() {
+    if rupicola::service::env::flag("BLESS").expect("BLESS") {
         return; // the blessing run may be mid-update
     }
     let mut expect: Vec<String> =
