@@ -463,16 +463,16 @@ fn range_bitop(op: BinOp, a: Range, b: Range) -> Range {
     }
 }
 
-fn range_shl(a: Range, b: Range) -> Range {
-    let Some(k) = b.as_exact() else { return Range::full() };
-    let k = (k & 63) as u32;
-    let lo_wide = u128::from(a.lo) << k;
-    let Ok(lo) = u64::try_from(lo_wide) else { return Range::full() };
-    let hi = match a.hi {
-        Bound::Fin(h) => u64::try_from(u128::from(h) << k).map_or(Bound::Inf, Bound::Fin),
-        _ => Bound::Inf,
-    };
-    Range { lo, hi }
+fn range_shl(a: Range, b: Range, regions: &[RegionInfo]) -> Range {
+    // `x << k` (shift counts are mod 64) is exactly `x · 2^(k mod 64)` on
+    // wrapping 64-bit words, so the multiply transfer applies — including
+    // its symbolic-bound scaling, which a shift-specific transfer would
+    // lose: `i·2 → i≪1` strength reduction must not cost the in-bounds
+    // proof.
+    match b.as_exact() {
+        Some(k) => range_mul(a, Range::exact(1u64 << (k & 63)), regions),
+        None => Range::full(),
+    }
 }
 
 fn range_shr(a: Range, b: Range) -> Range {
@@ -708,7 +708,7 @@ impl<'a> MemAnalysis<'a> {
             BinOp::DivU => range_div(ra, rb),
             BinOp::RemU => range_rem(ra, rb),
             BinOp::And | BinOp::Or | BinOp::Xor => range_bitop(op, ra, rb),
-            BinOp::Slu => range_shl(ra, rb),
+            BinOp::Slu => range_shl(ra, rb, &self.regions),
             BinOp::Sru => range_shr(ra, rb),
             BinOp::Srs => match ra.hi {
                 // Non-negative as a signed value: behaves like a logical

@@ -32,6 +32,7 @@
 pub mod assign;
 pub mod certcheck;
 pub mod dataflow;
+pub mod facts;
 pub mod interval;
 pub mod lemma_lint;
 pub mod live;
@@ -43,6 +44,7 @@ use rupicola_core::{CompileError, CompiledFunction, EngineLimits};
 use rupicola_lang::Model;
 use std::fmt;
 
+pub use facts::{dead_store_sites, expr_range, finite_upper_bound, removal_safe};
 pub use interval::{AbsVal, Bound, MemEnv, Range, RegionInfo, SizeInfo};
 pub use lemma_lint::ProbeSuite;
 

@@ -89,8 +89,10 @@ impl BackwardAnalysis for Liveness {
 }
 
 /// Whether deleting `Set(_, expr)` is observationally safe: the RHS must
-/// not touch memory (a deleted `Load` could also delete a trap).
-fn removal_safe(expr: &BExpr) -> bool {
+/// not touch memory (a deleted `Load` could also delete a trap). Public
+/// so rewriters (dead-store elimination in `rupicola-opt`) share the
+/// lint's exact criterion; see also [`crate::facts`].
+pub fn removal_safe(expr: &BExpr) -> bool {
     match expr {
         BExpr::Lit(_) | BExpr::Var(_) => true,
         BExpr::Load(..) | BExpr::InlineTable { .. } => false,

@@ -292,6 +292,55 @@ impl<'p> Interpreter<'p> {
         self.call_internal(name, args, state, externals, &mut fuel, hook)
     }
 
+    /// Like [`Interpreter::call`], but also returns the top frame's final
+    /// locals map. Differential harnesses (the optimization validator, the
+    /// equivalence battery) use this to compare *all* observable state of
+    /// two bodies, not just the declared returns.
+    ///
+    /// # Errors
+    ///
+    /// As [`Interpreter::call`].
+    pub fn call_with_locals(
+        &self,
+        name: &str,
+        args: &[u64],
+        state: &mut ExecState,
+        externals: &mut dyn ExternalHandler,
+        fuel: u64,
+    ) -> Result<(Vec<u64>, Locals), ExecError> {
+        let f = self
+            .program
+            .function(name)
+            .ok_or_else(|| ExecError::UnknownFunction(name.to_string()))?;
+        if args.len() != f.args.len() {
+            return Err(ExecError::ArityMismatch {
+                name: name.to_string(),
+                expected: f.args.len(),
+                found: args.len(),
+            });
+        }
+        let mut fuel = fuel;
+        if fuel == 0 {
+            return Err(ExecError::OutOfFuel);
+        }
+        fuel -= 1;
+        state.fuel_used += 1;
+        let mut locals = Locals::new();
+        for (p, a) in f.args.iter().zip(args) {
+            locals.insert(p.clone(), *a);
+        }
+        self.exec(f, &f.body, &mut locals, state, externals, &mut fuel, &mut NoHook)?;
+        let mut rets = Vec::with_capacity(f.rets.len());
+        for r in &f.rets {
+            rets.push(
+                *locals
+                    .get(r)
+                    .ok_or_else(|| ExecError::UndefinedVariable(r.clone()))?,
+            );
+        }
+        Ok((rets, locals))
+    }
+
     fn call_internal(
         &self,
         name: &str,

@@ -52,6 +52,7 @@ pub mod cfg;
 pub mod cprint;
 pub mod interp;
 pub mod mem;
+pub mod rewrite;
 pub mod rsprint;
 pub mod rv;
 pub mod rv_compile;

@@ -21,6 +21,8 @@ use rupicola_bench::json::{write_results, Json};
 use rupicola_core::check::{check_with, CheckConfig};
 use rupicola_core::faultinject::{mutants, MutationClass};
 use rupicola_ext::standard_dbs;
+use rupicola_opt::mutants::PassMutant;
+use rupicola_opt::validate_candidate;
 use rupicola_service::suite_via_store;
 
 struct ClassTally {
@@ -60,6 +62,10 @@ fn main() {
     // exactly the defense under test — caching any part of a check across
     // mutants would let one mutant's verdict leak into another's.
     let (results, _cache) = suite_via_store(&dbs);
+    let compiled_suite: Vec<_> = results
+        .iter()
+        .filter_map(|r| r.result.as_ref().ok().map(|cf| (r.name, cf.clone())))
+        .collect();
     for compiled_entry in results {
         let name = compiled_entry.name;
         let compiled = match compiled_entry.result {
@@ -185,6 +191,60 @@ fn main() {
             },
         ),
     ]);
+    // The pass-mutant matrix: seeded miscompiling optimization passes
+    // (rupicola_opt::mutants). Where a mutant fires, the translation-
+    // validation stack — checker against the original certificate, lint
+    // suite, interpreter differential — must reject the result. This
+    // column IS a gate: optimization passes are untrusted precisely
+    // because validation catches every miscompile, so one survivor here
+    // invalidates the soundness argument.
+    println!("\npass-mutant matrix (translation validation as the defense):");
+    let mut pass_applicable = 0usize;
+    let mut pass_killed = 0usize;
+    let mut pass_survivors: Vec<String> = Vec::new();
+    let mut pass_rows: Vec<Json> = Vec::new();
+    for mutant in PassMutant::ALL {
+        let (mut applicable, mut killed) = (0usize, 0usize);
+        for (name, cf) in &compiled_suite {
+            let Some(broken) = mutant.apply(&cf.function) else { continue };
+            applicable += 1;
+            if validate_candidate(cf, &broken, &dbs, &config).is_err() {
+                killed += 1;
+            } else {
+                pass_survivors.push(format!("{name}: [{}]", mutant.name()));
+            }
+        }
+        println!(
+            "  {:<28} {:>2}/{:<2} killed{}",
+            mutant.name(),
+            killed,
+            applicable,
+            if applicable == 0 { "  (never fired)" } else { "" },
+        );
+        pass_applicable += applicable;
+        pass_killed += killed;
+        pass_rows.push(Json::obj([
+            ("mutant", Json::str(mutant.name())),
+            ("applicable", Json::U64(applicable as u64)),
+            ("killed", Json::U64(killed as u64)),
+        ]));
+    }
+    let summary = match summary {
+        Json::Obj(mut fields) => {
+            fields.push(("pass_mutants".to_string(), Json::Arr(pass_rows)));
+            fields.push((
+                "pass_mutant_kill_rate".to_string(),
+                if pass_applicable == 0 {
+                    Json::F64(f64::NAN)
+                } else {
+                    Json::F64(pass_killed as f64 / pass_applicable as f64)
+                },
+            ));
+            Json::Obj(fields)
+        }
+        other => other,
+    };
+
     match write_results("faultmatrix.json", &summary) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => println!("\nfailed to write results: {e}"),
@@ -194,4 +254,12 @@ fn main() {
         println!("\n{structural_escapes} program(s) with surviving STRUCTURAL mutants — checker bug");
         std::process::exit(1);
     }
+    if !pass_survivors.is_empty() {
+        println!("\nsurviving PASS mutants — translation-validation hole:");
+        for s in &pass_survivors {
+            println!("  {s}");
+        }
+        std::process::exit(1);
+    }
+    println!("\npass-mutant kill rate: {pass_killed}/{pass_applicable} (100% required) ✓");
 }

@@ -3,6 +3,7 @@
 //!
 //! Run with `cargo run -p rupicola-bench --bin fig2 --release`.
 
+use rupicola_bench::json::{write_results, Json};
 use rupicola_bench::{fig2_rows, make_input, make_text_input, Driver};
 use std::hint::black_box;
 use std::time::Instant;
@@ -47,26 +48,82 @@ fn main() {
     println!("# CPU frequency estimate: {ghz:.2} GHz (dependent-add calibration)");
     println!();
     println!(
-        "{:<8} {:>12} {:>12} {:>12} {:>9} {:>12} {:>12}",
-        "program", "gen ns/B", "hand ns/B", "extr ns/B", "gen/hand", "gen cyc/B", "hand cyc/B"
+        "{:<8} {:>12} {:>12} {:>12} {:>12} {:>9} {:>12} {:>12}",
+        "program", "gen ns/B", "opt ns/B", "hand ns/B", "extr ns/B", "gen/hand", "opt cyc/B", "hand cyc/B"
     );
+    let mut opt_rows: Vec<Json> = Vec::new();
+    let mut improved = 0usize;
+    let mut divergences = 0usize;
+    let mut regressions: Vec<String> = Vec::new();
     for row in fig2_rows() {
         let make = if row.text_input { make_text_input } else { make_input };
         let input = make(0xF162, MAIN_LEN);
         let small = make(0xF162, EXTRACTION_LEN);
+        // Observable-behavior gate before timing anything: the optimized
+        // route must compute exactly what the certified route computes,
+        // checksum and final buffer alike.
+        let mut bg = input.clone();
+        let mut bo = input.clone();
+        let cg = (row.generated)(&mut bg);
+        let co = (row.optimized)(&mut bo);
+        if cg != co || bg != bo {
+            println!("{:<8} OPTIMIZED OUTPUT DIVERGES", row.name);
+            divergences += 1;
+            continue;
+        }
         let g = measure(row.generated, &input);
+        let o = measure(row.optimized, &input);
         let h = measure(row.handwritten, &input);
         let n = measure(row.extraction, &small);
+        if o < g {
+            improved += 1;
+        }
+        if o > g * 1.05 {
+            regressions.push(format!("{}: {o:.3} ns/B vs {g:.3} unoptimized", row.name));
+        }
         println!(
-            "{:<8} {:>12.3} {:>12.3} {:>12.1} {:>9.2} {:>12.2} {:>12.2}",
+            "{:<8} {:>12.3} {:>12.3} {:>12.3} {:>12.1} {:>9.2} {:>12.2} {:>12.2}",
             row.name,
             g,
+            o,
             h,
             n,
             g / h,
-            g * ghz,
+            o * ghz,
             h * ghz,
         );
+        opt_rows.push(Json::obj([
+            ("program", Json::str(row.name)),
+            ("unopt_ns_per_byte", Json::F64(g)),
+            ("opt_ns_per_byte", Json::F64(o)),
+            ("hand_ns_per_byte", Json::F64(h)),
+            ("unopt_cycles_per_byte", Json::F64(g * ghz)),
+            ("opt_cycles_per_byte", Json::F64(o * ghz)),
+            ("improved", Json::Bool(o < g)),
+            ("speedup", Json::F64(g / o)),
+        ]));
+    }
+    let summary = Json::obj([
+        ("ghz_estimate", Json::F64(ghz)),
+        ("programs", Json::Arr(opt_rows)),
+        ("improved", Json::U64(improved as u64)),
+        ("divergences", Json::U64(divergences as u64)),
+    ]);
+    match write_results("fig2_opt.json", &summary) {
+        Ok(path) => println!("\n# wrote {}", path.display()),
+        Err(e) => println!("\n# failed to write fig2_opt.json: {e}"),
+    }
+    println!("# optimized route: {improved}/7 programs improved");
+    if divergences > 0 {
+        println!("# FATAL: {divergences} program(s) with diverging optimized output");
+        std::process::exit(1);
+    }
+    if !regressions.is_empty() {
+        println!("# FATAL: optimized route >5% slower on:");
+        for r in &regressions {
+            println!("#   {r}");
+        }
+        std::process::exit(1);
     }
     println!();
     println!("# Shape check (paper §4.2): generated ≈ handwritten (ratio ≈ 1,");

@@ -52,6 +52,9 @@ pub struct Fig2Row {
     pub text_input: bool,
     /// The Rupicola-generated native code.
     pub generated: Driver,
+    /// The generated code after the translation-validated optimization
+    /// pipeline (`<name>_opt` in [`generated`]).
+    pub optimized: Driver,
     /// The handwritten C-style baseline.
     pub handwritten: Driver,
     /// The linked-list extraction baseline.
@@ -173,16 +176,54 @@ fn n_crc32(buf: &mut Vec<u8>) -> u64 {
     crc32::naive(buf)
 }
 
+
+// --- optimized-route drivers (same ABI as the generated ones) ---
+fn o_fnv1a(buf: &mut Vec<u8>) -> u64 {
+    let len = buf.len() as u64;
+    generated::fnv1a_opt(buf, 0, len)
+}
+fn o_utf8(buf: &mut Vec<u8>) -> u64 {
+    let len = buf.len() as u64;
+    generated::utf8_opt(buf, 0, len)
+}
+fn o_upstr(buf: &mut Vec<u8>) -> u64 {
+    let len = buf.len() as u64;
+    generated::upstr_opt(buf, 0, len);
+    u64::from(buf.first().copied().unwrap_or(0))
+}
+fn o_m3s(buf: &mut Vec<u8>) -> u64 {
+    let mut acc = 0u64;
+    let mut empty = Vec::new();
+    for w in buf.chunks_exact(8) {
+        let k = u64::from_le_bytes(w.try_into().expect("8"));
+        acc ^= generated::m3s_opt(&mut empty, k & 0xffff_ffff);
+    }
+    acc
+}
+fn o_ip(buf: &mut Vec<u8>) -> u64 {
+    let len = buf.len() as u64 & !1;
+    generated::ip_opt(buf, 0, len)
+}
+fn o_fasta(buf: &mut Vec<u8>) -> u64 {
+    let len = buf.len() as u64;
+    generated::fasta_opt(buf, 0, len);
+    u64::from(buf.first().copied().unwrap_or(0))
+}
+fn o_crc32(buf: &mut Vec<u8>) -> u64 {
+    let len = buf.len() as u64;
+    generated::crc32_opt(buf, 0, len)
+}
+
 /// All Figure 2 rows, in the figure's order.
 pub fn fig2_rows() -> Vec<Fig2Row> {
     vec![
-        Fig2Row { name: "fnv1a", text_input: false, generated: g_fnv1a, handwritten: h_fnv1a, extraction: n_fnv1a },
-        Fig2Row { name: "utf8", text_input: true, generated: g_utf8, handwritten: h_utf8, extraction: n_utf8 },
-        Fig2Row { name: "upstr", text_input: true, generated: g_upstr, handwritten: h_upstr, extraction: n_upstr },
-        Fig2Row { name: "m3s", text_input: false, generated: g_m3s, handwritten: h_m3s, extraction: n_m3s },
-        Fig2Row { name: "ip", text_input: false, generated: g_ip, handwritten: h_ip, extraction: n_ip },
-        Fig2Row { name: "fasta", text_input: true, generated: g_fasta, handwritten: h_fasta, extraction: n_fasta },
-        Fig2Row { name: "crc32", text_input: false, generated: g_crc32, handwritten: h_crc32, extraction: n_crc32 },
+        Fig2Row { name: "fnv1a", text_input: false, generated: g_fnv1a, optimized: o_fnv1a, handwritten: h_fnv1a, extraction: n_fnv1a },
+        Fig2Row { name: "utf8", text_input: true, generated: g_utf8, optimized: o_utf8, handwritten: h_utf8, extraction: n_utf8 },
+        Fig2Row { name: "upstr", text_input: true, generated: g_upstr, optimized: o_upstr, handwritten: h_upstr, extraction: n_upstr },
+        Fig2Row { name: "m3s", text_input: false, generated: g_m3s, optimized: o_m3s, handwritten: h_m3s, extraction: n_m3s },
+        Fig2Row { name: "ip", text_input: false, generated: g_ip, optimized: o_ip, handwritten: h_ip, extraction: n_ip },
+        Fig2Row { name: "fasta", text_input: true, generated: g_fasta, optimized: o_fasta, handwritten: h_fasta, extraction: n_fasta },
+        Fig2Row { name: "crc32", text_input: false, generated: g_crc32, optimized: o_crc32, handwritten: h_crc32, extraction: n_crc32 },
     ]
 }
 
@@ -204,13 +245,17 @@ mod tests {
             let mut b1 = base.clone();
             let mut b2 = base.clone();
             let mut b3 = base.clone();
+            let mut b4 = base.clone();
             let g = (row.generated)(&mut b1);
             let h = (row.handwritten)(&mut b2);
             let n = (row.extraction)(&mut b3);
+            let o = (row.optimized)(&mut b4);
             assert_eq!(g, h, "{}: generated vs handwritten", row.name);
             assert_eq!(g, n, "{}: generated vs extraction", row.name);
+            assert_eq!(g, o, "{}: generated vs optimized", row.name);
             // In-place programs must also leave identical buffers.
             assert_eq!(b1, b2, "{}: buffers diverged", row.name);
+            assert_eq!(b1, b4, "{}: optimized buffer diverged", row.name);
         }
     }
 
@@ -220,6 +265,17 @@ mod tests {
         for (name, stmts, lemmas, _) in generated::COMPILE_STATS {
             assert!(*stmts > 0, "{name}");
             assert!(*lemmas > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn opt_stats_cover_the_suite_with_enough_wins() {
+        assert_eq!(generated::OPT_STATS.len(), 7);
+        let optimized = generated::OPT_STATS.iter().filter(|(_, _, _, o)| *o).count();
+        assert!(optimized >= 3, "only {optimized} programs optimized");
+        for (name, applied, sites, opt) in generated::OPT_STATS {
+            assert_eq!(*opt, *applied > 0, "{name}: applied/optimized mismatch");
+            assert!(!*opt || *sites > 0, "{name}: optimized with zero sites");
         }
     }
 

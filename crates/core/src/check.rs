@@ -382,6 +382,42 @@ pub fn check_with(
     Ok(report)
 }
 
+/// One concretized differential-test input: the same machine state the
+/// checker's layer-3 differential would start the compiled function in.
+#[derive(Debug)]
+pub struct DifferentialInput {
+    /// Argument words, in Bedrock2 argument order.
+    pub args: Vec<u64>,
+    /// Initial memory (argument regions laid out and filled).
+    pub mem: Memory,
+    /// Human-readable description of the underlying model vector.
+    pub desc: String,
+}
+
+/// Concretizes the checker's test vectors for `cf` into interpreter-ready
+/// inputs, skipping vectors outside the spec's precondition (its hint
+/// hypotheses). The optimization validator and the equivalence battery use
+/// these to differential-test two Bedrock2 bodies on exactly the inputs
+/// the certificate was checked on.
+pub fn differential_inputs(cf: &CompiledFunction, config: &CheckConfig) -> Vec<DifferentialInput> {
+    let vectors = generate_vectors(&cf.spec, &cf.model, config);
+    let mut out = Vec::new();
+    for vector in &vectors {
+        if !hints_hold(&cf.spec, &cf.model, vector, config) {
+            continue;
+        }
+        let Ok(call) = concretize(&cf.spec, &cf.model.params, vector) else {
+            continue;
+        };
+        out.push(DifferentialInput {
+            args: call.args,
+            mem: call.mem,
+            desc: describe_vector(&cf.model.params, vector),
+        });
+    }
+    out
+}
+
 fn function_has_stackalloc(cmd: &rupicola_bedrock::Cmd) -> bool {
     use rupicola_bedrock::Cmd;
     match cmd {
@@ -951,6 +987,7 @@ mod tests {
             model,
             spec,
             linked: Vec::new(),
+            optimized: None,
             stats: Default::default(),
         }
     }

@@ -108,6 +108,15 @@ pub struct CompileStats {
     /// Side conditions that went through the solver loop while the memo
     /// cache was enabled (cacheable misses). Zero when the cache is off.
     pub solver_cache_misses: usize,
+    /// Optimization passes that ran and were kept (validated rewrites).
+    /// Zero until the pass manager in `rupicola-opt` processes the
+    /// function.
+    pub opt_passes_applied: usize,
+    /// Optimization passes that rewrote something but failed translation
+    /// validation and were rolled back.
+    pub opt_passes_rolled_back: usize,
+    /// Total sites rewritten by kept optimization passes.
+    pub opt_sites_rewritten: usize,
 }
 
 impl CompileStats {
@@ -626,6 +635,12 @@ pub struct CompiledFunction {
     pub spec: FnSpec,
     /// Separately verified callees the function links against.
     pub linked: Vec<BFunction>,
+    /// The optimized body, when the staged pass pipeline in `rupicola-opt`
+    /// rewrote the function and every pass survived translation
+    /// validation. `None` straight out of the engine. The certified
+    /// `function` is never replaced: consumers opt into the optimized body
+    /// explicitly, and validators always re-anchor on `function`.
+    pub optimized: Option<BFunction>,
     /// Run statistics.
     pub stats: CompileStats,
 }
@@ -700,6 +715,7 @@ pub fn compile_with_limits(
         model: model.clone(),
         spec: spec.clone(),
         linked: cx.linked,
+        optimized: None,
         stats: cx.stats,
     })
 }

@@ -504,6 +504,7 @@ mod tests {
             model,
             spec,
             linked: Vec::new(),
+            optimized: None,
             stats: Default::default(),
         }
     }

@@ -556,6 +556,9 @@ pub fn encode_compile_stats(s: &CompileStats) -> Json {
         ("side_conditions", Json::U64(s.side_conditions as u64)),
         ("solver_cache_hits", Json::U64(s.solver_cache_hits as u64)),
         ("solver_cache_misses", Json::U64(s.solver_cache_misses as u64)),
+        ("opt_passes_applied", Json::U64(s.opt_passes_applied as u64)),
+        ("opt_passes_rolled_back", Json::U64(s.opt_passes_rolled_back as u64)),
+        ("opt_sites_rewritten", Json::U64(s.opt_sites_rewritten as u64)),
     ])
 }
 
@@ -566,6 +569,9 @@ pub fn decode_compile_stats(j: &Json) -> DecodeResult<CompileStats> {
         side_conditions: obj_usize(j, "side_conditions", "compile stats")?,
         solver_cache_hits: obj_usize(j, "solver_cache_hits", "compile stats")?,
         solver_cache_misses: obj_usize(j, "solver_cache_misses", "compile stats")?,
+        opt_passes_applied: obj_usize(j, "opt_passes_applied", "compile stats")?,
+        opt_passes_rolled_back: obj_usize(j, "opt_passes_rolled_back", "compile stats")?,
+        opt_sites_rewritten: obj_usize(j, "opt_sites_rewritten", "compile stats")?,
     })
 }
 
@@ -580,6 +586,13 @@ pub fn encode_compiled_function(cf: &CompiledFunction) -> Json {
         ("derivation", encode_derivation(&cf.derivation)),
         ("model", encode_model(&cf.model)),
         ("spec", encode_fn_spec(&cf.spec)),
+        (
+            "optimized",
+            match &cf.optimized {
+                Some(f) => encode_bfunction(f),
+                None => Json::Null,
+            },
+        ),
         ("stats", encode_compile_stats(&cf.stats)),
     ])
 }
@@ -598,6 +611,10 @@ pub fn decode_compiled_function(j: &Json) -> DecodeResult<CompiledFunction> {
             .iter()
             .map(decode_bfunction)
             .collect::<DecodeResult<Vec<_>>>()?,
+        optimized: match obj_get(j, "optimized", "compiled function")? {
+            Json::Null => None,
+            j => Some(decode_bfunction(j)?),
+        },
         stats: decode_compile_stats(obj_get(j, "stats", "compiled function")?)?,
     })
 }

@@ -1,0 +1,11 @@
+//! The optimization passes. Each submodule exposes
+//! `run(&BFunction) -> PassOutcome` and is *untrusted*: the pipeline
+//! driver translation-validates every output and rolls back failures, so
+//! a pass only has to be right often enough to be useful, never to be
+//! trusted.
+
+pub mod constfold;
+pub mod copyprop;
+pub mod deadstore;
+pub mod loadcse;
+pub mod strength;

@@ -1,0 +1,123 @@
+//! Constant folding and algebraic simplification.
+//!
+//! Bottom-up over every expression position: literal-literal operations
+//! fold through the interpreter's own [`BinOp::eval`] (so folding agrees
+//! with execution by construction, division-by-zero convention included),
+//! identities drop the neutral operand, and annihilators (`x * 0`,
+//! `x & 0`, `x % 1`) collapse to a literal — but only when the discarded
+//! operand is pure, because deleting a memory read could delete a trap.
+
+use crate::PassOutcome;
+use rupicola_bedrock::ast::{BExpr, BFunction, BinOp};
+use rupicola_bedrock::rewrite::{map_cmd_exprs, map_expr_bottom_up, reads_memory};
+
+/// Runs the pass.
+pub fn run(f: &BFunction) -> PassOutcome {
+    let mut sites = 0;
+    let body = map_cmd_exprs(&f.body, &mut |e| {
+        map_expr_bottom_up(e, &mut |node| fold(node, &mut sites))
+    });
+    PassOutcome {
+        function: BFunction { body, ..f.clone() },
+        sites_rewritten: sites,
+        facts_consumed: 0,
+    }
+}
+
+fn fold(e: BExpr, sites: &mut usize) -> BExpr {
+    let BExpr::Op(op, a, b) = e else { return e };
+    if let (BExpr::Lit(x), BExpr::Lit(y)) = (&*a, &*b) {
+        *sites += 1;
+        return BExpr::Lit(op.eval(*x, *y));
+    }
+    use BinOp::{Add, And, DivU, Mul, Or, RemU, Slu, Srs, Sru, Sub, Xor};
+    // Identities keeping the left operand.
+    let keep_left = matches!(
+        (op, &*b),
+        (Add | Sub | Or | Xor | Sru | Slu | Srs, BExpr::Lit(0))
+            | (Mul | DivU, BExpr::Lit(1))
+            | (And, BExpr::Lit(u64::MAX))
+    );
+    if keep_left {
+        *sites += 1;
+        return *a;
+    }
+    // Identities keeping the right operand (commutative neutral on the left).
+    let keep_right = matches!(
+        (op, &*a),
+        (Add | Or | Xor, BExpr::Lit(0)) | (Mul, BExpr::Lit(1)) | (And, BExpr::Lit(u64::MAX))
+    );
+    if keep_right {
+        *sites += 1;
+        return *b;
+    }
+    // Annihilators discard an operand entirely — legal only when that
+    // operand cannot trap.
+    let annihilates_left =
+        matches!((op, &*b), (Mul | And, BExpr::Lit(0)) | (RemU, BExpr::Lit(1)));
+    if annihilates_left && !reads_memory(&a) {
+        *sites += 1;
+        return BExpr::Lit(0);
+    }
+    let annihilates_right = matches!((op, &*a), (Mul | And, BExpr::Lit(0)));
+    if annihilates_right && !reads_memory(&b) {
+        *sites += 1;
+        return BExpr::Lit(0);
+    }
+    BExpr::Op(op, a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupicola_bedrock::ast::{AccessSize, Cmd};
+
+    fn fold_expr(e: BExpr) -> (BExpr, usize) {
+        let f = BFunction::new("t", Vec::<String>::new(), ["x"], Cmd::set("x", e));
+        let out = run(&f);
+        let Cmd::Set(_, rhs) = out.function.body else { panic!("shape") };
+        (rhs, out.sites_rewritten)
+    }
+
+    #[test]
+    fn literal_ops_fold_with_interpreter_semantics() {
+        let (e, n) = fold_expr(BExpr::op(BinOp::DivU, BExpr::lit(7), BExpr::lit(0)));
+        assert_eq!(e, BExpr::Lit(u64::MAX)); // ÷0 convention preserved
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn nested_folds_cascade() {
+        // (1 + 2) * x → 3 * x (identity on *1 not applicable)
+        let (e, _) = fold_expr(BExpr::op(
+            BinOp::Mul,
+            BExpr::op(BinOp::Add, BExpr::lit(1), BExpr::lit(2)),
+            BExpr::var("x"),
+        ));
+        assert_eq!(e, BExpr::op(BinOp::Mul, BExpr::lit(3), BExpr::var("x")));
+    }
+
+    #[test]
+    fn identities_drop_neutral_operands() {
+        let (e, _) = fold_expr(BExpr::op(BinOp::Add, BExpr::var("y"), BExpr::lit(0)));
+        assert_eq!(e, BExpr::var("y"));
+        let (e, _) = fold_expr(BExpr::op(BinOp::And, BExpr::lit(u64::MAX), BExpr::var("y")));
+        assert_eq!(e, BExpr::var("y"));
+    }
+
+    #[test]
+    fn annihilator_preserves_potential_trap() {
+        // load1(p) * 0 must keep the load (it can trap).
+        let trap = BExpr::op(
+            BinOp::Mul,
+            BExpr::load(AccessSize::One, BExpr::var("p")),
+            BExpr::lit(0),
+        );
+        let (e, n) = fold_expr(trap.clone());
+        assert_eq!(e, trap);
+        assert_eq!(n, 0);
+        // y * 0 is pure and collapses.
+        let (e, _) = fold_expr(BExpr::op(BinOp::Mul, BExpr::var("y"), BExpr::lit(0)));
+        assert_eq!(e, BExpr::Lit(0));
+    }
+}

@@ -1,0 +1,72 @@
+//! Dead-store elimination, driven by the liveness lint's own facts.
+//!
+//! The pass does no analysis of its own: it consumes
+//! [`rupicola_analysis::dead_store_sites`] — exactly the sites the
+//! liveness lint reports, already filtered for removal safety (the RHS
+//! reads no memory, so deleting it deletes no trap) — and deletes them
+//! with [`rupicola_bedrock::cfg::remove_set_sites`], the same site
+//! numbering. Removing a store can make its operands' definitions dead in
+//! turn, so the pass iterates to a fixpoint.
+
+use crate::PassOutcome;
+use rupicola_bedrock::ast::BFunction;
+use rupicola_bedrock::cfg::remove_set_sites;
+use rupicola_analysis::dead_store_sites;
+
+/// Runs the pass.
+pub fn run(f: &BFunction) -> PassOutcome {
+    let mut g = f.clone();
+    let mut removed = 0;
+    loop {
+        let sites = dead_store_sites(&g);
+        if sites.is_empty() {
+            break;
+        }
+        removed += sites.len();
+        g.body = remove_set_sites(&g.body, &sites);
+    }
+    PassOutcome { function: g, sites_rewritten: removed, facts_consumed: removed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupicola_bedrock::ast::{BExpr, BinOp, Cmd};
+    use rupicola_bedrock::rewrite::spine_of;
+
+    #[test]
+    fn cascading_dead_stores_are_all_removed() {
+        // t = a + 1; u = t + 1; r = a  — u is dead, then t becomes dead.
+        let f = BFunction::new(
+            "f",
+            ["a"],
+            ["r"],
+            Cmd::seq([
+                Cmd::set("t", BExpr::op(BinOp::Add, BExpr::var("a"), BExpr::lit(1))),
+                Cmd::set("u", BExpr::op(BinOp::Add, BExpr::var("t"), BExpr::lit(1))),
+                Cmd::set("r", BExpr::var("a")),
+            ]),
+        );
+        let out = run(&f);
+        assert_eq!(out.sites_rewritten, 2);
+        assert_eq!(out.facts_consumed, 2);
+        let stmts = spine_of(&out.function.body);
+        assert_eq!(stmts.len(), 1);
+        assert!(matches!(&stmts[0], Cmd::Set(r, _) if r == "r"));
+    }
+
+    #[test]
+    fn live_and_unsafe_stores_survive() {
+        use rupicola_bedrock::ast::AccessSize;
+        // x = load1(p) is dead but not removal-safe (the load can trap).
+        let f = BFunction::new(
+            "f",
+            ["p"],
+            Vec::<String>::new(),
+            Cmd::set("x", BExpr::load(AccessSize::One, BExpr::var("p"))),
+        );
+        let out = run(&f);
+        assert_eq!(out.sites_rewritten, 0);
+        assert_eq!(out.function, f);
+    }
+}

@@ -1,0 +1,177 @@
+//! Strength reduction and interval-informed peepholes.
+//!
+//! Power-of-two multiplies, divides and remainders become shifts and
+//! masks (`x * 8 → x << 3`, `x / 4 → x >> 2`, `x % 16 → x & 15` — exact
+//! on wrapping 64-bit words). On top of that, two rewrites consume the
+//! interval domain exported by [`rupicola_analysis::expr_range`]:
+//!
+//! - `x & m → x` when `m` is an all-ones mask and `x`'s derived range
+//!   already fits under it (the mask the compiler emitted to narrow a
+//!   byte that a load already narrowed);
+//! - `x % n → x` when `x`'s range is provably below `n`.
+//!
+//! Both fact-driven rewrites count toward `facts_consumed`; being wrong
+//! about a range is caught by translation validation like any other bug.
+
+use crate::PassOutcome;
+use rupicola_analysis::{expr_range, finite_upper_bound};
+use rupicola_bedrock::ast::{BExpr, BFunction, BinOp};
+use rupicola_bedrock::rewrite::{map_cmd_exprs, map_expr_bottom_up};
+
+/// Runs the pass.
+pub fn run(f: &BFunction) -> PassOutcome {
+    let mut sites = 0;
+    let mut facts = 0;
+    let body = map_cmd_exprs(&f.body, &mut |e| {
+        map_expr_bottom_up(e, &mut |node| reduce(node, &mut sites, &mut facts))
+    });
+    PassOutcome {
+        function: BFunction { body, ..f.clone() },
+        sites_rewritten: sites,
+        facts_consumed: facts,
+    }
+}
+
+/// `Some(k)` when `n == 2^k` with `k ≥ 1` (the `k = 0` cases are
+/// identities that constant folding owns).
+fn pow2_exp(n: u64) -> Option<u64> {
+    (n.count_ones() == 1 && n > 1).then(|| u64::from(n.trailing_zeros()))
+}
+
+/// Whether `m` is an all-ones mask `2^k − 1` (including `u64::MAX`).
+fn all_ones(m: u64) -> bool {
+    m != 0 && m.wrapping_add(1) & m == 0
+}
+
+fn bounded_under(e: &BExpr, limit: u64) -> bool {
+    finite_upper_bound(&expr_range(e)).is_some_and(|hi| hi <= limit)
+}
+
+fn reduce(e: BExpr, sites: &mut usize, facts: &mut usize) -> BExpr {
+    let BExpr::Op(op, a, b) = e else { return e };
+    match op {
+        BinOp::Mul => {
+            if let BExpr::Lit(n) = &*b {
+                if let Some(k) = pow2_exp(*n) {
+                    *sites += 1;
+                    return BExpr::Op(BinOp::Slu, a, Box::new(BExpr::Lit(k)));
+                }
+            }
+            if let BExpr::Lit(n) = &*a {
+                if let Some(k) = pow2_exp(*n) {
+                    *sites += 1;
+                    return BExpr::Op(BinOp::Slu, b, Box::new(BExpr::Lit(k)));
+                }
+            }
+        }
+        BinOp::DivU => {
+            if let BExpr::Lit(n) = &*b {
+                if let Some(k) = pow2_exp(*n) {
+                    *sites += 1;
+                    return BExpr::Op(BinOp::Sru, a, Box::new(BExpr::Lit(k)));
+                }
+            }
+        }
+        BinOp::RemU => {
+            if let BExpr::Lit(n) = &*b {
+                // Interval-informed removal first: x % n → x when x < n.
+                if *n >= 1 && bounded_under(&a, n - 1) {
+                    *sites += 1;
+                    *facts += 1;
+                    return *a;
+                }
+                if pow2_exp(*n).is_some() {
+                    *sites += 1;
+                    return BExpr::Op(BinOp::And, a, Box::new(BExpr::Lit(n - 1)));
+                }
+            }
+        }
+        BinOp::And => {
+            if let BExpr::Lit(m) = &*b {
+                if all_ones(*m) && bounded_under(&a, *m) {
+                    *sites += 1;
+                    *facts += 1;
+                    return *a;
+                }
+            }
+            if let BExpr::Lit(m) = &*a {
+                if all_ones(*m) && bounded_under(&b, *m) {
+                    *sites += 1;
+                    *facts += 1;
+                    return *b;
+                }
+            }
+        }
+        _ => {}
+    }
+    BExpr::Op(op, a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupicola_bedrock::ast::{AccessSize, Cmd};
+
+    fn reduce_expr(e: BExpr) -> (BExpr, usize, usize) {
+        let f = BFunction::new("t", Vec::<String>::new(), ["x"], Cmd::set("x", e));
+        let out = run(&f);
+        let Cmd::Set(_, rhs) = out.function.body else { panic!("shape") };
+        (rhs, out.sites_rewritten, out.facts_consumed)
+    }
+
+    #[test]
+    fn pow2_mul_becomes_shift_either_side() {
+        let (e, n, _) = reduce_expr(BExpr::op(BinOp::Mul, BExpr::var("x"), BExpr::lit(8)));
+        assert_eq!(e, BExpr::op(BinOp::Slu, BExpr::var("x"), BExpr::lit(3)));
+        assert_eq!(n, 1);
+        let (e, _, _) = reduce_expr(BExpr::op(BinOp::Mul, BExpr::lit(2), BExpr::var("i")));
+        assert_eq!(e, BExpr::op(BinOp::Slu, BExpr::var("i"), BExpr::lit(1)));
+    }
+
+    #[test]
+    fn div_and_rem_reduce() {
+        let (e, _, _) = reduce_expr(BExpr::op(BinOp::DivU, BExpr::var("x"), BExpr::lit(4)));
+        assert_eq!(e, BExpr::op(BinOp::Sru, BExpr::var("x"), BExpr::lit(2)));
+        let (e, _, _) = reduce_expr(BExpr::op(BinOp::RemU, BExpr::var("x"), BExpr::lit(16)));
+        assert_eq!(e, BExpr::op(BinOp::And, BExpr::var("x"), BExpr::lit(15)));
+    }
+
+    #[test]
+    fn non_pow2_untouched() {
+        let orig = BExpr::op(BinOp::Mul, BExpr::var("x"), BExpr::lit(10));
+        let (e, n, _) = reduce_expr(orig.clone());
+        assert_eq!(e, orig);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn redundant_mask_on_byte_load_is_dropped() {
+        // load1(p) & 255 → load1(p): the load already narrows to a byte.
+        let load = BExpr::load(AccessSize::One, BExpr::var("p"));
+        let (e, n, facts) =
+            reduce_expr(BExpr::op(BinOp::And, load.clone(), BExpr::lit(255)));
+        assert_eq!(e, load);
+        assert_eq!(n, 1);
+        assert_eq!(facts, 1);
+    }
+
+    #[test]
+    fn insufficient_mask_is_kept() {
+        // load2(p) & 255 actually narrows; must stay.
+        let load = BExpr::load(AccessSize::Two, BExpr::var("p"));
+        let orig = BExpr::op(BinOp::And, load, BExpr::lit(255));
+        let (e, _, _) = reduce_expr(orig.clone());
+        // (255 = 2^8-1 is not a pow2 RemU case; And survives unchanged)
+        assert_eq!(e, orig);
+    }
+
+    #[test]
+    fn provably_small_remainder_is_dropped() {
+        // (x & 7) % 10 → x & 7
+        let masked = BExpr::op(BinOp::And, BExpr::var("x"), BExpr::lit(7));
+        let (e, _, facts) =
+            reduce_expr(BExpr::op(BinOp::RemU, masked.clone(), BExpr::lit(10)));
+        assert_eq!(e, masked);
+        assert_eq!(facts, 1);
+    }
+}

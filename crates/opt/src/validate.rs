@@ -1,0 +1,157 @@
+//! Translation validation: the three layers every pass output must clear
+//! before it replaces the working body.
+//!
+//! The candidate is validated against the **original** certificate and
+//! specification, never against intermediate states, so pass bugs cannot
+//! compound: whatever the pipeline ends with provably satisfies the same
+//! `FnSpec` the relational compiler certified.
+
+use crate::{OptError, TEMP_PREFIX};
+use rupicola_analysis::analyze_with_dbs;
+use rupicola_bedrock::interp::NoExternals;
+use rupicola_bedrock::{BFunction, ExecState, Interpreter, Program};
+use rupicola_core::check::{check_with, differential_inputs, CheckConfig, CheckError};
+use rupicola_core::lemma::HintDbs;
+use rupicola_core::CompiledFunction;
+
+/// Validates `candidate` as a replacement body for `cf.function`.
+///
+/// # Errors
+///
+/// A typed [`OptError`] naming the first layer that rejected it:
+/// the trusted checker, the lint suite, or the interpreter differential.
+pub fn validate_candidate(
+    cf: &CompiledFunction,
+    candidate: &BFunction,
+    dbs: &HintDbs,
+    config: &CheckConfig,
+) -> Result<(), OptError> {
+    let cand_cf = CompiledFunction {
+        function: candidate.clone(),
+        optimized: None,
+        ..cf.clone()
+    };
+
+    // Layer 1: the trusted checker, against the original spec and witness.
+    if let Err(e) = check_with(&cand_cf, dbs, config) {
+        return Err(match e {
+            CheckError::Divergence { .. } => {
+                OptError::InterpDiverged { detail: e.to_string() }
+            }
+            other => OptError::CheckFailed { detail: other.to_string() },
+        });
+    }
+
+    // Layer 2: the derivation-blind lint suite.
+    let report = analyze_with_dbs(&cand_cf, Some(dbs));
+    if report.has_errors() {
+        let detail = report
+            .errors()
+            .map(std::string::ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("; ");
+        return Err(OptError::LintFailed { detail });
+    }
+
+    // Layer 3: the interpreter differential against the pre-pass body.
+    differential(cf, candidate, config)
+}
+
+fn program_for(main: &BFunction, linked: &[BFunction]) -> Program {
+    let mut p = Program::new();
+    p.insert(main.clone());
+    for f in linked {
+        p.insert(f.clone());
+    }
+    p
+}
+
+/// Runs both bodies on the checker's concretized inputs and demands
+/// byte-identical observable behavior: return words, final heap, event
+/// trace — and locals, up to pass-introduced `_cse*` temporaries on the
+/// optimized side and eliminated temporaries on the original side.
+fn differential(
+    cf: &CompiledFunction,
+    candidate: &BFunction,
+    config: &CheckConfig,
+) -> Result<(), OptError> {
+    let prog_orig = program_for(&cf.function, &cf.linked);
+    let prog_cand = program_for(candidate, &cf.linked);
+    let interp_orig = Interpreter::new(&prog_orig);
+    let interp_cand = Interpreter::new(&prog_cand);
+    let name = &cf.function.name;
+    let fuel = config.max_fuel;
+
+    for input in differential_inputs(cf, config) {
+        let mut st_o = ExecState::new(input.mem.clone());
+        let res_o =
+            interp_orig.call_with_locals(name, &input.args, &mut st_o, &mut NoExternals, fuel);
+        let mut st_c = ExecState::new(input.mem);
+        let res_c =
+            interp_cand.call_with_locals(name, &input.args, &mut st_c, &mut NoExternals, fuel);
+
+        match (res_o, res_c) {
+            // Matching faults are equivalent (messages may differ: a pass
+            // may legally reorder which of several traps fires first).
+            (Err(_), Err(_)) => {}
+            (Ok(_), Err(e)) => {
+                return Err(OptError::InterpDiverged {
+                    detail: format!("candidate faults on [{}]: {e}", input.desc),
+                });
+            }
+            (Err(e), Ok(_)) => {
+                return Err(OptError::InterpDiverged {
+                    detail: format!(
+                        "candidate succeeds where original faults on [{}]: {e}",
+                        input.desc
+                    ),
+                });
+            }
+            (Ok((rets_o, locals_o)), Ok((rets_c, locals_c))) => {
+                if rets_o != rets_c {
+                    return Err(OptError::InterpDiverged {
+                        detail: format!(
+                            "return values differ on [{}]: {rets_o:?} vs {rets_c:?}",
+                            input.desc
+                        ),
+                    });
+                }
+                if st_o.mem != st_c.mem {
+                    return Err(OptError::InterpDiverged {
+                        detail: format!("final heap differs on [{}]", input.desc),
+                    });
+                }
+                if st_o.trace != st_c.trace {
+                    return Err(OptError::InterpDiverged {
+                        detail: format!("event trace differs on [{}]", input.desc),
+                    });
+                }
+                for (var, val) in &locals_c {
+                    match locals_o.get(var) {
+                        Some(orig_val) if orig_val != val => {
+                            return Err(OptError::InterpDiverged {
+                                detail: format!(
+                                    "local `{var}` differs on [{}]: {orig_val} vs {val}",
+                                    input.desc
+                                ),
+                            });
+                        }
+                        Some(_) => {}
+                        None if var.starts_with(TEMP_PREFIX) => {}
+                        None => {
+                            return Err(OptError::InterpDiverged {
+                                detail: format!(
+                                    "candidate introduces unreserved local `{var}` on [{}]",
+                                    input.desc
+                                ),
+                            });
+                        }
+                    }
+                }
+                // Locals present only in the original are eliminated
+                // temporaries — allowed by construction.
+            }
+        }
+    }
+    Ok(())
+}

@@ -12,7 +12,10 @@
 //!    matters because first-match dispatch makes it semantically relevant,
 //! 4. the **engine limits** (a run that fails under tight budgets is not
 //!    the same request as one under default budgets),
-//! 5. a **format version**, so a codec change invalidates the whole store
+//! 5. the **optimization pipeline identity** (ordered pass names) — an
+//!    artifact optimized under one pipeline is a different artifact from
+//!    the same program unoptimized or optimized differently,
+//! 6. a **format version**, so a codec change invalidates the whole store
 //!    instead of mis-decoding old artifacts.
 //!
 //! The hash is FNV-1a/64 over those canonical bytes — hand-rolled, fully
@@ -35,7 +38,11 @@ use rupicola_lang::Model;
 /// Version of the on-disk artifact format. Bump whenever the codec or the
 /// canonical-bytes layout changes: old artifacts then miss (different key)
 /// or evict (envelope mismatch) instead of being mis-read.
-pub const FORMAT_VERSION: u64 = 1;
+///
+/// v2: artifacts carry the optional optimized body and the `opt_*`
+/// compile-stats counters; the canonical bytes gained the pass-pipeline
+/// identity segment.
+pub const FORMAT_VERSION: u64 = 2;
 
 /// A stable 64-bit structural fingerprint of a compilation request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -74,6 +81,7 @@ pub(crate) fn canonical_bytes(
     spec: &FnSpec,
     dbs: &HintDbs,
     limits: &EngineLimits,
+    pipeline: &str,
 ) -> Vec<u8> {
     let mut bytes = Vec::with_capacity(4096);
     bytes.extend_from_slice(b"rupicola-artifact-v");
@@ -95,17 +103,35 @@ pub(crate) fn canonical_bytes(
         )
         .as_bytes(),
     );
+    bytes.push(0);
+    bytes.extend_from_slice(b"pipeline:");
+    bytes.extend_from_slice(pipeline.as_bytes());
     bytes
 }
 
-/// Fingerprints a compilation request.
+/// Fingerprints a compilation request with no optimization pipeline
+/// (the pipeline identity segment is `none`).
 pub fn fingerprint(
     model: &Model,
     spec: &FnSpec,
     dbs: &HintDbs,
     limits: &EngineLimits,
 ) -> Fingerprint {
-    Fingerprint(fnv1a(FNV_OFFSET, &canonical_bytes(model, spec, dbs, limits)))
+    fingerprint_with_pipeline(model, spec, dbs, limits, "none")
+}
+
+/// Fingerprints a compilation request including the optimization
+/// pass-pipeline identity (see
+/// `rupicola_opt::PipelineConfig::identity_string`): an artifact produced
+/// under one pipeline is never served to a request made under another.
+pub fn fingerprint_with_pipeline(
+    model: &Model,
+    spec: &FnSpec,
+    dbs: &HintDbs,
+    limits: &EngineLimits,
+    pipeline: &str,
+) -> Fingerprint {
+    Fingerprint(fnv1a(FNV_OFFSET, &canonical_bytes(model, spec, dbs, limits, pipeline)))
 }
 
 #[cfg(test)]
@@ -168,6 +194,27 @@ mod tests {
             fingerprint(&model, &spec, &dbs, &EngineLimits::default()),
             fingerprint(&model, &spec, &dbs, &EngineLimits::tight())
         );
+    }
+
+    #[test]
+    fn pipeline_identity_is_part_of_the_key() {
+        let (model, spec) = request();
+        let dbs = standard_dbs();
+        let limits = EngineLimits::default();
+        let none = fingerprint_with_pipeline(&model, &spec, &dbs, &limits, "none");
+        let full = fingerprint_with_pipeline(
+            &model,
+            &spec,
+            &dbs,
+            &limits,
+            "const-fold,copy-prop,dead-store,strength-reduce,load-cse",
+        );
+        let partial = fingerprint_with_pipeline(&model, &spec, &dbs, &limits, "const-fold");
+        assert_ne!(none, full);
+        assert_ne!(none, partial);
+        assert_ne!(full, partial);
+        // The legacy entry point is exactly the `none` pipeline.
+        assert_eq!(none, fingerprint(&model, &spec, &dbs, &limits));
     }
 
     #[test]

@@ -14,8 +14,10 @@
 //! without re-sorting.
 
 use crate::store::{LoadOutcome, Store};
+use rupicola_core::check::CheckConfig;
 use rupicola_core::{CompileError, CompiledFunction, EngineLimits, HintDbs};
 use rupicola_lang::Model;
+use rupicola_opt::optimize_compiled;
 use rupicola_programs::parallel::{compile_entries_parallel, SuiteResult};
 use rupicola_programs::{suite, SuiteEntry};
 
@@ -80,12 +82,21 @@ pub fn compile_programs_cached(
             LoadOutcome::Miss | LoadOutcome::Evicted { .. } => missing.push(i),
         }
     }
-    // Pass 2: parallel compilation of exactly the misses.
+    // Pass 2: parallel compilation of exactly the misses, then the
+    // translation-validated optimization pipeline the store keys under,
+    // so what gets filed (and what a warm run serves) is the optimized
+    // artifact. Certification-strength check config: a fresh optimization
+    // is a fresh claim, not a reload of an already-certified one.
     if !missing.is_empty() {
+        let pipeline = store.pipeline().clone();
+        let opt_check = CheckConfig::default();
         let todo: Vec<SuiteEntry> = missing.iter().map(|&i| entries[i].clone()).collect();
         let fresh: Vec<SuiteResult> = compile_entries_parallel(&todo, dbs);
-        for (&i, fresh) in missing.iter().zip(fresh) {
-            if let Ok(cf) = &fresh.result {
+        for (&i, mut fresh) in missing.iter().zip(fresh) {
+            if let Ok(cf) = &mut fresh.result {
+                if !pipeline.passes.is_empty() {
+                    let _ = optimize_compiled(cf, dbs, &pipeline, &opt_check);
+                }
                 let key = store.key_for(&cf.model, &cf.spec, dbs, &limits);
                 let _ = store.put(key, cf);
             }
@@ -154,7 +165,18 @@ mod tests {
             assert_eq!(c.function, w.function);
             assert_eq!(c.derivation, w.derivation);
             assert_eq!(c.stats, w.stats);
+            // The store keys under the full pipeline by default, so warm
+            // runs serve the same (re-validated) optimized body the cold
+            // run produced.
+            assert_eq!(c.optimized, w.optimized);
         }
+        assert!(
+            cold.iter()
+                .filter(|r| r.result.as_ref().is_ok_and(|cf| cf.optimized.is_some()))
+                .count()
+                >= 3,
+            "the default pipeline should optimize several suite programs"
+        );
         let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -4,7 +4,7 @@
 //! `"<program>-<fingerprint>.json"`, holding an envelope
 //!
 //! ```json
-//! { "format": 1, "key": "<16 hex>", "program": "...", "artifact": { … } }
+//! { "format": 2, "key": "<16 hex>", "program": "...", "artifact": { … } }
 //! ```
 //!
 //! where `artifact` is `rupicola_core::serial::encode_compiled_function`.
@@ -19,7 +19,10 @@
 //!    file thus turns into an eviction, never a wrong answer),
 //! 3. re-runs the independent checker ([`check_with`]) on the decoded
 //!    artifact — the same witness re-validation a fresh compilation gets,
-//! 4. optionally re-runs the static-analysis lints ([`lint_on_load`]).
+//! 4. re-runs the full translation-validation stack on any stored
+//!    *optimized* body (checker against the original certificate, lint
+//!    suite, interpreter differential),
+//! 5. optionally re-runs the static-analysis lints ([`lint_on_load`]).
 //!
 //! Any failure at any step *evicts* the artifact (the file is deleted)
 //! and reports [`LoadOutcome::Evicted`]; the caller recompiles. A decode
@@ -33,8 +36,9 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use crate::fingerprint::{fingerprint, Fingerprint, FORMAT_VERSION};
+use crate::fingerprint::{fingerprint_with_pipeline, Fingerprint, FORMAT_VERSION};
 use rupicola_core::check::{check_with, CheckConfig};
+use rupicola_opt::{validate_candidate, PipelineConfig};
 use rupicola_core::fnspec::FnSpec;
 use rupicola_core::serial::{decode_compiled_function, encode_compiled_function};
 use rupicola_core::{CompiledFunction, EngineLimits, HintDbs};
@@ -133,6 +137,7 @@ pub struct Store {
     root: PathBuf,
     check: CheckConfig,
     lint_on_load: bool,
+    pipeline: PipelineConfig,
     stats: CacheStats,
 }
 
@@ -147,7 +152,13 @@ impl Store {
         fs::create_dir_all(&root)
             .map_err(|e| format!("cannot create store root {}: {e}", root.display()))?;
         let check = CheckConfig { vectors: LOAD_CHECK_VECTORS, ..CheckConfig::default() };
-        Ok(Store { root, check, lint_on_load: false, stats: CacheStats::default() })
+        Ok(Store {
+            root,
+            check,
+            lint_on_load: false,
+            pipeline: PipelineConfig::full(),
+            stats: CacheStats::default(),
+        })
     }
 
     /// Opens the store at the environment-resolved root
@@ -175,6 +186,21 @@ impl Store {
         self
     }
 
+    /// Replaces the optimization pipeline this store keys and optimizes
+    /// under (default: [`PipelineConfig::full`]). The pipeline identity is
+    /// part of every fingerprint, so artifacts produced under different
+    /// pipelines never alias.
+    #[must_use]
+    pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Store {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// The optimization pipeline this store keys under.
+    pub fn pipeline(&self) -> &PipelineConfig {
+        &self.pipeline
+    }
+
     /// The store root directory.
     pub fn root(&self) -> &Path {
         &self.root
@@ -198,7 +224,7 @@ impl Store {
         dbs: &HintDbs,
         limits: &EngineLimits,
     ) -> Fingerprint {
-        fingerprint(model, spec, dbs, limits)
+        fingerprint_with_pipeline(model, spec, dbs, limits, &self.pipeline.identity_string())
     }
 
     /// Writes `cf` under `key`. The write goes through a temporary file in
@@ -382,6 +408,15 @@ impl Store {
         // witness and re-runs the differential test battery, exactly as it
         // would after a fresh compilation. The cache adds no trust.
         check_with(&cf, dbs, &self.check).map_err(|e| format!("re-check failed: {e}"))?;
+        // A stored optimized body is as untrusted as the pass that made
+        // it: re-run the full translation-validation stack (checker
+        // against the original certificate, lints, interpreter
+        // differential) before serving it. A tampered or stale optimized
+        // body evicts the artifact exactly like a corrupt witness.
+        if let Some(opt) = &cf.optimized {
+            validate_candidate(&cf, opt, dbs, &self.check)
+                .map_err(|e| format!("optimized body failed re-validation: {e}"))?;
+        }
         if self.lint_on_load {
             let report = rupicola_analysis::analyze_with_dbs(&cf, Some(dbs));
             if report.has_errors() {
@@ -471,6 +506,74 @@ mod tests {
         // Next lookup is a clean miss: the poisoned file is gone.
         assert!(matches!(store.load_verified(&model, &spec, &dbs, &limits), LoadOutcome::Miss));
         let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn optimized_artifact_round_trips_and_reverifies() {
+        let mut store = Store::open(scratch_root("opt-roundtrip")).unwrap();
+        let dbs = standard_dbs();
+        let limits = EngineLimits::default();
+        let model = rupicola_programs::fnv1a::model();
+        let spec = rupicola_programs::fnv1a::spec();
+        let mut cf = rupicola_programs::fnv1a::compiled().unwrap();
+        let pipeline = store.pipeline().clone();
+        let report =
+            rupicola_opt::optimize_compiled(&mut cf, &dbs, &pipeline, &CheckConfig::default());
+        assert!(report.applied_count() > 0, "fnv1a should optimize:\n{report}");
+        let optimized = cf.optimized.clone().expect("optimized body");
+        let key = store.key_for(&model, &spec, &dbs, &limits);
+        store.put(key, &cf).unwrap();
+        match store.load_verified(&model, &spec, &dbs, &limits) {
+            LoadOutcome::Hit(loaded) => {
+                assert_eq!(loaded.optimized.as_ref(), Some(&optimized));
+                assert_eq!(loaded.stats, cf.stats);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn tampered_optimized_body_is_evicted() {
+        let mut store = Store::open(scratch_root("opt-tamper")).unwrap();
+        let dbs = standard_dbs();
+        let limits = EngineLimits::default();
+        let model = rupicola_programs::fnv1a::model();
+        let spec = rupicola_programs::fnv1a::spec();
+        let mut cf = rupicola_programs::fnv1a::compiled().unwrap();
+        // A plausible-looking but miscompiled "optimized" body: the
+        // certified body with its first live store deleted.
+        let broken = rupicola_opt::mutants::PassMutant::DropLiveStore
+            .apply(&cf.function)
+            .expect("applicable");
+        cf.optimized = Some(broken);
+        let key = store.key_for(&model, &spec, &dbs, &limits);
+        store.put(key, &cf).unwrap();
+        match store.load_verified(&model, &spec, &dbs, &limits) {
+            LoadOutcome::Evicted { reason } => {
+                assert!(reason.contains("optimized body failed re-validation"), "{reason}");
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert!(!store.path_for(&spec.name, key).exists());
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn pipeline_config_changes_the_key() {
+        let store_full = Store::open(scratch_root("key-full")).unwrap();
+        let store_none =
+            Store::open(scratch_root("key-none")).unwrap().with_pipeline(PipelineConfig::none());
+        let dbs = standard_dbs();
+        let limits = EngineLimits::default();
+        let model = rupicola_programs::fnv1a::model();
+        let spec = rupicola_programs::fnv1a::spec();
+        assert_ne!(
+            store_full.key_for(&model, &spec, &dbs, &limits),
+            store_none.key_for(&model, &spec, &dbs, &limits)
+        );
+        let _ = fs::remove_dir_all(store_full.root());
+        let _ = fs::remove_dir_all(store_none.root());
     }
 
     #[test]

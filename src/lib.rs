@@ -10,6 +10,8 @@ pub use rupicola_core as core;
 pub use rupicola_ext as ext;
 pub use rupicola_lang as lang;
 pub use rupicola_monads as monads;
+pub use rupicola_opt as opt;
+pub use rupicola_opt::{optimize_compiled, PassId, PipelineConfig, PipelineReport};
 pub use rupicola_programs as programs;
 pub use rupicola_sep as sep;
 pub use rupicola_service as service;

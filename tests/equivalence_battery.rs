@@ -17,9 +17,13 @@
 //! succeeds.
 
 use rupicola::bedrock::cprint::function_to_c;
+use rupicola::bedrock::interp::NoExternals;
+use rupicola::bedrock::{ExecState, Interpreter, Program};
+use rupicola::core::check::{differential_inputs, CheckConfig};
 use rupicola::core::{compile, DispatchMode, HintDbs};
 use rupicola::ext::standard_dbs;
 use rupicola::programs::suite;
+use rupicola::{optimize_compiled, PipelineConfig};
 use rupicola_minicheck::{check, Rng};
 
 /// Rebuilds `base` with the lemmas selected by `keep_stmt`/`keep_expr`, in
@@ -104,6 +108,66 @@ fn indexed_engine_matches_linear_on_random_lemma_subsets() {
         let (indexed, linear) = subset_dbs(&base, &keep_stmt, &keep_expr);
         assert_engines_agree(&indexed, &linear);
     });
+}
+
+#[test]
+fn optimized_body_matches_unoptimized_observable_behavior() {
+    // The optimization pipeline is validated internally (checker + lints +
+    // differential, per pass, with rollback). This leg re-checks the end
+    // result *externally*: run the certified body and the final optimized
+    // body side by side on the checker's concretized inputs and demand
+    // byte-identical observable behavior — return words, final heap, and
+    // event trace. Unlike the internal differential, this does not trust
+    // any `rupicola_opt` comparison code: it drives the interpreter
+    // directly from this test.
+    let dbs = standard_dbs();
+    let pipeline = PipelineConfig::full();
+    let config = CheckConfig::default();
+    let mut optimized_count = 0;
+    for entry in suite() {
+        let name = entry.info.name;
+        let (model, spec) = ((entry.model)(), (entry.spec)());
+        let mut cf = compile(&model, &spec, &dbs).expect("suite compiles");
+        let report = optimize_compiled(&mut cf, &dbs, &pipeline, &config);
+        assert_eq!(report.rolled_back_count(), 0, "{name}: rollback on suite:\n{report}");
+        let Some(opt) = &cf.optimized else { continue };
+        optimized_count += 1;
+        assert_ne!(*opt, cf.function, "{name}: optimized body set but identical");
+
+        let mut prog_orig = Program::new();
+        prog_orig.insert(cf.function.clone());
+        let mut prog_opt = Program::new();
+        prog_opt.insert(opt.clone());
+        for f in &cf.linked {
+            prog_orig.insert(f.clone());
+            prog_opt.insert(f.clone());
+        }
+        let interp_orig = Interpreter::new(&prog_orig);
+        let interp_opt = Interpreter::new(&prog_opt);
+        let inputs = differential_inputs(&cf, &config);
+        assert!(!inputs.is_empty(), "{name}: no differential inputs");
+        for input in inputs {
+            let mut st_o = ExecState::new(input.mem.clone());
+            let res_o = interp_orig
+                .call_with_locals(name, &input.args, &mut st_o, &mut NoExternals, config.max_fuel);
+            let mut st_c = ExecState::new(input.mem);
+            let res_c = interp_opt
+                .call_with_locals(name, &input.args, &mut st_c, &mut NoExternals, config.max_fuel);
+            match (res_o, res_c) {
+                (Err(_), Err(_)) => {}
+                (Ok((rets_o, _)), Ok((rets_c, _))) => {
+                    assert_eq!(rets_o, rets_c, "{name}: returns differ on [{}]", input.desc);
+                    assert_eq!(st_o.mem, st_c.mem, "{name}: heap differs on [{}]", input.desc);
+                    assert_eq!(st_o.trace, st_c.trace, "{name}: trace differs on [{}]", input.desc);
+                }
+                (o, c) => panic!(
+                    "{name}: fault behavior differs on [{}]: orig {o:?} vs opt {c:?}",
+                    input.desc
+                ),
+            }
+        }
+    }
+    assert!(optimized_count >= 3, "only {optimized_count} suite programs optimized");
 }
 
 #[test]

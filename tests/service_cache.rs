@@ -72,7 +72,13 @@ fn targeted_corruption_evicts_and_recompiles() {
             "lemma renamed",
             Box::new(|t: &str| t.replace("compile_array_map", "compile_array_mop")),
         ),
-        ("format bumped", Box::new(|t: &str| t.replacen("\"format\": 1", "\"format\": 999", 1))),
+        (
+            "format bumped",
+            Box::new(|t: &str| {
+                let current = format!("\"format\": {}", rupicola::service::FORMAT_VERSION);
+                t.replacen(&current, "\"format\": 999", 1)
+            }),
+        ),
     ];
     let root = scratch("targeted-corruption");
     let mut store = Store::open(&root).unwrap();
