@@ -158,6 +158,11 @@ pub struct Compiler<'a> {
     /// Names are `&'static str` so pushing a frame never allocates — this
     /// runs once per *tried* lemma, the engine's hottest edge.
     path: Vec<&'static str>,
+    /// When this run started — the origin of the optional
+    /// [`EngineLimits::max_wall_ms`] deadline. Only consulted when a
+    /// deadline is configured, so the default configuration pays one
+    /// `Option` branch per judgment and no clock reads.
+    started: std::time::Instant,
     /// Side-condition memo cache: structural hash of `(cond, hyps)` →
     /// entries confirmed by full equality → index of the solver that
     /// discharged it. Only successful discharges are cached; a solver that
@@ -189,6 +194,7 @@ impl<'a> Compiler<'a> {
             depth: 0,
             solver_steps: 0,
             path: Vec::new(),
+            started: std::time::Instant::now(),
             side_cache: HashMap::new(),
         }
     }
@@ -373,6 +379,17 @@ impl<'a> Compiler<'a> {
                 ResourceKind::LemmaApplications,
                 self.limits.max_lemma_applications,
             ));
+        }
+        // Inclusive like the other ceilings: `max_wall_ms: Some(0)` means
+        // "no time at all" and fails at the first judgment, which gives
+        // tests a deterministic way to exercise the deadline path.
+        if let Some(ms) = self.limits.max_wall_ms {
+            if self.started.elapsed().as_millis() >= u128::from(ms) {
+                return Err(self.exhausted(
+                    ResourceKind::WallClock,
+                    usize::try_from(ms).unwrap_or(usize::MAX),
+                ));
+            }
         }
         Ok(())
     }

@@ -33,6 +33,21 @@ pub struct EngineLimits {
     /// Maximum number of solver invocations (one *step* = one registered
     /// solver attempting one side condition).
     pub solver_step_budget: usize,
+    /// Optional wall-clock deadline for one compilation run, in
+    /// milliseconds from the moment the `Compiler` is created. `None`
+    /// (the default) means no deadline.
+    ///
+    /// Unlike the structural budgets above, this one is *nondeterministic*:
+    /// the same request may succeed on an idle machine and miss its
+    /// deadline on a loaded one. It exists for the service layer — a
+    /// request that carries `deadline_ms` must be answered in-band within
+    /// that budget, with a typed
+    /// [`ResourceExhausted`](crate::CompileError::ResourceExhausted) of
+    /// kind [`ResourceKind::WallClock`] rather than a hung batch. Because
+    /// the outcome is timing-dependent, the deadline is deliberately *not*
+    /// part of the artifact-store fingerprint (see
+    /// `rupicola_service::fingerprint`).
+    pub max_wall_ms: Option<u64>,
 }
 
 impl Default for EngineLimits {
@@ -42,6 +57,7 @@ impl Default for EngineLimits {
             max_recursion_depth: 256,
             max_fresh_names: 65_536,
             solver_step_budget: 1_000_000,
+            max_wall_ms: None,
         }
     }
 }
@@ -56,7 +72,15 @@ impl EngineLimits {
             max_recursion_depth: 64,
             max_fresh_names: 1_024,
             solver_step_budget: 20_000,
+            max_wall_ms: None,
         }
+    }
+
+    /// This budget with a wall-clock deadline of `ms` milliseconds.
+    #[must_use]
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.max_wall_ms = Some(ms);
+        self
     }
 }
 
@@ -71,6 +95,9 @@ pub enum ResourceKind {
     FreshNames,
     /// [`EngineLimits::solver_step_budget`].
     SolverSteps,
+    /// [`EngineLimits::max_wall_ms`] — the run's wall-clock deadline
+    /// passed while the derivation was still in progress.
+    WallClock,
 }
 
 impl fmt::Display for ResourceKind {
@@ -80,6 +107,7 @@ impl fmt::Display for ResourceKind {
             ResourceKind::RecursionDepth => "recursion depth",
             ResourceKind::FreshNames => "fresh names",
             ResourceKind::SolverSteps => "solver steps",
+            ResourceKind::WallClock => "wall-clock",
         })
     }
 }
@@ -112,5 +140,15 @@ mod tests {
     fn resource_kinds_render() {
         assert_eq!(ResourceKind::RecursionDepth.to_string(), "recursion depth");
         assert_eq!(ResourceKind::SolverSteps.to_string(), "solver steps");
+        assert_eq!(ResourceKind::WallClock.to_string(), "wall-clock");
+    }
+
+    #[test]
+    fn deadline_builder_sets_only_the_wall_budget() {
+        let d = EngineLimits::default();
+        let with = d.with_deadline_ms(250);
+        assert_eq!(with.max_wall_ms, Some(250));
+        assert_eq!(EngineLimits { max_wall_ms: None, ..with }, d);
+        assert_eq!(d.max_wall_ms, None, "no deadline by default");
     }
 }

@@ -13,7 +13,9 @@
 //! directly.
 
 use crate::suite;
-use rupicola_core::{compile, CompileError, CompiledFunction, HintDbs};
+use rupicola_core::{
+    compile, compile_with_limits, CompileError, CompiledFunction, EngineLimits, HintDbs,
+};
 
 /// The outcome of compiling one suite program.
 #[derive(Debug)]
@@ -66,6 +68,20 @@ pub fn compile_suite_parallel(dbs: &HintDbs) -> Vec<SuiteResult> {
 /// a fully warm run spawns no workers and performs zero derivations.
 /// [`compile_suite_parallel`] is the whole-suite special case.
 pub fn compile_entries_parallel(entries: &[crate::SuiteEntry], dbs: &HintDbs) -> Vec<SuiteResult> {
+    compile_entries_parallel_with_limits(entries, dbs, &EngineLimits::default())
+}
+
+/// [`compile_entries_parallel`] under explicit [`EngineLimits`] — the
+/// service layer uses this to thread per-request deadlines
+/// (`max_wall_ms`) and budget overrides down to every worker. Each worker
+/// gets its own `Compiler` (and thus its own deadline clock, started at
+/// its first judgment): a deadline bounds each *program's* derivation,
+/// not the batch.
+pub fn compile_entries_parallel_with_limits(
+    entries: &[crate::SuiteEntry],
+    dbs: &HintDbs,
+    limits: &EngineLimits,
+) -> Vec<SuiteResult> {
     // `available_parallelism` inspects cgroup quota files on Linux, which
     // costs tens of microseconds per call — comparable to a whole program
     // compile. The machine does not change under us; ask once per process.
@@ -78,7 +94,7 @@ pub fn compile_entries_parallel(entries: &[crate::SuiteEntry], dbs: &HintDbs) ->
             .iter()
             .map(|entry| SuiteResult {
                 name: entry.info.name,
-                result: compile(&(entry.model)(), &(entry.spec)(), dbs),
+                result: compile_with_limits(&(entry.model)(), &(entry.spec)(), dbs, *limits),
             })
             .collect();
     }
@@ -98,7 +114,12 @@ pub fn compile_entries_parallel(entries: &[crate::SuiteEntry], dbs: &HintDbs) ->
                 for (entry, slot) in view {
                     *slot = Some(SuiteResult {
                         name: entry.info.name,
-                        result: compile(&(entry.model)(), &(entry.spec)(), dbs),
+                        result: compile_with_limits(
+                            &(entry.model)(),
+                            &(entry.spec)(),
+                            dbs,
+                            *limits,
+                        ),
                     });
                 }
             });

@@ -3,11 +3,14 @@
 //! Protocol (one JSON object per line, responses in request order):
 //!
 //! ```text
-//! request  := {"op":"compile","program":<name>}   compile one suite program
-//!           | {"op":"suite"}                       compile the whole suite
-//!           | {"op":"stats"}                       report cache counters
-//! response := {"ok":true, "op":..., ...}           per-request payload
-//!           | {"ok":false, "error":<message>}      malformed/unknown request
+//! request  := {"op":"ping"}                         health check
+//!           | {"op":"compile","program":<name>}     compile one suite program
+//!           | {"op":"compile","program":<name>,
+//!              "deadline_ms":<u64>}                 … under a wall-clock deadline
+//!           | {"op":"suite"}                        compile the whole suite
+//!           | {"op":"stats"}                        report cache counters
+//! response := {"ok":true, "op":..., ...}            per-request payload
+//!           | {"ok":false, "error":<message>, ...}  malformed request / failed compile
 //! ```
 //!
 //! The front-end is a *batch* service: [`serve`] reads every queued
@@ -20,23 +23,44 @@
 //! stores included), which is what an operator piping requests through
 //! `served` wants to see.
 //!
-//! A malformed line never aborts the batch: it produces an
-//! `{"ok":false}` response in its slot and processing continues.
+//! Failure reporting is **in-band** (DESIGN.md §12): a malformed line
+//! never aborts the batch (it yields `{"ok":false}` in its slot), a
+//! request whose wall-clock deadline expires yields `{"ok":false,
+//! "deadline_exceeded":true}`, and every response carries a
+//! `"degraded":true` flag when the store has fallen back to
+//! compile-without-cache mode — so a client can tell "the answer is
+//! late/unpersisted" from "the answer is wrong" without parsing stderr.
+//!
+//! Requests with a `deadline_ms` are resolved *individually* (each gets
+//! its own engine-limit clock) rather than in the shared batch pass;
+//! since the store key deliberately ignores deadlines, they still share
+//! artifacts with undeadline'd requests.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 
-use crate::incremental::{compile_programs_cached, CachedResult, Provenance};
+use crate::incremental::{
+    compile_programs_cached, compile_programs_cached_with_limits, CachedResult, Provenance,
+};
 use crate::store::Store;
-use rupicola_core::HintDbs;
+use rupicola_core::{CompileError, EngineLimits, HintDbs, ResourceKind};
 use rupicola_lang::json::{parse, Json};
 use rupicola_programs::{suite, SuiteEntry};
 
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
-    /// Compile (or serve from cache) one named suite program.
-    Compile(String),
+    /// Health check: liveness, store root, backend, degraded flag,
+    /// format version. Touches neither disk nor engine.
+    Ping,
+    /// Compile (or serve from cache) one named suite program, optionally
+    /// under a per-request wall-clock deadline in milliseconds.
+    Compile {
+        /// Suite program name.
+        program: String,
+        /// Optional wall-clock budget ([`EngineLimits::max_wall_ms`]).
+        deadline_ms: Option<u64>,
+    },
     /// Compile the whole suite.
     Suite,
     /// Report the store's cache counters.
@@ -48,7 +72,7 @@ pub enum Request {
 /// # Errors
 ///
 /// Returns a human-readable message for malformed JSON, missing/unknown
-/// `op`, or a missing `program` field.
+/// `op`, a missing `program` field, or a non-integer `deadline_ms`.
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let j = parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
     let op = j
@@ -56,12 +80,20 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         .and_then(Json::as_str)
         .ok_or_else(|| "missing string field `op`".to_string())?;
     match op {
+        "ping" => Ok(Request::Ping),
         "compile" => {
             let program = j
                 .get("program")
                 .and_then(Json::as_str)
                 .ok_or_else(|| "`compile` needs a string field `program`".to_string())?;
-            Ok(Request::Compile(program.to_string()))
+            let deadline_ms = match j.get("deadline_ms") {
+                None => None,
+                Some(v) => Some(
+                    v.as_u64()
+                        .ok_or_else(|| "`deadline_ms` must be a non-negative integer".to_string())?,
+                ),
+            };
+            Ok(Request::Compile { program: program.to_string(), deadline_ms })
         }
         "suite" => Ok(Request::Suite),
         "stats" => Ok(Request::Stats),
@@ -73,9 +105,18 @@ fn error_response(message: &str) -> Json {
     Json::obj([("ok", Json::Bool(false)), ("error", Json::str(message))])
 }
 
-fn program_response(r: &CachedResult) -> Json {
-    match &r.result {
-        Ok(cf) => Json::obj([
+/// Whether a compile error is a wall-clock deadline expiry (reported
+/// in-band as `"deadline_exceeded":true`).
+fn is_deadline_exceeded(e: &CompileError) -> bool {
+    matches!(
+        e,
+        CompileError::ResourceExhausted { resource: ResourceKind::WallClock, .. }
+    )
+}
+
+fn program_response(r: &CachedResult, degraded: bool) -> Json {
+    let mut fields = match &r.result {
+        Ok(cf) => vec![
             ("ok", Json::Bool(true)),
             ("program", Json::str(r.name)),
             ("cached", Json::Bool(r.provenance == Provenance::Cache)),
@@ -83,13 +124,23 @@ fn program_response(r: &CachedResult) -> Json {
             ("derivation_nodes", Json::U64(cf.derivation.node_count as u64)),
             ("side_conditions", Json::U64(cf.derivation.side_cond_count as u64)),
             ("lemma_applications", Json::U64(cf.stats.lemma_applications as u64)),
-        ]),
-        Err(e) => Json::obj([
-            ("ok", Json::Bool(false)),
-            ("program", Json::str(r.name)),
-            ("error", Json::str(format!("{e}"))),
-        ]),
+        ],
+        Err(e) => {
+            let mut fields = vec![
+                ("ok", Json::Bool(false)),
+                ("program", Json::str(r.name)),
+                ("error", Json::str(format!("{e}"))),
+            ];
+            if is_deadline_exceeded(e) {
+                fields.push(("deadline_exceeded", Json::Bool(true)));
+            }
+            fields
+        }
+    };
+    if degraded {
+        fields.push(("degraded", Json::Bool(true)));
     }
+    Json::obj(fields)
 }
 
 /// Runs one batch: reads requests from `input` until end-of-input,
@@ -100,8 +151,9 @@ fn program_response(r: &CachedResult) -> Json {
 ///
 /// # Errors
 ///
-/// Only I/O errors on `input`/`output` are fatal; bad requests and failed
-/// compilations are reported in-band.
+/// Only I/O errors on `input`/`output` are fatal; bad requests, failed
+/// compilations, expired deadlines and a degraded store are all reported
+/// in-band.
 pub fn serve(
     input: impl BufRead,
     mut output: impl Write,
@@ -118,15 +170,21 @@ pub fn serve(
         requests.push(parse_request(&line));
     }
 
-    // Phase 2: resolve the union of mentioned programs in ONE incremental
-    // pass (cache loads first, parallel compilation of the misses).
+    // Phase 2: resolve the union of programs mentioned *without* a
+    // deadline in ONE incremental pass (cache loads first, parallel
+    // compilation of the misses). Deadline'd requests are resolved
+    // individually below — each needs its own engine clock.
     let all = suite();
     let mut wanted: Vec<&SuiteEntry> = Vec::new();
     for req in requests.iter().flatten() {
         match req {
             Request::Suite => wanted.extend(all.iter()),
-            Request::Compile(name) => wanted.extend(all.iter().filter(|e| e.info.name == name)),
-            Request::Stats => {}
+            Request::Compile { program, deadline_ms: None } => {
+                wanted.extend(all.iter().filter(|e| e.info.name == program));
+            }
+            Request::Compile { deadline_ms: Some(_), .. }
+            | Request::Stats
+            | Request::Ping => {}
         }
     }
     // Dedup in suite order: resolve each program at most once per batch.
@@ -142,31 +200,61 @@ pub fn serve(
     let by_name: BTreeMap<&str, &CachedResult> =
         resolved.iter().map(|r| (r.name, r)).collect();
 
-    // Phase 3: answer in request order.
+    // Phase 3: answer in request order. Deadline'd compiles resolve here,
+    // one at a time, against the same store (a cache hit still answers
+    // them instantly; only fresh derivations race the clock).
     let mut answered = 0;
     for req in &requests {
         let response = match req {
             Err(message) => error_response(message),
+            Ok(Request::Ping) => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("op", Json::str("ping")),
+                ("store", Json::str(store.root().display().to_string())),
+                ("backend", Json::str(store.backend_name())),
+                ("degraded", Json::Bool(store.degraded())),
+                ("format", Json::U64(crate::fingerprint::FORMAT_VERSION)),
+            ]),
             Ok(Request::Stats) => Json::obj([
                 ("ok", Json::Bool(true)),
                 ("op", Json::str("stats")),
+                ("degraded", Json::Bool(store.degraded())),
                 ("cache", store.stats().to_json()),
             ]),
-            Ok(Request::Compile(name)) => match by_name.get(name.as_str()) {
-                Some(r) => program_response(r),
-                None => error_response(&format!("unknown program `{name}`")),
-            },
+            Ok(Request::Compile { program, deadline_ms: None }) => {
+                match by_name.get(program.as_str()) {
+                    Some(r) => program_response(r, store.degraded()),
+                    None => error_response(&format!("unknown program `{program}`")),
+                }
+            }
+            Ok(Request::Compile { program, deadline_ms: Some(ms) }) => {
+                let entry = all.iter().find(|e| e.info.name == program.as_str());
+                match entry {
+                    None => error_response(&format!("unknown program `{program}`")),
+                    Some(entry) => {
+                        let limits = EngineLimits::default().with_deadline_ms(*ms);
+                        let results = compile_programs_cached_with_limits(
+                            std::slice::from_ref(entry),
+                            store,
+                            dbs,
+                            &limits,
+                        );
+                        program_response(&results[0], store.degraded())
+                    }
+                }
+            }
             Ok(Request::Suite) => {
                 let rows: Vec<Json> = all
                     .iter()
                     .filter_map(|e| by_name.get(e.info.name))
-                    .map(|r| program_response(r))
+                    .map(|r| program_response(r, store.degraded()))
                     .collect();
                 let cached =
                     rows.iter().filter(|r| r.get("cached").and_then(Json::as_bool) == Some(true));
                 Json::obj([
                     ("ok", Json::Bool(true)),
                     ("op", Json::str("suite")),
+                    ("degraded", Json::Bool(store.degraded())),
                     ("cached", Json::U64(cached.count() as u64)),
                     ("programs", Json::Arr(rows)),
                 ])
@@ -207,10 +295,17 @@ mod tests {
     fn parse_request_accepts_the_grammar() {
         assert_eq!(
             parse_request(r#"{"op":"compile","program":"fnv1a"}"#).unwrap(),
-            Request::Compile("fnv1a".into())
+            Request::Compile { program: "fnv1a".into(), deadline_ms: None }
         );
+        assert_eq!(
+            parse_request(r#"{"op":"compile","program":"fnv1a","deadline_ms":250}"#).unwrap(),
+            Request::Compile { program: "fnv1a".into(), deadline_ms: Some(250) }
+        );
+        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
         assert_eq!(parse_request(r#"{"op":"suite"}"#).unwrap(), Request::Suite);
         assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert!(parse_request(r#"{"op":"compile","program":"fnv1a","deadline_ms":"soon"}"#)
+            .is_err());
         assert!(parse_request(r#"{"op":"reboot"}"#).is_err());
         assert!(parse_request(r#"{"program":"fnv1a"}"#).is_err());
         assert!(parse_request("not json").is_err());
@@ -237,6 +332,7 @@ bogus\n";
         assert_eq!(cache.get("stores").and_then(Json::as_u64), Some(1));
         assert_eq!(responses[3].get("ok").and_then(Json::as_bool), Some(false));
         assert_eq!(responses[4].get("ok").and_then(Json::as_bool), Some(false));
+        let _ = std::fs::remove_dir_all(store.root());
     }
 
     #[test]
@@ -247,6 +343,75 @@ bogus\n";
         assert_eq!(cold[0].get("programs").and_then(Json::as_arr).unwrap().len(), 7);
         let warm = run("{\"op\":\"suite\"}\n", &mut store);
         assert_eq!(warm[0].get("cached").and_then(Json::as_u64), Some(7));
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn ping_reports_health_without_compiling() {
+        let mut store = scratch_store("ping");
+        let responses = run("{\"op\":\"ping\"}\n", &mut store);
+        assert_eq!(responses.len(), 1);
+        let ping = &responses[0];
+        assert_eq!(ping.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(ping.get("op").and_then(Json::as_str), Some("ping"));
+        assert_eq!(ping.get("backend").and_then(Json::as_str), Some("fs"));
+        assert_eq!(ping.get("degraded").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            ping.get("format").and_then(Json::as_u64),
+            Some(crate::fingerprint::FORMAT_VERSION)
+        );
+        assert!(ping
+            .get("store")
+            .and_then(Json::as_str)
+            .is_some_and(|s| s.contains("rupicola-batch-test-ping")));
+        // Liveness only: no loads, no compiles, no stores.
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses, stats.stores), (0, 0, 0));
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn degraded_store_answers_the_batch_and_says_so() {
+        // A store that cannot touch disk at all: every response must still
+        // arrive (compile-without-cache) and carry the degraded flag.
+        let root = std::env::temp_dir()
+            .join(format!("rupicola-batch-test-degraded-{}", std::process::id()));
+        let mut store = Store::open_degraded(&root);
+        let responses =
+            run("{\"op\":\"ping\"}\n{\"op\":\"compile\",\"program\":\"fnv1a\"}\n", &mut store);
+        assert_eq!(responses[0].get("degraded").and_then(Json::as_bool), Some(true));
+        assert_eq!(responses[1].get("ok").and_then(Json::as_bool), Some(true), "{responses:?}");
+        assert_eq!(responses[1].get("cached").and_then(Json::as_bool), Some(false));
+        assert_eq!(responses[1].get("degraded").and_then(Json::as_bool), Some(true));
+        assert_eq!(store.stats().stores, 0, "degraded store persists nothing");
+    }
+
+    #[test]
+    fn expired_deadline_is_reported_in_band() {
+        let mut store = scratch_store("deadline");
+        // deadline_ms:0 expires at the first judgment — deterministically,
+        // because the engine checks the clock inclusively.
+        let responses =
+            run("{\"op\":\"compile\",\"program\":\"fnv1a\",\"deadline_ms\":0}\n", &mut store);
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0].get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(responses[0].get("deadline_exceeded").and_then(Json::as_bool), Some(true));
+        assert!(responses[0]
+            .get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|e| e.contains("wall-clock")));
+        // A generous deadline compiles normally and is persisted under the
+        // same key an undeadline'd request would use.
+        let responses = run(
+            "{\"op\":\"compile\",\"program\":\"fnv1a\",\"deadline_ms\":600000}\n",
+            &mut store,
+        );
+        assert_eq!(responses[0].get("ok").and_then(Json::as_bool), Some(true));
+        assert!(responses[0].get("deadline_exceeded").is_none());
+        assert_eq!(store.stats().stores, 1);
+        // …which an undeadline'd request now hits.
+        let responses = run("{\"op\":\"compile\",\"program\":\"fnv1a\"}\n", &mut store);
+        assert_eq!(responses[0].get("cached").and_then(Json::as_bool), Some(true));
         let _ = std::fs::remove_dir_all(store.root());
     }
 }

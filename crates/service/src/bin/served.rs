@@ -3,23 +3,71 @@
 //! Reads JSON-lines requests from stdin until EOF, answers on stdout:
 //!
 //! ```text
-//! $ printf '%s\n' '{"op":"suite"}' '{"op":"stats"}' | served
+//! $ printf '%s\n' '{"op":"ping"}' '{"op":"suite"}' '{"op":"stats"}' | served
 //! ```
 //!
 //! Store root: `$SERVICE_STORE` if set (must be non-empty valid Unicode;
 //! anything else is a hard error, not a silent fallback), else
 //! `results/store`. Set `SERVED_LINT=1` to also run the static-analysis
 //! lints on every cache load.
+//!
+//! # Failure behavior
+//!
+//! *Configuration* errors are loud and fatal; *environmental* failures
+//! degrade. If the store root cannot be opened (permissions, read-only
+//! filesystem, …) `served` warns on stderr and answers the whole batch in
+//! **degraded** compile-without-cache mode — every response then carries
+//! `"degraded":true` — instead of refusing service. A store that fails
+//! *during* the batch degrades the same way (see DESIGN.md §12). Batches
+//! against a shared store are serialized by an advisory lock
+//! (`<root>/.lock`); locks held by dead processes are broken
+//! automatically.
+//!
+//! # Exit codes
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | batch answered (possibly with in-band `{"ok":false}` lines, possibly degraded) |
+//! | 2    | unusable configuration (`$SERVICE_STORE`/`$SERVED_LINT` set but invalid), a live lock holder kept the store busy past the wait budget, or stdin/stdout I/O failed |
+//!
+//! Per-request failures (unknown program, failed compile, expired
+//! deadline, malformed line) are never exit codes: they are `{"ok":false}`
+//! response lines, so one bad request cannot take down a batch.
 
 use std::io::{BufReader, Write as _};
+use std::time::Duration;
 
 use rupicola_ext::standard_dbs;
 use rupicola_service::{env, serve, Store};
 
+/// How long to wait for another `served` process to release the store.
+const LOCK_WAIT: Duration = Duration::from_secs(30);
+
 fn main() {
     let result = (|| -> Result<usize, String> {
+        // Configuration errors (a *set but invalid* env var) stay fatal:
+        // silently proceeding would run a batch the operator did not ask
+        // for. Environmental errors below degrade instead.
         let lint = env::flag("SERVED_LINT")?;
-        let mut store = Store::open_from_env()?.with_lint_on_load(lint);
+        let root = rupicola_service::store_root_from_env()?;
+        let (mut store, _lock) = match Store::open(&root) {
+            Ok(store) => {
+                // Serialize whole batches across processes sharing this
+                // root. A dead holder's lock is broken automatically; a
+                // live one that outlasts the wait budget is a
+                // configuration problem, not something to degrade around
+                // (two unserialized writers is what the lock prevents).
+                let lock = store.lock(LOCK_WAIT)?;
+                (store, Some(lock))
+            }
+            Err(e) => {
+                eprintln!(
+                    "served: warning: {e}; degrading to compile-without-cache for this batch"
+                );
+                (Store::open_degraded(&root), None)
+            }
+        };
+        store = store.with_lint_on_load(lint);
         let dbs = standard_dbs();
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
@@ -27,8 +75,15 @@ fn main() {
             .map_err(|e| format!("I/O error: {e}"))?;
         let stats = store.stats();
         eprintln!(
-            "served: {n} request(s); cache: {} hit(s), {} miss(es), {} eviction(s), {} store(s)",
-            stats.hits, stats.misses, stats.evictions, stats.stores
+            "served: {n} request(s){}; cache: {} hit(s), {} miss(es), {} eviction(s), {} store(s), \
+             {} unavailable, {} retries",
+            if store.degraded() { " [degraded]" } else { "" },
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+            stats.stores,
+            stats.unavailable,
+            stats.retries
         );
         Ok(n)
     })();

@@ -10,6 +10,21 @@
 
 use std::fmt::Display;
 use std::str::FromStr;
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes tests that mutate process-global environment variables.
+///
+/// `std::env::set_var` is process-wide state and libtest runs `#[test]`
+/// fns on threads: two tests mutating *any* env vars concurrently can
+/// observe each other's writes (and on some platforms `set_var` racing a
+/// `getenv` is outright UB). Every env-mutating test in this crate takes
+/// this lock first. A poisoned lock (a previous env test panicked) is
+/// recovered rather than propagated — the environment is already
+/// per-test-reset, so the panic's state does not leak.
+pub fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Parses `$name` as a `T`, defaulting only when the variable is unset.
 ///
@@ -81,11 +96,11 @@ pub fn flag_or_exit(name: &str) -> bool {
 mod tests {
     use super::*;
 
-    // One test fn: env vars are process-global and libtest runs tests on
-    // threads, so all mutation happens in a single sequential body, on
-    // names no other test reads.
+    // One test fn for the whole ladder, under the shared env lock: env
+    // vars are process-global and libtest runs tests on threads.
     #[test]
     fn strictness_ladder() {
+        let _guard = test_lock();
         std::env::remove_var("RUPICOLA_ENV_TEST");
         assert_eq!(parsed_or("RUPICOLA_ENV_TEST", 30u32).unwrap(), 30);
         assert!(!flag("RUPICOLA_ENV_TEST").unwrap());

@@ -93,6 +93,11 @@ pub(crate) fn canonical_bytes(
     bytes.push(0);
     bytes.extend_from_slice(dbs.identity_string().as_bytes());
     bytes.push(0);
+    // Exactly the four *determinism-relevant* budgets. `max_wall_ms` is
+    // deliberately excluded: a wall-clock deadline changes when an answer
+    // arrives (and whether it arrives at all), never which artifact is
+    // correct for the request — keying on it would fragment the cache
+    // across callers with different latency budgets for no safety gain.
     bytes.extend_from_slice(
         format!(
             "limits:lemmas={};depth={};names={};solver={}",

@@ -18,7 +18,7 @@ use rupicola_core::check::CheckConfig;
 use rupicola_core::{CompileError, CompiledFunction, EngineLimits, HintDbs};
 use rupicola_lang::Model;
 use rupicola_opt::optimize_compiled;
-use rupicola_programs::parallel::{compile_entries_parallel, SuiteResult};
+use rupicola_programs::parallel::{compile_entries_parallel_with_limits, SuiteResult};
 use rupicola_programs::{suite, SuiteEntry};
 
 /// How one suite program was obtained.
@@ -55,7 +55,21 @@ pub fn compile_programs_cached(
     store: &mut Store,
     dbs: &HintDbs,
 ) -> Vec<CachedResult> {
-    let limits = EngineLimits::default();
+    compile_programs_cached_with_limits(entries, store, dbs, &EngineLimits::default())
+}
+
+/// [`compile_programs_cached`] under explicit [`EngineLimits`] — this is
+/// how the batch front-end threads per-request deadlines down to the
+/// engine. Note the store key ignores `max_wall_ms` (see
+/// [`Store::key_for`]), so deadline'd and undeadline'd requests share
+/// artifacts; a load that *hits* is served regardless of the deadline
+/// (verified loads are milliseconds), only fresh derivations race it.
+pub fn compile_programs_cached_with_limits(
+    entries: &[SuiteEntry],
+    store: &mut Store,
+    dbs: &HintDbs,
+    limits: &EngineLimits,
+) -> Vec<CachedResult> {
     // Pass 1: verified loads, batched so the store can parallelize the
     // read+re-check work. Remember which entries missed (or evicted) and
     // the slot their fresh result must land in.
@@ -68,7 +82,7 @@ pub fn compile_programs_cached(
         requests.iter().map(|(m, s)| (m, s)).collect();
     for (i, (entry, outcome)) in entries
         .iter()
-        .zip(store.load_verified_many(&request_refs, dbs, &limits))
+        .zip(store.load_verified_many(&request_refs, dbs, limits))
         .enumerate()
     {
         match outcome {
@@ -79,7 +93,13 @@ pub fn compile_programs_cached(
                     provenance: Provenance::Cache,
                 });
             }
-            LoadOutcome::Miss | LoadOutcome::Evicted { .. } => missing.push(i),
+            // Unavailable (degraded store, quarantined key, post-retry
+            // I/O failure) degrades to compile-without-cache: the entry
+            // is compiled like a miss, and `store.put` below will refuse
+            // or fail harmlessly if the store still cannot persist.
+            LoadOutcome::Miss | LoadOutcome::Evicted { .. } | LoadOutcome::Unavailable { .. } => {
+                missing.push(i);
+            }
         }
     }
     // Pass 2: parallel compilation of exactly the misses, then the
@@ -91,13 +111,13 @@ pub fn compile_programs_cached(
         let pipeline = store.pipeline().clone();
         let opt_check = CheckConfig::default();
         let todo: Vec<SuiteEntry> = missing.iter().map(|&i| entries[i].clone()).collect();
-        let fresh: Vec<SuiteResult> = compile_entries_parallel(&todo, dbs);
+        let fresh: Vec<SuiteResult> = compile_entries_parallel_with_limits(&todo, dbs, limits);
         for (&i, mut fresh) in missing.iter().zip(fresh) {
             if let Ok(cf) = &mut fresh.result {
                 if !pipeline.passes.is_empty() {
                     let _ = optimize_compiled(cf, dbs, &pipeline, &opt_check);
                 }
-                let key = store.key_for(&cf.model, &cf.spec, dbs, &limits);
+                let key = store.key_for(&cf.model, &cf.spec, dbs, limits);
                 let _ = store.put(key, cf);
             }
             slots[i] = Some(CachedResult {

@@ -23,21 +23,39 @@
 //!   hands only the misses to the parallel compilation driver; a fully
 //!   warm run performs zero derivations.
 //! - [`batch`] — a JSON-lines front-end (`served` binary): queued
-//!   `compile`/`suite`/`stats` requests are resolved in one incremental
-//!   pass and answered in order.
+//!   `ping`/`compile`/`suite`/`stats` requests are resolved in one
+//!   incremental pass and answered in order.
+//!
+//! The service layer additionally assumes a *hostile environment*
+//! (DESIGN.md §12): all store I/O goes through a [`backend::Backend`]
+//! seam, transient faults are retried with bounded backoff ([`retry`]),
+//! persistent outages flip the store into degraded compile-without-cache
+//! mode, and a seeded fault-injecting [`chaos::ChaosBackend`] plus the
+//! `chaosbench` binary exercise the whole stack under torn writes, bit
+//! flips and I/O errors — gating that faults collapse to retries, misses,
+//! evictions or degraded compiles, never wrong answers.
 //!
 //! [`Derivation`]: rupicola_core::derive::Derivation
 //! [`DispatchMode`]: rupicola_core::DispatchMode
 
+pub mod backend;
 pub mod batch;
+pub mod chaos;
 pub mod env;
 pub mod fingerprint;
 pub mod incremental;
+pub mod retry;
 pub mod store;
 
+pub use backend::{Backend, FsBackend};
 pub use batch::{parse_request, serve, Request};
+pub use chaos::{ChaosBackend, FaultCounts, FaultPlan};
 pub use fingerprint::{fingerprint, Fingerprint, FORMAT_VERSION};
 pub use incremental::{
-    compile_programs_cached, compile_suite_cached, suite_via_store, CachedResult, Provenance,
+    compile_programs_cached, compile_programs_cached_with_limits, compile_suite_cached,
+    suite_via_store, CachedResult, Provenance,
 };
-pub use store::{store_root_from_env, CacheStats, LoadOutcome, Store, DEFAULT_ROOT, STORE_ENV};
+pub use retry::{classify, with_retry, ErrorClass, RetryOutcome, RetryPolicy};
+pub use store::{
+    store_root_from_env, CacheStats, LoadOutcome, Store, StoreLock, DEFAULT_ROOT, STORE_ENV,
+};

@@ -1,0 +1,221 @@
+//! Bounded retry with exponential backoff for transient I/O faults.
+//!
+//! The store's failure model (DESIGN.md §12) splits I/O errors into two
+//! classes:
+//!
+//! - **transient** — the operation may succeed if simply retried: `EIO`
+//!   (a bus hiccup), `EAGAIN`/`EWOULDBLOCK`, `EBUSY`, `ENOSPC` (space is
+//!   routinely freed by eviction and log rotation), timeouts and
+//!   interrupts. These are retried up to
+//!   [`RetryPolicy::max_attempts`] times with exponential backoff.
+//! - **permanent** — retrying cannot help: `NotFound` (a miss, not a
+//!   fault), `PermissionDenied`, `InvalidData` (corruption — the
+//!   *verification* layer's problem, not the I/O layer's), and anything
+//!   else unrecognized. These surface immediately.
+//!
+//! The split is deliberately conservative: misclassifying a transient
+//! fault as permanent costs one spurious cache miss or one lost store
+//! (the caller recompiles — correctness is unaffected); misclassifying a
+//! permanent fault as transient costs a few milliseconds of futile
+//! backoff. Neither can produce a wrong answer, because every loaded
+//! artifact is re-verified regardless of how many attempts the read took.
+
+use std::io;
+use std::time::Duration;
+
+/// Classification of an I/O error for retry purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Worth retrying with backoff.
+    Transient,
+    /// Retrying cannot help; surface immediately.
+    Permanent,
+}
+
+/// Classifies `err` as transient or permanent (see the module docs).
+pub fn classify(err: &io::Error) -> ErrorClass {
+    // Raw OS codes first: injected and real hardware faults carry these
+    // regardless of how std maps them onto `ErrorKind` across versions.
+    if let Some(code) = err.raw_os_error() {
+        const EIO: i32 = 5;
+        const EAGAIN: i32 = 11;
+        const EBUSY: i32 = 16;
+        const ENOSPC: i32 = 28;
+        if matches!(code, EIO | EAGAIN | EBUSY | ENOSPC) {
+            return ErrorClass::Transient;
+        }
+    }
+    match err.kind() {
+        io::ErrorKind::Interrupted | io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => {
+            ErrorClass::Transient
+        }
+        _ => ErrorClass::Permanent,
+    }
+}
+
+/// Bounded-retry configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). `max_attempts: 1` disables
+    /// retrying entirely; 0 is treated as 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts, 200 µs → 1.6 ms backoff: store files are a few
+    /// kilobytes, so a fault that survives ~2 ms of retrying is treated
+    /// as an outage (the store degrades) rather than a blip.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_micros(200),
+            max_delay: Duration::from_millis(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (for tests and impatient callers).
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+    }
+
+    /// The backoff before retry number `retry` (0-based), exponential
+    /// from [`base_delay`](RetryPolicy::base_delay) and capped at
+    /// [`max_delay`](RetryPolicy::max_delay).
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let factor = 1u32.checked_shl(retry).unwrap_or(u32::MAX);
+        self.base_delay.saturating_mul(factor).min(self.max_delay)
+    }
+}
+
+/// The outcome of a retried operation: the final result plus how many
+/// *retries* (attempts beyond the first) were spent getting it.
+#[derive(Debug)]
+pub struct RetryOutcome<T> {
+    /// The final result: the first success, the first permanent error, or
+    /// the last transient error once attempts ran out.
+    pub result: io::Result<T>,
+    /// Retries performed (0 when the first attempt settled it).
+    pub retries: u32,
+}
+
+/// Runs `op` under `policy`: transient errors are retried with
+/// exponential backoff, permanent errors and successes return
+/// immediately. The retry count is reported so callers can account it
+/// ([`CacheStats::retries`](crate::store::CacheStats)).
+pub fn with_retry<T>(policy: &RetryPolicy, mut op: impl FnMut() -> io::Result<T>) -> RetryOutcome<T> {
+    let attempts = policy.max_attempts.max(1);
+    let mut retries = 0;
+    loop {
+        match op() {
+            Ok(v) => return RetryOutcome { result: Ok(v), retries },
+            Err(e) if classify(&e) == ErrorClass::Permanent => {
+                return RetryOutcome { result: Err(e), retries };
+            }
+            Err(e) => {
+                if retries + 1 >= attempts {
+                    return RetryOutcome { result: Err(e), retries };
+                }
+                std::thread::sleep(policy.backoff(retries));
+                retries += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eio() -> io::Error {
+        io::Error::from_raw_os_error(5)
+    }
+
+    #[test]
+    fn classification_split() {
+        assert_eq!(classify(&eio()), ErrorClass::Transient);
+        assert_eq!(classify(&io::Error::from_raw_os_error(28)), ErrorClass::Transient); // ENOSPC
+        assert_eq!(classify(&io::Error::from_raw_os_error(11)), ErrorClass::Transient); // EAGAIN
+        assert_eq!(
+            classify(&io::Error::new(io::ErrorKind::Interrupted, "eintr")),
+            ErrorClass::Transient
+        );
+        assert_eq!(
+            classify(&io::Error::new(io::ErrorKind::NotFound, "miss")),
+            ErrorClass::Permanent
+        );
+        assert_eq!(
+            classify(&io::Error::new(io::ErrorKind::InvalidData, "not utf-8")),
+            ErrorClass::Permanent,
+            "corruption is the verifier's problem, not the I/O layer's"
+        );
+        assert_eq!(
+            classify(&io::Error::new(io::ErrorKind::PermissionDenied, "eacces")),
+            ErrorClass::Permanent
+        );
+    }
+
+    #[test]
+    fn transient_errors_are_retried_until_success() {
+        let mut fails = 2;
+        let out = with_retry(&RetryPolicy::default(), || {
+            if fails > 0 {
+                fails -= 1;
+                Err(eio())
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(out.result.unwrap(), 42);
+        assert_eq!(out.retries, 2);
+    }
+
+    #[test]
+    fn retries_are_bounded() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_micros(1),
+            max_delay: Duration::from_micros(2),
+        };
+        let mut calls = 0;
+        let out = with_retry(&policy, || -> io::Result<()> {
+            calls += 1;
+            Err(eio())
+        });
+        assert!(out.result.is_err());
+        assert_eq!(calls, 3, "exactly max_attempts calls");
+        assert_eq!(out.retries, 2);
+    }
+
+    #[test]
+    fn permanent_errors_are_not_retried() {
+        let mut calls = 0;
+        let out = with_retry(&RetryPolicy::default(), || -> io::Result<()> {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::PermissionDenied, "eacces"))
+        });
+        assert!(out.result.is_err());
+        assert_eq!(calls, 1);
+        assert_eq!(out.retries, 0);
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(5),
+        };
+        assert_eq!(p.backoff(0), Duration::from_millis(1));
+        assert_eq!(p.backoff(1), Duration::from_millis(2));
+        assert_eq!(p.backoff(2), Duration::from_millis(4));
+        assert_eq!(p.backoff(3), Duration::from_millis(5), "capped");
+        assert_eq!(p.backoff(31), Duration::from_millis(5));
+        assert_eq!(p.backoff(63), Duration::from_millis(5), "shift overflow saturates");
+    }
+}

@@ -1,4 +1,4 @@
-//! The content-addressed, *verified* artifact store.
+//! The content-addressed, *verified*, crash-safe artifact store.
 //!
 //! Layout: one file per artifact under the store root,
 //! `"<program>-<fingerprint>.json"`, holding an envelope
@@ -29,21 +29,57 @@
 //! error is indistinguishable from corruption by design: decoders are
 //! total, so a bit flip is at worst an eviction.
 //!
+//! # The environment adds no trust either
+//!
+//! All I/O goes through a [`Backend`] (DESIGN.md §12), and the store
+//! assumes the environment is hostile:
+//!
+//! - **transient faults** (`EIO`, `ENOSPC`, …) are retried with bounded
+//!   exponential backoff ([`RetryPolicy`]); retries are counted in
+//!   [`CacheStats::retries`];
+//! - **persistent faults** flip the store into **degraded mode** after
+//!   [`DEGRADE_AFTER`] consecutive backend failures: every subsequent
+//!   load answers [`LoadOutcome::Unavailable`] without touching disk and
+//!   every put is skipped, so the service falls back to
+//!   compile-without-cache instead of erroring batches;
+//! - **corruption loops** are broken by **quarantine**: a key evicted
+//!   [`QUARANTINE_AFTER`] times stops being cached at all (loads answer
+//!   `Unavailable`, puts are refused), so a bad sector cannot cause an
+//!   endless store → evict → recompile → store cycle;
+//! - **crash recovery**: [`Store::open`] scavenges orphaned
+//!   `…tmp.<pid>` files left by processes killed mid-store (only files
+//!   whose writer pid is provably dead are reaped);
+//! - **multi-process sharing** is serialized by an advisory
+//!   [`StoreLock`] (`<root>/.lock`, holder pid inside, stale locks of
+//!   dead holders are broken automatically). Publishing is atomic
+//!   (temp + rename) either way; the lock exists so two `served`
+//!   processes do not interleave scavenging with each other's batches.
+//!
+//! None of this machinery is trusted: `chaosbench` replays thousands of
+//! requests against a fault-injecting backend and gates that every fault
+//! collapses to a retry, miss, eviction or degraded compile — never a
+//! wrong answer.
+//!
 //! [`lint_on_load`]: Store::with_lint_on_load
+//! [`Backend`]: crate::backend::Backend
+//! [`RetryPolicy`]: crate::retry::RetryPolicy
 
+use std::collections::{HashMap, HashSet};
 use std::fs;
-use std::io::Write as _;
+use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use crate::backend::{Backend, FsBackend};
 use crate::fingerprint::{fingerprint_with_pipeline, Fingerprint, FORMAT_VERSION};
+use crate::retry::{with_retry, RetryPolicy};
 use rupicola_core::check::{check_with, CheckConfig};
-use rupicola_opt::{validate_candidate, PipelineConfig};
 use rupicola_core::fnspec::FnSpec;
 use rupicola_core::serial::{decode_compiled_function, encode_compiled_function};
 use rupicola_core::{CompiledFunction, EngineLimits, HintDbs};
 use rupicola_lang::json::Json;
 use rupicola_lang::Model;
+use rupicola_opt::{validate_candidate, PipelineConfig};
 
 /// Name of the environment variable overriding the store root.
 pub const STORE_ENV: &str = "SERVICE_STORE";
@@ -62,6 +98,18 @@ pub const LOAD_CHECK_VECTORS: usize = 4;
 
 /// Default store root, relative to the current directory.
 pub const DEFAULT_ROOT: &str = "results/store";
+
+/// Consecutive backend failures (reads or writes, after retries) that
+/// flip the store into degraded mode.
+pub const DEGRADE_AFTER: u32 = 4;
+
+/// Evictions of one key after which it is quarantined (never cached
+/// again by this store instance). Breaks store/evict/recompile loops on
+/// persistently corrupting media.
+pub const QUARANTINE_AFTER: u32 = 3;
+
+/// Filename of the advisory store lock, under the store root.
+pub const LOCK_FILE: &str = ".lock";
 
 /// Resolves the store root: `$SERVICE_STORE` if set, else [`DEFAULT_ROOT`].
 ///
@@ -84,6 +132,22 @@ pub fn store_root_from_env() -> Result<PathBuf, String> {
     }
 }
 
+/// Whether `pid` refers to a live process. On Linux this consults
+/// `/proc`; elsewhere liveness cannot be probed cheaply and every pid is
+/// conservatively reported alive (stale temp files and locks are then
+/// only reclaimed when their names fail to parse).
+fn pid_alive(pid: u32) -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        Path::new(&format!("/proc/{pid}")).exists()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = pid;
+        true
+    }
+}
+
 /// Counters describing what the store did over its lifetime.
 ///
 /// Same spirit as `CompileStats`: plain counters a harness can print or
@@ -99,6 +163,17 @@ pub struct CacheStats {
     pub evictions: usize,
     /// Artifacts written.
     pub stores: usize,
+    /// Loads the store could not answer: I/O failure after retries,
+    /// degraded mode, or a quarantined key. The caller compiles instead.
+    pub unavailable: usize,
+    /// Put attempts that failed at the I/O layer (after retries).
+    pub write_failures: usize,
+    /// Transient-fault retries performed across all operations.
+    pub retries: u64,
+    /// Orphaned temp files reaped by startup recovery.
+    pub scavenged: usize,
+    /// Keys quarantined after repeated evictions.
+    pub quarantined: usize,
     /// Total nanoseconds spent re-verifying loaded artifacts (decode +
     /// cross-check + checker + lints), over hits *and* evictions.
     pub verify_nanos: u128,
@@ -112,6 +187,11 @@ impl CacheStats {
             ("misses", Json::U64(self.misses as u64)),
             ("evictions", Json::U64(self.evictions as u64)),
             ("stores", Json::U64(self.stores as u64)),
+            ("unavailable", Json::U64(self.unavailable as u64)),
+            ("write_failures", Json::U64(self.write_failures as u64)),
+            ("retries", Json::U64(self.retries)),
+            ("scavenged", Json::U64(self.scavenged as u64)),
+            ("quarantined", Json::U64(self.quarantined as u64)),
             ("verify_nanos", Json::U64(u64::try_from(self.verify_nanos).unwrap_or(u64::MAX))),
         ])
     }
@@ -129,36 +209,190 @@ pub enum LoadOutcome {
         /// Why the artifact was rejected.
         reason: String,
     },
+    /// The store could not answer: I/O failure after bounded retries,
+    /// degraded mode, or a quarantined key. Unlike [`LoadOutcome::Miss`]
+    /// nothing is known about whether an artifact exists; the caller
+    /// should compile without caching expectations.
+    Unavailable {
+        /// Why the store could not answer.
+        reason: String,
+    },
+}
+
+/// An advisory, cross-process store lock: `<root>/.lock` created
+/// exclusively with the holder's pid inside, removed on drop.
+///
+/// Locks of *dead* holders are broken automatically (pid liveness via
+/// `/proc` on Linux), so a `served` process killed mid-batch never
+/// wedges the store for its successors. The lock is advisory: artifact
+/// publishing is atomic (temp + rename) with or without it — the lock
+/// exists so concurrent `served` processes serialize whole batches and
+/// never interleave recovery scavenging with each other's in-flight
+/// writes.
+#[derive(Debug)]
+pub struct StoreLock {
+    path: PathBuf,
+}
+
+impl StoreLock {
+    /// Acquires the lock for the store rooted at `root`, waiting up to
+    /// `wait` (with capped exponential backoff between attempts).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the wait budget expires while a *live* process holds
+    /// the lock, or on an unexpected I/O error.
+    pub fn acquire(root: &Path, wait: Duration) -> Result<StoreLock, String> {
+        let path = root.join(LOCK_FILE);
+        let deadline = Instant::now() + wait;
+        let mut delay = Duration::from_millis(1);
+        loop {
+            match fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut f) => {
+                    let _ = write!(f, "{}", std::process::id());
+                    let _ = f.sync_all();
+                    return Ok(StoreLock { path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let holder = fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    let stale = match holder {
+                        // Our own pid means another thread of this process
+                        // holds it — alive by definition.
+                        Some(pid) => pid != std::process::id() && !pid_alive(pid),
+                        // Unreadable or torn lock contents: the holder
+                        // cannot be identified, treat as stale.
+                        None => true,
+                    };
+                    if stale {
+                        let _ = fs::remove_file(&path);
+                        continue;
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(format!(
+                            "store lock {} held by live pid {}",
+                            path.display(),
+                            holder.map_or_else(|| "?".to_string(), |p| p.to_string())
+                        ));
+                    }
+                    std::thread::sleep(delay);
+                    delay = (delay * 2).min(Duration::from_millis(50));
+                }
+                Err(e) => {
+                    return Err(format!("cannot create store lock {}: {e}", path.display()));
+                }
+            }
+        }
+    }
+
+    /// The lock file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
 }
 
 /// A content-addressed on-disk artifact store with verified loads.
 #[derive(Debug)]
 pub struct Store {
     root: PathBuf,
+    backend: Box<dyn Backend>,
+    retry: RetryPolicy,
     check: CheckConfig,
     lint_on_load: bool,
     pipeline: PipelineConfig,
     stats: CacheStats,
+    /// Set once [`DEGRADE_AFTER`] consecutive backend failures accrue;
+    /// never cleared for the lifetime of this instance (recovery is a
+    /// reopen, which re-probes the filesystem from scratch).
+    degraded: bool,
+    degrade_after: u32,
+    consecutive_failures: u32,
+    /// Evictions per artifact path, feeding the quarantine.
+    evict_counts: HashMap<PathBuf, u32>,
+    /// Paths this store refuses to cache (load or put) any further.
+    quarantine: HashSet<PathBuf>,
+    quarantine_after: u32,
 }
 
 impl Store {
-    /// Opens (creating if needed) a store rooted at `root`.
+    /// Opens (creating if needed) a store rooted at `root` on the real
+    /// filesystem, then runs startup recovery (orphaned temp files whose
+    /// writer process is dead are scavenged — see
+    /// [`CacheStats::scavenged`]).
     ///
     /// # Errors
     ///
-    /// Fails if the directory cannot be created.
+    /// Fails if the directory cannot be created (after retries).
     pub fn open(root: impl Into<PathBuf>) -> Result<Store, String> {
+        Store::open_with_backend(root, Box::new(FsBackend))
+    }
+
+    /// [`Store::open`] over an explicit [`Backend`] — the chaos backend
+    /// in tests and `chaosbench`, the plain filesystem in production.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the root directory cannot be created (after retries).
+    pub fn open_with_backend(
+        root: impl Into<PathBuf>,
+        backend: Box<dyn Backend>,
+    ) -> Result<Store, String> {
         let root = root.into();
-        fs::create_dir_all(&root)
+        let retry = RetryPolicy::default();
+        let mk = with_retry(&retry, || backend.create_dir_all(&root));
+        let retries = mk.retries;
+        mk.result
             .map_err(|e| format!("cannot create store root {}: {e}", root.display()))?;
         let check = CheckConfig { vectors: LOAD_CHECK_VECTORS, ..CheckConfig::default() };
-        Ok(Store {
+        let mut store = Store {
             root,
+            backend,
+            retry,
             check,
             lint_on_load: false,
             pipeline: PipelineConfig::full(),
             stats: CacheStats::default(),
-        })
+            degraded: false,
+            degrade_after: DEGRADE_AFTER,
+            consecutive_failures: 0,
+            evict_counts: HashMap::new(),
+            quarantine: HashSet::new(),
+            quarantine_after: QUARANTINE_AFTER,
+        };
+        store.stats.retries += u64::from(retries);
+        store.recover();
+        Ok(store)
+    }
+
+    /// A store that is **born degraded**: it never touches the disk, every
+    /// load answers [`LoadOutcome::Unavailable`] and every put is
+    /// skipped. This is the compile-without-cache fallback `served` uses
+    /// when the store root cannot be opened at all — the batch still gets
+    /// answered, just without persistence.
+    pub fn open_degraded(root: impl Into<PathBuf>) -> Store {
+        let check = CheckConfig { vectors: LOAD_CHECK_VECTORS, ..CheckConfig::default() };
+        Store {
+            root: root.into(),
+            backend: Box::new(FsBackend),
+            retry: RetryPolicy::none(),
+            check,
+            lint_on_load: false,
+            pipeline: PipelineConfig::full(),
+            stats: CacheStats::default(),
+            degraded: true,
+            degrade_after: DEGRADE_AFTER,
+            consecutive_failures: 0,
+            evict_counts: HashMap::new(),
+            quarantine: HashSet::new(),
+            quarantine_after: QUARANTINE_AFTER,
+        }
     }
 
     /// Opens the store at the environment-resolved root
@@ -196,6 +430,31 @@ impl Store {
         self
     }
 
+    /// Replaces the transient-fault retry policy.
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Store {
+        self.retry = retry;
+        self
+    }
+
+    /// Replaces the degraded-mode threshold (consecutive backend
+    /// failures; default [`DEGRADE_AFTER`]). `0` degrades on the first
+    /// failure.
+    #[must_use]
+    pub fn with_degrade_after(mut self, failures: u32) -> Store {
+        self.degrade_after = failures;
+        self
+    }
+
+    /// Replaces the quarantine threshold (evictions of one key; default
+    /// [`QUARANTINE_AFTER`]). `0` disables quarantining entirely — used
+    /// by tests that hammer one key with corruption on purpose.
+    #[must_use]
+    pub fn with_quarantine_after(mut self, evictions: u32) -> Store {
+        self.quarantine_after = evictions;
+        self
+    }
+
     /// The optimization pipeline this store keys under.
     pub fn pipeline(&self) -> &PipelineConfig {
         &self.pipeline
@@ -211,12 +470,37 @@ impl Store {
         self.stats
     }
 
+    /// Whether the store has flipped into degraded (compile-without-
+    /// cache) mode.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// The backend's short name (`"fs"`, `"chaos"`), for reports.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Acquires the advisory cross-process lock for this store's root.
+    ///
+    /// # Errors
+    ///
+    /// See [`StoreLock::acquire`].
+    pub fn lock(&self, wait: Duration) -> Result<StoreLock, String> {
+        StoreLock::acquire(&self.root, wait)
+    }
+
     /// The file an artifact for `(name, key)` lives in.
     pub fn path_for(&self, name: &str, key: Fingerprint) -> PathBuf {
         self.root.join(format!("{name}-{key}.json"))
     }
 
     /// Fingerprints a request with this store's conventions.
+    ///
+    /// Note that [`EngineLimits::max_wall_ms`] is deliberately *not* part
+    /// of the key (see `fingerprint`): deadlines change when an answer
+    /// arrives, never which artifact is correct, and keying on them would
+    /// fragment the cache across tenants with different latency budgets.
     pub fn key_for(
         &self,
         model: &Model,
@@ -227,34 +511,104 @@ impl Store {
         fingerprint_with_pipeline(model, spec, dbs, limits, &self.pipeline.identity_string())
     }
 
+    /// One backend success: resets the consecutive-failure streak.
+    fn note_backend_ok(&mut self) {
+        self.consecutive_failures = 0;
+    }
+
+    /// One backend failure (post-retry): counts toward degraded mode.
+    fn note_backend_failure(&mut self) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.consecutive_failures > self.degrade_after {
+            self.degraded = true;
+        }
+    }
+
+    /// One eviction of `path`: counts toward that key's quarantine.
+    fn note_eviction(&mut self, path: &Path) {
+        let count = self.evict_counts.entry(path.to_path_buf()).or_insert(0);
+        *count += 1;
+        if self.quarantine_after > 0
+            && *count >= self.quarantine_after
+            && self.quarantine.insert(path.to_path_buf())
+        {
+            self.stats.quarantined += 1;
+        }
+    }
+
+    /// Startup recovery: reap orphaned `…tmp.<pid>` files whose writer is
+    /// provably dead (unparseable writer tags are reaped too — they can
+    /// only be litter). Live writers' in-flight temp files are never
+    /// touched. Best-effort: an unlistable root simply skips recovery.
+    fn recover(&mut self) {
+        let listing = with_retry(&self.retry, || self.backend.list_dir(&self.root));
+        self.stats.retries += u64::from(listing.retries);
+        let Ok(entries) = listing.result else { return };
+        for path in entries {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+            let Some(pos) = name.rfind(".tmp.") else { continue };
+            let writer = name[pos + ".tmp.".len()..].parse::<u32>().ok();
+            let stale = match writer {
+                Some(pid) => pid != std::process::id() && !pid_alive(pid),
+                None => true,
+            };
+            if stale {
+                let rm = with_retry(&self.retry, || self.backend.remove_file(&path));
+                self.stats.retries += u64::from(rm.retries);
+                if rm.result.is_ok() {
+                    self.stats.scavenged += 1;
+                }
+            }
+        }
+    }
+
     /// Writes `cf` under `key`. The write goes through a temporary file in
-    /// the same directory followed by a rename, so concurrent readers see
-    /// either the old artifact or the new one, never a torn file.
+    /// the same directory followed by a rename (see
+    /// [`Backend::write_atomic`]), so concurrent readers see either the
+    /// old artifact or the new one, never a torn file. Transient I/O
+    /// faults are retried; a degraded store and quarantined keys skip the
+    /// write.
     ///
     /// # Errors
     ///
-    /// Fails on I/O errors; the store counters are only bumped on success.
+    /// Fails on post-retry I/O errors, in degraded mode, and for
+    /// quarantined keys; the store counters are only bumped on success.
     pub fn put(&mut self, key: Fingerprint, cf: &CompiledFunction) -> Result<PathBuf, String> {
+        let path = self.path_for(&cf.function.name, key);
+        if self.degraded {
+            return Err(format!(
+                "store degraded; not persisting {} (compile-without-cache mode)",
+                path.display()
+            ));
+        }
+        if self.quarantine.contains(&path) {
+            return Err(format!(
+                "{} is quarantined after repeated evictions; not persisting",
+                path.display()
+            ));
+        }
         let envelope = Json::obj([
             ("format", Json::U64(FORMAT_VERSION)),
             ("key", Json::str(key.as_hex())),
             ("program", Json::str(cf.function.name.clone())),
             ("artifact", encode_compiled_function(cf)),
         ]);
-        let path = self.path_for(&cf.function.name, key);
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-        let write = (|| -> std::io::Result<()> {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(envelope.render().as_bytes())?;
-            f.sync_all()?;
-            fs::rename(&tmp, &path)
-        })();
-        if let Err(e) = write {
-            let _ = fs::remove_file(&tmp);
-            return Err(format!("cannot write artifact {}: {e}", path.display()));
+        let bytes = envelope.render().into_bytes();
+        let write = with_retry(&self.retry, || self.backend.write_atomic(&tmp, &path, &bytes));
+        self.stats.retries += u64::from(write.retries);
+        match write.result {
+            Ok(()) => {
+                self.note_backend_ok();
+                self.stats.stores += 1;
+                Ok(path)
+            }
+            Err(e) => {
+                self.note_backend_failure();
+                self.stats.write_failures += 1;
+                Err(format!("cannot write artifact {}: {e}", path.display()))
+            }
         }
-        self.stats.stores += 1;
-        Ok(path)
     }
 
     /// Attempts a verified load of the artifact for `(model, spec, dbs,
@@ -269,24 +623,8 @@ impl Store {
     ) -> LoadOutcome {
         let key = self.key_for(model, spec, dbs, limits);
         let path = self.path_for(&spec.name, key);
-        let text = match fs::read_to_string(&path) {
-            Ok(text) => text,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                self.stats.misses += 1;
-                return LoadOutcome::Miss;
-            }
-            Err(e) => return self.evict(&path, format!("unreadable: {e}")),
-        };
-        let started = Instant::now();
-        let outcome = self.verify(&text, key, model, spec, dbs);
-        self.stats.verify_nanos += started.elapsed().as_nanos();
-        match outcome {
-            Ok(cf) => {
-                self.stats.hits += 1;
-                LoadOutcome::Hit(cf)
-            }
-            Err(reason) => self.evict(&path, reason),
-        }
+        let raw = self.attempt(&path, key, model, spec, dbs);
+        self.settle(raw)
     }
 
     /// Batch form of [`Store::load_verified`]: runs the read+verify part
@@ -302,26 +640,10 @@ impl Store {
         dbs: &HintDbs,
         limits: &EngineLimits,
     ) -> Vec<LoadOutcome> {
-        enum Raw {
-            Miss,
-            Hit(Box<CompiledFunction>, u128),
-            Evict(PathBuf, String, u128),
-        }
         let attempt = |&(model, spec): &(&Model, &FnSpec)| -> Raw {
             let key = self.key_for(model, spec, dbs, limits);
             let path = self.path_for(&spec.name, key);
-            let text = match fs::read_to_string(&path) {
-                Ok(text) => text,
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Raw::Miss,
-                Err(e) => return Raw::Evict(path, format!("unreadable: {e}"), 0),
-            };
-            let started = Instant::now();
-            let outcome = self.verify(&text, key, model, spec, dbs);
-            let nanos = started.elapsed().as_nanos();
-            match outcome {
-                Ok(cf) => Raw::Hit(cf, nanos),
-                Err(reason) => Raw::Evict(path, reason, nanos),
-            }
+            self.attempt(&path, key, model, spec, dbs)
         };
         let workers = std::thread::available_parallelism()
             .map_or(1, std::num::NonZero::get)
@@ -350,22 +672,107 @@ impl Store {
             });
         }
         raws.into_iter()
-            .map(|raw| match raw {
-                Some(Raw::Miss) | None => {
-                    self.stats.misses += 1;
-                    LoadOutcome::Miss
-                }
-                Some(Raw::Hit(cf, nanos)) => {
-                    self.stats.verify_nanos += nanos;
-                    self.stats.hits += 1;
-                    LoadOutcome::Hit(cf)
-                }
-                Some(Raw::Evict(path, reason, nanos)) => {
-                    self.stats.verify_nanos += nanos;
-                    self.evict(&path, reason)
-                }
+            .map(|raw| {
+                let raw = raw.unwrap_or(Raw {
+                    retries: 0,
+                    nanos: 0,
+                    kind: RawKind::Unavailable("worker lost the slot".to_string()),
+                });
+                self.settle(raw)
             })
             .collect()
+    }
+
+    /// The read side of one load, free of `&mut` bookkeeping so it can
+    /// run on worker threads: retried read, then the verification ladder.
+    fn attempt(
+        &self,
+        path: &Path,
+        key: Fingerprint,
+        model: &Model,
+        spec: &FnSpec,
+        dbs: &HintDbs,
+    ) -> Raw {
+        if self.degraded {
+            return Raw {
+                retries: 0,
+                nanos: 0,
+                kind: RawKind::Unavailable("store degraded (compile-without-cache)".to_string()),
+            };
+        }
+        if self.quarantine.contains(path) {
+            return Raw {
+                retries: 0,
+                nanos: 0,
+                kind: RawKind::Unavailable(format!(
+                    "{} quarantined after repeated evictions",
+                    path.display()
+                )),
+            };
+        }
+        let read = with_retry(&self.retry, || self.backend.read_to_string(path));
+        let retries = read.retries;
+        let text = match read.result {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Raw { retries, nanos: 0, kind: RawKind::Miss };
+            }
+            // Non-UTF-8 contents are *corruption*, not an I/O fault: the
+            // artifact must be evicted, exactly like undecodable JSON.
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                return Raw {
+                    retries,
+                    nanos: 0,
+                    kind: RawKind::Evict(path.to_path_buf(), format!("unreadable (corrupt): {e}")),
+                };
+            }
+            Err(e) => {
+                return Raw {
+                    retries,
+                    nanos: 0,
+                    kind: RawKind::Unavailable(format!(
+                        "read failed after {retries} retries: {e}"
+                    )),
+                };
+            }
+        };
+        let started = Instant::now();
+        let outcome = self.verify(&text, key, model, spec, dbs);
+        let nanos = started.elapsed().as_nanos();
+        match outcome {
+            Ok(cf) => Raw { retries, nanos, kind: RawKind::Hit(cf) },
+            Err(reason) => Raw { retries, nanos, kind: RawKind::Evict(path.to_path_buf(), reason) },
+        }
+    }
+
+    /// The serial bookkeeping for one [`Raw`] attempt: counters, degraded
+    /// tracking, quarantine, eviction.
+    fn settle(&mut self, raw: Raw) -> LoadOutcome {
+        self.stats.retries += u64::from(raw.retries);
+        self.stats.verify_nanos += raw.nanos;
+        match raw.kind {
+            RawKind::Miss => {
+                self.note_backend_ok();
+                self.stats.misses += 1;
+                LoadOutcome::Miss
+            }
+            RawKind::Hit(cf) => {
+                self.note_backend_ok();
+                self.stats.hits += 1;
+                LoadOutcome::Hit(cf)
+            }
+            RawKind::Evict(path, reason) => self.evict(&path, reason),
+            RawKind::Unavailable(reason) => {
+                // A degraded/quarantined skip is not a fresh backend
+                // failure; only real post-retry I/O errors count toward
+                // the degrade threshold.
+                if !self.degraded && !reason.contains("quarantined") {
+                    self.note_backend_failure();
+                }
+                self.stats.unavailable += 1;
+                LoadOutcome::Unavailable { reason }
+            }
+        }
     }
 
     /// The verification ladder proper: envelope → decode → input
@@ -387,6 +794,13 @@ impl Store {
         }
         if envelope.get("key").and_then(Json::as_str) != Some(key.as_hex().as_str()) {
             return Err("stored key does not match filename key".to_string());
+        }
+        match envelope.get("program").and_then(Json::as_str) {
+            Some(p) if p == spec.name => {}
+            Some(p) => {
+                return Err(format!("envelope program `{p}`, requested `{}`", spec.name));
+            }
+            None => return Err("missing program field".to_string()),
         }
         let artifact = envelope.get("artifact").ok_or("missing artifact")?;
         let cf = decode_compiled_function(artifact).map_err(|e| format!("decode: {e}"))?;
@@ -431,15 +845,41 @@ impl Store {
     }
 
     fn evict(&mut self, path: &Path, reason: String) -> LoadOutcome {
-        let _ = fs::remove_file(path);
+        let rm = with_retry(&self.retry, || match self.backend.remove_file(path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        });
+        self.stats.retries += u64::from(rm.retries);
+        match rm.result {
+            Ok(()) => self.note_backend_ok(),
+            // The corrupt file could not be deleted: it will be found
+            // again. Quarantine (below) bounds how often.
+            Err(_) => self.note_backend_failure(),
+        }
         self.stats.evictions += 1;
+        self.note_eviction(path);
         LoadOutcome::Evicted { reason }
     }
+}
+
+/// One attempted load before the serial bookkeeping is applied.
+struct Raw {
+    retries: u32,
+    nanos: u128,
+    kind: RawKind,
+}
+
+enum RawKind {
+    Miss,
+    Hit(Box<CompiledFunction>),
+    Evict(PathBuf, String),
+    Unavailable(String),
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::{ChaosBackend, FaultPlan};
     use rupicola_ext::standard_dbs;
 
     fn scratch_root(tag: &str) -> PathBuf {
@@ -470,6 +910,8 @@ mod tests {
         let stats = store.stats();
         assert_eq!((stats.hits, stats.misses, stats.evictions, stats.stores), (1, 0, 0, 1));
         assert!(stats.verify_nanos > 0);
+        assert_eq!(stats.retries, 0, "no faults, no retries");
+        assert!(!store.degraded());
         let _ = fs::remove_dir_all(store.root());
     }
 
@@ -505,6 +947,25 @@ mod tests {
         assert!(!path.exists(), "evicted artifact must be deleted");
         // Next lookup is a clean miss: the poisoned file is gone.
         assert!(matches!(store.load_verified(&model, &spec, &dbs, &limits), LoadOutcome::Miss));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn non_utf8_artifact_is_evicted_not_unavailable() {
+        let mut store = Store::open(scratch_root("utf8")).unwrap();
+        let dbs = standard_dbs();
+        let limits = EngineLimits::default();
+        let model = rupicola_programs::fnv1a::model();
+        let spec = rupicola_programs::fnv1a::spec();
+        let key = store.key_for(&model, &spec, &dbs, &limits);
+        let path = store.path_for(&spec.name, key);
+        fs::write(&path, [0xff, 0xfe, 0x00, 0x41]).unwrap();
+        match store.load_verified(&model, &spec, &dbs, &limits) {
+            LoadOutcome::Evicted { reason } => assert!(reason.contains("corrupt"), "{reason}"),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert!(!path.exists());
+        assert!(!store.degraded(), "corruption is not an I/O outage");
         let _ = fs::remove_dir_all(store.root());
     }
 
@@ -577,9 +1038,25 @@ mod tests {
     }
 
     #[test]
+    fn deadline_is_not_part_of_the_key() {
+        let store = Store::open(scratch_root("key-deadline")).unwrap();
+        let dbs = standard_dbs();
+        let model = rupicola_programs::fnv1a::model();
+        let spec = rupicola_programs::fnv1a::spec();
+        let plain = EngineLimits::default();
+        assert_eq!(
+            store.key_for(&model, &spec, &dbs, &plain),
+            store.key_for(&model, &spec, &dbs, &plain.with_deadline_ms(125)),
+            "a deadline changes when an answer arrives, not which artifact is right"
+        );
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
     fn store_env_rejects_empty_value() {
-        // Serialize env mutation within this test only; other tests don't
-        // read SERVICE_STORE.
+        // Env vars are process-global and libtest runs tests on threads:
+        // every env-mutating test serializes behind the shared lock.
+        let _guard = crate::env::test_lock();
         std::env::set_var(STORE_ENV, "   ");
         let err = store_root_from_env().unwrap_err();
         assert!(err.contains("empty"), "{err}");
@@ -587,5 +1064,151 @@ mod tests {
         assert_eq!(store_root_from_env().unwrap(), PathBuf::from("/tmp/some-store"));
         std::env::remove_var(STORE_ENV);
         assert_eq!(store_root_from_env().unwrap(), PathBuf::from(DEFAULT_ROOT));
+    }
+
+    #[test]
+    fn outage_backend_degrades_instead_of_erroring_forever() {
+        let root = scratch_root("outage");
+        fs::create_dir_all(&root).unwrap();
+        let mut store = Store::open_with_backend(
+            &root,
+            Box::new(ChaosBackend::new(FaultPlan::outage(11))),
+        )
+        .unwrap()
+        .with_retry_policy(RetryPolicy {
+            max_attempts: 2,
+            base_delay: Duration::from_micros(10),
+            max_delay: Duration::from_micros(20),
+        })
+        .with_degrade_after(2);
+        let dbs = standard_dbs();
+        let limits = EngineLimits::default();
+        let model = rupicola_programs::fnv1a::model();
+        let spec = rupicola_programs::fnv1a::spec();
+        // Every read fails; after the threshold the store degrades and
+        // stops touching the disk entirely.
+        for _ in 0..5 {
+            match store.load_verified(&model, &spec, &dbs, &limits) {
+                LoadOutcome::Unavailable { .. } => {}
+                other => panic!("expected unavailable under total outage, got {other:?}"),
+            }
+        }
+        assert!(store.degraded());
+        let stats = store.stats();
+        assert_eq!(stats.unavailable, 5);
+        assert!(stats.retries > 0, "transient faults must be retried before giving up");
+        // Degraded puts are skipped, not attempted.
+        let cf = rupicola_programs::fnv1a::compiled().unwrap();
+        let key = store.key_for(&model, &spec, &dbs, &limits);
+        let err = store.put(key, &cf).unwrap_err();
+        assert!(err.contains("degraded"), "{err}");
+        assert_eq!(store.stats().stores, 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn repeated_corruption_quarantines_the_key() {
+        let mut store =
+            Store::open(scratch_root("quarantine")).unwrap().with_quarantine_after(3);
+        let dbs = standard_dbs();
+        let limits = EngineLimits::default();
+        let model = rupicola_programs::fnv1a::model();
+        let spec = rupicola_programs::fnv1a::spec();
+        let key = store.key_for(&model, &spec, &dbs, &limits);
+        let path = store.path_for(&spec.name, key);
+        // A persistently corrupting environment: every write lands
+        // corrupt, every load evicts. The third eviction quarantines.
+        for i in 0..3 {
+            fs::write(&path, format!("{{ corrupt #{i}")).unwrap();
+            assert!(
+                matches!(
+                    store.load_verified(&model, &spec, &dbs, &limits),
+                    LoadOutcome::Evicted { .. }
+                ),
+                "eviction #{i}"
+            );
+        }
+        assert_eq!(store.stats().quarantined, 1);
+        // From now on the key is dead to the cache: loads answer
+        // Unavailable without reading, puts are refused — the
+        // store/evict/recompile loop is broken.
+        fs::write(&path, "{ corrupt again").unwrap();
+        match store.load_verified(&model, &spec, &dbs, &limits) {
+            LoadOutcome::Unavailable { reason } => {
+                assert!(reason.contains("quarantined"), "{reason}");
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        let cf = rupicola_programs::fnv1a::compiled().unwrap();
+        let err = store.put(key, &cf).unwrap_err();
+        assert!(err.contains("quarantined"), "{err}");
+        assert!(!store.degraded(), "quarantine is per-key, not a store-wide outage");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn open_scavenges_orphans_of_dead_writers_only() {
+        let root = scratch_root("scavenge");
+        fs::create_dir_all(&root).unwrap();
+        // Orphans: a dead pid (far above pid_max) and an unparseable tag.
+        fs::write(root.join("prog-0011223344556677.tmp.4194999"), "torn").unwrap();
+        fs::write(root.join("prog-0011223344556677.tmp.notapid"), "torn").unwrap();
+        // A live writer's in-flight temp (our own pid) and a real artifact.
+        let live = root.join(format!("prog-0011223344556677.tmp.{}", std::process::id()));
+        fs::write(&live, "in flight").unwrap();
+        let artifact = root.join("prog-0011223344556677.json");
+        fs::write(&artifact, "{}").unwrap();
+        let store = Store::open(&root).unwrap();
+        assert_eq!(store.stats().scavenged, 2);
+        assert!(live.exists(), "live writers' temp files are never touched");
+        assert!(artifact.exists(), "artifacts are never scavenged");
+        assert!(!root.join("prog-0011223344556677.tmp.4194999").exists());
+        assert!(!root.join("prog-0011223344556677.tmp.notapid").exists());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn advisory_lock_excludes_and_breaks_stale_holders() {
+        let root = scratch_root("lock");
+        fs::create_dir_all(&root).unwrap();
+        let lock = StoreLock::acquire(&root, Duration::from_millis(10)).unwrap();
+        // Held: a second acquire times out (the holder pid — ours — is
+        // alive).
+        let err = StoreLock::acquire(&root, Duration::from_millis(20)).unwrap_err();
+        assert!(err.contains("held by live pid"), "{err}");
+        drop(lock);
+        // Released: acquirable again.
+        let lock = StoreLock::acquire(&root, Duration::from_millis(10)).unwrap();
+        drop(lock);
+        // Stale lock of a dead holder: broken and acquired.
+        fs::write(root.join(LOCK_FILE), "4194999").unwrap();
+        let lock = StoreLock::acquire(&root, Duration::from_millis(50)).unwrap();
+        drop(lock);
+        // Torn lock contents: unidentifiable holder, treated as stale.
+        fs::write(root.join(LOCK_FILE), "garbage").unwrap();
+        let lock = StoreLock::acquire(&root, Duration::from_millis(50)).unwrap();
+        drop(lock);
+        assert!(!root.join(LOCK_FILE).exists(), "drop removes the lock file");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn born_degraded_store_never_touches_disk() {
+        let root = scratch_root("born-degraded");
+        // Deliberately never created on disk.
+        let mut store = Store::open_degraded(&root);
+        assert!(store.degraded());
+        let dbs = standard_dbs();
+        let limits = EngineLimits::default();
+        let model = rupicola_programs::fnv1a::model();
+        let spec = rupicola_programs::fnv1a::spec();
+        assert!(matches!(
+            store.load_verified(&model, &spec, &dbs, &limits),
+            LoadOutcome::Unavailable { .. }
+        ));
+        let cf = rupicola_programs::fnv1a::compiled().unwrap();
+        let key = store.key_for(&model, &spec, &dbs, &limits);
+        assert!(store.put(key, &cf).is_err());
+        assert!(!root.exists(), "degraded store must not create directories");
     }
 }

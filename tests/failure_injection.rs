@@ -324,6 +324,24 @@ fn non_productive_recursion_exhausts_budget_not_the_stack() {
     assert!(path.iter().any(|l| l == "loop_forever"), "{path:?}");
 }
 
+#[test]
+fn expired_deadline_is_a_typed_error_not_a_hang() {
+    use rupicola::core::{compile_with_limits, EngineLimits, ResourceKind};
+    let model = Model::new("idw", ["x"], var("x"));
+    let dbs = standard_dbs();
+    // `Some(0)` means "no time at all": the first judgment entry trips
+    // the deadline deterministically, with the usual typed error.
+    let limits = EngineLimits::default().with_deadline_ms(0);
+    let err = compile_with_limits(&model, &word_spec("idw"), &dbs, limits).unwrap_err();
+    let CompileError::ResourceExhausted { resource, limit, .. } = err else {
+        panic!("expected ResourceExhausted, got {err}");
+    };
+    assert!(matches!(resource, ResourceKind::WallClock), "got {resource}");
+    assert_eq!(limit, 0);
+    // And without a deadline the same request compiles fine.
+    compile_with_limits(&model, &word_spec("idw"), &dbs, EngineLimits::default()).unwrap();
+}
+
 /// A lemma that burns through the fresh-name supply without producing
 /// anything.
 struct NameHogLemma;

@@ -81,7 +81,9 @@ fn targeted_corruption_evicts_and_recompiles() {
         ),
     ];
     let root = scratch("targeted-corruption");
-    let mut store = Store::open(&root).unwrap();
+    // This test evicts the same key once per corruption; quarantine (which
+    // has its own test) would kick in after the third and refuse the heal.
+    let mut store = Store::open(&root).unwrap().with_quarantine_after(0);
     let key = store.key_for(&model, &spec, &dbs, &limits);
     let path = store.put(key, &cf).unwrap();
     let pristine = std::fs::read_to_string(&path).unwrap();
@@ -125,7 +127,12 @@ fn random_bit_flips_never_yield_an_unverified_artifact() {
     // every served artifact under `CheckConfig::default()`, so the store
     // must verify at the same strength (the fast 4-vector default could
     // legitimately serve a flip that only vector 11 distinguishes).
-    let mut store = Store::open(&root).unwrap().with_check_config(CheckConfig::default());
+    // Quarantine off: 48 flips against one key would trip it long before
+    // the property finishes exercising the evict-or-certify contract.
+    let mut store = Store::open(&root)
+        .unwrap()
+        .with_check_config(CheckConfig::default())
+        .with_quarantine_after(0);
     let key = store.key_for(&model, &spec, &dbs, &limits);
     let path = store.put(key, &cf).unwrap();
     let pristine = std::fs::read(&path).unwrap();
@@ -153,6 +160,9 @@ fn random_bit_flips_never_yield_an_unverified_artifact() {
                 std::fs::write(&path, &pristine).unwrap();
             }
             LoadOutcome::Miss => panic!("artifact file exists; miss is impossible"),
+            LoadOutcome::Unavailable { reason } => {
+                panic!("healthy filesystem, no faults injected: {reason}")
+            }
         }
     });
     let _ = std::fs::remove_dir_all(&root);
