@@ -1,0 +1,670 @@
+//! Secret-independence (constant-time) analysis.
+//!
+//! A taint dataflow over the same CFG + worklist framework as the other
+//! lints, checking the three constant-time sins on a two-point
+//! `Public ⊑ Secret` lattice:
+//!
+//! - **secret-dependent control flow** — a branch or loop condition whose
+//!   value depends on a secret ([`FindingKind::SecretBranch`]);
+//! - **secret-dependent memory addresses** — a load, store, or
+//!   inline-table index computed from a secret
+//!   ([`FindingKind::SecretAddress`]);
+//! - **secret operands to variable-latency operations** — `div`/`mod`,
+//!   whose timing varies with operand values on most hardware
+//!   ([`FindingKind::SecretVariableLatency`]).
+//!
+//! What counts as secret is declared per program by a [`SecrecyPolicy`]:
+//! parameter labels plus explicit declassification sites (assignment-site
+//! ordinals whose result is deliberately downgraded to public — e.g. the
+//! final comparison verdict of a MAC check). Implicit flows need no
+//! separate taint channel: the moment control flow depends on a secret the
+//! analysis reports an error, so control-dependent assignments past that
+//! point cannot launder secrets silently.
+//!
+//! Memory is tracked by *provenance*: a pointer argument carries the name
+//! of the region it points into, pointer arithmetic preserves the
+//! provenance set, and a per-state set of secret regions decides whether a
+//! load yields tainted data. Storing a tainted value through a pointer
+//! taints the pointed-to regions (monotonically — regions never become
+//! public again, which keeps the fixpoint terminating and the analysis a
+//! sound may-analysis). A store through a pointer with no known provenance
+//! havocs memory: every subsequent load is treated as secret.
+//!
+//! Like every pass in this crate the analysis is derivation-blind and
+//! conservative: it may flag code that is in fact constant-time, never
+//! the reverse. The soundness direction is exercised semantically in the
+//! workspace root (`tests/ct_semantics.rs`): programs the analysis calls
+//! clean produce identical branch-decision and address traces in the
+//! Bedrock2 interpreter across inputs that differ only in secret-labeled
+//! arguments.
+
+use crate::dataflow::{forward_solve, ForwardAnalysis, Lattice};
+use crate::{Finding, FindingKind, Pass};
+use rupicola_bedrock::cfg::{Cfg, Stmt, Terminator};
+use rupicola_bedrock::{BExpr, BFunction, BinOp};
+use rupicola_core::fnspec::{ArgSpec, FnSpec};
+use rupicola_core::CompiledFunction;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which inputs of a program are secret, and which assignment sites
+/// deliberately declassify their result.
+///
+/// Parameter labels name either the model parameter or the Bedrock2
+/// argument (both are accepted, so callers can label whichever level they
+/// think in). For an array or cell parameter the label means the pointed-to
+/// *contents* are secret; the pointer value itself and any `LenOf` length
+/// argument stay public (lengths are part of the public interface, as in
+/// the standard constant-time threat model).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SecrecyPolicy {
+    /// Names of secret parameters (model or Bedrock2 level).
+    pub secret_params: BTreeSet<String>,
+    /// Assignment-site ordinals (see [`rupicola_bedrock::cfg`]) whose
+    /// result is downgraded to public.
+    pub declassify_sites: BTreeSet<usize>,
+}
+
+impl SecrecyPolicy {
+    /// A policy marking the given parameters secret.
+    pub fn secrets<I, S>(params: I) -> SecrecyPolicy
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        SecrecyPolicy {
+            secret_params: params.into_iter().map(Into::into).collect(),
+            declassify_sites: BTreeSet::new(),
+        }
+    }
+
+    /// Adds a declassification site (builder style).
+    #[must_use]
+    pub fn with_declassify(mut self, site: usize) -> SecrecyPolicy {
+        self.declassify_sites.insert(site);
+        self
+    }
+
+    /// Whether `name` (model parameter or Bedrock2 argument) is secret.
+    pub fn is_secret(&self, name: &str) -> bool {
+        self.secret_params.contains(name)
+    }
+
+    /// A canonical, stable rendering of the policy, suitable for keying
+    /// (the service fingerprint includes it so artifacts are never served
+    /// under a different policy than they were verified against).
+    /// `BTreeSet` iteration makes the rendering order-independent.
+    pub fn identity_string(&self) -> String {
+        if self.secret_params.is_empty() && self.declassify_sites.is_empty() {
+            return "public".to_string();
+        }
+        let secrets: Vec<&str> = self.secret_params.iter().map(String::as_str).collect();
+        let sites: Vec<String> = self.declassify_sites.iter().map(ToString::to_string).collect();
+        format!("secret={};declassify={}", secrets.join(","), sites.join(","))
+    }
+}
+
+/// The taint of one value: whether the *value* is secret, and which memory
+/// regions a pointer derived from it may point into.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct TaintVal {
+    tainted: bool,
+    prov: BTreeSet<String>,
+}
+
+impl TaintVal {
+    fn public() -> TaintVal {
+        TaintVal::default()
+    }
+
+    fn secret() -> TaintVal {
+        TaintVal { tainted: true, prov: BTreeSet::new() }
+    }
+
+    fn join_with(&mut self, other: &TaintVal) -> bool {
+        let mut changed = false;
+        if other.tainted && !self.tainted {
+            self.tainted = true;
+            changed = true;
+        }
+        for p in &other.prov {
+            changed |= self.prov.insert(p.clone());
+        }
+        changed
+    }
+}
+
+/// The per-point state: `None` = unreached.
+#[derive(Debug, Clone, PartialEq)]
+struct CtState(Option<CtData>);
+
+#[derive(Debug, Clone, Default, PartialEq)]
+struct CtData {
+    /// Taint of each bound local. A local absent from the map is public
+    /// with no provenance (reads of genuinely unbound locals are the
+    /// definite-assignment pass's report, not ours).
+    locals: BTreeMap<String, TaintVal>,
+    /// Regions whose contents may hold secret data.
+    secret_regions: BTreeSet<String>,
+    /// A secret value was stored through a pointer of unknown provenance:
+    /// all memory may now hold secrets.
+    havoc: bool,
+}
+
+impl Lattice for CtState {
+    fn join_with(&mut self, other: &Self) -> bool {
+        match (&mut self.0, &other.0) {
+            (_, None) => false,
+            (s @ None, Some(_)) => {
+                *s = other.0.clone();
+                true
+            }
+            (Some(a), Some(b)) => {
+                let mut changed = false;
+                for (var, tv) in &b.locals {
+                    match a.locals.get_mut(var) {
+                        Some(mine) => changed |= mine.join_with(tv),
+                        None => {
+                            a.locals.insert(var.clone(), tv.clone());
+                            changed = true;
+                        }
+                    }
+                }
+                for r in &b.secret_regions {
+                    changed |= a.secret_regions.insert(r.clone());
+                }
+                if b.havoc && !a.havoc {
+                    a.havoc = true;
+                    changed = true;
+                }
+                changed
+            }
+        }
+    }
+}
+
+/// Taint of an expression under a state (pure, no findings).
+fn taint_of(e: &BExpr, data: &CtData) -> TaintVal {
+    match e {
+        BExpr::Lit(_) => TaintVal::public(),
+        BExpr::Var(v) => data.locals.get(v).cloned().unwrap_or_default(),
+        BExpr::Load(_, addr) => {
+            let a = taint_of(addr, data);
+            TaintVal { tainted: loaded_is_secret(&a, data), prov: BTreeSet::new() }
+        }
+        BExpr::InlineTable { index, .. } => {
+            // A public table indexed by a secret yields a secret-dependent
+            // value (and the access itself is a finding, reported by the
+            // checking walk).
+            TaintVal { tainted: taint_of(index, data).tainted, prov: BTreeSet::new() }
+        }
+        BExpr::Op(_, a, b) => {
+            let mut t = taint_of(a, data);
+            t.join_with(&taint_of(b, data));
+            t
+        }
+    }
+}
+
+/// Whether a load through a pointer with taint `addr` may yield secret
+/// data. A tainted address value already means the *access pattern* leaks;
+/// the loaded value is then conservatively secret too. A pointer with no
+/// known provenance is assumed to possibly alias any secret region.
+fn loaded_is_secret(addr: &TaintVal, data: &CtData) -> bool {
+    addr.tainted
+        || data.havoc
+        || addr.prov.iter().any(|p| data.secret_regions.contains(p))
+        || (addr.prov.is_empty() && !data.secret_regions.is_empty())
+}
+
+struct CtAnalysis<'p> {
+    policy: &'p SecrecyPolicy,
+    entry: CtData,
+}
+
+impl ForwardAnalysis for CtAnalysis<'_> {
+    type State = CtState;
+
+    fn boundary(&self) -> CtState {
+        CtState(Some(self.entry.clone()))
+    }
+
+    fn bottom(&self) -> CtState {
+        CtState(None)
+    }
+
+    fn transfer(&self, stmt: &Stmt, state: &mut CtState) {
+        let Some(data) = &mut state.0 else { return };
+        match stmt {
+            Stmt::Set { var, expr, site } => {
+                let tv = if self.policy.declassify_sites.contains(site) {
+                    TaintVal::public()
+                } else {
+                    taint_of(expr, data)
+                };
+                data.locals.insert(var.clone(), tv);
+            }
+            Stmt::Unset(v) => {
+                data.locals.remove(v);
+            }
+            Stmt::Store(_, addr, val) => {
+                if taint_of(val, data).tainted {
+                    let a = taint_of(addr, data);
+                    if a.prov.is_empty() {
+                        data.havoc = true;
+                    } else {
+                        data.secret_regions.extend(a.prov.iter().cloned());
+                    }
+                }
+            }
+            Stmt::Call { rets, args, .. } | Stmt::Interact { rets, args, .. } => {
+                // Conservative: the callee may mix any argument into any
+                // result, and may store secrets through any pointer
+                // argument it receives.
+                let any_secret = args.iter().any(|a| taint_of(a, data).tainted);
+                if any_secret {
+                    for a in args {
+                        let tv = taint_of(a, data);
+                        data.secret_regions.extend(tv.prov.iter().cloned());
+                    }
+                }
+                let tv = if any_secret { TaintVal::secret() } else { TaintVal::public() };
+                for r in rets {
+                    data.locals.insert(r.clone(), tv.clone());
+                }
+            }
+            Stmt::AllocEnter { var, site, .. } => {
+                data.locals.insert(
+                    var.clone(),
+                    TaintVal { tainted: false, prov: [format!("#stack{site}")].into() },
+                );
+            }
+            Stmt::AllocExit { var, .. } => {
+                data.locals.remove(var);
+            }
+        }
+    }
+}
+
+/// Entry taint from the spec: secret scalars carry value taint, pointer
+/// arguments carry the provenance of their parameter's region (secret or
+/// not), lengths are public.
+fn entry_data(spec: &FnSpec, policy: &SecrecyPolicy) -> CtData {
+    let mut data = CtData::default();
+    for arg in &spec.args {
+        match arg {
+            ArgSpec::Scalar { name, param, .. } => {
+                let tv = if policy.is_secret(param) || policy.is_secret(name) {
+                    TaintVal::secret()
+                } else {
+                    TaintVal::public()
+                };
+                data.locals.insert(name.clone(), tv);
+            }
+            ArgSpec::ArrayPtr { name, param, .. } | ArgSpec::CellPtr { name, param } => {
+                data.locals
+                    .insert(name.clone(), TaintVal { tainted: false, prov: [param.clone()].into() });
+                if policy.is_secret(param) || policy.is_secret(name) {
+                    data.secret_regions.insert(param.clone());
+                }
+            }
+            ArgSpec::LenOf { name, .. } => {
+                data.locals.insert(name.clone(), TaintVal::public());
+            }
+        }
+    }
+    data
+}
+
+fn finding(f: &BFunction, kind: FindingKind, site: Option<usize>, message: String) -> Finding {
+    Finding { pass: Pass::Ct, kind, function: f.name.clone(), site, message }
+}
+
+/// Walks an expression's sub-terms, reporting secret-dependent addresses
+/// and secret operands to variable-latency ops.
+fn check_expr(
+    e: &BExpr,
+    data: &CtData,
+    f: &BFunction,
+    site: Option<usize>,
+    where_: &str,
+    findings: &mut Vec<Finding>,
+) {
+    match e {
+        BExpr::Lit(_) | BExpr::Var(_) => {}
+        BExpr::Load(_, addr) => {
+            check_expr(addr, data, f, site, where_, findings);
+            let a = taint_of(addr, data);
+            if a.tainted {
+                findings.push(finding(
+                    f,
+                    FindingKind::SecretAddress,
+                    site,
+                    format!("load address depends on a secret in {where_}"),
+                ));
+            }
+        }
+        BExpr::InlineTable { table, index, .. } => {
+            check_expr(index, data, f, site, where_, findings);
+            if taint_of(index, data).tainted {
+                findings.push(finding(
+                    f,
+                    FindingKind::SecretAddress,
+                    site,
+                    format!("inline-table `{table}` indexed by a secret in {where_}"),
+                ));
+            }
+        }
+        BExpr::Op(op, a, b) => {
+            check_expr(a, data, f, site, where_, findings);
+            check_expr(b, data, f, site, where_, findings);
+            if matches!(op, BinOp::DivU | BinOp::RemU)
+                && (taint_of(a, data).tainted || taint_of(b, data).tainted)
+            {
+                findings.push(finding(
+                    f,
+                    FindingKind::SecretVariableLatency,
+                    site,
+                    format!("variable-latency `{op:?}` has a secret operand in {where_}"),
+                ));
+            }
+        }
+    }
+}
+
+/// Runs the analysis over one function body under an explicit spec and
+/// policy. Used directly by the opt validation layer on candidate bodies
+/// (which share the original certificate's spec).
+pub fn run_function(f: &BFunction, spec: &FnSpec, policy: &SecrecyPolicy) -> Vec<Finding> {
+    let cfg = Cfg::build(&f.body);
+    let analysis = CtAnalysis { policy, entry: entry_data(spec, policy) };
+    let sol = forward_solve(&cfg, &analysis);
+    let mut findings = Vec::new();
+
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        let mut state = sol.ins[b].clone();
+        for stmt in &block.stmts {
+            if let Some(data) = &state.0 {
+                match stmt {
+                    Stmt::Set { var, expr, site } => {
+                        check_expr(
+                            expr,
+                            data,
+                            f,
+                            Some(*site),
+                            &format!("`{var} = …`"),
+                            &mut findings,
+                        );
+                    }
+                    Stmt::Store(_, addr, val) => {
+                        check_expr(addr, data, f, None, "a store address", &mut findings);
+                        check_expr(val, data, f, None, "a stored value", &mut findings);
+                        if taint_of(addr, data).tainted {
+                            findings.push(finding(
+                                f,
+                                FindingKind::SecretAddress,
+                                None,
+                                "store address depends on a secret".to_string(),
+                            ));
+                        }
+                    }
+                    Stmt::Call { args, .. } | Stmt::Interact { args, .. } => {
+                        for a in args {
+                            check_expr(a, data, f, None, "a call argument", &mut findings);
+                        }
+                    }
+                    Stmt::Unset(_) | Stmt::AllocEnter { .. } | Stmt::AllocExit { .. } => {}
+                }
+            }
+            analysis.transfer(stmt, &mut state);
+        }
+        if let Terminator::Branch { cond, .. } = &block.term {
+            if let Some(data) = &state.0 {
+                check_expr(cond, data, f, None, "a branch condition", &mut findings);
+                if taint_of(cond, data).tainted {
+                    findings.push(finding(
+                        f,
+                        FindingKind::SecretBranch,
+                        None,
+                        "branch condition depends on a secret".to_string(),
+                    ));
+                }
+            }
+        }
+    }
+
+    findings
+}
+
+/// Runs the analysis over a compiled function's certified body.
+pub fn run(cf: &CompiledFunction, policy: &SecrecyPolicy) -> Vec<Finding> {
+    run_function(&cf.function, &cf.spec, policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupicola_bedrock::ast::{AccessSize, Cmd};
+    use rupicola_lang::ElemKind;
+    use rupicola_sep::ScalarKind;
+
+    fn spec_scalar(name: &str, args: &[&str]) -> FnSpec {
+        FnSpec::new(
+            name,
+            args.iter()
+                .map(|a| ArgSpec::Scalar {
+                    name: (*a).to_string(),
+                    param: (*a).to_string(),
+                    kind: ScalarKind::Word,
+                })
+                .collect(),
+            vec![],
+        )
+    }
+
+    fn spec_bytes(name: &str, arr: &str) -> FnSpec {
+        FnSpec::new(
+            name,
+            vec![
+                ArgSpec::ArrayPtr {
+                    name: arr.to_string(),
+                    param: arr.to_string(),
+                    elem: ElemKind::Byte,
+                },
+                ArgSpec::LenOf {
+                    name: "len".to_string(),
+                    param: arr.to_string(),
+                    elem: ElemKind::Byte,
+                },
+            ],
+            vec![],
+        )
+    }
+
+    fn kinds(findings: &[Finding]) -> Vec<&FindingKind> {
+        findings.iter().map(|f| &f.kind).collect()
+    }
+
+    #[test]
+    fn branch_on_secret_flagged() {
+        let f = BFunction::new(
+            "f",
+            ["c"],
+            ["out"],
+            Cmd::seq([
+                Cmd::if_(BExpr::var("c"), Cmd::set("out", BExpr::lit(1)), {
+                    Cmd::set("out", BExpr::lit(0))
+                }),
+            ]),
+        );
+        let policy = SecrecyPolicy::secrets(["c"]);
+        let findings = run_function(&f, &spec_scalar("f", &["c"]), &policy);
+        assert!(kinds(&findings).contains(&&FindingKind::SecretBranch));
+        // The same body under an all-public policy is clean.
+        assert!(run_function(&f, &spec_scalar("f", &["c"]), &SecrecyPolicy::default()).is_empty());
+    }
+
+    #[test]
+    fn branchless_select_on_secret_clean() {
+        // m = 0 - c; out = (x & m) | (y & ~m): no branch, no flags.
+        let f = BFunction::new(
+            "sel",
+            ["c", "x", "y"],
+            ["out"],
+            Cmd::seq([
+                Cmd::set("m", BExpr::op(BinOp::Sub, BExpr::lit(0), BExpr::var("c"))),
+                Cmd::set(
+                    "out",
+                    BExpr::op(
+                        BinOp::Or,
+                        BExpr::op(BinOp::And, BExpr::var("x"), BExpr::var("m")),
+                        BExpr::op(
+                            BinOp::And,
+                            BExpr::var("y"),
+                            BExpr::op(BinOp::Xor, BExpr::var("m"), BExpr::lit(u64::MAX)),
+                        ),
+                    ),
+                ),
+            ]),
+        );
+        let policy = SecrecyPolicy::secrets(["c", "x", "y"]);
+        assert!(run_function(&f, &spec_scalar("sel", &["c", "x", "y"]), &policy).is_empty());
+    }
+
+    #[test]
+    fn secret_indexed_load_flagged() {
+        // out = s[s[0]]: the inner load is at a public index, the outer
+        // address depends on the loaded (secret) byte.
+        let f = BFunction::new(
+            "f",
+            ["s", "len"],
+            ["out"],
+            Cmd::seq([
+                Cmd::set("i", BExpr::load(AccessSize::One, BExpr::var("s"))),
+                Cmd::set(
+                    "out",
+                    BExpr::load(
+                        AccessSize::One,
+                        BExpr::op(BinOp::Add, BExpr::var("s"), BExpr::var("i")),
+                    ),
+                ),
+            ]),
+        );
+        let policy = SecrecyPolicy::secrets(["s"]);
+        let findings = run_function(&f, &spec_bytes("f", "s"), &policy);
+        assert!(kinds(&findings).contains(&&FindingKind::SecretAddress));
+    }
+
+    #[test]
+    fn public_indexed_load_of_secret_array_clean() {
+        let f = BFunction::new(
+            "f",
+            ["s", "len"],
+            ["out"],
+            Cmd::set("out", BExpr::load(AccessSize::One, BExpr::var("s"))),
+        );
+        let policy = SecrecyPolicy::secrets(["s"]);
+        assert!(run_function(&f, &spec_bytes("f", "s"), &policy).is_empty());
+    }
+
+    #[test]
+    fn secret_division_flagged() {
+        let f = BFunction::new(
+            "f",
+            ["a", "b"],
+            ["out"],
+            Cmd::set("out", BExpr::op(BinOp::DivU, BExpr::var("a"), BExpr::var("b"))),
+        );
+        let policy = SecrecyPolicy::secrets(["b"]);
+        let findings = run_function(&f, &spec_scalar("f", &["a", "b"]), &policy);
+        assert!(kinds(&findings).contains(&&FindingKind::SecretVariableLatency));
+    }
+
+    #[test]
+    fn declassify_site_downgrades() {
+        // out = a ^ b is secret; with site 0 declassified, branching on
+        // `out` afterwards is allowed.
+        let body = Cmd::seq([
+            Cmd::set("t", BExpr::op(BinOp::Xor, BExpr::var("a"), BExpr::var("b"))),
+            Cmd::if_(BExpr::var("t"), Cmd::set("out", BExpr::lit(1)), {
+                Cmd::set("out", BExpr::lit(0))
+            }),
+        ]);
+        let f = BFunction::new("f", ["a", "b"], ["out"], body);
+        let spec = spec_scalar("f", &["a", "b"]);
+        let secret = SecrecyPolicy::secrets(["a", "b"]);
+        assert!(!run_function(&f, &spec, &secret).is_empty());
+        let declassified = SecrecyPolicy::secrets(["a", "b"]).with_declassify(0);
+        assert!(run_function(&f, &spec, &declassified).is_empty());
+    }
+
+    #[test]
+    fn store_of_secret_taints_region() {
+        // Store a secret into d, then reload it and branch: flagged even
+        // though d itself was a public region.
+        let f = BFunction::new(
+            "f",
+            ["d", "len", "x"],
+            ["out"],
+            Cmd::seq([
+                Cmd::store(AccessSize::One, BExpr::var("d"), BExpr::var("x")),
+                Cmd::set("t", BExpr::load(AccessSize::One, BExpr::var("d"))),
+                Cmd::if_(BExpr::var("t"), Cmd::set("out", BExpr::lit(1)), {
+                    Cmd::set("out", BExpr::lit(0))
+                }),
+            ]),
+        );
+        let mut spec = spec_bytes("f", "d");
+        spec.args.push(ArgSpec::Scalar {
+            name: "x".to_string(),
+            param: "x".to_string(),
+            kind: ScalarKind::Word,
+        });
+        let policy = SecrecyPolicy::secrets(["x"]);
+        let findings = run_function(&f, &spec, &policy);
+        assert!(kinds(&findings).contains(&&FindingKind::SecretBranch));
+    }
+
+    #[test]
+    fn loop_on_public_length_clean() {
+        // i = 0; while (i < len) { acc |= s[i]; i++ }: the memcmp shape.
+        let f = BFunction::new(
+            "f",
+            ["s", "len"],
+            ["out"],
+            Cmd::seq([
+                Cmd::set("i", BExpr::lit(0)),
+                Cmd::set("acc", BExpr::lit(0)),
+                Cmd::while_(
+                    BExpr::op(BinOp::LtU, BExpr::var("i"), BExpr::var("len")),
+                    Cmd::seq([
+                        Cmd::set(
+                            "acc",
+                            BExpr::op(
+                                BinOp::Or,
+                                BExpr::var("acc"),
+                                BExpr::load(
+                                    AccessSize::One,
+                                    BExpr::op(BinOp::Add, BExpr::var("s"), BExpr::var("i")),
+                                ),
+                            ),
+                        ),
+                        Cmd::set("i", BExpr::op(BinOp::Add, BExpr::var("i"), BExpr::lit(1))),
+                    ]),
+                ),
+                Cmd::set("out", BExpr::var("acc")),
+            ]),
+        );
+        let policy = SecrecyPolicy::secrets(["s"]);
+        assert!(run_function(&f, &spec_bytes("f", "s"), &policy).is_empty());
+    }
+
+    #[test]
+    fn identity_string_is_stable_and_order_independent() {
+        assert_eq!(SecrecyPolicy::default().identity_string(), "public");
+        let a = SecrecyPolicy::secrets(["s", "t"]).with_declassify(3);
+        let b = SecrecyPolicy::secrets(["t", "s"]).with_declassify(3);
+        assert_eq!(a.identity_string(), "secret=s,t;declassify=3");
+        assert_eq!(a.identity_string(), b.identity_string());
+        assert_ne!(a.identity_string(), SecrecyPolicy::secrets(["s"]).identity_string());
+    }
+}

@@ -157,6 +157,11 @@ pub struct MemEnv {
     pub regions: Vec<RegionInfo>,
     /// Entry-state bindings for function arguments.
     pub entry: Vec<(String, AbsVal)>,
+    /// Pairs of regions whose element counts are provably equal, derived
+    /// from `EqWord` spec hypotheses such as `len s = len t`. An index
+    /// bounded by one region's count then proves accesses into the other —
+    /// the paper's "incidental property" pattern (§3.4.2) at lint level.
+    pub count_equal: Vec<(usize, usize)>,
 }
 
 fn lit_u64(e: &Expr) -> Option<u64> {
@@ -285,7 +290,18 @@ impl MemEnv {
                 }
             }
         }
-        MemEnv { regions, entry }
+        let mut count_equal = Vec::new();
+        for h in &goal.hyps {
+            if let Hyp::EqWord(a, b) = h {
+                let find = |t: &Expr| counts.iter().position(|c| c.as_ref() == Some(t));
+                if let (Some(i), Some(j)) = (find(a), find(b)) {
+                    if i != j {
+                        count_equal.push((i, j));
+                    }
+                }
+            }
+        }
+        MemEnv { regions, entry, count_equal }
     }
 }
 
@@ -631,6 +647,10 @@ struct MemAnalysis<'a> {
     entry: &'a [(String, AbsVal)],
     /// Region index of each syntactic `stackalloc` site.
     alloc_region_base: usize,
+    /// Canonical representative per region under the hypothesis-derived
+    /// equal-count relation ([`MemEnv::count_equal`]); identity when no
+    /// equalities are known.
+    count_class: Vec<usize>,
 }
 
 enum Access<'e> {
@@ -639,6 +659,13 @@ enum Access<'e> {
 }
 
 impl<'a> MemAnalysis<'a> {
+    /// Whether two regions have provably equal element counts.
+    fn same_count(&self, a: usize, b: usize) -> bool {
+        a == b
+            || (self.count_class.get(a) == self.count_class.get(b)
+                && self.count_class.get(a).is_some())
+    }
+
     fn eval(
         &self,
         expr: &BExpr,
@@ -769,7 +796,16 @@ impl<'a> MemAnalysis<'a> {
                         k.checked_add(sz).is_some_and(|e| e <= info.min_bytes())
                     }
                     (SizeInfo::Sym { .. }, Bound::Sym { region: br, scale, shift, delta }) => {
-                        br == *region
+                        // The bound may live in a *different* region whose
+                        // element count is hypothesis-equal (`len s = len t`)
+                        // — then `scale·⌊L_br≫shift⌋ = scale·⌊L≫shift⌋` and
+                        // the same in-bounds argument applies, provided the
+                        // element widths agree so the byte extents match.
+                        let same_extent = br == *region
+                            || (self.same_count(br, *region)
+                                && self.regions.get(br).map(|r| r.elem_bytes)
+                                    == Some(info.elem_bytes));
+                        same_extent
                             && info.elem_bytes.checked_shl(shift).is_some_and(|m| scale <= m)
                             && i64::try_from(sz)
                                 .ok()
@@ -1158,11 +1194,28 @@ pub fn run(f: &BFunction, env: &MemEnv) -> Vec<Finding> {
     let alloc_region_base = all_regions.len();
     alloc_regions(&f.body, &mut all_regions);
 
+    // Close the equal-count pairs into classes (tiny union-find by
+    // repeated relabeling — region tables have a handful of entries).
+    let mut count_class: Vec<usize> = (0..all_regions.len()).collect();
+    for &(a, b) in &env.count_equal {
+        if a < count_class.len() && b < count_class.len() {
+            let (ca, cb) = (count_class[a], count_class[b]);
+            if ca != cb {
+                for c in &mut count_class {
+                    if *c == cb {
+                        *c = ca;
+                    }
+                }
+            }
+        }
+    }
+
     let analysis = MemAnalysis {
         function: f,
         regions: Rc::new(all_regions),
         entry: &env.entry,
         alloc_region_base,
+        count_class,
     };
     let cfg = Cfg::build(&f.body);
     let sol = forward_solve(&cfg, &analysis);
@@ -1209,7 +1262,77 @@ mod tests {
                     }),
                 ),
             ],
+            count_equal: Vec::new(),
         }
+    }
+
+    /// `i = 0; while (i < len) { a = load1(s + i); b = load1(t + i); i++ }`
+    /// with `len` the count of `s` — `t[i]` needs the equal-count fact.
+    fn two_array_loop() -> BFunction {
+        BFunction::new(
+            "f",
+            ["s", "t", "len"],
+            Vec::<String>::new(),
+            Cmd::seq([
+                Cmd::set("i", BExpr::lit(0)),
+                Cmd::while_(
+                    BExpr::op(BinOp::LtU, BExpr::var("i"), BExpr::var("len")),
+                    Cmd::seq([
+                        Cmd::set(
+                            "a",
+                            BExpr::load(
+                                AccessSize::One,
+                                BExpr::op(BinOp::Add, BExpr::var("s"), BExpr::var("i")),
+                            ),
+                        ),
+                        Cmd::set(
+                            "b",
+                            BExpr::load(
+                                AccessSize::One,
+                                BExpr::op(BinOp::Add, BExpr::var("t"), BExpr::var("i")),
+                            ),
+                        ),
+                        Cmd::set("i", BExpr::op(BinOp::Add, BExpr::var("i"), BExpr::lit(1))),
+                    ]),
+                ),
+            ]),
+        )
+    }
+
+    fn two_array_env(count_equal: Vec<(usize, usize)>) -> MemEnv {
+        let region = |name: &str| RegionInfo {
+            name: name.to_string(),
+            elem_bytes: 1,
+            size: SizeInfo::Sym { min_count: 0 },
+        };
+        MemEnv {
+            regions: vec![region("&s"), region("&t")],
+            entry: vec![
+                ("s".to_string(), AbsVal::Ptr { region: 0, off: Range::exact(0) }),
+                ("t".to_string(), AbsVal::Ptr { region: 1, off: Range::exact(0) }),
+                (
+                    "len".to_string(),
+                    AbsVal::Num(Range {
+                        lo: 0,
+                        hi: Bound::Sym { region: 0, scale: 1, shift: 0, delta: 0 },
+                    }),
+                ),
+            ],
+            count_equal,
+        }
+    }
+
+    #[test]
+    fn equal_count_hypothesis_proves_the_second_array() {
+        // Without the equality, t[i] is unprovable…
+        let findings = run(&two_array_loop(), &two_array_env(Vec::new()));
+        assert!(
+            findings.iter().any(|f| matches!(f.kind, FindingKind::UnprovenAccess)),
+            "findings: {findings:?}"
+        );
+        // …with it, the loop is clean.
+        let findings = run(&two_array_loop(), &two_array_env(vec![(0, 1)]));
+        assert!(findings.is_empty(), "unexpected findings: {findings:?}");
     }
 
     /// `i = 0; while (i < len) { b = load1(s + i); i = i + 1 }`

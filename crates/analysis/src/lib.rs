@@ -31,6 +31,7 @@
 
 pub mod assign;
 pub mod certcheck;
+pub mod ct;
 pub mod dataflow;
 pub mod facts;
 pub mod interval;
@@ -44,6 +45,7 @@ use rupicola_core::{CompileError, CompiledFunction, EngineLimits};
 use rupicola_lang::Model;
 use std::fmt;
 
+pub use ct::SecrecyPolicy;
 pub use facts::{dead_store_sites, expr_range, finite_upper_bound, removal_safe};
 pub use interval::{AbsVal, Bound, MemEnv, Range, RegionInfo, SizeInfo};
 pub use lemma_lint::ProbeSuite;
@@ -65,6 +67,8 @@ pub enum Pass {
     CertCheck,
     /// Lemma-library hygiene.
     LemmaLint,
+    /// Secret-independence (constant-time).
+    Ct,
 }
 
 impl fmt::Display for Pass {
@@ -77,6 +81,7 @@ impl fmt::Display for Pass {
             Pass::LoopProgress => "loop",
             Pass::CertCheck => "cert",
             Pass::LemmaLint => "lemma",
+            Pass::Ct => "ct",
         };
         write!(f, "{s}")
     }
@@ -167,6 +172,14 @@ pub enum FindingKind {
         /// The solver.
         solver: String,
     },
+    /// A branch or loop condition that may depend on a secret.
+    SecretBranch,
+    /// A memory address (load, store, or table index) that may depend on
+    /// a secret.
+    SecretAddress,
+    /// A variable-latency operation (`div`/`mod`) with a possibly-secret
+    /// operand.
+    SecretVariableLatency,
 }
 
 impl FindingKind {
@@ -184,7 +197,10 @@ impl FindingKind {
             | FindingKind::LoopNoProgress
             | FindingKind::CertMismatch
             | FindingKind::UnknownLemma { .. }
-            | FindingKind::DuplicateLemma { .. } => Severity::Error,
+            | FindingKind::DuplicateLemma { .. }
+            | FindingKind::SecretBranch
+            | FindingKind::SecretAddress
+            | FindingKind::SecretVariableLatency => Severity::Error,
             FindingKind::DeadStore { .. }
             | FindingKind::Misaligned
             | FindingKind::ShadowedLemma { .. }
@@ -311,6 +327,10 @@ pub struct CompileOptions {
     /// Run the static-analysis layer after certification and fail on
     /// analysis errors.
     pub analyze: bool,
+    /// When set, also run the secret-independence analysis under this
+    /// policy and fail on constant-time findings (which are always
+    /// errors). Runs regardless of `analyze`.
+    pub ct_policy: Option<SecrecyPolicy>,
 }
 
 /// Why an analyzing compilation failed.
@@ -359,11 +379,13 @@ pub fn compile(
     opts: &CompileOptions,
 ) -> Result<CompiledFunction, PipelineError> {
     let cf = rupicola_core::compile_with_limits(model, spec, dbs, opts.limits)?;
-    if opts.analyze {
-        let report = analyze_with_dbs(&cf, Some(dbs));
-        if report.has_errors() {
-            return Err(PipelineError::Analysis(report));
-        }
+    let mut report =
+        if opts.analyze { analyze_with_dbs(&cf, Some(dbs)) } else { AnalysisReport::default() };
+    if let Some(policy) = &opts.ct_policy {
+        report.findings.extend(ct::run(&cf, policy));
+    }
+    if report.has_errors() {
+        return Err(PipelineError::Analysis(report));
     }
     Ok(cf)
 }

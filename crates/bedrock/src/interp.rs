@@ -201,6 +201,39 @@ impl From<MemAccessError> for ExecError {
     }
 }
 
+/// A microarchitectural observation log: what a timing attacker sees.
+///
+/// The standard constant-time leakage model exposes the sequence of
+/// branch decisions (control flow drives the instruction cache and the
+/// branch predictor) and the sequence of memory addresses touched (the
+/// data cache), but not the *values* read or written. Two executions with
+/// identical logs are indistinguishable to such an attacker; the
+/// secret-independence property tested in the workspace root is exactly
+/// "logs agree across inputs differing only in secrets".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CtLog {
+    /// Every branch decision, in evaluation order: `If` conditions and
+    /// each `While` condition test (`true` = taken / loop entered).
+    pub branches: Vec<bool>,
+    /// Every address touched, in evaluation order: load addresses, store
+    /// addresses, and inline-table byte offsets.
+    pub addrs: Vec<u64>,
+}
+
+impl CtLog {
+    fn branch(log: &mut Option<CtLog>, taken: bool) {
+        if let Some(log) = log.as_mut() {
+            log.branches.push(taken);
+        }
+    }
+
+    fn addr(log: &mut Option<CtLog>, a: u64) {
+        if let Some(log) = log.as_mut() {
+            log.addrs.push(a);
+        }
+    }
+}
+
 /// The mutable machine state threaded through execution: memory plus the
 /// event trace. (Locals are per-call and live in the interpreter frames.)
 #[derive(Debug)]
@@ -217,6 +250,10 @@ pub struct ExecState {
     /// iteration). Callers that retry with escalated fuel read this to
     /// distinguish "needed a little more" from "diverges".
     pub fuel_used: u64,
+    /// When `Some`, every branch decision and memory address is recorded
+    /// (see [`CtLog`]). `None` by default: recording is opt-in so the
+    /// hot differential paths pay nothing.
+    pub ct_log: Option<CtLog>,
 }
 
 impl Default for ExecState {
@@ -229,13 +266,20 @@ impl ExecState {
     /// Creates a state with the given memory, an empty trace and the
     /// default poison byte `0xAA`.
     pub fn new(mem: Memory) -> Self {
-        ExecState { mem, trace: Vec::new(), stack_poison: 0xAA, fuel_used: 0 }
+        ExecState { mem, trace: Vec::new(), stack_poison: 0xAA, fuel_used: 0, ct_log: None }
     }
 
     /// Sets the stack poison byte (builder style).
     #[must_use]
     pub fn with_stack_poison(mut self, poison: u8) -> Self {
         self.stack_poison = poison;
+        self
+    }
+
+    /// Enables branch/address recording (builder style).
+    #[must_use]
+    pub fn with_ct_log(mut self) -> Self {
+        self.ct_log = Some(CtLog::default());
         self
     }
 }
@@ -391,6 +435,19 @@ impl<'p> Interpreter<'p> {
         locals: &Locals,
         mem: &Memory,
     ) -> Result<u64, ExecError> {
+        self.eval_expr_log(f, e, locals, mem, &mut None)
+    }
+
+    /// [`Interpreter::eval_expr`], recording load addresses and table
+    /// offsets into `log` when enabled.
+    fn eval_expr_log(
+        &self,
+        f: &BFunction,
+        e: &BExpr,
+        locals: &Locals,
+        mem: &Memory,
+        log: &mut Option<CtLog>,
+    ) -> Result<u64, ExecError> {
         match e {
             BExpr::Lit(w) => Ok(*w),
             BExpr::Var(v) => locals
@@ -398,14 +455,16 @@ impl<'p> Interpreter<'p> {
                 .copied()
                 .ok_or_else(|| ExecError::UndefinedVariable(v.clone())),
             BExpr::Load(size, addr) => {
-                let a = self.eval_expr(f, addr, locals, mem)?;
+                let a = self.eval_expr_log(f, addr, locals, mem, log)?;
+                CtLog::addr(log, a);
                 Ok(mem.load(a, *size)?)
             }
             BExpr::InlineTable { size, table, index } => {
                 let t = f
                     .table(table)
                     .ok_or_else(|| ExecError::UnknownTable(table.clone()))?;
-                let off = self.eval_expr(f, index, locals, mem)?;
+                let off = self.eval_expr_log(f, index, locals, mem, log)?;
+                CtLog::addr(log, off);
                 let n = size.bytes();
                 if off.checked_add(n).is_none_or(|end| end > t.data.len() as u64) {
                     return Err(ExecError::TableOutOfBounds {
@@ -420,8 +479,8 @@ impl<'p> Interpreter<'p> {
                 Ok(u64::from_le_bytes(out))
             }
             BExpr::Op(op, a, b) => {
-                let va = self.eval_expr(f, a, locals, mem)?;
-                let vb = self.eval_expr(f, b, locals, mem)?;
+                let va = self.eval_expr_log(f, a, locals, mem, log)?;
+                let vb = self.eval_expr_log(f, b, locals, mem, log)?;
                 Ok(op.eval(va, vb))
             }
         }
@@ -441,7 +500,7 @@ impl<'p> Interpreter<'p> {
         match cmd {
             Cmd::Skip => Ok(()),
             Cmd::Set(v, e) => {
-                let w = self.eval_expr(f, e, locals, &state.mem)?;
+                let w = self.eval_expr_log(f, e, locals, &state.mem, &mut state.ct_log)?;
                 locals.insert(v.clone(), w);
                 Ok(())
             }
@@ -450,8 +509,9 @@ impl<'p> Interpreter<'p> {
                 Ok(())
             }
             Cmd::Store(size, addr, val) => {
-                let a = self.eval_expr(f, addr, locals, &state.mem)?;
-                let w = self.eval_expr(f, val, locals, &state.mem)?;
+                let a = self.eval_expr_log(f, addr, locals, &state.mem, &mut state.ct_log)?;
+                let w = self.eval_expr_log(f, val, locals, &state.mem, &mut state.ct_log)?;
+                CtLog::addr(&mut state.ct_log, a);
                 state.mem.store(a, *size, w)?;
                 Ok(())
             }
@@ -460,7 +520,8 @@ impl<'p> Interpreter<'p> {
                 self.exec(f, b, locals, state, externals, fuel, hook)
             }
             Cmd::If { cond, then_, else_ } => {
-                let c = self.eval_expr(f, cond, locals, &state.mem)?;
+                let c = self.eval_expr_log(f, cond, locals, &state.mem, &mut state.ct_log)?;
+                CtLog::branch(&mut state.ct_log, c != 0);
                 if c != 0 {
                     self.exec(f, then_, locals, state, externals, fuel, hook)
                 } else {
@@ -471,7 +532,8 @@ impl<'p> Interpreter<'p> {
                 loop {
                     hook.at_loop_head(&f.name, cond, locals, &state.mem)
                         .map_err(ExecError::HookFailure)?;
-                    let c = self.eval_expr(f, cond, locals, &state.mem)?;
+                    let c = self.eval_expr_log(f, cond, locals, &state.mem, &mut state.ct_log)?;
+                    CtLog::branch(&mut state.ct_log, c != 0);
                     if c == 0 {
                         return Ok(());
                     }
@@ -486,7 +548,7 @@ impl<'p> Interpreter<'p> {
             Cmd::Call { rets, func, args } => {
                 let mut argv = Vec::with_capacity(args.len());
                 for a in args {
-                    argv.push(self.eval_expr(f, a, locals, &state.mem)?);
+                    argv.push(self.eval_expr_log(f, a, locals, &state.mem, &mut state.ct_log)?);
                 }
                 let out = self.call_internal(func, &argv, state, externals, fuel, hook)?;
                 if out.len() != rets.len() {
@@ -504,7 +566,7 @@ impl<'p> Interpreter<'p> {
             Cmd::Interact { rets, action, args } => {
                 let mut argv = Vec::with_capacity(args.len());
                 for a in args {
-                    argv.push(self.eval_expr(f, a, locals, &state.mem)?);
+                    argv.push(self.eval_expr_log(f, a, locals, &state.mem, &mut state.ct_log)?);
                 }
                 let out = externals
                     .interact(action, &argv, &mut state.mem)

@@ -1,0 +1,130 @@
+//! Runs the secret-independence (constant-time) analysis over the full
+//! program suite — the seven main-suite programs under the empty policy
+//! and the three CT-labeled programs under their secrecy policies — on
+//! *both* routes: the certified body straight out of the relational
+//! engine, and the optimized body produced by the full validated pass
+//! pipeline (run under the same policy, so a regressing pass would have
+//! been rolled back before we ever see its output).
+//!
+//! The exit code is nonzero on any finding on any route: every program
+//! in the repository is expected to be constant-time with respect to its
+//! declared secrets (for the main suite that set is empty, so the check
+//! degenerates to "the analysis runs and finds nothing vacuously
+//! secret-dependent").
+//!
+//! Run with `cargo run --release -p rupicola-bench --bin ctlint`.
+
+use rupicola_analysis::{ct, SecrecyPolicy};
+use rupicola_bench::json::{write_results, Json};
+use rupicola_core::check::CheckConfig;
+use rupicola_ext::standard_dbs;
+use rupicola_opt::{optimize_compiled, PipelineConfig};
+use rupicola_programs::ct_suite;
+use rupicola_service::suite_via_store;
+
+fn main() {
+    let dbs = standard_dbs();
+    let config = CheckConfig::default();
+    let mut total_findings = 0usize;
+    let mut rows: Vec<Json> = Vec::new();
+
+    println!(
+        "{:<10} {:<24} {:>10} {:>10} {:>8}",
+        "program", "policy", "certified", "optimized", "verdict"
+    );
+
+    // The main suite rides the verified artifact cache like `lint` does;
+    // its policy is empty, so this is the degenerate "no secrets" run.
+    let (results, cache) = suite_via_store(&dbs);
+    let public = SecrecyPolicy::default();
+    let mut work: Vec<(String, SecrecyPolicy, rupicola_core::CompiledFunction)> = Vec::new();
+    for entry in results {
+        match entry.result {
+            Ok(cf) => work.push((entry.name.to_string(), public.clone(), cf)),
+            Err(e) => {
+                println!("{:<10} COMPILATION FAILED: {e}", entry.name);
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // The CT programs compile fresh and run the full pipeline *under
+    // their policy* — that is the route a policy-aware caller gets, with
+    // layer 4 already gating each pass.
+    for e in ct_suite() {
+        let name = e.entry.info.name;
+        let policy = SecrecyPolicy::secrets(e.secret_params.iter().copied());
+        let mut cf = match (e.entry.compiled)() {
+            Ok(cf) => cf,
+            Err(err) => {
+                println!("{name:<10} COMPILATION FAILED: {err}");
+                std::process::exit(1);
+            }
+        };
+        let pipeline = PipelineConfig::full().with_ct_policy(policy.clone());
+        let report = optimize_compiled(&mut cf, &dbs, &pipeline, &config);
+        if report.rolled_back_count() > 0 {
+            println!("{name:<10} note: {} pass(es) rolled back", report.rolled_back_count());
+        }
+        work.push((name.to_string(), policy, cf));
+    }
+
+    for (name, policy, cf) in &work {
+        let certified = ct::run(cf, policy);
+        let optimized = cf
+            .optimized
+            .as_ref()
+            .map(|f| ct::run_function(f, &cf.spec, policy));
+        let here = certified.len() + optimized.as_ref().map_or(0, Vec::len);
+        total_findings += here;
+        println!(
+            "{:<10} {:<24} {:>10} {:>10} {:>8}",
+            name,
+            policy.identity_string(),
+            certified.len(),
+            optimized.as_ref().map_or_else(|| "-".to_string(), |f| f.len().to_string()),
+            if here == 0 { "clean" } else { "DIRTY" },
+        );
+        for f in certified.iter().chain(optimized.iter().flatten()) {
+            println!("           {f}");
+        }
+        rows.push(Json::obj([
+            ("program", Json::str(name)),
+            ("policy", Json::str(policy.identity_string())),
+            ("certified_findings", Json::U64(certified.len() as u64)),
+            (
+                "optimized_findings",
+                optimized
+                    .as_ref()
+                    .map_or(Json::Null, |f| Json::U64(f.len() as u64)),
+            ),
+            (
+                "findings",
+                Json::Arr(
+                    certified
+                        .iter()
+                        .chain(optimized.iter().flatten())
+                        .map(|f| Json::str(f.to_string()))
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+
+    let summary = Json::obj([
+        ("programs", Json::Arr(rows)),
+        ("total_findings", Json::U64(total_findings as u64)),
+        ("clean", Json::Bool(total_findings == 0)),
+        ("cache", cache.to_json()),
+    ]);
+    match write_results("ct.json", &summary) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => println!("\nfailed to write results: {e}"),
+    }
+
+    if total_findings > 0 {
+        println!("\n{total_findings} constant-time finding(s) — ctlint FAILED");
+        std::process::exit(1);
+    }
+    println!("\nall programs constant-time clean on both routes ✓");
+}

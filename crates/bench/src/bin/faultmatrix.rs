@@ -16,13 +16,14 @@
 //!
 //! Run with `cargo run --release -p rupicola-bench --bin faultmatrix`.
 
-use rupicola_analysis::analyze_with_dbs;
+use rupicola_analysis::{analyze_with_dbs, ct, SecrecyPolicy};
 use rupicola_bench::json::{write_results, Json};
 use rupicola_core::check::{check_with, CheckConfig};
 use rupicola_core::faultinject::{mutants, MutationClass};
 use rupicola_ext::standard_dbs;
-use rupicola_opt::mutants::PassMutant;
-use rupicola_opt::validate_candidate;
+use rupicola_opt::mutants::{CtPassMutant, PassMutant};
+use rupicola_opt::{validate_candidate, validate_candidate_with_policy};
+use rupicola_programs::{ct_suite, ctmutants};
 use rupicola_service::suite_via_store;
 
 struct ClassTally {
@@ -245,6 +246,104 @@ fn main() {
         other => other,
     };
 
+    // The constant-time mutant matrix: seeded secrecy leaks in the three
+    // CT-labeled programs, with the CT analysis (and, for the pass-level
+    // mutant, the policy-aware validation layer 4) as the defense. Two
+    // flavors:
+    //  - program-level mutants (ctmutants): hand-written leaky bodies —
+    //    early-exit memcmp, branchy select, secret-indexed S-box lookup —
+    //    that the taint analysis alone must flag;
+    //  - the pass-level mutant (backwards if-conversion): functionally
+    //    correct, so layers 1–3 accept it; only layer 4 can kill it.
+    // This column is a gate like the pass-mutant one: a survivor means a
+    // real leak pattern the analysis is blind to.
+    println!("\nconstant-time mutant matrix (taint analysis as the defense):");
+    let ct_compiled: Vec<_> = ct_suite()
+        .iter()
+        .map(|e| {
+            let cf = (e.entry.compiled)().unwrap_or_else(|err| {
+                println!("{:<8} COMPILATION FAILED: {err}", e.entry.info.name);
+                std::process::exit(1);
+            });
+            let policy = SecrecyPolicy::secrets(e.secret_params.iter().copied());
+            (e.entry.info.name, policy, cf)
+        })
+        .collect();
+    let mut ct_generated = 0usize;
+    let mut ct_killed = 0usize;
+    let mut ct_survivors: Vec<String> = Vec::new();
+    let mut ct_rows: Vec<Json> = Vec::new();
+    for m in ctmutants::all() {
+        let (name, policy, cf) = ct_compiled
+            .iter()
+            .find(|(n, _, _)| *n == m.program)
+            .unwrap_or_else(|| {
+                println!("ct mutant {} targets unknown program {}", m.name, m.program);
+                std::process::exit(1);
+            });
+        let leaky = (m.build)(&cf.function);
+        let kill = !ct::run_function(&leaky, &cf.spec, policy).is_empty();
+        ct_generated += 1;
+        if kill {
+            ct_killed += 1;
+        } else {
+            ct_survivors.push(format!("{name}: [{}]", m.name));
+        }
+        println!(
+            "  {:<10} {:<28} {}  ({})",
+            name,
+            m.name,
+            if kill { "killed" } else { "SURVIVED" },
+            m.sin,
+        );
+        ct_rows.push(Json::obj([
+            ("program", Json::str(*name)),
+            ("mutant", Json::str(m.name)),
+            ("level", Json::str("program")),
+            ("killed", Json::Bool(kill)),
+        ]));
+    }
+    for mutant in CtPassMutant::ALL {
+        for (name, policy, cf) in &ct_compiled {
+            let Some(leaky) = mutant.apply(&cf.function) else { continue };
+            let kill =
+                validate_candidate_with_policy(cf, &leaky, &dbs, &config, Some(policy)).is_err();
+            ct_generated += 1;
+            if kill {
+                ct_killed += 1;
+            } else {
+                ct_survivors.push(format!("{name}: [{}]", mutant.name()));
+            }
+            println!(
+                "  {:<10} {:<28} {}  (leak introduced by an optimization pass)",
+                name,
+                mutant.name(),
+                if kill { "killed" } else { "SURVIVED" },
+            );
+            ct_rows.push(Json::obj([
+                ("program", Json::str(*name)),
+                ("mutant", Json::str(mutant.name())),
+                ("level", Json::str("pass")),
+                ("killed", Json::Bool(kill)),
+            ]));
+        }
+    }
+    let summary = match summary {
+        Json::Obj(mut fields) => {
+            fields.push(("ct_mutants".to_string(), Json::Arr(ct_rows)));
+            fields.push((
+                "ct_kill_rate".to_string(),
+                if ct_generated == 0 {
+                    Json::F64(f64::NAN)
+                } else {
+                    Json::F64(ct_killed as f64 / ct_generated as f64)
+                },
+            ));
+            Json::Obj(fields)
+        }
+        other => other,
+    };
+
     match write_results("faultmatrix.json", &summary) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => println!("\nfailed to write results: {e}"),
@@ -261,5 +360,13 @@ fn main() {
         }
         std::process::exit(1);
     }
+    if !ct_survivors.is_empty() {
+        println!("\nsurviving CT mutants — secrecy leak the analysis misses:");
+        for s in &ct_survivors {
+            println!("  {s}");
+        }
+        std::process::exit(1);
+    }
     println!("\npass-mutant kill rate: {pass_killed}/{pass_applicable} (100% required) ✓");
+    println!("ct-mutant kill rate: {ct_killed}/{ct_generated} (100% required) ✓");
 }

@@ -15,7 +15,12 @@
 //!    ([`rupicola_analysis::analyze_with_dbs`]);
 //! 3. the Bedrock2 interpreter differential-tests the candidate against
 //!    the pre-pass body on the checker's concretized inputs, comparing
-//!    return values, heap, trace, and final locals.
+//!    return values, heap, trace, and final locals;
+//! 4. when the pipeline carries a [`SecrecyPolicy`], the
+//!    secret-independence analysis ([`rupicola_analysis::ct`]) re-runs on
+//!    the candidate: a pass that turns a CT-clean body into one with a
+//!    secret-dependent branch, address, or variable-latency operand is
+//!    rolled back even though it is functionally correct.
 //!
 //! A pass whose output fails any layer is **rolled back** — its
 //! [`PassReport`] records a typed [`OptError`], the pipeline continues
@@ -53,7 +58,9 @@ use rupicola_core::lemma::HintDbs;
 use rupicola_core::CompiledFunction;
 use std::fmt;
 
-pub use validate::validate_candidate;
+pub use validate::{validate_candidate, validate_candidate_with_policy};
+
+use rupicola_analysis::SecrecyPolicy;
 
 /// Reserved prefix for temporaries introduced by optimization passes.
 /// The interpreter-differential validator uses it to tell pass-introduced
@@ -109,12 +116,25 @@ impl fmt::Display for PassId {
 pub struct PipelineConfig {
     /// Passes to run, in order. May repeat.
     pub passes: Vec<PassId>,
+    /// The secret-independence policy candidates are validated under
+    /// (layer 4). `None` disables the layer. The policy is *not* part of
+    /// [`PipelineConfig::identity_string`] — the service fingerprints it
+    /// separately via `SecrecyPolicy::identity_string`, since it gates
+    /// artifacts on every route, not just the optimizing one.
+    pub ct_policy: Option<SecrecyPolicy>,
 }
 
 impl PipelineConfig {
     /// The full default pipeline.
     pub fn full() -> Self {
-        PipelineConfig { passes: PassId::ALL.to_vec() }
+        PipelineConfig { passes: PassId::ALL.to_vec(), ..Default::default() }
+    }
+
+    /// Attaches a CT policy (validation layer 4) to this pipeline.
+    #[must_use]
+    pub fn with_ct_policy(mut self, policy: SecrecyPolicy) -> Self {
+        self.ct_policy = Some(policy);
+        self
     }
 
     /// The empty pipeline (optimization disabled).
@@ -155,6 +175,13 @@ pub enum OptError {
         /// Input and mismatch description.
         detail: String,
     },
+    /// The candidate regressed the secret-independence (constant-time)
+    /// analysis: the pre-pass body was CT-clean under the pipeline's
+    /// policy but the candidate is not.
+    CtRegressed {
+        /// The CT findings the candidate introduced.
+        detail: String,
+    },
     /// The pass infrastructure itself misbehaved (e.g. a pass panicked).
     Internal {
         /// What happened.
@@ -169,6 +196,9 @@ impl fmt::Display for OptError {
             OptError::LintFailed { detail } => write!(f, "lint suite rejected candidate: {detail}"),
             OptError::InterpDiverged { detail } => {
                 write!(f, "interpreter differential diverged: {detail}")
+            }
+            OptError::CtRegressed { detail } => {
+                write!(f, "constant-time analysis regressed: {detail}")
             }
             OptError::Internal { detail } => write!(f, "internal pass failure: {detail}"),
         }
@@ -320,7 +350,13 @@ pub fn optimize_compiled(
             });
             continue;
         }
-        match validate::validate_candidate(cf, &outcome.function, dbs, config) {
+        match validate::validate_candidate_with_policy(
+            cf,
+            &outcome.function,
+            dbs,
+            config,
+            pipeline.ct_policy.as_ref(),
+        ) {
             Ok(()) => {
                 current = outcome.function;
                 report.passes.push(PassReport {
@@ -361,8 +397,17 @@ mod tests {
             PipelineConfig::full().identity_string(),
             "const-fold,copy-prop,dead-store,strength-reduce,load-cse"
         );
-        let partial = PipelineConfig { passes: vec![PassId::LoadCse, PassId::ConstFold] };
+        let partial = PipelineConfig {
+            passes: vec![PassId::LoadCse, PassId::ConstFold],
+            ..Default::default()
+        };
         assert_eq!(partial.identity_string(), "load-cse,const-fold");
+    }
+
+    #[test]
+    fn ct_policy_does_not_change_the_pass_identity() {
+        let with = PipelineConfig::full().with_ct_policy(SecrecyPolicy::secrets(["k"]));
+        assert_eq!(with.identity_string(), PipelineConfig::full().identity_string());
     }
 
     #[test]

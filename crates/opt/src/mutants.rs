@@ -63,6 +63,114 @@ impl PassMutant {
     }
 }
 
+/// A seeded *semantics-preserving but leaky* pass mutant: the
+/// constant-time counterpart of [`PassMutant`]. Kept in its own enum —
+/// these survive all three functional validation layers by construction
+/// (the rewrite is correct!) and are killable only by the
+/// secret-independence layer, so they belong in the fault matrix's `ct`
+/// column, not the functional one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtPassMutant {
+    /// If-conversion run *backwards*: rewrites a straight-line
+    /// `x = e` into `if (e) { x = e } else { x = e }` — the exact inverse
+    /// of the if-conversion a CT-hardening pass performs. The expression
+    /// is pure, both arms are the original statement, so values, heap,
+    /// trace, and locals are all preserved; but when `e` reads secrets the
+    /// rewritten body branches on them.
+    IfConvertBackwards,
+}
+
+impl CtPassMutant {
+    /// Every CT pass mutant.
+    pub const ALL: [CtPassMutant; 1] = [CtPassMutant::IfConvertBackwards];
+
+    /// Stable name (used in the fault-matrix report).
+    pub fn name(self) -> &'static str {
+        match self {
+            CtPassMutant::IfConvertBackwards => "if-convert/backwards",
+        }
+    }
+
+    /// Applies the leaky rewrite. `None` means no applicable site.
+    pub fn apply(self, f: &BFunction) -> Option<BFunction> {
+        match self {
+            CtPassMutant::IfConvertBackwards => if_convert_backwards(f),
+        }
+    }
+}
+
+fn expr_reads_memory(e: &BExpr) -> bool {
+    let mut found = false;
+    for_each_subexpr(e, &mut |sub| {
+        if matches!(sub, BExpr::Load(..) | BExpr::InlineTable { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+fn any_set_matches(cmd: &Cmd, pred: &dyn Fn(&BExpr) -> bool) -> bool {
+    match cmd {
+        Cmd::Set(_, e) => pred(e),
+        Cmd::Seq(a, b) => any_set_matches(a, pred) || any_set_matches(b, pred),
+        Cmd::If { then_, else_, .. } => {
+            any_set_matches(then_, pred) || any_set_matches(else_, pred)
+        }
+        Cmd::While { body, .. } | Cmd::StackAlloc { body, .. } => any_set_matches(body, pred),
+        _ => false,
+    }
+}
+
+fn if_convert_last_set(cmd: &Cmd, pred: &dyn Fn(&BExpr) -> bool, done: &mut bool) -> Cmd {
+    match cmd {
+        // Recurse right-to-left so the *last* matching assignment is the
+        // one converted (in loops that is a per-iteration branch).
+        Cmd::Seq(a, b) => {
+            let b = if_convert_last_set(b, pred, done);
+            let a = if_convert_last_set(a, pred, done);
+            Cmd::Seq(Box::new(a), Box::new(b))
+        }
+        Cmd::If { cond, then_, else_ } => {
+            let else_ = if_convert_last_set(else_, pred, done);
+            let then_ = if_convert_last_set(then_, pred, done);
+            Cmd::If { cond: cond.clone(), then_: Box::new(then_), else_: Box::new(else_) }
+        }
+        Cmd::While { cond, body } => {
+            let body = if_convert_last_set(body, pred, done);
+            Cmd::While { cond: cond.clone(), body: Box::new(body) }
+        }
+        Cmd::StackAlloc { var, nbytes, body } => {
+            let body = if_convert_last_set(body, pred, done);
+            Cmd::StackAlloc { var: var.clone(), nbytes: *nbytes, body: Box::new(body) }
+        }
+        Cmd::Set(x, e) if !*done && pred(e) => {
+            *done = true;
+            Cmd::if_(e.clone(), Cmd::set(x.clone(), e.clone()), Cmd::set(x.clone(), e.clone()))
+        }
+        other => other.clone(),
+    }
+}
+
+/// The backwards if-conversion: prefers the last assignment that reads
+/// memory (a secret load in any CT suite program), falling back to the
+/// last non-literal assignment (the masked select in `ct_select`), so the
+/// introduced branch condition actually carries taint rather than a public
+/// loop counter.
+fn if_convert_backwards(f: &BFunction) -> Option<BFunction> {
+    let memory: &dyn Fn(&BExpr) -> bool = &expr_reads_memory;
+    let nonlit: &dyn Fn(&BExpr) -> bool = &|e| !matches!(e, BExpr::Lit(_));
+    let pred = if any_set_matches(&f.body, memory) {
+        memory
+    } else if any_set_matches(&f.body, nonlit) {
+        nonlit
+    } else {
+        return None;
+    };
+    let mut done = false;
+    let body = if_convert_last_set(&f.body, pred, &mut done);
+    done.then(|| BFunction { body, ..f.clone() })
+}
+
 fn wrong_shift(f: &BFunction) -> Option<BFunction> {
     let pow2 = |n: u64| (n.count_ones() == 1 && n > 1).then(|| u64::from(n.trailing_zeros()));
     let mut changed = false;
@@ -262,6 +370,46 @@ fn cse_wrong_width(f: &BFunction) -> Option<BFunction> {
 mod tests {
     use super::*;
     use crate::passes::copyprop;
+
+    #[test]
+    fn if_convert_backwards_branches_on_the_masked_select() {
+        let f = BFunction::new(
+            "f",
+            ["c", "x"],
+            ["r"],
+            Cmd::seq([
+                Cmd::set("m", BExpr::op(BinOp::Sub, BExpr::lit(0), BExpr::var("c"))),
+                Cmd::set("r", BExpr::op(BinOp::And, BExpr::var("x"), BExpr::var("m"))),
+            ]),
+        );
+        let g = CtPassMutant::IfConvertBackwards.apply(&f).expect("applicable");
+        // The *last* assignment became a branch with identical arms.
+        let stmts = spine_of(&g.body);
+        assert_eq!(stmts.len(), 2);
+        let Cmd::If { cond, then_, else_ } = &stmts[1] else { panic!("converted") };
+        assert_eq!(*cond, BExpr::op(BinOp::And, BExpr::var("x"), BExpr::var("m")));
+        assert_eq!(then_, else_);
+    }
+
+    #[test]
+    fn if_convert_backwards_prefers_memory_reads() {
+        let f = BFunction::new(
+            "f",
+            ["s"],
+            ["r"],
+            Cmd::seq([
+                Cmd::set("b", BExpr::load(AccessSize::One, BExpr::var("s"))),
+                Cmd::set("r", BExpr::op(BinOp::Add, BExpr::var("b"), BExpr::lit(1))),
+            ]),
+        );
+        let g = CtPassMutant::IfConvertBackwards.apply(&f).expect("applicable");
+        let stmts = spine_of(&g.body);
+        assert!(
+            matches!(&stmts[0], Cmd::If { cond, .. } if matches!(cond, BExpr::Load(..))),
+            "the load assignment is the converted one"
+        );
+        assert!(matches!(&stmts[1], Cmd::Set(..)));
+    }
 
     #[test]
     fn wrong_shift_fires_on_pow2_multiplies() {

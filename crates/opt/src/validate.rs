@@ -7,7 +7,7 @@
 //! `FnSpec` the relational compiler certified.
 
 use crate::{OptError, TEMP_PREFIX};
-use rupicola_analysis::analyze_with_dbs;
+use rupicola_analysis::{analyze_with_dbs, ct, SecrecyPolicy};
 use rupicola_bedrock::interp::NoExternals;
 use rupicola_bedrock::{BFunction, ExecState, Interpreter, Program};
 use rupicola_core::check::{check_with, differential_inputs, CheckConfig, CheckError};
@@ -25,6 +25,33 @@ pub fn validate_candidate(
     candidate: &BFunction,
     dbs: &HintDbs,
     config: &CheckConfig,
+) -> Result<(), OptError> {
+    validate_candidate_with_policy(cf, candidate, dbs, config, None)
+}
+
+/// [`validate_candidate`] plus the optional fourth layer: when a
+/// [`SecrecyPolicy`] is supplied and the **original** certified body is
+/// CT-clean under it, the candidate must be too. A candidate that
+/// introduces a secret-dependent branch, memory address, or
+/// variable-latency operand is rejected with [`OptError::CtRegressed`] —
+/// functional equivalence (layers 1–3) is deliberately not enough, since
+/// an if-conversion in the wrong direction preserves values while leaking
+/// through the instruction trace.
+///
+/// A body that was *already* CT-dirty under the policy stays optimizable:
+/// the layer gates regressions, not pre-existing findings (those are the
+/// compile route's job to report).
+///
+/// # Errors
+///
+/// A typed [`OptError`] naming the first layer that rejected the
+/// candidate.
+pub fn validate_candidate_with_policy(
+    cf: &CompiledFunction,
+    candidate: &BFunction,
+    dbs: &HintDbs,
+    config: &CheckConfig,
+    policy: Option<&SecrecyPolicy>,
 ) -> Result<(), OptError> {
     let cand_cf = CompiledFunction {
         function: candidate.clone(),
@@ -54,7 +81,24 @@ pub fn validate_candidate(
     }
 
     // Layer 3: the interpreter differential against the pre-pass body.
-    differential(cf, candidate, config)
+    differential(cf, candidate, config)?;
+
+    // Layer 4: secret-independence. Only a *regression* is a failure.
+    if let Some(policy) = policy {
+        let orig_findings = ct::run_function(&cf.function, &cf.spec, policy);
+        if orig_findings.is_empty() {
+            let cand_findings = ct::run_function(candidate, &cf.spec, policy);
+            if !cand_findings.is_empty() {
+                let detail = cand_findings
+                    .iter()
+                    .map(std::string::ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                return Err(OptError::CtRegressed { detail });
+            }
+        }
+    }
+    Ok(())
 }
 
 fn program_for(main: &BFunction, linked: &[BFunction]) -> Program {

@@ -1,0 +1,253 @@
+//! `chacha_qr` — the ChaCha20 quarter-round (RFC 8439 §2.1), in place.
+//!
+//! The crypto-kernel CT program: four 32-bit adds, xors and fixed-distance
+//! rotates over a 4-word state, updated in place. The workload family the
+//! paper targets (and the ROADMAP's chacha20/poly1305 item starts from):
+//! all memory accesses are at literal offsets into the state array, all
+//! rotate distances are constants, so every execution has the same shape
+//! regardless of the (secret) state.
+//!
+//! The 32-bit arithmetic rides on 64-bit words with the masking idiom of
+//! `m3s`: every addition is masked with `0xffff_ffff`, and
+//! `rotl32(v, k) = ((v << k) | (v >> (32 - k))) & 0xffff_ffff` (xor of two
+//! in-range values needs no mask).
+//!
+//! CT policy: the state is secret ([`SECRET_PARAMS`]); the pointer to it
+//! and its (fixed) length are public.
+
+use crate::funclist::List;
+use crate::{Features, ProgramInfo};
+use rupicola_core::fnspec::{ArgSpec, FnSpec, RetSpec};
+use rupicola_core::{CompileError, CompiledFunction, Hyp};
+use rupicola_ext::standard_dbs;
+use rupicola_lang::dsl::*;
+use rupicola_lang::{ElemKind, Expr, Model};
+
+/// Parameters whose contents are secret under the program's CT policy.
+pub const SECRET_PARAMS: &[&str] = &["st"];
+
+const MASK32: u64 = 0xffff_ffff;
+
+fn add32(a: Expr, b: Expr) -> Expr {
+    word_and(word_add(a, b), word_lit(MASK32))
+}
+
+fn rotl32(v: Expr, k: u64) -> Expr {
+    word_and(
+        word_or(word_shl(v.clone(), word_lit(k)), word_shr(v, word_lit(32 - k))),
+        word_lit(MASK32),
+    )
+}
+
+/// The functional model.
+pub fn model() -> Model {
+    // model-begin
+    // chacha_qr st :=
+    //   let/n a := st[0] in … let/n d := st[3] in
+    //   a += b; d ^= a; d <<<= 16;
+    //   c += d; b ^= c; b <<<= 12;
+    //   a += b; d ^= a; d <<<= 8;
+    //   c += d; b ^= c; b <<<= 7;
+    //   st[0] := a; … st[3] := d; st
+    let step = |x: &str, y: &str, z: &str, k: u64, rest: Expr| {
+        let_n(
+            x,
+            add32(var(x), var(y)),
+            let_n(z, rotl32(word_xor(var(z), var(x)), k), rest),
+        )
+    };
+    let puts = let_n(
+        "st",
+        array_put_w(var("st"), word_lit(0), var("a")),
+        let_n(
+            "st",
+            array_put_w(var("st"), word_lit(1), var("b")),
+            let_n(
+                "st",
+                array_put_w(var("st"), word_lit(2), var("c")),
+                let_n("st", array_put_w(var("st"), word_lit(3), var("d")), var("st")),
+            ),
+        ),
+    );
+    let rounds = step(
+        "a",
+        "b",
+        "d",
+        16,
+        step("c", "d", "b", 12, step("a", "b", "d", 8, step("c", "d", "b", 7, puts))),
+    );
+    Model::new(
+        "chacha_qr",
+        ["st"],
+        let_n(
+            "a",
+            array_get_w(var("st"), word_lit(0)),
+            let_n(
+                "b",
+                array_get_w(var("st"), word_lit(1)),
+                let_n(
+                    "c",
+                    array_get_w(var("st"), word_lit(2)),
+                    let_n("d", array_get_w(var("st"), word_lit(3)), rounds),
+                ),
+            ),
+        ),
+    )
+    // model-end
+}
+
+/// The ABI: a pointer to the 4-word state, updated in place.
+pub fn spec() -> FnSpec {
+    // hints-begin
+    // The requires clause: the state holds exactly four words (every
+    // literal-index access is in bounds under it) and each word fits in
+    // 32 bits (the masking discipline then keeps them there).
+    FnSpec::new(
+        "chacha_qr",
+        vec![ArgSpec::ArrayPtr { name: "st".into(), param: "st".into(), elem: ElemKind::Word }],
+        vec![RetSpec::InPlace { param: "st".into() }],
+    )
+    .with_hint(Hyp::EqWord(array_len_w(var("st")), word_lit(4)))
+    // hints-end
+}
+
+/// Runs the relational compiler.
+///
+/// # Errors
+///
+/// Propagates [`CompileError`] (none expected with the standard databases).
+pub fn compiled() -> Result<CompiledFunction, CompileError> {
+    rupicola_core::compile(&model(), &spec(), &standard_dbs())
+}
+
+/// The executable specification: RFC 8439 §2.1 on `u32` state.
+pub fn reference(st: &mut [u32; 4]) {
+    let [mut a, mut b, mut c, mut d] = *st;
+    a = a.wrapping_add(b);
+    d = (d ^ a).rotate_left(16);
+    c = c.wrapping_add(d);
+    b = (b ^ c).rotate_left(12);
+    a = a.wrapping_add(b);
+    d = (d ^ a).rotate_left(8);
+    c = c.wrapping_add(d);
+    b = (b ^ c).rotate_left(7);
+    *st = [a, b, c, d];
+}
+
+/// The handwritten C-style implementation on 64-bit words (the shape the
+/// generated code has).
+pub fn baseline(st: &mut [u64; 4]) {
+    fn rot(v: u64, k: u32) -> u64 {
+        ((v << k) | (v >> (32 - k))) & MASK32
+    }
+    let [mut a, mut b, mut c, mut d] = *st;
+    a = (a + b) & MASK32;
+    d = rot(d ^ a, 16);
+    c = (c + d) & MASK32;
+    b = rot(b ^ c, 12);
+    a = (a + b) & MASK32;
+    d = rot(d ^ a, 8);
+    c = (c + d) & MASK32;
+    b = rot(b ^ c, 7);
+    *st = [a, b, c, d];
+}
+
+/// The extraction baseline: the state as a linked list, rebuilt per step.
+pub fn naive(st: &[u64]) -> Vec<u64> {
+    fn get(l: &List<u64>, i: usize) -> u64 {
+        let mut cur = l.clone();
+        for _ in 0..i {
+            cur = cur.as_cons().map(|(_, r)| r.clone()).unwrap_or_default();
+        }
+        cur.as_cons().map_or(0, |(w, _)| *w)
+    }
+    let l = List::from_slice(st);
+    let mut a = get(&l, 0);
+    let mut b = get(&l, 1);
+    let mut c = get(&l, 2);
+    let mut d = get(&l, 3);
+    let rot = |v: u64, k: u32| ((v << k) | (v >> (32 - k))) & MASK32;
+    a = (a + b) & MASK32;
+    d = rot(d ^ a, 16);
+    c = (c + d) & MASK32;
+    b = rot(b ^ c, 12);
+    a = (a + b) & MASK32;
+    d = rot(d ^ a, 8);
+    c = (c + d) & MASK32;
+    b = rot(b ^ c, 7);
+    List::from_slice(&[a, b, c, d]).to_vec()
+}
+
+/// Table 2 metadata.
+pub fn info() -> ProgramInfo {
+    let src = include_str!("chacha_qr.rs");
+    ProgramInfo {
+        name: "chacha_qr",
+        description: "ChaCha20 quarter-round (RFC 8439), in place",
+        source_loc: crate::lines_between(src, "model"),
+        lemmas_loc: crate::lines_between(src, "hints"),
+        hints: 1,
+        end_to_end: true,
+        features: Features {
+            arithmetic: true,
+            arrays: true,
+            mutation: true,
+            ..Default::default()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupicola_core::check::check;
+    use rupicola_lang::eval::{eval_model, World};
+    use rupicola_lang::Value;
+
+    #[test]
+    fn rfc8439_test_vector() {
+        // RFC 8439 §2.1.1.
+        let mut st = [0x11111111u32, 0x01020304, 0x9b8d6f43, 0x01234567];
+        reference(&mut st);
+        assert_eq!(st, [0xea2a92f4, 0xcb1cf8ce, 0x4581472e, 0x5881c4bb]);
+    }
+
+    #[test]
+    fn model_matches_reference() {
+        for words in [[0u32; 4], [1, 2, 3, 4], [0x11111111, 0x01020304, 0x9b8d6f43, 0x01234567]] {
+            let mut expect = words;
+            reference(&mut expect);
+            let out = eval_model(
+                &model(),
+                &[Value::word_list(words.iter().map(|w| u64::from(*w)))],
+                &mut World::default(),
+            )
+            .unwrap();
+            assert_eq!(
+                out,
+                Value::word_list(expect.iter().map(|w| u64::from(*w))),
+                "state {words:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_and_naive_match_reference() {
+        let words = [0x11111111u64, 0x01020304, 0x9b8d6f43, 0x01234567];
+        let mut b = words;
+        baseline(&mut b);
+        let n = naive(&words);
+        let mut expect32 = words.map(|w| w as u32);
+        reference(&mut expect32);
+        let expect: Vec<u64> = expect32.iter().map(|w| u64::from(*w)).collect();
+        assert_eq!(b.to_vec(), expect);
+        assert_eq!(n, expect);
+    }
+
+    #[test]
+    fn compiles_and_validates_in_place() {
+        let out = compiled().unwrap();
+        let report = check(&out, &standard_dbs()).unwrap();
+        assert!(report.vectors_run > 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! `ct_memcmp` — constant-time buffer comparison.
+//!
+//! The first of the secret-independence (CT) suite programs: compares two
+//! equal-length secret buffers without branching on their contents, the
+//! way cryptographic code compares MACs. The model ORs together the XOR of
+//! every byte pair; the result is zero exactly when the buffers agree, and
+//! every execution touches the same addresses in the same order regardless
+//! of contents (only the public length steers control flow).
+//!
+//! The bound for `t[i]` is an incidental property in the paper's sense
+//! (§3.4.2): the loop gives `i < len s`, and the spec hint
+//! `len s = len t` lets the linear side-condition solver rewrite one
+//! length into the other.
+//!
+//! CT policy (consumed by `ctlint` and the opt validation layer): the
+//! *contents* of `s` and `t` are secret ([`SECRET_PARAMS`]); the shared
+//! length is public, as in the standard constant-time threat model.
+
+use crate::funclist::List;
+use crate::{Features, ProgramInfo};
+use rupicola_core::fnspec::{ArgSpec, FnSpec, RetSpec};
+use rupicola_core::{CompileError, CompiledFunction, Hyp};
+use rupicola_ext::standard_dbs;
+use rupicola_lang::dsl::*;
+use rupicola_lang::{ElemKind, Model};
+use rupicola_sep::ScalarKind;
+
+/// Parameters whose contents are secret under the program's CT policy.
+pub const SECRET_PARAMS: &[&str] = &["s", "t"];
+
+/// The functional model.
+pub fn model() -> Model {
+    // model-begin
+    // ct_memcmp s t :=
+    //   let/n n := len s in
+    //   let/n acc := fold_range 0 n (fun i acc => acc | (s[i] ^ t[i])) 0 in
+    //   acc
+    let byte_at = |arr: &str| word_of_byte(array_get_b(var(arr), var("i")));
+    let body = word_or(var("acc"), word_xor(byte_at("s"), byte_at("t")));
+    Model::new(
+        "ct_memcmp",
+        ["s", "t"],
+        let_n(
+            "n",
+            array_len_b(var("s")),
+            let_n(
+                "acc",
+                range_fold("i", "acc", body, word_lit(0), word_lit(0), var("n")),
+                var("acc"),
+            ),
+        ),
+    )
+    // model-end
+}
+
+/// The ABI: two byte buffers of equal (public) length.
+pub fn spec() -> FnSpec {
+    // hints-begin
+    // The equal-length requires clause: `t[i]`'s bound follows from the
+    // loop's `i < len s` by rewriting through this equality.
+    FnSpec::new(
+        "ct_memcmp",
+        vec![
+            ArgSpec::ArrayPtr { name: "s".into(), param: "s".into(), elem: ElemKind::Byte },
+            ArgSpec::ArrayPtr { name: "t".into(), param: "t".into(), elem: ElemKind::Byte },
+            ArgSpec::LenOf { name: "len".into(), param: "s".into(), elem: ElemKind::Byte },
+        ],
+        vec![RetSpec::Scalar { name: "out".into(), kind: ScalarKind::Word }],
+    )
+    .with_hint(Hyp::EqWord(array_len_b(var("s")), array_len_b(var("t"))))
+    // hints-end
+}
+
+/// Runs the relational compiler.
+///
+/// # Errors
+///
+/// Propagates [`CompileError`] (none expected with the standard databases).
+pub fn compiled() -> Result<CompiledFunction, CompileError> {
+    rupicola_core::compile(&model(), &spec(), &standard_dbs())
+}
+
+/// The executable specification: 0 iff the buffers agree.
+pub fn reference(s: &[u8], t: &[u8]) -> u64 {
+    debug_assert_eq!(s.len(), t.len());
+    let mut acc = 0u64;
+    for (a, b) in s.iter().zip(t) {
+        acc |= u64::from(a ^ b);
+    }
+    acc
+}
+
+/// The handwritten C-style implementation.
+pub fn baseline(s: &[u8], t: &[u8]) -> u64 {
+    let mut acc = 0u64;
+    let mut i = 0;
+    while i < s.len() {
+        acc |= u64::from(s[i] ^ t[i]);
+        i += 1;
+    }
+    acc
+}
+
+/// The extraction baseline: zip two linked lists and fold.
+pub fn naive(s: &[u8], t: &[u8]) -> u64 {
+    fn zip_xor(a: &List<u8>, b: &List<u8>) -> List<u8> {
+        let mut spine = Vec::new();
+        let (mut ca, mut cb) = (a, b);
+        while let (Some((x, ra)), Some((y, rb))) = (ca.as_cons(), cb.as_cons()) {
+            spine.push(x ^ y);
+            ca = ra;
+            cb = rb;
+        }
+        List::from_slice(&spine)
+    }
+    let zipped = zip_xor(&List::from_slice(s), &List::from_slice(t));
+    zipped.fold(0u64, &|acc, d| acc | u64::from(*d))
+}
+
+/// Table 2 metadata.
+pub fn info() -> ProgramInfo {
+    let src = include_str!("ct_memcmp.rs");
+    ProgramInfo {
+        name: "ct_memcmp",
+        description: "constant-time buffer comparison",
+        source_loc: crate::lines_between(src, "model"),
+        lemmas_loc: crate::lines_between(src, "hints"),
+        hints: 1,
+        end_to_end: true,
+        features: Features { arithmetic: true, arrays: true, loops: true, ..Default::default() },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupicola_core::check::check;
+    use rupicola_lang::eval::{eval_model, World};
+    use rupicola_lang::Value;
+
+    #[test]
+    fn model_matches_reference() {
+        for (s, t) in [
+            (&[][..], &[][..]),
+            (&[1, 2, 3][..], &[1, 2, 3][..]),
+            (&[1, 2, 3][..], &[1, 9, 3][..]),
+            (&[0xff; 16][..], &[0xff; 16][..]),
+        ] {
+            let out = eval_model(
+                &model(),
+                &[
+                    Value::byte_list(s.iter().copied()),
+                    Value::byte_list(t.iter().copied()),
+                ],
+                &mut World::default(),
+            )
+            .unwrap();
+            assert_eq!(out, Value::Word(reference(s, t)), "s {s:?} t {t:?}");
+        }
+    }
+
+    #[test]
+    fn zero_iff_equal() {
+        assert_eq!(reference(b"abc", b"abc"), 0);
+        assert_ne!(reference(b"abc", b"abd"), 0);
+        assert_eq!(baseline(b"abc", b"abc"), 0);
+        assert_ne!(naive(b"abc", b"abd"), 0);
+    }
+
+    #[test]
+    fn compiles_and_validates_with_equal_length_hint() {
+        let out = compiled().unwrap();
+        let dbs = standard_dbs();
+        let report = check(&out, &dbs).unwrap();
+        assert!(report.vectors_run > 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! `ct_select` — constant-time conditional select (cmov).
+//!
+//! The branchless select every constant-time algorithm is built from:
+//! `select c x y = if c then x else y` computed by masking instead of
+//! branching, as in a Montgomery-ladder conditional swap where `c` is a
+//! secret key bit. The mask `m = 0 - c` is all-ones for `c = 1` and zero
+//! for `c = 0`, so `(x & m) | (y & ~m)` picks the right operand with a
+//! fixed instruction sequence.
+//!
+//! CT policy: all three inputs are secret ([`SECRET_PARAMS`]) — crucially
+//! including the *condition*, which is exactly what an `if` would leak.
+
+use crate::{Features, ProgramInfo};
+use rupicola_core::fnspec::{ArgSpec, FnSpec, RetSpec};
+use rupicola_core::{CompileError, CompiledFunction, Hyp};
+use rupicola_ext::standard_dbs;
+use rupicola_lang::dsl::*;
+use rupicola_lang::Model;
+use rupicola_sep::ScalarKind;
+
+/// Parameters that are secret under the program's CT policy.
+pub const SECRET_PARAMS: &[&str] = &["c", "x", "y"];
+
+/// The functional model.
+pub fn model() -> Model {
+    // model-begin
+    // ct_select c x y :=
+    //   let/n m := 0 - c in
+    //   let/n r := (x & m) | (y & (m ^ ~0)) in r
+    Model::new(
+        "ct_select",
+        ["c", "x", "y"],
+        let_n(
+            "m",
+            word_sub(word_lit(0), var("c")),
+            let_n(
+                "r",
+                word_or(
+                    word_and(var("x"), var("m")),
+                    word_and(var("y"), word_xor(var("m"), word_lit(u64::MAX))),
+                ),
+                var("r"),
+            ),
+        ),
+    )
+    // model-end
+}
+
+/// The ABI: three word scalars, one word result.
+pub fn spec() -> FnSpec {
+    // hints-begin
+    // The requires clause: `c` is a boolean word. The mask construction is
+    // only a select under this precondition (checked on every vector).
+    FnSpec::new(
+        "ct_select",
+        vec![
+            ArgSpec::Scalar { name: "c".into(), param: "c".into(), kind: ScalarKind::Word },
+            ArgSpec::Scalar { name: "x".into(), param: "x".into(), kind: ScalarKind::Word },
+            ArgSpec::Scalar { name: "y".into(), param: "y".into(), kind: ScalarKind::Word },
+        ],
+        vec![RetSpec::Scalar { name: "out".into(), kind: ScalarKind::Word }],
+    )
+    .with_hint(Hyp::LeU(var("c"), word_lit(1)))
+    // hints-end
+}
+
+/// Runs the relational compiler.
+///
+/// # Errors
+///
+/// Propagates [`CompileError`] (none expected with the standard databases).
+pub fn compiled() -> Result<CompiledFunction, CompileError> {
+    rupicola_core::compile(&model(), &spec(), &standard_dbs())
+}
+
+/// The executable specification.
+pub fn reference(c: u64, x: u64, y: u64) -> u64 {
+    debug_assert!(c <= 1);
+    if c == 1 {
+        x
+    } else {
+        y
+    }
+}
+
+/// The handwritten C-style implementation (identical masking recipe).
+pub fn baseline(c: u64, x: u64, y: u64) -> u64 {
+    let m = 0u64.wrapping_sub(c);
+    (x & m) | (y & !m)
+}
+
+/// The extraction baseline: a boxed-closure select, standing in for the
+/// thunked `if` extraction produces.
+pub fn naive(c: u64, x: u64, y: u64) -> u64 {
+    let arms: Vec<Box<dyn Fn() -> u64>> = vec![Box::new(move || y), Box::new(move || x)];
+    arms[c as usize]()
+}
+
+/// Table 2 metadata.
+pub fn info() -> ProgramInfo {
+    let src = include_str!("ct_select.rs");
+    ProgramInfo {
+        name: "ct_select",
+        description: "constant-time conditional select (cmov)",
+        source_loc: crate::lines_between(src, "model"),
+        lemmas_loc: crate::lines_between(src, "hints"),
+        hints: 1,
+        end_to_end: true,
+        features: Features { arithmetic: true, ..Default::default() },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupicola_core::check::check;
+    use rupicola_lang::eval::{eval_model, World};
+    use rupicola_lang::Value;
+
+    #[test]
+    fn model_matches_reference() {
+        for (c, x, y) in [(0, 7, 9), (1, 7, 9), (0, u64::MAX, 0), (1, u64::MAX, 0)] {
+            let out = eval_model(
+                &model(),
+                &[Value::Word(c), Value::Word(x), Value::Word(y)],
+                &mut World::default(),
+            )
+            .unwrap();
+            assert_eq!(out, Value::Word(reference(c, x, y)), "c={c}");
+        }
+    }
+
+    #[test]
+    fn baseline_and_naive_match_reference() {
+        for (c, x, y) in [(0u64, 42, 17), (1, 42, 17), (1, 0, u64::MAX)] {
+            assert_eq!(baseline(c, x, y), reference(c, x, y));
+            assert_eq!(naive(c, x, y), reference(c, x, y));
+        }
+    }
+
+    #[test]
+    fn compiles_and_validates() {
+        let out = compiled().unwrap();
+        let report = check(&out, &standard_dbs()).unwrap();
+        assert!(report.vectors_run > 0);
+    }
+}

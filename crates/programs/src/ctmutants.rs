@@ -1,0 +1,163 @@
+//! Seeded constant-time violations for the CT suite programs.
+//!
+//! Each mutant is a hand-written Bedrock2 body that computes something
+//! *functionally reasonable* for its program but commits one of the three
+//! constant-time sins the analysis hunts: a secret-dependent branch, a
+//! secret-indexed memory access, or (elsewhere, via the opt-pass mutant) a
+//! secret-dependent rewrite. They are the ground truth of the `faultmatrix`
+//! `ct` column — a CT analysis that cannot kill all of them is broken — and
+//! the semantic minicheck in `tests/ct_semantics.rs` exhibits, for each
+//! one, a pair of secret inputs whose leakage traces differ.
+//!
+//! A mutant takes the *pristine* compiled function so the replacement body
+//! reuses its exact argument and return names (the ABI, and hence the
+//! analysis entry state, is unchanged — only the body is swapped).
+
+use rupicola_bedrock::ast::{AccessSize, BExpr, BFunction, BTable, BinOp, Cmd};
+
+/// One seeded CT violation.
+#[derive(Debug, Clone, Copy)]
+pub struct CtMutant {
+    /// Suite program the mutant applies to.
+    pub program: &'static str,
+    /// Mutant name (the faultmatrix row label).
+    pub name: &'static str,
+    /// Which constant-time sin it commits (documentation string).
+    pub sin: &'static str,
+    /// Builds the mutated function from the pristine compiled one.
+    pub build: fn(&BFunction) -> BFunction,
+}
+
+/// All seeded CT mutants, in faultmatrix order.
+pub fn all() -> Vec<CtMutant> {
+    vec![
+        CtMutant {
+            program: "ct_memcmp",
+            name: "early_exit",
+            sin: "secret-dependent branch (early loop exit on first mismatch)",
+            build: early_exit_memcmp,
+        },
+        CtMutant {
+            program: "ct_select",
+            name: "branchy_select",
+            sin: "secret-dependent branch (if on the secret condition)",
+            build: branchy_select,
+        },
+        CtMutant {
+            program: "chacha_qr",
+            name: "sbox_lookup",
+            sin: "secret-indexed table lookup (cache side channel)",
+            build: sbox_lookup,
+        },
+    ]
+}
+
+/// The classic `memcmp` bug: return at the first differing byte. The
+/// comparison result (secret) steers both the `if` and the loop trip count.
+fn early_exit_memcmp(pristine: &BFunction) -> BFunction {
+    let (s, t, len) = (&pristine.args[0], &pristine.args[1], &pristine.args[2]);
+    let out = &pristine.rets[0];
+    let byte = |arr: &str| {
+        BExpr::load(AccessSize::One, BExpr::op(BinOp::Add, BExpr::var(arr), BExpr::var("i")))
+    };
+    let body = Cmd::seq([
+        Cmd::set(out, BExpr::lit(0)),
+        Cmd::set("i", BExpr::lit(0)),
+        Cmd::while_(
+            BExpr::op(BinOp::LtU, BExpr::var("i"), BExpr::var(len)),
+            Cmd::seq([
+                Cmd::set("d", BExpr::op(BinOp::Xor, byte(s), byte(t))),
+                Cmd::if_(
+                    BExpr::var("d"),
+                    // Mismatch: record it and bail out of the loop early.
+                    Cmd::seq([Cmd::set(out, BExpr::var("d")), Cmd::set("i", BExpr::var(len))]),
+                    Cmd::set("i", BExpr::op(BinOp::Add, BExpr::var("i"), BExpr::lit(1))),
+                ),
+            ]),
+        ),
+    ]);
+    BFunction::new(
+        pristine.name.clone(),
+        pristine.args.clone(),
+        pristine.rets.clone(),
+        body,
+    )
+}
+
+/// The naive select: branch on the (secret) condition.
+fn branchy_select(pristine: &BFunction) -> BFunction {
+    let (c, x, y) = (&pristine.args[0], &pristine.args[1], &pristine.args[2]);
+    let out = &pristine.rets[0];
+    let body = Cmd::if_(
+        BExpr::var(c),
+        Cmd::set(out, BExpr::var(x)),
+        Cmd::set(out, BExpr::var(y)),
+    );
+    BFunction::new(
+        pristine.name.clone(),
+        pristine.args.clone(),
+        pristine.rets.clone(),
+        body,
+    )
+}
+
+/// An S-box "optimization" of the quarter-round's first add: replace the
+/// low byte of `st[0]` via a 256-entry lookup table indexed by the secret
+/// byte itself — the textbook AES-style cache side channel.
+fn sbox_lookup(pristine: &BFunction) -> BFunction {
+    let st = &pristine.args[0];
+    // An involution-free but total byte permutation: b ^ 0x63 (the additive
+    // part of the AES S-box affine step).
+    let sbox: Vec<u8> = (0u16..256).map(|b| (b as u8) ^ 0x63).collect();
+    let body = Cmd::seq([
+        Cmd::set("x0", BExpr::load(AccessSize::Eight, BExpr::var(st))),
+        Cmd::set(
+            "k",
+            BExpr::table(
+                AccessSize::One,
+                "sbox",
+                BExpr::op(BinOp::And, BExpr::var("x0"), BExpr::lit(0xff)),
+            ),
+        ),
+        Cmd::store(
+            AccessSize::Eight,
+            BExpr::var(st),
+            BExpr::op(
+                BinOp::Or,
+                BExpr::op(BinOp::And, BExpr::var("x0"), BExpr::lit(0xffff_ff00)),
+                BExpr::var("k"),
+            ),
+        ),
+    ]);
+    BFunction::new(pristine.name.clone(), pristine.args.clone(), pristine.rets.clone(), body)
+        .with_table(BTable { name: "sbox".into(), data: sbox })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutants_cover_each_ct_program_once() {
+        let mutants = all();
+        let mut programs: Vec<_> = mutants.iter().map(|m| m.program).collect();
+        programs.sort_unstable();
+        assert_eq!(programs, vec!["chacha_qr", "ct_memcmp", "ct_select"]);
+    }
+
+    #[test]
+    fn mutant_bodies_build_on_the_pristine_functions() {
+        for m in all() {
+            let entry = crate::ct_suite()
+                .into_iter()
+                .find(|e| e.entry.info.name == m.program)
+                .expect("mutant targets a CT suite program");
+            let pristine = (entry.entry.compiled)().expect("pristine compiles").function;
+            let mutated = (m.build)(&pristine);
+            assert_eq!(mutated.name, pristine.name);
+            assert_eq!(mutated.args, pristine.args);
+            assert_eq!(mutated.rets, pristine.rets);
+            assert_ne!(mutated.body, pristine.body, "{} changes the body", m.name);
+        }
+    }
+}

@@ -17,7 +17,11 @@
 //!
 //! [`suite`] collects the per-program metadata that regenerates Table 2.
 
+pub mod chacha_qr;
 pub mod crc32;
+pub mod ct_memcmp;
+pub mod ct_select;
+pub mod ctmutants;
 pub mod fasta;
 pub mod fnv1a;
 pub mod funclist;
@@ -134,6 +138,63 @@ fn build_suite() -> Vec<SuiteEntry> {
     ]
 }
 
+/// One row of the constant-time suite: a [`SuiteEntry`] plus the secrecy
+/// labels its CT policy is built from.
+#[derive(Debug, Clone)]
+pub struct CtSuiteEntry {
+    /// The program, in the same shape as the main suite.
+    pub entry: SuiteEntry,
+    /// Parameters whose *contents* are secret under the program's CT
+    /// policy (pointers and lengths stay public). Consumers build a
+    /// `SecrecyPolicy` from these; the programs crate itself stays
+    /// analysis-agnostic.
+    pub secret_params: &'static [&'static str],
+}
+
+/// The constant-time sub-suite: programs written to be secret-independent,
+/// shipped with the secrecy labels the CT lint checks them under.
+///
+/// Kept separate from [`suite`] (which stays at the paper's seven Table 2
+/// rows) so the Table 2 / Figure 2 harnesses and their goldens are
+/// untouched, while CT-aware drivers (`ctlint`, `faultmatrix`) iterate
+/// both.
+pub fn ct_suite() -> Vec<CtSuiteEntry> {
+    static SUITE: std::sync::OnceLock<Vec<CtSuiteEntry>> = std::sync::OnceLock::new();
+    SUITE
+        .get_or_init(|| {
+            vec![
+                CtSuiteEntry {
+                    entry: SuiteEntry {
+                        info: ct_memcmp::info(),
+                        model: ct_memcmp::model,
+                        spec: ct_memcmp::spec,
+                        compiled: ct_memcmp::compiled,
+                    },
+                    secret_params: ct_memcmp::SECRET_PARAMS,
+                },
+                CtSuiteEntry {
+                    entry: SuiteEntry {
+                        info: ct_select::info(),
+                        model: ct_select::model,
+                        spec: ct_select::spec,
+                        compiled: ct_select::compiled,
+                    },
+                    secret_params: ct_select::SECRET_PARAMS,
+                },
+                CtSuiteEntry {
+                    entry: SuiteEntry {
+                        info: chacha_qr::info(),
+                        model: chacha_qr::model,
+                        spec: chacha_qr::spec,
+                        compiled: chacha_qr::compiled,
+                    },
+                    secret_params: chacha_qr::SECRET_PARAMS,
+                },
+            ]
+        })
+        .clone()
+}
+
 /// Counts the lines of `src` between a `// <marker>-begin` and
 /// `// <marker>-end` comment pair (exclusive). Used to measure the
 /// Source/Lemmas columns of Table 2 from the actual module sources.
@@ -175,6 +236,15 @@ mod tests {
             });
             assert_eq!(compiled.function.name, entry.info.name);
             assert!(entry.info.source_loc > 0, "{} has measured source", entry.info.name);
+        }
+    }
+
+    #[test]
+    fn ct_suite_has_three_programs_with_secret_labels() {
+        let names: Vec<_> = ct_suite().iter().map(|e| e.entry.info.name).collect();
+        assert_eq!(names, vec!["ct_memcmp", "ct_select", "chacha_qr"]);
+        for e in ct_suite() {
+            assert!(!e.secret_params.is_empty(), "{} labels secrets", e.entry.info.name);
         }
     }
 

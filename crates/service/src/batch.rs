@@ -207,14 +207,23 @@ pub fn serve(
     for req in &requests {
         let response = match req {
             Err(message) => error_response(message),
-            Ok(Request::Ping) => Json::obj([
-                ("ok", Json::Bool(true)),
-                ("op", Json::str("ping")),
-                ("store", Json::str(store.root().display().to_string())),
-                ("backend", Json::str(store.backend_name())),
-                ("degraded", Json::Bool(store.degraded())),
-                ("format", Json::U64(crate::fingerprint::FORMAT_VERSION)),
-            ]),
+            Ok(Request::Ping) => {
+                // Store-health counters ride along so an operator's ping
+                // doubles as a fault-layer check: a positive retry count or
+                // a quarantined key is visible before anything compiles.
+                let stats = store.stats();
+                Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("op", Json::str("ping")),
+                    ("store", Json::str(store.root().display().to_string())),
+                    ("backend", Json::str(store.backend_name())),
+                    ("degraded", Json::Bool(store.degraded())),
+                    ("format", Json::U64(crate::fingerprint::FORMAT_VERSION)),
+                    ("retries", Json::U64(stats.retries)),
+                    ("quarantined", Json::U64(stats.quarantined as u64)),
+                    ("write_failures", Json::U64(stats.write_failures as u64)),
+                ])
+            }
             Ok(Request::Stats) => Json::obj([
                 ("ok", Json::Bool(true)),
                 ("op", Json::str("stats")),
@@ -364,9 +373,39 @@ bogus\n";
             .get("store")
             .and_then(Json::as_str)
             .is_some_and(|s| s.contains("rupicola-batch-test-ping")));
+        // The health counters are present and zero on a fresh store.
+        assert_eq!(ping.get("retries").and_then(Json::as_u64), Some(0));
+        assert_eq!(ping.get("quarantined").and_then(Json::as_u64), Some(0));
+        assert_eq!(ping.get("write_failures").and_then(Json::as_u64), Some(0));
         // Liveness only: no loads, no compiles, no stores.
         let stats = store.stats();
         assert_eq!((stats.hits, stats.misses, stats.stores), (0, 0, 0));
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn ping_surfaces_fault_layer_counters() {
+        use crate::chaos::{ChaosBackend, FaultPlan};
+        // Every write fails (reads are fine): the compile succeeds but the
+        // store-back burns its retries, and the ping answered later in the
+        // same batch must surface both counters.
+        let root = std::env::temp_dir()
+            .join(format!("rupicola-batch-test-faulty-ping-{}", std::process::id()));
+        let plan = FaultPlan { write_eio: 1000, ..FaultPlan::calm(3) };
+        let mut store =
+            Store::open_with_backend(&root, Box::new(ChaosBackend::new(plan))).unwrap();
+        let responses =
+            run("{\"op\":\"compile\",\"program\":\"fnv1a\"}\n{\"op\":\"ping\"}\n", &mut store);
+        assert_eq!(responses[0].get("ok").and_then(Json::as_bool), Some(true));
+        let ping = &responses[1];
+        assert!(
+            ping.get("retries").and_then(Json::as_u64).is_some_and(|r| r > 0),
+            "write retries visible in ping: {ping:?}"
+        );
+        assert!(
+            ping.get("write_failures").and_then(Json::as_u64).is_some_and(|w| w > 0),
+            "write failures visible in ping: {ping:?}"
+        );
         let _ = std::fs::remove_dir_all(store.root());
     }
 

@@ -42,7 +42,12 @@ use rupicola_lang::Model;
 /// v2: artifacts carry the optional optimized body and the `opt_*`
 /// compile-stats counters; the canonical bytes gained the pass-pipeline
 /// identity segment.
-pub const FORMAT_VERSION: u64 = 2;
+///
+/// v3: the canonical bytes gained the constant-time policy identity
+/// segment (`SecrecyPolicy::identity_string`), so an artifact verified
+/// under one secrecy policy is never served to a request made under
+/// another — in particular never under a *stricter* one.
+pub const FORMAT_VERSION: u64 = 3;
 
 /// A stable 64-bit structural fingerprint of a compilation request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -82,6 +87,7 @@ pub(crate) fn canonical_bytes(
     dbs: &HintDbs,
     limits: &EngineLimits,
     pipeline: &str,
+    ct: &str,
 ) -> Vec<u8> {
     let mut bytes = Vec::with_capacity(4096);
     bytes.extend_from_slice(b"rupicola-artifact-v");
@@ -111,6 +117,13 @@ pub(crate) fn canonical_bytes(
     bytes.push(0);
     bytes.extend_from_slice(b"pipeline:");
     bytes.extend_from_slice(pipeline.as_bytes());
+    bytes.push(0);
+    // The secrecy policy is *included* (unlike `max_wall_ms`): which CT
+    // findings gate an artifact is part of what was verified about it, so
+    // a cached artifact must never satisfy a request made under a policy
+    // it was not checked against.
+    bytes.extend_from_slice(b"ct:");
+    bytes.extend_from_slice(ct.as_bytes());
     bytes
 }
 
@@ -136,7 +149,24 @@ pub fn fingerprint_with_pipeline(
     limits: &EngineLimits,
     pipeline: &str,
 ) -> Fingerprint {
-    Fingerprint(fnv1a(FNV_OFFSET, &canonical_bytes(model, spec, dbs, limits, pipeline)))
+    fingerprint_with_pipeline_ct(model, spec, dbs, limits, pipeline, "public")
+}
+
+/// Fingerprints a compilation request including both the optimization
+/// pipeline identity and the constant-time policy identity (see
+/// `rupicola_analysis::SecrecyPolicy::identity_string`). The empty policy
+/// renders as `public`, which is what the policy-less entry points use —
+/// requests with no secrets and requests that never mention a policy are
+/// the same request.
+pub fn fingerprint_with_pipeline_ct(
+    model: &Model,
+    spec: &FnSpec,
+    dbs: &HintDbs,
+    limits: &EngineLimits,
+    pipeline: &str,
+    ct: &str,
+) -> Fingerprint {
+    Fingerprint(fnv1a(FNV_OFFSET, &canonical_bytes(model, spec, dbs, limits, pipeline, ct)))
 }
 
 #[cfg(test)]
@@ -220,6 +250,29 @@ mod tests {
         assert_ne!(full, partial);
         // The legacy entry point is exactly the `none` pipeline.
         assert_eq!(none, fingerprint(&model, &spec, &dbs, &limits));
+    }
+
+    #[test]
+    fn ct_policy_is_part_of_the_key() {
+        use rupicola_analysis::SecrecyPolicy;
+        let (model, spec) = request();
+        let dbs = standard_dbs();
+        let limits = EngineLimits::default();
+        let public = SecrecyPolicy::default().identity_string();
+        let secret = SecrecyPolicy::secrets(["s"]).identity_string();
+        let stricter = SecrecyPolicy::secrets(["s", "t"]).identity_string();
+        let key = |ct: &str| {
+            fingerprint_with_pipeline_ct(&model, &spec, &dbs, &limits, "none", ct)
+        };
+        assert_ne!(key(&public), key(&secret), "labeling a secret changes the key");
+        assert_ne!(key(&secret), key(&stricter), "strengthening the policy changes the key");
+        // The policy-less entry points are exactly the empty (`public`)
+        // policy: old callers and explicitly-public callers share a cache.
+        assert_eq!(
+            key(&public),
+            fingerprint_with_pipeline(&model, &spec, &dbs, &limits, "none")
+        );
+        assert_eq!(public, "public");
     }
 
     #[test]

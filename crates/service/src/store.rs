@@ -71,7 +71,7 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use crate::backend::{Backend, FsBackend};
-use crate::fingerprint::{fingerprint_with_pipeline, Fingerprint, FORMAT_VERSION};
+use crate::fingerprint::{fingerprint_with_pipeline_ct, Fingerprint, FORMAT_VERSION};
 use crate::retry::{with_retry, RetryPolicy};
 use rupicola_core::check::{check_with, CheckConfig};
 use rupicola_core::fnspec::FnSpec;
@@ -79,7 +79,7 @@ use rupicola_core::serial::{decode_compiled_function, encode_compiled_function};
 use rupicola_core::{CompiledFunction, EngineLimits, HintDbs};
 use rupicola_lang::json::Json;
 use rupicola_lang::Model;
-use rupicola_opt::{validate_candidate, PipelineConfig};
+use rupicola_opt::{validate_candidate_with_policy, PipelineConfig};
 
 /// Name of the environment variable overriding the store root.
 pub const STORE_ENV: &str = "SERVICE_STORE";
@@ -508,7 +508,19 @@ impl Store {
         dbs: &HintDbs,
         limits: &EngineLimits,
     ) -> Fingerprint {
-        fingerprint_with_pipeline(model, spec, dbs, limits, &self.pipeline.identity_string())
+        let ct = self
+            .pipeline
+            .ct_policy
+            .as_ref()
+            .map_or_else(|| "public".to_string(), rupicola_analysis::SecrecyPolicy::identity_string);
+        fingerprint_with_pipeline_ct(
+            model,
+            spec,
+            dbs,
+            limits,
+            &self.pipeline.identity_string(),
+            &ct,
+        )
     }
 
     /// One backend success: resets the consecutive-failure streak.
@@ -827,8 +839,11 @@ impl Store {
         // against the original certificate, lints, interpreter
         // differential) before serving it. A tampered or stale optimized
         // body evicts the artifact exactly like a corrupt witness.
+        // The CT policy the store was configured with participates here
+        // too: an optimized body that regresses secret-independence under
+        // the active policy is evicted, even if it is functionally sound.
         if let Some(opt) = &cf.optimized {
-            validate_candidate(&cf, opt, dbs, &self.check)
+            validate_candidate_with_policy(&cf, opt, dbs, &self.check, self.pipeline.ct_policy.as_ref())
                 .map_err(|e| format!("optimized body failed re-validation: {e}"))?;
         }
         if self.lint_on_load {
@@ -1035,6 +1050,27 @@ mod tests {
         );
         let _ = fs::remove_dir_all(store_full.root());
         let _ = fs::remove_dir_all(store_none.root());
+    }
+
+    #[test]
+    fn ct_policy_changes_the_key() {
+        use rupicola_analysis::SecrecyPolicy;
+        let plain = Store::open(scratch_root("key-ct-plain")).unwrap();
+        let strict = Store::open(scratch_root("key-ct-strict")).unwrap().with_pipeline(
+            PipelineConfig::full().with_ct_policy(SecrecyPolicy::secrets(["data"])),
+        );
+        let dbs = standard_dbs();
+        let limits = EngineLimits::default();
+        let model = rupicola_programs::fnv1a::model();
+        let spec = rupicola_programs::fnv1a::spec();
+        assert_ne!(
+            plain.key_for(&model, &spec, &dbs, &limits),
+            strict.key_for(&model, &spec, &dbs, &limits),
+            "an artifact verified under one secrecy policy must never be \
+             served under another"
+        );
+        let _ = fs::remove_dir_all(plain.root());
+        let _ = fs::remove_dir_all(strict.root());
     }
 
     #[test]

@@ -42,6 +42,7 @@ fn byte_array_env(min_count: u64) -> MemEnv {
                 }),
             ),
         ],
+        count_equal: Vec::new(),
     }
 }
 
