@@ -1,21 +1,119 @@
-//! Suite-level compilation drivers: serial and `std::thread::scope`
-//! parallel compilation of the §4.2 suite, with deterministic result
-//! ordering.
+//! Suite-level compilation drivers and the generic work-stealing
+//! scheduler: serial and `std::thread::scope` parallel compilation of the
+//! §4.2 suite, with deterministic result ordering.
 //!
-//! The parallel driver spawns one worker per program. Workers share the
-//! hint databases by reference (`HintDbs` is `Sync`: lemmas and solvers
-//! are stateless `Send + Sync` trait objects) but each owns its private
-//! `Compiler` state — including the side-condition memo cache — so runs
-//! are isolated exactly as in the serial driver. Results are collected
-//! into a slot per suite index before the scope closes, so the output
-//! order is suite order regardless of OS scheduling, and a harness
-//! comparing serial vs parallel output can `assert_eq!` the two vectors
-//! directly.
+//! Workers share the hint databases by reference (`HintDbs` is `Sync`:
+//! lemmas and solvers are stateless `Send + Sync` trait objects) but each
+//! owns its private `Compiler` state — including the side-condition memo
+//! cache — so runs are isolated exactly as in the serial driver. Results
+//! are keyed by job index regardless of OS scheduling, so the output
+//! order is input order and a harness comparing serial vs parallel output
+//! can `assert_eq!` the two vectors directly.
+//!
+//! [`run_work_stealing`] is the scheduling primitive everything here (and
+//! the service layer's concurrent multi-tenant server) is built on: a
+//! hermetic `std::thread::scope` pool where each worker owns a deque of
+//! job indices and, when its own deque drains, *steals* from the back of
+//! a victim's. Stealing makes mixed workloads (a few long compilations
+//! among many cheap cache hits) load-balance without any up-front cost
+//! model, while the index-keyed result collection keeps the output
+//! deterministic: which worker runs a job is scheduling-dependent, what
+//! the job computes and where its result lands is not.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
 
 use crate::suite;
 use rupicola_core::{
     compile, compile_with_limits, CompileError, CompiledFunction, EngineLimits, HintDbs,
 };
+
+/// The process-wide default worker count: `available_parallelism`,
+/// probed once (it inspects cgroup quota files on Linux, which costs tens
+/// of microseconds per call — comparable to a whole program compile).
+pub fn default_workers() -> usize {
+    static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *WORKERS
+        .get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
+}
+
+/// Runs `njobs` jobs (identified by index) on `workers` scoped threads
+/// with work stealing, returning the results in job-index order.
+///
+/// Scheduling: job indices are dealt round-robin into per-worker deques;
+/// each worker pops from the *front* of its own deque and, when empty,
+/// steals from the *back* of the first non-empty victim. Long jobs
+/// therefore migrate work away from their worker automatically — the
+/// scheduler needs no estimate of per-job cost. A worker exits when every
+/// deque is empty; jobs are never re-queued, so each index runs exactly
+/// once.
+///
+/// Determinism: `run` is called exactly once per index, results are
+/// collected per-worker and merged by index, so the returned vector is a
+/// pure function of `run` — independent of worker count, steal order, and
+/// OS scheduling. `workers <= 1` (or a single job) runs inline without
+/// spawning at all.
+///
+/// # Panics
+///
+/// Propagates a panicking `run` (after the scope joins the other
+/// workers); the debug assertion that every index ran exactly once is a
+/// scheduler-bug backstop, not a reachable state.
+pub fn run_work_stealing<T, F>(njobs: usize, workers: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if njobs == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, njobs);
+    if workers == 1 {
+        return (0..njobs).map(run).collect();
+    }
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..njobs).step_by(workers).collect()))
+        .collect();
+    let queues = &queues;
+    let run = &run;
+    let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut done: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let job = queues[w]
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .pop_front()
+                            .or_else(|| {
+                                (1..workers).find_map(|off| {
+                                    queues[(w + off) % workers]
+                                        .lock()
+                                        .unwrap_or_else(PoisonError::into_inner)
+                                        .pop_back()
+                                })
+                            });
+                        match job {
+                            Some(i) => done.push((i, run(i))),
+                            None => return done,
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("work-stealing worker panicked"))
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert!(
+        tagged.iter().enumerate().all(|(at, &(i, _))| at == i),
+        "scheduler lost or duplicated a job"
+    );
+    tagged.into_iter().map(|(_, t)| t).collect()
+}
 
 /// The outcome of compiling one suite program.
 #[derive(Debug)]
@@ -39,23 +137,18 @@ pub fn compile_suite_serial(dbs: &HintDbs) -> Vec<SuiteResult> {
         .collect()
 }
 
-/// Compiles every suite program against `dbs` under `std::thread::scope`,
-/// with the worker count capped at the machine's available parallelism
-/// (and at the suite size). Hermetic: `std::thread::scope` only, no
-/// external crates.
+/// Compiles every suite program against `dbs` under the work-stealing
+/// scheduler, with the worker count capped at the machine's available
+/// parallelism (and at the suite size). Hermetic: `std::thread::scope`
+/// only, no external crates.
 ///
-/// Programs are assigned to workers by striding over suite indices
-/// (worker `w` takes indices `w, w + W, w + 2W, …`), which is a pure
-/// function of the suite order and the worker count — no work queue, no
-/// scheduling-dependent assignment. On a single-core machine the cap
-/// degenerates to one worker and the driver compiles inline without
-/// spawning at all, so the parallel entry point never pays thread-spawn
-/// overhead it cannot recoup.
-///
-/// Determinism: each worker writes into its own pre-allocated slots and
-/// compilation itself is a pure function of `(model, spec, dbs)` — no
-/// shared mutable state, no iteration-order dependence — so the returned
-/// vector is byte-identical to [`compile_suite_serial`]'s.
+/// Determinism: compilation is a pure function of `(model, spec, dbs)`
+/// and [`run_work_stealing`] keys results by job index — no shared
+/// mutable state, no iteration-order dependence — so the returned vector
+/// is byte-identical to [`compile_suite_serial`]'s. On a single-core
+/// machine the cap degenerates to one worker and the driver compiles
+/// inline without spawning at all, so the parallel entry point never pays
+/// thread-spawn overhead it cannot recoup.
 pub fn compile_suite_parallel(dbs: &HintDbs) -> Vec<SuiteResult> {
     compile_entries_parallel(&suite(), dbs)
 }
@@ -82,59 +175,39 @@ pub fn compile_entries_parallel_with_limits(
     dbs: &HintDbs,
     limits: &EngineLimits,
 ) -> Vec<SuiteResult> {
-    // `available_parallelism` inspects cgroup quota files on Linux, which
-    // costs tens of microseconds per call — comparable to a whole program
-    // compile. The machine does not change under us; ask once per process.
-    static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    let workers = (*WORKERS
-        .get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get)))
-    .min(entries.len());
-    if workers <= 1 {
-        return entries
-            .iter()
-            .map(|entry| SuiteResult {
-                name: entry.info.name,
-                result: compile_with_limits(&(entry.model)(), &(entry.spec)(), dbs, *limits),
-            })
-            .collect();
-    }
-    let mut slots: Vec<Option<SuiteResult>> = Vec::new();
-    slots.resize_with(entries.len(), || None);
-    std::thread::scope(|scope| {
-        // Hand each worker a disjoint strided view of the slots:
-        // chunk-by-stride keeps slot w in worker (w mod workers) without
-        // any shared mutable state.
-        let mut views: Vec<Vec<(&crate::SuiteEntry, &mut Option<SuiteResult>)>> =
-            (0..workers).map(|_| Vec::new()).collect();
-        for (i, (entry, slot)) in entries.iter().zip(slots.iter_mut()).enumerate() {
-            views[i % workers].push((entry, slot));
+    run_work_stealing(entries.len(), default_workers().min(entries.len()), |i| {
+        let entry = &entries[i];
+        SuiteResult {
+            name: entry.info.name,
+            result: compile_with_limits(&(entry.model)(), &(entry.spec)(), dbs, *limits),
         }
-        for view in views {
-            scope.spawn(move || {
-                for (entry, slot) in view {
-                    *slot = Some(SuiteResult {
-                        name: entry.info.name,
-                        result: compile_with_limits(
-                            &(entry.model)(),
-                            &(entry.spec)(),
-                            dbs,
-                            *limits,
-                        ),
-                    });
-                }
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.expect("every worker fills its slot before the scope closes"))
-        .collect()
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use rupicola_ext::standard_dbs;
+
+    #[test]
+    fn work_stealing_runs_every_job_exactly_once_in_order() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for workers in [1, 2, 3, 7, 16] {
+            let calls = AtomicUsize::new(0);
+            let out = run_work_stealing(23, workers, |i| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                // Uneven job costs so stealing actually happens: every
+                // eighth job is ~100x the others.
+                if i % 8 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(500));
+                }
+                i * i
+            });
+            assert_eq!(calls.load(Ordering::Relaxed), 23, "workers={workers}");
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>(), "workers={workers}");
+        }
+        assert_eq!(run_work_stealing(0, 4, |i| i), Vec::<usize>::new());
+    }
 
     #[test]
     fn parallel_matches_serial() {

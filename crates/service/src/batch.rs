@@ -54,12 +54,17 @@ pub enum Request {
     /// format version. Touches neither disk nor engine.
     Ping,
     /// Compile (or serve from cache) one named suite program, optionally
-    /// under a per-request wall-clock deadline in milliseconds.
+    /// under a per-request wall-clock deadline in milliseconds and on
+    /// behalf of a named tenant.
     Compile {
         /// Suite program name.
         program: String,
         /// Optional wall-clock budget ([`EngineLimits::max_wall_ms`]).
         deadline_ms: Option<u64>,
+        /// Optional tenant id — admission control and per-tenant
+        /// accounting in the concurrent server ([`crate::server`]). The
+        /// serial front-end accepts and ignores it (one shared queue).
+        tenant: Option<String>,
     },
     /// Compile the whole suite.
     Suite,
@@ -93,7 +98,15 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                         .ok_or_else(|| "`deadline_ms` must be a non-negative integer".to_string())?,
                 ),
             };
-            Ok(Request::Compile { program: program.to_string(), deadline_ms })
+            let tenant = match j.get("tenant") {
+                None => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or_else(|| "`tenant` must be a string".to_string())?
+                        .to_string(),
+                ),
+            };
+            Ok(Request::Compile { program: program.to_string(), deadline_ms, tenant })
         }
         "suite" => Ok(Request::Suite),
         "stats" => Ok(Request::Stats),
@@ -101,7 +114,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     }
 }
 
-fn error_response(message: &str) -> Json {
+pub(crate) fn error_response(message: &str) -> Json {
     Json::obj([("ok", Json::Bool(false)), ("error", Json::str(message))])
 }
 
@@ -114,7 +127,7 @@ fn is_deadline_exceeded(e: &CompileError) -> bool {
     )
 }
 
-fn program_response(r: &CachedResult, degraded: bool) -> Json {
+pub(crate) fn program_response(r: &CachedResult, degraded: bool) -> Json {
     let mut fields = match &r.result {
         Ok(cf) => vec![
             ("ok", Json::Bool(true)),
@@ -179,7 +192,7 @@ pub fn serve(
     for req in requests.iter().flatten() {
         match req {
             Request::Suite => wanted.extend(all.iter()),
-            Request::Compile { program, deadline_ms: None } => {
+            Request::Compile { program, deadline_ms: None, .. } => {
                 wanted.extend(all.iter().filter(|e| e.info.name == program));
             }
             Request::Compile { deadline_ms: Some(_), .. }
@@ -230,13 +243,13 @@ pub fn serve(
                 ("degraded", Json::Bool(store.degraded())),
                 ("cache", store.stats().to_json()),
             ]),
-            Ok(Request::Compile { program, deadline_ms: None }) => {
+            Ok(Request::Compile { program, deadline_ms: None, .. }) => {
                 match by_name.get(program.as_str()) {
                     Some(r) => program_response(r, store.degraded()),
                     None => error_response(&format!("unknown program `{program}`")),
                 }
             }
-            Ok(Request::Compile { program, deadline_ms: Some(ms) }) => {
+            Ok(Request::Compile { program, deadline_ms: Some(ms), .. }) => {
                 let entry = all.iter().find(|e| e.info.name == program.as_str());
                 match entry {
                     None => error_response(&format!("unknown program `{program}`")),
@@ -304,12 +317,21 @@ mod tests {
     fn parse_request_accepts_the_grammar() {
         assert_eq!(
             parse_request(r#"{"op":"compile","program":"fnv1a"}"#).unwrap(),
-            Request::Compile { program: "fnv1a".into(), deadline_ms: None }
+            Request::Compile { program: "fnv1a".into(), deadline_ms: None, tenant: None }
         );
         assert_eq!(
             parse_request(r#"{"op":"compile","program":"fnv1a","deadline_ms":250}"#).unwrap(),
-            Request::Compile { program: "fnv1a".into(), deadline_ms: Some(250) }
+            Request::Compile { program: "fnv1a".into(), deadline_ms: Some(250), tenant: None }
         );
+        assert_eq!(
+            parse_request(r#"{"op":"compile","program":"fnv1a","tenant":"acme"}"#).unwrap(),
+            Request::Compile {
+                program: "fnv1a".into(),
+                deadline_ms: None,
+                tenant: Some("acme".into())
+            }
+        );
+        assert!(parse_request(r#"{"op":"compile","program":"fnv1a","tenant":7}"#).is_err());
         assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
         assert_eq!(parse_request(r#"{"op":"suite"}"#).unwrap(), Request::Suite);
         assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);

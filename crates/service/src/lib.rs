@@ -25,6 +25,14 @@
 //! - [`batch`] — a JSON-lines front-end (`served` binary): queued
 //!   `ping`/`compile`/`suite`/`stats` requests are resolved in one
 //!   incremental pass and answered in order.
+//! - [`shard`], [`tenant`], [`server`] — the concurrent multi-tenant
+//!   server (DESIGN.md §14): a lock-striped [`shard::ShardedStore`]
+//!   routing fingerprints to independent store stripes, per-tenant
+//!   admission control with typed backpressure, and a work-stealing
+//!   [`server::Server`] that answers mixed-tenant batches with
+//!   deterministic, byte-identical-to-serial results. Verified loads are
+//!   what make this safe: artifacts are shared across mutually
+//!   untrusting tenants because every load re-certifies.
 //!
 //! The service layer additionally assumes a *hostile environment*
 //! (DESIGN.md §12): all store I/O goes through a [`backend::Backend`]
@@ -45,7 +53,10 @@ pub mod env;
 pub mod fingerprint;
 pub mod incremental;
 pub mod retry;
+pub mod server;
+pub mod shard;
 pub mod store;
+pub mod tenant;
 
 pub use backend::{Backend, FsBackend};
 pub use batch::{parse_request, serve, Request};
@@ -56,6 +67,11 @@ pub use incremental::{
     suite_via_store, CachedResult, Provenance,
 };
 pub use retry::{classify, with_retry, ErrorClass, RetryOutcome, RetryPolicy};
+pub use server::{serve_concurrent, CompileJob, JobOutcome, JobResponse, Server};
+pub use shard::{shard_of_key, shard_root, ShardedStore, DEFAULT_SHARDS};
 pub use store::{
     store_root_from_env, CacheStats, LoadOutcome, Store, StoreLock, DEFAULT_ROOT, STORE_ENV,
+};
+pub use tenant::{
+    Admission, Rejection, TenantPolicy, TenantStats, TenantTable, DEFAULT_TENANT,
 };

@@ -1229,6 +1229,37 @@ mod tests {
     }
 
     #[test]
+    fn advisory_lock_contention_is_per_root_not_per_store() {
+        // The concurrent server stripes the keyspace over shard
+        // directories, each with its *own* advisory lock — so writers on
+        // different shards never serialize on one `.lock` (the pre-shard
+        // design's bottleneck), while contention on one shard root still
+        // excludes correctly and hands over promptly on release.
+        let shard_a = scratch_root("contention-a");
+        let shard_b = scratch_root("contention-b");
+        fs::create_dir_all(&shard_a).unwrap();
+        fs::create_dir_all(&shard_b).unwrap();
+        let held_a = StoreLock::acquire(&shard_a, Duration::from_millis(10)).unwrap();
+        // Disjoint roots are uncontended: holding A's lock does not
+        // serialize B.
+        let held_b = StoreLock::acquire(&shard_b, Duration::from_millis(10)).unwrap();
+        drop(held_b);
+        // Same-root contention from another thread: the waiter's budget
+        // outlasts the holder, so it must acquire as soon as the lock is
+        // released — exclusion is a queue, not a failure.
+        let waiter = std::thread::spawn({
+            let shard_a = shard_a.clone();
+            move || StoreLock::acquire(&shard_a, Duration::from_secs(10)).map(drop)
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        drop(held_a);
+        waiter.join().unwrap().expect("waiter acquires after release");
+        assert!(!shard_a.join(LOCK_FILE).exists());
+        let _ = fs::remove_dir_all(&shard_a);
+        let _ = fs::remove_dir_all(&shard_b);
+    }
+
+    #[test]
     fn born_degraded_store_never_touches_disk() {
         let root = scratch_root("born-degraded");
         // Deliberately never created on disk.

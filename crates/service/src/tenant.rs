@@ -1,0 +1,254 @@
+//! Per-tenant admission control: quotas, bounded queues, typed
+//! backpressure.
+//!
+//! The concurrent server is *multi-tenant*: every batch request may carry
+//! a tenant id, and artifacts are shared across tenants without trust
+//! (every load is re-verified, so a tenant cannot poison another's
+//! answers — see `store`). What tenants *can* do to each other is hog the
+//! compile workers; admission control bounds that.
+//!
+//! Each tenant has a [`TenantPolicy`]: a bounded admission queue
+//! (`max_queued` requests admitted but not yet completed) and the
+//! [`EngineLimits`] its fresh compilations run under. A request past the
+//! bound is **rejected at admission** with a typed
+//! [`Rejection::QueueFull`] that the protocol reports in-band
+//! (`{"ok":false,"rejected":true,…}`) — never a panic, never a silent
+//! drop, and never queue growth that starves other tenants.
+//!
+//! Accounting ([`TenantStats`]) is exact by construction: admission is a
+//! serial pass over the batch (the scheduler only ever sees admitted
+//! jobs), so `submitted = admitted + rejected` per tenant, and every
+//! admitted job resolves to exactly one completion. The concurrency
+//! battery asserts these identities across seeds and worker counts.
+
+use std::collections::BTreeMap;
+
+use rupicola_core::EngineLimits;
+use rupicola_lang::json::Json;
+
+/// The tenant id used when a request names none. Anonymous requests
+/// share one quota — a deployment that wants isolation names tenants.
+pub const DEFAULT_TENANT: &str = "public";
+
+/// Per-tenant admission policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantPolicy {
+    /// Maximum requests admitted but not yet completed (the bounded
+    /// queue). In the batch model every admitted request of a batch is
+    /// queued at once, so this caps a tenant's share of one batch.
+    pub max_queued: usize,
+    /// Engine budgets for this tenant's fresh compilations. Note
+    /// `max_wall_ms` set here acts as a per-request deadline quota; the
+    /// store key deliberately ignores it (see `Store::key_for`), so
+    /// tenants with different budgets still share artifacts.
+    pub limits: EngineLimits,
+}
+
+impl Default for TenantPolicy {
+    fn default() -> TenantPolicy {
+        TenantPolicy { max_queued: 1024, limits: EngineLimits::default() }
+    }
+}
+
+/// The tenant → policy map, with a default for unnamed tenants.
+#[derive(Debug, Clone, Default)]
+pub struct TenantTable {
+    default: TenantPolicy,
+    tenants: BTreeMap<String, TenantPolicy>,
+}
+
+impl TenantTable {
+    /// A table where every tenant gets `default`.
+    pub fn with_default(default: TenantPolicy) -> TenantTable {
+        TenantTable { default, tenants: BTreeMap::new() }
+    }
+
+    /// Sets (or replaces) a named tenant's policy.
+    #[must_use]
+    pub fn with_tenant(mut self, name: impl Into<String>, policy: TenantPolicy) -> TenantTable {
+        self.tenants.insert(name.into(), policy);
+        self
+    }
+
+    /// The policy governing `tenant` (the default unless named).
+    pub fn policy(&self, tenant: &str) -> TenantPolicy {
+        self.tenants.get(tenant).copied().unwrap_or(self.default)
+    }
+}
+
+/// A typed admission rejection — the backpressure signal. Always
+/// surfaced in-band; never a panic, never a dropped request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejection {
+    /// The tenant's bounded admission queue is full: `queued` requests
+    /// already admitted against a bound of `max_queued`.
+    QueueFull {
+        /// The rejected tenant.
+        tenant: String,
+        /// Requests already admitted and not yet completed.
+        queued: usize,
+        /// The tenant's bound.
+        max_queued: usize,
+    },
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::QueueFull { tenant, queued, max_queued } => write!(
+                f,
+                "tenant `{tenant}` queue full: {queued} queued >= max_queued {max_queued}"
+            ),
+        }
+    }
+}
+
+impl Rejection {
+    /// The machine-readable reason tag (`"queue_full"`).
+    pub fn reason(&self) -> &'static str {
+        match self {
+            Rejection::QueueFull { .. } => "queue_full",
+        }
+    }
+}
+
+/// Exact per-tenant accounting over a server's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Requests submitted (compile requests naming this tenant).
+    pub submitted: usize,
+    /// Requests admitted past the quota gate.
+    pub admitted: usize,
+    /// Requests rejected with typed backpressure.
+    pub rejected: usize,
+    /// Admitted requests that completed with a successful answer.
+    pub completed_ok: usize,
+    /// Admitted requests that completed with an in-band error (failed
+    /// compile, expired deadline).
+    pub completed_err: usize,
+    /// Completions served from the verified cache.
+    pub cache_hits: usize,
+}
+
+impl TenantStats {
+    /// The accounting identities every batch must preserve. Exposed so
+    /// tests (and debug assertions) state them once.
+    pub fn exact(&self) -> bool {
+        self.submitted == self.admitted + self.rejected
+            && self.admitted == self.completed_ok + self.completed_err
+            && self.cache_hits <= self.completed_ok
+    }
+
+    /// Renders the counters as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("submitted", Json::U64(self.submitted as u64)),
+            ("admitted", Json::U64(self.admitted as u64)),
+            ("rejected", Json::U64(self.rejected as u64)),
+            ("completed_ok", Json::U64(self.completed_ok as u64)),
+            ("completed_err", Json::U64(self.completed_err as u64)),
+            ("cache_hits", Json::U64(self.cache_hits as u64)),
+        ])
+    }
+}
+
+/// One batch's admission gate: a serial pass that either admits a request
+/// (bumping the tenant's queue depth) or rejects it with a typed
+/// [`Rejection`]. Serial on purpose — admission order is request order,
+/// so outcomes are deterministic and independent of worker scheduling.
+#[derive(Debug, Default)]
+pub struct Admission {
+    queued: BTreeMap<String, usize>,
+}
+
+impl Admission {
+    /// A gate with empty queues.
+    pub fn new() -> Admission {
+        Admission::default()
+    }
+
+    /// Admits or rejects one request for `tenant` under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// [`Rejection::QueueFull`] when the tenant is at its bound; the
+    /// queue depth is unchanged on rejection.
+    pub fn admit(&mut self, tenant: &str, policy: &TenantPolicy) -> Result<(), Rejection> {
+        let queued = self.queued.entry(tenant.to_string()).or_insert(0);
+        if *queued >= policy.max_queued {
+            return Err(Rejection::QueueFull {
+                tenant: tenant.to_string(),
+                queued: *queued,
+                max_queued: policy.max_queued,
+            });
+        }
+        *queued += 1;
+        Ok(())
+    }
+
+    /// Marks one admitted request of `tenant` complete, freeing its queue
+    /// slot.
+    pub fn complete(&mut self, tenant: &str) {
+        if let Some(q) = self.queued.get_mut(tenant) {
+            *q = q.saturating_sub(1);
+        }
+    }
+
+    /// The tenant's current queue depth.
+    pub fn queued(&self, tenant: &str) -> usize {
+        self.queued.get(tenant).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_is_a_bounded_queue_with_typed_rejection() {
+        let table = TenantTable::with_default(TenantPolicy::default())
+            .with_tenant("small", TenantPolicy { max_queued: 2, ..TenantPolicy::default() });
+        let mut gate = Admission::new();
+        let policy = table.policy("small");
+        assert!(gate.admit("small", &policy).is_ok());
+        assert!(gate.admit("small", &policy).is_ok());
+        let rejection = gate.admit("small", &policy).unwrap_err();
+        assert_eq!(
+            rejection,
+            Rejection::QueueFull { tenant: "small".into(), queued: 2, max_queued: 2 }
+        );
+        assert_eq!(rejection.reason(), "queue_full");
+        // Completion frees a slot; admission works again.
+        gate.complete("small");
+        assert_eq!(gate.queued("small"), 1);
+        assert!(gate.admit("small", &policy).is_ok());
+        // Another tenant's queue is independent.
+        assert!(gate.admit("other", &table.policy("other")).is_ok());
+        assert_eq!(gate.queued("other"), 1);
+    }
+
+    #[test]
+    fn stats_identities() {
+        let mut s = TenantStats::default();
+        assert!(s.exact());
+        s.submitted = 5;
+        s.admitted = 3;
+        s.rejected = 2;
+        s.completed_ok = 2;
+        s.completed_err = 1;
+        s.cache_hits = 1;
+        assert!(s.exact());
+        s.cache_hits = 3;
+        assert!(!s.exact(), "more hits than successes is a lost-response bug");
+    }
+
+    #[test]
+    fn unnamed_tenants_share_the_default_policy() {
+        let table = TenantTable::with_default(TenantPolicy {
+            max_queued: 7,
+            limits: EngineLimits::tight(),
+        });
+        assert_eq!(table.policy("anyone").max_queued, 7);
+        assert_eq!(table.policy(DEFAULT_TENANT).limits, EngineLimits::tight());
+    }
+}
