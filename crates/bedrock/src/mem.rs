@@ -124,6 +124,17 @@ impl Memory {
         self.regions.len()
     }
 
+    /// Iterates every allocated region as `(base, bytes)`, in address
+    /// order. Comparing two memories region-by-region through this view is
+    /// how the RISC-V differential checks heap agreement: whole-`Memory`
+    /// equality also compares the bump-allocator cursor, which stays
+    /// advanced after `dealloc`, so two heaps with identical contents but
+    /// different allocation histories (interpreter vs. machine runner,
+    /// which allocates and frees a frame) would spuriously differ.
+    pub fn regions(&self) -> impl Iterator<Item = (u64, &[u8])> + '_ {
+        self.regions.iter().map(|(b, d)| (*b, d.as_slice()))
+    }
+
     /// Total allocated bytes.
     pub fn allocated_bytes(&self) -> usize {
         self.regions.values().map(Vec::len).sum()

@@ -180,6 +180,137 @@ pub fn listing(asm: &[Asm]) -> String {
     asm.iter().map(|a| format!("{a}\n")).collect()
 }
 
+/// Parses a listing back into symbolic assembly — the exact inverse of
+/// [`listing`] on its output. This is the wire format of machine-code
+/// artifacts (`serial::encode_rv_artifact`): text a reviewer can diff, yet
+/// total to decode — every malformed line is an `Err`, never a panic, so
+/// a corrupted cached artifact surfaces as an eviction.
+///
+/// # Errors
+///
+/// Describes the first unparseable line.
+pub fn parse_listing(text: &str) -> Result<Vec<Asm>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |what: &str| format!("line {}: {what}: `{raw}`", lineno + 1);
+        if let Some(label) = line.strip_suffix(':') {
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(err("malformed label"));
+            }
+            out.push(Asm::Label(label.to_string()));
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let mnemonic = words.next().ok_or_else(|| err("empty instruction"))?;
+        let rest: String = words.collect::<Vec<_>>().join(" ");
+        let ops: Vec<&str> =
+            if rest.is_empty() { Vec::new() } else { rest.split(',').map(str::trim).collect() };
+        let reg = |s: &str| -> Result<Reg, String> {
+            let n: u32 = s
+                .strip_prefix('x')
+                .and_then(|d| d.parse().ok())
+                .ok_or_else(|| err("expected register"))?;
+            if n < 32 {
+                Ok(n as Reg)
+            } else {
+                Err(err("register out of range"))
+            }
+        };
+        let int = |s: &str| -> Result<i64, String> {
+            s.parse().map_err(|_| err("expected integer"))
+        };
+        // `-8(x5)`-style memory operand: offset before the parenthesized base.
+        let mem_op = |s: &str| -> Result<(Reg, i64), String> {
+            let open = s.find('(').ok_or_else(|| err("expected offset(base)"))?;
+            let close = s.strip_suffix(')').ok_or_else(|| err("expected offset(base)"))?;
+            Ok((reg(&close[open + 1..])?, int(&s[..open])?))
+        };
+        let three = |k: fn(Reg, Reg, Reg) -> Asm| -> Result<Asm, String> {
+            if ops.len() != 3 {
+                return Err(err("expected three operands"));
+            }
+            Ok(k(reg(ops[0])?, reg(ops[1])?, reg(ops[2])?))
+        };
+        let load_store = |k: fn(Reg, Reg, i64) -> Asm| -> Result<Asm, String> {
+            if ops.len() != 2 {
+                return Err(err("expected two operands"));
+            }
+            let (base, off) = mem_op(ops[1])?;
+            Ok(k(reg(ops[0])?, base, off))
+        };
+        let branch = |k: fn(Reg, Reg, String) -> Asm| -> Result<Asm, String> {
+            if ops.len() != 3 {
+                return Err(err("expected two registers and a label"));
+            }
+            Ok(k(reg(ops[0])?, reg(ops[1])?, ops[2].to_string()))
+        };
+        let a = match mnemonic {
+            "add" => three(Asm::Add)?,
+            "sub" => three(Asm::Sub)?,
+            "mul" => three(Asm::Mul)?,
+            "mulhu" => three(Asm::Mulhu)?,
+            "divu" => three(Asm::Divu)?,
+            "remu" => three(Asm::Remu)?,
+            "and" => three(Asm::And)?,
+            "or" => three(Asm::Or)?,
+            "xor" => three(Asm::Xor)?,
+            "sll" => three(Asm::Sll)?,
+            "srl" => three(Asm::Srl)?,
+            "sra" => three(Asm::Sra)?,
+            "slt" => three(Asm::Slt)?,
+            "sltu" => three(Asm::Sltu)?,
+            "li" => {
+                if ops.len() != 2 {
+                    return Err(err("expected register and immediate"));
+                }
+                let imm = match ops[1].strip_prefix('%') {
+                    Some(table) if !table.is_empty() => Imm::TableBase(table.to_string()),
+                    Some(_) => return Err(err("empty table symbol")),
+                    None => Imm::Lit(int(ops[1])?),
+                };
+                Asm::Li(reg(ops[0])?, imm)
+            }
+            "addi" => {
+                if ops.len() != 3 {
+                    return Err(err("expected two registers and an immediate"));
+                }
+                Asm::Addi(reg(ops[0])?, reg(ops[1])?, int(ops[2])?)
+            }
+            "lbu" => load_store(Asm::Lbu)?,
+            "lhu" => load_store(Asm::Lhu)?,
+            "lwu" => load_store(Asm::Lwu)?,
+            "ld" => load_store(Asm::Ld)?,
+            "sb" => load_store(Asm::Sb)?,
+            "sh" => load_store(Asm::Sh)?,
+            "sw" => load_store(Asm::Sw)?,
+            "sd" => load_store(Asm::Sd)?,
+            "beq" => branch(Asm::Beq)?,
+            "bne" => branch(Asm::Bne)?,
+            "bltu" => branch(Asm::Bltu)?,
+            "bgeu" => branch(Asm::Bgeu)?,
+            "j" => {
+                if ops.len() != 1 || ops[0].is_empty() {
+                    return Err(err("expected a label"));
+                }
+                Asm::J(ops[0].to_string())
+            }
+            "halt" => {
+                if !ops.is_empty() {
+                    return Err(err("halt takes no operands"));
+                }
+                Asm::Halt
+            }
+            _ => return Err(err("unknown mnemonic")),
+        };
+        out.push(a);
+    }
+    Ok(out)
+}
+
 /// Errors of assembly and execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RvError {
@@ -289,6 +420,10 @@ pub struct Machine {
     pub regs: [u64; 32],
     /// Program counter, as an instruction index.
     pub pc: usize,
+    /// Instructions retired across all `run` calls — the dynamic cost
+    /// counter behind the cycle-estimate rows (every instruction in this
+    /// subset is modeled at one cycle).
+    pub executed: u64,
 }
 
 
@@ -329,6 +464,7 @@ impl Machine {
                 return Err(RvError::OutOfFuel);
             }
             fuel -= 1;
+            self.executed += 1;
             let instr = code.get(self.pc).ok_or(RvError::PcOutOfRange(self.pc))?;
             let mut next = self.pc + 1;
             match instr {
@@ -516,6 +652,51 @@ mod tests {
         let mut mem = Memory::new();
         let mut m = Machine::new();
         assert_eq!(m.run(&code, &mut mem, 100).unwrap_err(), RvError::OutOfFuel);
+    }
+
+    #[test]
+    fn listing_round_trips_through_parse() {
+        let asm = vec![
+            Asm::Li(5, Imm::Lit(-3)),
+            Asm::Li(6, Imm::TableBase("tbl".into())),
+            Asm::Label("head".into()),
+            Asm::Lbu(7, 5, -8),
+            Asm::Sd(7, 2, 16),
+            Asm::Addi(6, 6, 1),
+            Asm::Mulhu(8, 6, 7),
+            Asm::Bltu(6, 7, "head".into()),
+            Asm::J("end".into()),
+            Asm::Label("end".into()),
+            Asm::Halt,
+        ];
+        assert_eq!(parse_listing(&listing(&asm)).unwrap(), asm);
+    }
+
+    #[test]
+    fn parse_listing_is_total_on_garbage() {
+        for bad in [
+            "  frobnicate x1, x2, x3",
+            "  add   x5, x6",
+            "  add   x5, x6, x99",
+            "  lbu   x5, x6",
+            "  li    x5, %",
+            "  li    x5, twelve",
+            "  halt  x1",
+            "two words:",
+        ] {
+            assert!(parse_listing(bad).is_err(), "accepted `{bad}`");
+        }
+        assert_eq!(parse_listing("").unwrap(), Vec::<Asm>::new());
+    }
+
+    #[test]
+    fn executed_counts_retired_instructions() {
+        let asm = [Asm::Li(5, Imm::Lit(1)), Asm::Add(6, 5, 5), Asm::Halt];
+        let code = assemble(&asm, &HashMap::new()).unwrap();
+        let mut mem = Memory::new();
+        let mut m = Machine::new();
+        m.run(&code, &mut mem, 100).unwrap();
+        assert_eq!(m.executed, 3);
     }
 
     #[test]

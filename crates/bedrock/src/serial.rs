@@ -410,6 +410,95 @@ pub fn decode_bfunction(j: &Json) -> DecodeResult<BFunction> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Machine-code artifacts
+// ---------------------------------------------------------------------------
+
+/// Encodes an [`RvArtifact`]. The assembly travels as its `listing()` text
+/// — reviewable in a store dump, decoded by the total
+/// [`crate::rv::parse_listing`] — and table bytes as hex, like
+/// [`encode_btable`].
+///
+/// [`RvArtifact`]: crate::rv_compile::RvArtifact
+pub fn encode_rv_artifact(a: &crate::rv_compile::RvArtifact) -> Json {
+    let slots = |xs: &[usize]| Json::Arr(xs.iter().map(|&i| Json::U64(i as u64)).collect());
+    Json::obj([
+        ("name", Json::str(a.name.clone())),
+        ("asm", Json::str(crate::rv::listing(&a.asm))),
+        ("locals", encode_str_list(&a.locals)),
+        ("arg_slots", slots(&a.arg_slots)),
+        ("ret_slots", slots(&a.ret_slots)),
+        (
+            "tables",
+            Json::Arr(
+                a.tables
+                    .iter()
+                    .map(|(name, data)| {
+                        Json::obj([
+                            ("name", Json::str(name.clone())),
+                            ("data", Json::str(hex_encode(data))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes an [`RvArtifact`]. Total: any malformed shape — including an
+/// unparseable assembly listing or a slot index past the frame — is an
+/// `Err` the store treats as corruption.
+///
+/// [`RvArtifact`]: crate::rv_compile::RvArtifact
+pub fn decode_rv_artifact(j: &Json) -> DecodeResult<crate::rv_compile::RvArtifact> {
+    let get = |k: &str| j.get(k).ok_or_else(|| format!("rv artifact is missing key `{k}`"));
+    let name = get("name")?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| "rv artifact `name` is not a string".to_string())?;
+    let asm_text = get("asm")?
+        .as_str()
+        .ok_or_else(|| "rv artifact `asm` is not a string".to_string())?;
+    let asm = crate::rv::parse_listing(asm_text)
+        .map_err(|e| format!("rv artifact assembly does not parse: {e}"))?;
+    let locals = str_list(get("locals")?, "rv artifact locals")?;
+    let slots = |k: &str| -> DecodeResult<Vec<usize>> {
+        let out = get(k)?
+            .as_arr()
+            .ok_or_else(|| format!("rv artifact `{k}` is not an array"))?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .map(|i| i as usize)
+                    .ok_or_else(|| format!("non-integer entry in rv artifact `{k}`"))
+            })
+            .collect::<DecodeResult<Vec<usize>>>()?;
+        if let Some(&bad) = out.iter().find(|&&i| i >= locals.len()) {
+            return Err(format!("rv artifact `{k}` index {bad} is past the frame"));
+        }
+        Ok(out)
+    };
+    let arg_slots = slots("arg_slots")?;
+    let ret_slots = slots("ret_slots")?;
+    let tables = get("tables")?
+        .as_arr()
+        .ok_or_else(|| "rv artifact `tables` is not an array".to_string())?
+        .iter()
+        .map(|t| {
+            let name = t
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "rv table `name` missing or not a string".to_string())?;
+            let data = t
+                .get("data")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "rv table `data` missing or not a string".to_string())?;
+            Ok((name.to_string(), hex_decode(data)?))
+        })
+        .collect::<DecodeResult<Vec<(String, Vec<u8>)>>>()?;
+    Ok(crate::rv_compile::RvArtifact { name, asm, locals, arg_slots, ret_slots, tables })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -498,6 +587,67 @@ mod tests {
                 decode_cmd(&j).is_err() && decode_bexpr(&j).is_err(),
                 "accepted {bad}"
             );
+        }
+    }
+
+    // `sample_function` uses call/interact/stackalloc, which the RV
+    // backend rejects; the machine-code codec tests use a loop with a
+    // table so every artifact field is populated.
+    fn rv_sample_function() -> BFunction {
+        let body = Cmd::seq([
+            Cmd::set("acc", BExpr::lit(0)),
+            Cmd::set("i", BExpr::lit(0)),
+            Cmd::while_(
+                BExpr::op(BinOp::LtU, BExpr::var("i"), BExpr::var("n")),
+                Cmd::seq([
+                    Cmd::set(
+                        "acc",
+                        BExpr::op(
+                            BinOp::Add,
+                            BExpr::var("acc"),
+                            BExpr::table(AccessSize::One, "tbl", BExpr::var("i")),
+                        ),
+                    ),
+                    Cmd::set("i", BExpr::op(BinOp::Add, BExpr::var("i"), BExpr::lit(1))),
+                ]),
+            ),
+        ]);
+        BFunction::new("tblsum", ["n"], ["acc"], body)
+            .with_table(BTable { name: "tbl".into(), data: (0..16u8).collect() })
+    }
+
+    #[test]
+    fn rv_artifacts_round_trip_through_rendered_json() {
+        let f = rv_sample_function();
+        let art = crate::rv_compile::compile_function(&f).unwrap();
+        let j = encode_rv_artifact(&art);
+        assert_eq!(decode_rv_artifact(&j).unwrap(), art);
+        let reparsed = rupicola_lang::json::parse(&j.render()).unwrap();
+        assert_eq!(decode_rv_artifact(&reparsed).unwrap(), art);
+    }
+
+    #[test]
+    fn rv_artifact_decode_is_total_on_corruption() {
+        let art = crate::rv_compile::compile_function(&rv_sample_function()).unwrap();
+        let good = encode_rv_artifact(&art);
+        let corrupt = |k: &str, v: Json| {
+            let Json::Obj(fields) = good.clone() else { unreachable!() };
+            Json::Obj(
+                fields
+                    .into_iter()
+                    .map(|(key, val)| if key == k { (key, v.clone()) } else { (key, val) })
+                    .collect(),
+            )
+        };
+        for (k, v) in [
+            ("asm", Json::str("  frobnicate x1")),
+            ("asm", Json::U64(7)),
+            ("locals", Json::Null),
+            ("arg_slots", Json::Arr(vec![Json::U64(999)])),
+            ("ret_slots", Json::str("nope")),
+            ("tables", Json::Arr(vec![Json::obj([("name", Json::str("t"))])])),
+        ] {
+            assert!(decode_rv_artifact(&corrupt(k, v)).is_err(), "accepted corrupted `{k}`");
         }
     }
 }

@@ -18,6 +18,7 @@
 
 use rupicola_analysis::{analyze_with_dbs, ct, SecrecyPolicy};
 use rupicola_bench::json::{write_results, Json};
+use rupicola_bench::rvsupport::rv_mutant_matrix;
 use rupicola_core::check::{check_with, CheckConfig};
 use rupicola_core::faultinject::{mutants, MutationClass};
 use rupicola_ext::standard_dbs;
@@ -344,6 +345,62 @@ fn main() {
         other => other,
     };
 
+    // The RISC-V lowering-mutant matrix: seeded machine-level miscompiles
+    // (clobbered callee-saved register, off-by-one branch offset, dropped
+    // spill, wrong-width load) injected into each program's fully-
+    // optimized validated artifact, with differential re-validation —
+    // machine simulator against the Bedrock2 interpreter — as the sole
+    // defense. A gate like the pass-mutant column: the RISC-V stages are
+    // untrusted precisely because this validator catches every
+    // miscompile, so one survivor invalidates the backend's soundness
+    // argument.
+    println!("\nRISC-V lowering-mutant matrix (machine differential as the defense):");
+    let rv_matrix = match rv_mutant_matrix(&compiled_suite, &config) {
+        Ok(m) => m,
+        Err(e) => {
+            println!("  rv matrix failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    for cell in &rv_matrix.cells {
+        println!(
+            "  {:<10} {:<28} {}",
+            cell.program,
+            cell.mutant,
+            if cell.killed { "killed" } else { "SURVIVED" },
+        );
+    }
+    let summary = match summary {
+        Json::Obj(mut fields) => {
+            fields.push((
+                "rv_mutants".to_string(),
+                Json::Arr(
+                    rv_matrix
+                        .cells
+                        .iter()
+                        .map(|c| {
+                            Json::obj([
+                                ("program", Json::str(c.program.clone())),
+                                ("mutant", Json::str(c.mutant)),
+                                ("killed", Json::Bool(c.killed)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+            fields.push((
+                "rv_kill_rate".to_string(),
+                if rv_matrix.applicable() == 0 {
+                    Json::F64(f64::NAN)
+                } else {
+                    Json::F64(rv_matrix.killed() as f64 / rv_matrix.applicable() as f64)
+                },
+            ));
+            Json::Obj(fields)
+        }
+        other => other,
+    };
+
     match write_results("faultmatrix.json", &summary) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => println!("\nfailed to write results: {e}"),
@@ -367,6 +424,18 @@ fn main() {
         }
         std::process::exit(1);
     }
+    if !rv_matrix.survivors.is_empty() {
+        println!("\nsurviving RISC-V lowering mutants — machine-differential hole:");
+        for s in &rv_matrix.survivors {
+            println!("  {s}");
+        }
+        std::process::exit(1);
+    }
     println!("\npass-mutant kill rate: {pass_killed}/{pass_applicable} (100% required) ✓");
     println!("ct-mutant kill rate: {ct_killed}/{ct_generated} (100% required) ✓");
+    println!(
+        "rv-mutant kill rate: {}/{} (100% required) ✓",
+        rv_matrix.killed(),
+        rv_matrix.applicable()
+    );
 }

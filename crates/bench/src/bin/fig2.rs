@@ -103,9 +103,61 @@ fn main() {
             ("speedup", Json::F64(g / o)),
         ]));
     }
+    // The RISC-V rows: static instruction counts and retired-instruction
+    // (cycle-estimate, at 1 instruction/cycle) counts for the naive and
+    // fully-optimized machine routes, both freshly validated. These are
+    // simulator numbers on the checker's reference input, not wall-clock
+    // timings — the machine route has no native target to time.
+    println!();
+    println!("# RISC-V routes (simulator; est. cycles = instructions retired):");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "program", "naive insl", "opt insl", "naive cyc", "opt cyc", "cyc ratio"
+    );
+    let rv_config =
+        rupicola_core::check::CheckConfig { vectors: 8, ..rupicola_core::check::CheckConfig::default() };
+    let mut rv_rows: Vec<Json> = Vec::new();
+    let mut rv_failures = 0usize;
+    for e in rupicola_programs::suite() {
+        let name = e.info.name;
+        let cf = match (e.compiled)() {
+            Ok(cf) => cf,
+            Err(err) => {
+                println!("{name:<8} COMPILATION FAILED: {err}");
+                rv_failures += 1;
+                continue;
+            }
+        };
+        match rupicola_bench::rvsupport::rv_route_stats(name, &cf, &rv_config) {
+            Ok(s) => {
+                println!(
+                    "{:<8} {:>12} {:>12} {:>12} {:>12} {:>9.2}",
+                    name,
+                    s.naive_instrs,
+                    s.full_instrs,
+                    s.naive_executed,
+                    s.full_executed,
+                    s.naive_executed as f64 / s.full_executed.max(1) as f64,
+                );
+                rv_rows.push(Json::obj([
+                    ("program", Json::str(name)),
+                    ("naive_instrs", Json::U64(s.naive_instrs as u64)),
+                    ("opt_instrs", Json::U64(s.full_instrs as u64)),
+                    ("naive_cycles_est", Json::U64(s.naive_executed)),
+                    ("opt_cycles_est", Json::U64(s.full_executed)),
+                ]));
+            }
+            Err(err) => {
+                println!("{name:<8} RISC-V ROUTE FAILED: {err}");
+                rv_failures += 1;
+            }
+        }
+    }
+
     let summary = Json::obj([
         ("ghz_estimate", Json::F64(ghz)),
         ("programs", Json::Arr(opt_rows)),
+        ("riscv", Json::Arr(rv_rows)),
         ("improved", Json::U64(improved as u64)),
         ("divergences", Json::U64(divergences as u64)),
     ]);
@@ -116,6 +168,10 @@ fn main() {
     println!("# optimized route: {improved}/7 programs improved");
     if divergences > 0 {
         println!("# FATAL: {divergences} program(s) with diverging optimized output");
+        std::process::exit(1);
+    }
+    if rv_failures > 0 {
+        println!("# FATAL: {rv_failures} program(s) failed the RISC-V routes");
         std::process::exit(1);
     }
     if !regressions.is_empty() {

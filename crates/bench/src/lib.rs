@@ -7,6 +7,7 @@
 #![allow(clippy::ptr_arg)]
 
 pub mod json;
+pub mod rvsupport;
 
 /// The certified Bedrock2 functions, transpiled to Rust at build time (see
 /// `build.rs`). Addresses index into the `mem` slice; the drivers below

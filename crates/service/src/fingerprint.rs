@@ -47,7 +47,13 @@ use rupicola_lang::Model;
 /// segment (`SecrecyPolicy::identity_string`), so an artifact verified
 /// under one secrecy policy is never served to a request made under
 /// another — in particular never under a *stricter* one.
-pub const FORMAT_VERSION: u64 = 3;
+///
+/// v4: artifact envelopes may carry a validated RISC-V machine artifact,
+/// and the canonical bytes gained the RISC-V pipeline identity segment
+/// (`RvPipelineConfig::identity_string`, or `none` when the request asks
+/// for no machine code): an artifact lowered under one stage pipeline is
+/// a different artifact from the same program lowered under another.
+pub const FORMAT_VERSION: u64 = 4;
 
 /// A stable 64-bit structural fingerprint of a compilation request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -88,6 +94,7 @@ pub(crate) fn canonical_bytes(
     limits: &EngineLimits,
     pipeline: &str,
     ct: &str,
+    rv: &str,
 ) -> Vec<u8> {
     let mut bytes = Vec::with_capacity(4096);
     bytes.extend_from_slice(b"rupicola-artifact-v");
@@ -124,6 +131,12 @@ pub(crate) fn canonical_bytes(
     // it was not checked against.
     bytes.extend_from_slice(b"ct:");
     bytes.extend_from_slice(ct.as_bytes());
+    bytes.push(0);
+    // The RISC-V stage-pipeline identity: whether (and through which
+    // validated stages) machine code was lowered is part of what the
+    // envelope contains, exactly like the Bedrock2 pass pipeline.
+    bytes.extend_from_slice(b"rv:");
+    bytes.extend_from_slice(rv.as_bytes());
     bytes
 }
 
@@ -166,7 +179,24 @@ pub fn fingerprint_with_pipeline_ct(
     pipeline: &str,
     ct: &str,
 ) -> Fingerprint {
-    Fingerprint(fnv1a(FNV_OFFSET, &canonical_bytes(model, spec, dbs, limits, pipeline, ct)))
+    fingerprint_with_pipeline_ct_rv(model, spec, dbs, limits, pipeline, ct, "none")
+}
+
+/// Fingerprints a compilation request including the optimization pipeline,
+/// the constant-time policy, and the RISC-V lowering-pipeline identity
+/// (see `rupicola_rv::RvPipelineConfig::identity_string`). Requests that
+/// ask for no machine code use `none`, which is what every narrower entry
+/// point delegates with — pre-v4 callers all share that key space.
+pub fn fingerprint_with_pipeline_ct_rv(
+    model: &Model,
+    spec: &FnSpec,
+    dbs: &HintDbs,
+    limits: &EngineLimits,
+    pipeline: &str,
+    ct: &str,
+    rv: &str,
+) -> Fingerprint {
+    Fingerprint(fnv1a(FNV_OFFSET, &canonical_bytes(model, spec, dbs, limits, pipeline, ct, rv)))
 }
 
 #[cfg(test)]
@@ -273,6 +303,27 @@ mod tests {
             fingerprint_with_pipeline(&model, &spec, &dbs, &limits, "none")
         );
         assert_eq!(public, "public");
+    }
+
+    #[test]
+    fn rv_pipeline_is_part_of_the_key() {
+        let (model, spec) = request();
+        let dbs = standard_dbs();
+        let limits = EngineLimits::default();
+        let key = |rv: &str| {
+            fingerprint_with_pipeline_ct_rv(&model, &spec, &dbs, &limits, "none", "public", rv)
+        };
+        let none = key("none");
+        let naive = key("lower");
+        let full = key("lower,regalloc,redundant-mem,branch-simplify,addi-fold");
+        assert_ne!(none, naive, "asking for machine code changes the key");
+        assert_ne!(naive, full, "the stage pipeline changes the key");
+        // The narrower entry points are exactly the `none` rv pipeline.
+        assert_eq!(none, fingerprint(&model, &spec, &dbs, &limits));
+        assert_eq!(
+            none,
+            fingerprint_with_pipeline_ct(&model, &spec, &dbs, &limits, "none", "public")
+        );
     }
 
     #[test]

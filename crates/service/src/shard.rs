@@ -45,9 +45,11 @@ use std::time::Duration;
 use crate::backend::{Backend, FsBackend};
 use crate::fingerprint::Fingerprint;
 use crate::store::{CacheStats, LoadOutcome, Store, StoreLock};
+use rupicola_bedrock::rv_compile::RvArtifact;
 use rupicola_core::fnspec::FnSpec;
 use rupicola_core::{CompiledFunction, EngineLimits, HintDbs};
 use rupicola_lang::Model;
+use rupicola_rv::RvPipelineConfig;
 
 /// Default shard count for the concurrent server: enough stripes that a
 /// handful of workers rarely contend, few enough that a suite-sized
@@ -175,6 +177,24 @@ impl ShardedStore {
         self.shard(0).pipeline().clone()
     }
 
+    /// Configures every shard to key under — and demand, re-validate and
+    /// serve — RISC-V machine artifacts produced by `pipeline`. Mirrors
+    /// [`Store::with_rv_pipeline`] across all stripes; every shard stays
+    /// identically configured, so routing and keys remain agreed.
+    #[must_use]
+    pub fn with_rv_pipeline(self, pipeline: RvPipelineConfig) -> ShardedStore {
+        for i in 0..self.shards.len() {
+            self.shard(i).set_rv_pipeline(pipeline.clone());
+        }
+        self
+    }
+
+    /// The RISC-V pipeline the shards key under, if one is configured
+    /// (shard 0's — identical across shards by construction).
+    pub fn rv_pipeline(&self) -> Option<RvPipelineConfig> {
+        self.shard(0).rv_pipeline().cloned()
+    }
+
     /// Verified load, routed by fingerprint: locks exactly one stripe.
     pub fn load_verified(
         &self,
@@ -194,6 +214,35 @@ impl ShardedStore {
     /// See [`Store::put`] — degraded shards and quarantined keys refuse.
     pub fn put(&self, key: Fingerprint, cf: &CompiledFunction) -> Result<PathBuf, String> {
         self.shard(self.shard_of(key)).put(key, cf)
+    }
+
+    /// [`ShardedStore::put`] carrying a validated RISC-V machine
+    /// artifact, routed by fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// See [`Store::put_with_rv`].
+    pub fn put_with_rv(
+        &self,
+        key: Fingerprint,
+        cf: &CompiledFunction,
+        rv: Option<&RvArtifact>,
+    ) -> Result<PathBuf, String> {
+        self.shard(self.shard_of(key)).put_with_rv(key, cf, rv)
+    }
+
+    /// [`ShardedStore::load_verified`] that also surfaces the
+    /// re-validated machine artifact on a hit (see
+    /// [`Store::load_verified_rv`]).
+    pub fn load_verified_rv(
+        &self,
+        model: &Model,
+        spec: &FnSpec,
+        dbs: &HintDbs,
+        limits: &EngineLimits,
+    ) -> (LoadOutcome, Option<Box<RvArtifact>>) {
+        let key = self.key_for(model, spec, dbs, limits);
+        self.shard(self.shard_of(key)).load_verified_rv(model, spec, dbs, limits)
     }
 
     /// Aggregated lifetime counters across every shard.

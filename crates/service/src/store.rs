@@ -71,8 +71,10 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use crate::backend::{Backend, FsBackend};
-use crate::fingerprint::{fingerprint_with_pipeline_ct, Fingerprint, FORMAT_VERSION};
+use crate::fingerprint::{fingerprint_with_pipeline_ct_rv, Fingerprint, FORMAT_VERSION};
 use crate::retry::{with_retry, RetryPolicy};
+use rupicola_bedrock::rv_compile::RvArtifact;
+use rupicola_bedrock::serial::{decode_rv_artifact, encode_rv_artifact};
 use rupicola_core::check::{check_with, CheckConfig};
 use rupicola_core::fnspec::FnSpec;
 use rupicola_core::serial::{decode_compiled_function, encode_compiled_function};
@@ -80,6 +82,7 @@ use rupicola_core::{CompiledFunction, EngineLimits, HintDbs};
 use rupicola_lang::json::Json;
 use rupicola_lang::Model;
 use rupicola_opt::{validate_candidate_with_policy, PipelineConfig};
+use rupicola_rv::{validate_artifact, RvPipelineConfig};
 
 /// Name of the environment variable overriding the store root.
 pub const STORE_ENV: &str = "SERVICE_STORE";
@@ -307,6 +310,12 @@ pub struct Store {
     check: CheckConfig,
     lint_on_load: bool,
     pipeline: PipelineConfig,
+    /// When set, artifacts are keyed under this RISC-V lowering pipeline,
+    /// envelopes must carry a machine artifact produced under it, and
+    /// every load differentially re-validates that artifact against the
+    /// decoded certificate (evicting on divergence). `None` — the default
+    /// and the pre-v4 behavior — neither stores nor expects machine code.
+    rv_pipeline: Option<RvPipelineConfig>,
     stats: CacheStats,
     /// Set once [`DEGRADE_AFTER`] consecutive backend failures accrue;
     /// never cleared for the lifetime of this instance (recovery is a
@@ -358,6 +367,7 @@ impl Store {
             check,
             lint_on_load: false,
             pipeline: PipelineConfig::full(),
+            rv_pipeline: None,
             stats: CacheStats::default(),
             degraded: false,
             degrade_after: DEGRADE_AFTER,
@@ -385,6 +395,7 @@ impl Store {
             check,
             lint_on_load: false,
             pipeline: PipelineConfig::full(),
+            rv_pipeline: None,
             stats: CacheStats::default(),
             degraded: true,
             degrade_after: DEGRADE_AFTER,
@@ -428,6 +439,29 @@ impl Store {
     pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Store {
         self.pipeline = pipeline;
         self
+    }
+
+    /// Keys and verifies artifacts under a RISC-V lowering pipeline
+    /// (consuming builder form of [`Store::set_rv_pipeline`]).
+    #[must_use]
+    pub fn with_rv_pipeline(mut self, rv: RvPipelineConfig) -> Store {
+        self.set_rv_pipeline(rv);
+        self
+    }
+
+    /// Keys and verifies artifacts under a RISC-V lowering pipeline: the
+    /// pipeline identity joins the fingerprint, [`Store::put_with_rv`]
+    /// persists the machine artifact in the envelope, and every load
+    /// requires one and differentially re-validates it against the
+    /// decoded certificate (evicting on absence, identity mismatch, or
+    /// divergence).
+    pub fn set_rv_pipeline(&mut self, rv: RvPipelineConfig) {
+        self.rv_pipeline = Some(rv);
+    }
+
+    /// The RISC-V lowering pipeline this store keys under, if any.
+    pub fn rv_pipeline(&self) -> Option<&RvPipelineConfig> {
+        self.rv_pipeline.as_ref()
     }
 
     /// Replaces the transient-fault retry policy.
@@ -513,13 +547,18 @@ impl Store {
             .ct_policy
             .as_ref()
             .map_or_else(|| "public".to_string(), rupicola_analysis::SecrecyPolicy::identity_string);
-        fingerprint_with_pipeline_ct(
+        let rv = self
+            .rv_pipeline
+            .as_ref()
+            .map_or_else(|| "none".to_string(), RvPipelineConfig::identity_string);
+        fingerprint_with_pipeline_ct_rv(
             model,
             spec,
             dbs,
             limits,
             &self.pipeline.identity_string(),
             &ct,
+            &rv,
         )
     }
 
@@ -586,7 +625,41 @@ impl Store {
     /// Fails on post-retry I/O errors, in degraded mode, and for
     /// quarantined keys; the store counters are only bumped on success.
     pub fn put(&mut self, key: Fingerprint, cf: &CompiledFunction) -> Result<PathBuf, String> {
+        self.put_with_rv(key, cf, None)
+    }
+
+    /// [`Store::put`] with an optional validated RISC-V machine artifact
+    /// riding in the envelope. When this store was configured with a
+    /// [`RvPipelineConfig`], the artifact is *required* — persisting a
+    /// certificate without the machine code the key promises would make
+    /// every subsequent load an eviction.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Store::put`] can report, plus a configuration
+    /// mismatch between the store's rv pipeline and `rv_artifact`.
+    pub fn put_with_rv(
+        &mut self,
+        key: Fingerprint,
+        cf: &CompiledFunction,
+        rv_artifact: Option<&RvArtifact>,
+    ) -> Result<PathBuf, String> {
         let path = self.path_for(&cf.function.name, key);
+        match (&self.rv_pipeline, rv_artifact) {
+            (Some(_), None) => {
+                return Err(format!(
+                    "store keys under an rv pipeline but no machine artifact was supplied for {}",
+                    path.display()
+                ));
+            }
+            (None, Some(_)) => {
+                return Err(format!(
+                    "machine artifact supplied but this store has no rv pipeline; not persisting {}",
+                    path.display()
+                ));
+            }
+            _ => {}
+        }
         if self.degraded {
             return Err(format!(
                 "store degraded; not persisting {} (compile-without-cache mode)",
@@ -599,12 +672,22 @@ impl Store {
                 path.display()
             ));
         }
-        let envelope = Json::obj([
+        let mut fields = vec![
             ("format", Json::U64(FORMAT_VERSION)),
             ("key", Json::str(key.as_hex())),
             ("program", Json::str(cf.function.name.clone())),
             ("artifact", encode_compiled_function(cf)),
-        ]);
+        ];
+        if let (Some(rv), Some(art)) = (&self.rv_pipeline, rv_artifact) {
+            fields.push((
+                "rv",
+                Json::obj([
+                    ("pipeline", Json::str(rv.identity_string())),
+                    ("artifact", encode_rv_artifact(art)),
+                ]),
+            ));
+        }
+        let envelope = Json::obj(fields);
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
         let bytes = envelope.render().into_bytes();
         let write = with_retry(&self.retry, || self.backend.write_atomic(&tmp, &path, &bytes));
@@ -633,6 +716,24 @@ impl Store {
         dbs: &HintDbs,
         limits: &EngineLimits,
     ) -> LoadOutcome {
+        let key = self.key_for(model, spec, dbs, limits);
+        let path = self.path_for(&spec.name, key);
+        let raw = self.attempt(&path, key, model, spec, dbs);
+        self.settle(raw).0
+    }
+
+    /// [`Store::load_verified`] returning the re-validated RISC-V machine
+    /// artifact alongside the certificate. The artifact is `Some` exactly
+    /// on a hit of a store configured with an rv pipeline — and it has
+    /// just been differentially re-executed against the decoded
+    /// certificate, so it is as trustworthy as the certificate itself.
+    pub fn load_verified_rv(
+        &mut self,
+        model: &Model,
+        spec: &FnSpec,
+        dbs: &HintDbs,
+        limits: &EngineLimits,
+    ) -> (LoadOutcome, Option<Box<RvArtifact>>) {
         let key = self.key_for(model, spec, dbs, limits);
         let path = self.path_for(&spec.name, key);
         let raw = self.attempt(&path, key, model, spec, dbs);
@@ -690,7 +791,7 @@ impl Store {
                     nanos: 0,
                     kind: RawKind::Unavailable("worker lost the slot".to_string()),
                 });
-                self.settle(raw)
+                self.settle(raw).0
             })
             .collect()
     }
@@ -752,28 +853,28 @@ impl Store {
         let outcome = self.verify(&text, key, model, spec, dbs);
         let nanos = started.elapsed().as_nanos();
         match outcome {
-            Ok(cf) => Raw { retries, nanos, kind: RawKind::Hit(cf) },
+            Ok((cf, rv)) => Raw { retries, nanos, kind: RawKind::Hit(cf, rv) },
             Err(reason) => Raw { retries, nanos, kind: RawKind::Evict(path.to_path_buf(), reason) },
         }
     }
 
     /// The serial bookkeeping for one [`Raw`] attempt: counters, degraded
     /// tracking, quarantine, eviction.
-    fn settle(&mut self, raw: Raw) -> LoadOutcome {
+    fn settle(&mut self, raw: Raw) -> (LoadOutcome, Option<Box<RvArtifact>>) {
         self.stats.retries += u64::from(raw.retries);
         self.stats.verify_nanos += raw.nanos;
         match raw.kind {
             RawKind::Miss => {
                 self.note_backend_ok();
                 self.stats.misses += 1;
-                LoadOutcome::Miss
+                (LoadOutcome::Miss, None)
             }
-            RawKind::Hit(cf) => {
+            RawKind::Hit(cf, rv) => {
                 self.note_backend_ok();
                 self.stats.hits += 1;
-                LoadOutcome::Hit(cf)
+                (LoadOutcome::Hit(cf), rv)
             }
-            RawKind::Evict(path, reason) => self.evict(&path, reason),
+            RawKind::Evict(path, reason) => (self.evict(&path, reason), None),
             RawKind::Unavailable(reason) => {
                 // A degraded/quarantined skip is not a fresh backend
                 // failure; only real post-retry I/O errors count toward
@@ -782,7 +883,7 @@ impl Store {
                     self.note_backend_failure();
                 }
                 self.stats.unavailable += 1;
-                LoadOutcome::Unavailable { reason }
+                (LoadOutcome::Unavailable { reason }, None)
             }
         }
     }
@@ -796,7 +897,7 @@ impl Store {
         model: &Model,
         spec: &FnSpec,
         dbs: &HintDbs,
-    ) -> Result<Box<CompiledFunction>, String> {
+    ) -> Result<(Box<CompiledFunction>, Option<Box<RvArtifact>>), String> {
         let envelope =
             rupicola_lang::json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
         match envelope.get("format").and_then(Json::as_u64) {
@@ -856,7 +957,41 @@ impl Store {
                 return Err(format!("lint-on-load failed: {first}"));
             }
         }
-        Ok(Box::new(cf))
+        // A stored machine artifact is as untrusted as the lowering that
+        // made it: when this store promises one (rv pipeline configured),
+        // the envelope must carry it under the same pipeline identity, and
+        // it is differentially re-executed against the just-re-certified
+        // Bedrock2 body before being served. Absence, identity mismatch,
+        // or divergence evicts — never a wrong answer.
+        let rv = if let Some(rv_pipeline) = &self.rv_pipeline {
+            let block = envelope
+                .get("rv")
+                .ok_or("rv pipeline configured but envelope carries no machine artifact")?;
+            match block.get("pipeline").and_then(Json::as_str) {
+                Some(id) if id == rv_pipeline.identity_string() => {}
+                Some(id) => {
+                    return Err(format!(
+                        "machine artifact lowered under `{id}`, requested `{}`",
+                        rv_pipeline.identity_string()
+                    ));
+                }
+                None => return Err("rv block missing pipeline identity".to_string()),
+            }
+            let encoded = block.get("artifact").ok_or("rv block missing artifact")?;
+            let art = decode_rv_artifact(encoded).map_err(|e| format!("rv decode: {e}"))?;
+            if art.name != cf.function.name {
+                return Err(format!(
+                    "machine artifact is for `{}`, certificate is `{}`",
+                    art.name, cf.function.name
+                ));
+            }
+            validate_artifact(&cf, &art, &self.check)
+                .map_err(|e| format!("machine artifact failed re-validation: {e}"))?;
+            Some(Box::new(art))
+        } else {
+            None
+        };
+        Ok((Box::new(cf), rv))
     }
 
     fn evict(&mut self, path: &Path, reason: String) -> LoadOutcome {
@@ -886,7 +1021,7 @@ struct Raw {
 
 enum RawKind {
     Miss,
-    Hit(Box<CompiledFunction>),
+    Hit(Box<CompiledFunction>, Option<Box<RvArtifact>>),
     Evict(PathBuf, String),
     Unavailable(String),
 }

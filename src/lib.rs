@@ -13,6 +13,8 @@ pub use rupicola_monads as monads;
 pub use rupicola_opt as opt;
 pub use rupicola_opt::{optimize_compiled, PassId, PipelineConfig, PipelineReport};
 pub use rupicola_programs as programs;
+pub use rupicola_rv as rv;
+pub use rupicola_rv::{lower_validated, RvBackendError, RvPipelineConfig, RvReport, RvStageId};
 pub use rupicola_sep as sep;
 pub use rupicola_service as service;
 pub use rupicola_service::{compile_suite_cached, CachedResult, Store};

@@ -1,0 +1,36 @@
+  ld    x22, 0(x2)
+  ld    x21, 8(x2)
+  addi  x19, x0, 4294967295
+  li    x5, 0
+  add   x18, x5, x0
+.Lhead0:
+  sltu  x5, x18, x21
+  beq   x5, x0, .Lendw1
+  add   x5, x22, x18
+  lbu   x20, 0(x5)
+  li    x5, 8
+  srl   x5, x19, x5
+  xor   x6, x19, x20
+  li    x7, 255
+  and   x6, x6, x7
+  li    x7, 8
+  mul   x6, x6, x7
+  li    x7, %crc_t
+  add   x6, x6, x7
+  ld    x6, 0(x6)
+  xor   x19, x5, x6
+  addi  x5, x18, 1
+  add   x18, x5, x0
+  j     .Lhead0
+.Lendw1:
+  li    x5, 4294967295
+  xor   x5, x19, x5
+  add   x19, x5, x0
+  add   x23, x19, x0
+  sd    x22, 0(x2)
+  sd    x21, 8(x2)
+  sd    x19, 16(x2)
+  sd    x18, 24(x2)
+  sd    x20, 32(x2)
+  sd    x23, 40(x2)
+  halt

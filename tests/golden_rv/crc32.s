@@ -1,0 +1,42 @@
+  li    x5, 4294967295
+  sd    x5, 16(x2)
+  li    x5, 0
+  sd    x5, 24(x2)
+.Lhead0:
+  ld    x5, 24(x2)
+  ld    x6, 8(x2)
+  sltu  x5, x5, x6
+  beq   x5, x0, .Lendw1
+  ld    x5, 0(x2)
+  ld    x6, 24(x2)
+  add   x5, x5, x6
+  lbu   x5, 0(x5)
+  sd    x5, 32(x2)
+  ld    x5, 16(x2)
+  li    x6, 8
+  srl   x5, x5, x6
+  ld    x6, 16(x2)
+  ld    x7, 32(x2)
+  xor   x6, x6, x7
+  li    x7, 255
+  and   x6, x6, x7
+  li    x7, 8
+  mul   x6, x6, x7
+  li    x7, %crc_t
+  add   x6, x6, x7
+  ld    x6, 0(x6)
+  xor   x5, x5, x6
+  sd    x5, 16(x2)
+  ld    x5, 24(x2)
+  li    x6, 1
+  add   x5, x5, x6
+  sd    x5, 24(x2)
+  j     .Lhead0
+.Lendw1:
+  ld    x5, 16(x2)
+  li    x6, 4294967295
+  xor   x5, x5, x6
+  sd    x5, 16(x2)
+  ld    x5, 16(x2)
+  sd    x5, 40(x2)
+  halt

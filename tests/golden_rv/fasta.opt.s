@@ -1,0 +1,23 @@
+  ld    x19, 0(x2)
+  ld    x21, 8(x2)
+  li    x5, 0
+  add   x18, x5, x0
+.Lhead0:
+  sltu  x5, x18, x21
+  beq   x5, x0, .Lendw1
+  add   x5, x19, x18
+  lbu   x20, 0(x5)
+  add   x5, x19, x18
+  li    x6, %comp
+  add   x6, x20, x6
+  lbu   x6, 0(x6)
+  sb    x6, 0(x5)
+  addi  x5, x18, 1
+  add   x18, x5, x0
+  j     .Lhead0
+.Lendw1:
+  sd    x19, 0(x2)
+  sd    x21, 8(x2)
+  sd    x18, 16(x2)
+  sd    x20, 24(x2)
+  halt

@@ -1,0 +1,27 @@
+  li    x5, 0
+  sd    x5, 16(x2)
+.Lhead0:
+  ld    x5, 16(x2)
+  ld    x6, 8(x2)
+  sltu  x5, x5, x6
+  beq   x5, x0, .Lendw1
+  ld    x5, 0(x2)
+  ld    x6, 16(x2)
+  add   x5, x5, x6
+  lbu   x5, 0(x5)
+  sd    x5, 24(x2)
+  ld    x5, 0(x2)
+  ld    x6, 16(x2)
+  add   x5, x5, x6
+  ld    x6, 24(x2)
+  li    x7, %comp
+  add   x6, x6, x7
+  lbu   x6, 0(x6)
+  sb    x6, 0(x5)
+  ld    x5, 16(x2)
+  li    x6, 1
+  add   x5, x5, x6
+  sd    x5, 16(x2)
+  j     .Lhead0
+.Lendw1:
+  halt

@@ -1,0 +1,25 @@
+  ld    x22, 0(x2)
+  ld    x21, 8(x2)
+  addi  x19, x0, -3750763034362895579
+  li    x5, 0
+  add   x18, x5, x0
+.Lhead0:
+  sltu  x5, x18, x21
+  beq   x5, x0, .Lendw1
+  add   x5, x22, x18
+  lbu   x20, 0(x5)
+  xor   x5, x19, x20
+  li    x6, 1099511628211
+  mul   x19, x5, x6
+  addi  x5, x18, 1
+  add   x18, x5, x0
+  j     .Lhead0
+.Lendw1:
+  add   x23, x19, x0
+  sd    x22, 0(x2)
+  sd    x21, 8(x2)
+  sd    x19, 16(x2)
+  sd    x18, 24(x2)
+  sd    x20, 32(x2)
+  sd    x23, 40(x2)
+  halt

@@ -1,0 +1,29 @@
+  li    x5, -3750763034362895579
+  sd    x5, 16(x2)
+  li    x5, 0
+  sd    x5, 24(x2)
+.Lhead0:
+  ld    x5, 24(x2)
+  ld    x6, 8(x2)
+  sltu  x5, x5, x6
+  beq   x5, x0, .Lendw1
+  ld    x5, 0(x2)
+  ld    x6, 24(x2)
+  add   x5, x5, x6
+  lbu   x5, 0(x5)
+  sd    x5, 32(x2)
+  ld    x5, 16(x2)
+  ld    x6, 32(x2)
+  xor   x5, x5, x6
+  li    x6, 1099511628211
+  mul   x5, x5, x6
+  sd    x5, 16(x2)
+  ld    x5, 24(x2)
+  li    x6, 1
+  add   x5, x5, x6
+  sd    x5, 24(x2)
+  j     .Lhead0
+.Lendw1:
+  ld    x5, 16(x2)
+  sd    x5, 40(x2)
+  halt

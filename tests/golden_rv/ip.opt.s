@@ -1,0 +1,60 @@
+  ld    x20, 0(x2)
+  ld    x22, 8(x2)
+  li    x5, 1
+  srl   x21, x22, x5
+  addi  x19, x0, 0
+  li    x5, 0
+  add   x18, x5, x0
+.Lhead0:
+  sltu  x5, x18, x21
+  beq   x5, x0, .Lendw1
+  li    x5, 2
+  mul   x5, x5, x18
+  add   x5, x20, x5
+  lbu   x5, 0(x5)
+  li    x6, 8
+  sll   x5, x5, x6
+  li    x6, 2
+  mul   x6, x6, x18
+  li    x7, 1
+  add   x6, x6, x7
+  add   x6, x20, x6
+  lbu   x6, 0(x6)
+  or    x5, x5, x6
+  add   x5, x19, x5
+  add   x19, x5, x0
+  addi  x5, x18, 1
+  add   x18, x5, x0
+  j     .Lhead0
+.Lendw1:
+  li    x5, 65535
+  and   x5, x19, x5
+  li    x6, 16
+  srl   x6, x19, x6
+  add   x19, x5, x6
+  li    x5, 65535
+  and   x5, x19, x5
+  li    x6, 16
+  srl   x6, x19, x6
+  add   x19, x5, x6
+  li    x5, 65535
+  and   x5, x19, x5
+  li    x6, 16
+  srl   x6, x19, x6
+  add   x19, x5, x6
+  li    x5, 65535
+  and   x5, x19, x5
+  li    x6, 16
+  srl   x6, x19, x6
+  add   x19, x5, x6
+  li    x5, 65535
+  xor   x23, x19, x5
+  add   x24, x23, x0
+  sd    x20, 0(x2)
+  sd    x22, 8(x2)
+  sd    x21, 16(x2)
+  sd    x19, 24(x2)
+  sd    x18, 32(x2)
+  sd    x23, 40(x2)
+  sd    x24, 48(x2)
+  halt

@@ -1,0 +1,78 @@
+  ld    x5, 8(x2)
+  li    x6, 1
+  srl   x5, x5, x6
+  sd    x5, 16(x2)
+  li    x5, 0
+  sd    x5, 24(x2)
+  li    x5, 0
+  sd    x5, 32(x2)
+.Lhead0:
+  ld    x5, 32(x2)
+  ld    x6, 16(x2)
+  sltu  x5, x5, x6
+  beq   x5, x0, .Lendw1
+  ld    x5, 24(x2)
+  ld    x6, 0(x2)
+  li    x7, 2
+  ld    x8, 32(x2)
+  mul   x7, x7, x8
+  add   x6, x6, x7
+  lbu   x6, 0(x6)
+  li    x7, 8
+  sll   x6, x6, x7
+  ld    x7, 0(x2)
+  li    x8, 2
+  ld    x9, 32(x2)
+  mul   x8, x8, x9
+  li    x9, 1
+  add   x8, x8, x9
+  add   x7, x7, x8
+  lbu   x7, 0(x7)
+  or    x6, x6, x7
+  add   x5, x5, x6
+  sd    x5, 24(x2)
+  ld    x5, 32(x2)
+  li    x6, 1
+  add   x5, x5, x6
+  sd    x5, 32(x2)
+  j     .Lhead0
+.Lendw1:
+  ld    x5, 24(x2)
+  li    x6, 65535
+  and   x5, x5, x6
+  ld    x6, 24(x2)
+  li    x7, 16
+  srl   x6, x6, x7
+  add   x5, x5, x6
+  sd    x5, 24(x2)
+  ld    x5, 24(x2)
+  li    x6, 65535
+  and   x5, x5, x6
+  ld    x6, 24(x2)
+  li    x7, 16
+  srl   x6, x6, x7
+  add   x5, x5, x6
+  sd    x5, 24(x2)
+  ld    x5, 24(x2)
+  li    x6, 65535
+  and   x5, x5, x6
+  ld    x6, 24(x2)
+  li    x7, 16
+  srl   x6, x6, x7
+  add   x5, x5, x6
+  sd    x5, 24(x2)
+  ld    x5, 24(x2)
+  li    x6, 65535
+  and   x5, x5, x6
+  ld    x6, 24(x2)
+  li    x7, 16
+  srl   x6, x6, x7
+  add   x5, x5, x6
+  sd    x5, 24(x2)
+  ld    x5, 24(x2)
+  li    x6, 65535
+  xor   x5, x5, x6
+  sd    x5, 40(x2)
+  ld    x5, 40(x2)
+  sd    x5, 48(x2)
+  halt

@@ -1,0 +1,20 @@
+  ld    x18, 0(x2)
+  li    x5, 3432918353
+  mul   x5, x18, x5
+  li    x6, 4294967295
+  and   x18, x5, x6
+  li    x5, 15
+  sll   x5, x18, x5
+  li    x6, 17
+  srl   x6, x18, x6
+  or    x5, x5, x6
+  li    x6, 4294967295
+  and   x18, x5, x6
+  li    x5, 461845907
+  mul   x5, x18, x5
+  li    x6, 4294967295
+  and   x18, x5, x6
+  add   x19, x18, x0
+  sd    x18, 0(x2)
+  sd    x19, 8(x2)
+  halt

@@ -1,0 +1,25 @@
+  ld    x5, 0(x2)
+  li    x6, 3432918353
+  mul   x5, x5, x6
+  li    x6, 4294967295
+  and   x5, x5, x6
+  sd    x5, 0(x2)
+  ld    x5, 0(x2)
+  li    x6, 15
+  sll   x5, x5, x6
+  ld    x6, 0(x2)
+  li    x7, 17
+  srl   x6, x6, x7
+  or    x5, x5, x6
+  li    x6, 4294967295
+  and   x5, x5, x6
+  sd    x5, 0(x2)
+  ld    x5, 0(x2)
+  li    x6, 461845907
+  mul   x5, x5, x6
+  li    x6, 4294967295
+  and   x5, x5, x6
+  sd    x5, 0(x2)
+  ld    x5, 0(x2)
+  sd    x5, 8(x2)
+  halt

@@ -1,0 +1,31 @@
+  ld    x20, 0(x2)
+  ld    x21, 8(x2)
+  li    x5, 0
+  add   x18, x5, x0
+.Lhead0:
+  sltu  x5, x18, x21
+  beq   x5, x0, .Lendw1
+  add   x5, x20, x18
+  lbu   x19, 0(x5)
+  add   x5, x20, x18
+  li    x6, 97
+  sub   x6, x19, x6
+  li    x7, 255
+  and   x6, x6, x7
+  li    x7, 26
+  sltu  x6, x6, x7
+  li    x7, 5
+  sll   x6, x6, x7
+  li    x7, 255
+  and   x6, x6, x7
+  xor   x6, x19, x6
+  sb    x6, 0(x5)
+  addi  x5, x18, 1
+  add   x18, x5, x0
+  j     .Lhead0
+.Lendw1:
+  sd    x20, 0(x2)
+  sd    x21, 8(x2)
+  sd    x18, 16(x2)
+  sd    x19, 24(x2)
+  halt

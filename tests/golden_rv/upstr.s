@@ -1,0 +1,36 @@
+  li    x5, 0
+  sd    x5, 16(x2)
+.Lhead0:
+  ld    x5, 16(x2)
+  ld    x6, 8(x2)
+  sltu  x5, x5, x6
+  beq   x5, x0, .Lendw1
+  ld    x5, 0(x2)
+  ld    x6, 16(x2)
+  add   x5, x5, x6
+  lbu   x5, 0(x5)
+  sd    x5, 24(x2)
+  ld    x5, 0(x2)
+  ld    x6, 16(x2)
+  add   x5, x5, x6
+  ld    x6, 24(x2)
+  ld    x7, 24(x2)
+  li    x8, 97
+  sub   x7, x7, x8
+  li    x8, 255
+  and   x7, x7, x8
+  li    x8, 26
+  sltu  x7, x7, x8
+  li    x8, 5
+  sll   x7, x7, x8
+  li    x8, 255
+  and   x7, x7, x8
+  xor   x6, x6, x7
+  sb    x6, 0(x5)
+  ld    x5, 16(x2)
+  li    x6, 1
+  add   x5, x5, x6
+  sd    x5, 16(x2)
+  j     .Lhead0
+.Lendw1:
+  halt

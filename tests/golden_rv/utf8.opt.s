@@ -1,0 +1,124 @@
+  ld    x19, 0(x2)
+  ld    x22, 8(x2)
+  li    x5, 3
+  sub   x21, x22, x5
+  addi  x20, x0, 0
+  li    x5, 0
+  add   x18, x5, x0
+.Lhead0:
+  sltu  x5, x18, x21
+  beq   x5, x0, .Lendw1
+  add   x5, x19, x18
+  lbu   x5, 0(x5)
+  add   x6, x19, x18
+  lbu   x6, 0(x6)
+  li    x7, 128
+  sltu  x6, x6, x7
+  mul   x5, x5, x6
+  add   x6, x19, x18
+  lbu   x6, 0(x6)
+  li    x7, 31
+  and   x6, x6, x7
+  li    x7, 6
+  sll   x6, x6, x7
+  addi  x7, x18, 1
+  add   x7, x19, x7
+  lbu   x7, 0(x7)
+  li    x8, 63
+  and   x7, x7, x8
+  or    x6, x6, x7
+  add   x7, x19, x18
+  lbu   x7, 0(x7)
+  li    x8, 5
+  srl   x7, x7, x8
+  li    x8, 6
+  sub   x7, x7, x8
+  sltu  x7, x0, x7
+  li    x8, 1
+  xor   x7, x7, x8
+  mul   x6, x6, x7
+  add   x5, x5, x6
+  add   x6, x19, x18
+  lbu   x6, 0(x6)
+  li    x7, 15
+  and   x6, x6, x7
+  li    x7, 12
+  sll   x6, x6, x7
+  addi  x7, x18, 1
+  add   x7, x19, x7
+  lbu   x7, 0(x7)
+  li    x8, 63
+  and   x7, x7, x8
+  li    x8, 6
+  sll   x7, x7, x8
+  addi  x8, x18, 2
+  add   x8, x19, x8
+  lbu   x8, 0(x8)
+  li    x9, 63
+  and   x8, x8, x9
+  or    x7, x7, x8
+  or    x6, x6, x7
+  add   x7, x19, x18
+  lbu   x7, 0(x7)
+  li    x8, 4
+  srl   x7, x7, x8
+  li    x8, 14
+  sub   x7, x7, x8
+  sltu  x7, x0, x7
+  li    x8, 1
+  xor   x7, x7, x8
+  mul   x6, x6, x7
+  add   x7, x19, x18
+  lbu   x7, 0(x7)
+  li    x8, 7
+  and   x7, x7, x8
+  li    x8, 18
+  sll   x7, x7, x8
+  addi  x8, x18, 1
+  add   x8, x19, x8
+  lbu   x8, 0(x8)
+  li    x9, 63
+  and   x8, x8, x9
+  li    x9, 12
+  sll   x8, x8, x9
+  addi  x9, x18, 2
+  add   x9, x19, x9
+  lbu   x9, 0(x9)
+  li    x10, 63
+  and   x9, x9, x10
+  li    x10, 6
+  sll   x9, x9, x10
+  addi  x10, x18, 3
+  add   x10, x19, x10
+  lbu   x10, 0(x10)
+  li    x11, 63
+  and   x10, x10, x11
+  or    x9, x9, x10
+  or    x8, x8, x9
+  or    x7, x7, x8
+  add   x8, x19, x18
+  lbu   x8, 0(x8)
+  li    x9, 3
+  srl   x8, x8, x9
+  li    x9, 30
+  sub   x8, x8, x9
+  sltu  x8, x0, x8
+  li    x9, 1
+  xor   x8, x8, x9
+  mul   x7, x7, x8
+  add   x6, x6, x7
+  add   x5, x5, x6
+  add   x5, x20, x5
+  add   x20, x5, x0
+  addi  x5, x18, 1
+  add   x18, x5, x0
+  j     .Lhead0
+.Lendw1:
+  add   x23, x20, x0
+  sd    x19, 0(x2)
+  sd    x22, 8(x2)
+  sd    x21, 16(x2)
+  sd    x20, 24(x2)
+  sd    x18, 32(x2)
+  sd    x23, 40(x2)
+  halt

@@ -1,0 +1,159 @@
+  ld    x5, 8(x2)
+  li    x6, 3
+  sub   x5, x5, x6
+  sd    x5, 16(x2)
+  li    x5, 0
+  sd    x5, 24(x2)
+  li    x5, 0
+  sd    x5, 32(x2)
+.Lhead0:
+  ld    x5, 32(x2)
+  ld    x6, 16(x2)
+  sltu  x5, x5, x6
+  beq   x5, x0, .Lendw1
+  ld    x5, 24(x2)
+  ld    x6, 0(x2)
+  ld    x7, 32(x2)
+  add   x6, x6, x7
+  lbu   x6, 0(x6)
+  ld    x7, 0(x2)
+  ld    x8, 32(x2)
+  add   x7, x7, x8
+  lbu   x7, 0(x7)
+  li    x8, 128
+  sltu  x7, x7, x8
+  mul   x6, x6, x7
+  ld    x7, 0(x2)
+  ld    x8, 32(x2)
+  add   x7, x7, x8
+  lbu   x7, 0(x7)
+  li    x8, 31
+  and   x7, x7, x8
+  li    x8, 6
+  sll   x7, x7, x8
+  ld    x8, 0(x2)
+  ld    x9, 32(x2)
+  li    x10, 1
+  add   x9, x9, x10
+  add   x8, x8, x9
+  lbu   x8, 0(x8)
+  li    x9, 63
+  and   x8, x8, x9
+  or    x7, x7, x8
+  ld    x8, 0(x2)
+  ld    x9, 32(x2)
+  add   x8, x8, x9
+  lbu   x8, 0(x8)
+  li    x9, 5
+  srl   x8, x8, x9
+  li    x9, 6
+  sub   x8, x8, x9
+  sltu  x8, x0, x8
+  li    x9, 1
+  xor   x8, x8, x9
+  mul   x7, x7, x8
+  add   x6, x6, x7
+  ld    x7, 0(x2)
+  ld    x8, 32(x2)
+  add   x7, x7, x8
+  lbu   x7, 0(x7)
+  li    x8, 15
+  and   x7, x7, x8
+  li    x8, 12
+  sll   x7, x7, x8
+  ld    x8, 0(x2)
+  ld    x9, 32(x2)
+  li    x10, 1
+  add   x9, x9, x10
+  add   x8, x8, x9
+  lbu   x8, 0(x8)
+  li    x9, 63
+  and   x8, x8, x9
+  li    x9, 6
+  sll   x8, x8, x9
+  ld    x9, 0(x2)
+  ld    x10, 32(x2)
+  li    x11, 2
+  add   x10, x10, x11
+  add   x9, x9, x10
+  lbu   x9, 0(x9)
+  li    x10, 63
+  and   x9, x9, x10
+  or    x8, x8, x9
+  or    x7, x7, x8
+  ld    x8, 0(x2)
+  ld    x9, 32(x2)
+  add   x8, x8, x9
+  lbu   x8, 0(x8)
+  li    x9, 4
+  srl   x8, x8, x9
+  li    x9, 14
+  sub   x8, x8, x9
+  sltu  x8, x0, x8
+  li    x9, 1
+  xor   x8, x8, x9
+  mul   x7, x7, x8
+  ld    x8, 0(x2)
+  ld    x9, 32(x2)
+  add   x8, x8, x9
+  lbu   x8, 0(x8)
+  li    x9, 7
+  and   x8, x8, x9
+  li    x9, 18
+  sll   x8, x8, x9
+  ld    x9, 0(x2)
+  ld    x10, 32(x2)
+  li    x11, 1
+  add   x10, x10, x11
+  add   x9, x9, x10
+  lbu   x9, 0(x9)
+  li    x10, 63
+  and   x9, x9, x10
+  li    x10, 12
+  sll   x9, x9, x10
+  ld    x10, 0(x2)
+  ld    x11, 32(x2)
+  li    x12, 2
+  add   x11, x11, x12
+  add   x10, x10, x11
+  lbu   x10, 0(x10)
+  li    x11, 63
+  and   x10, x10, x11
+  li    x11, 6
+  sll   x10, x10, x11
+  ld    x11, 0(x2)
+  ld    x12, 32(x2)
+  li    x13, 3
+  add   x12, x12, x13
+  add   x11, x11, x12
+  lbu   x11, 0(x11)
+  li    x12, 63
+  and   x11, x11, x12
+  or    x10, x10, x11
+  or    x9, x9, x10
+  or    x8, x8, x9
+  ld    x9, 0(x2)
+  ld    x10, 32(x2)
+  add   x9, x9, x10
+  lbu   x9, 0(x9)
+  li    x10, 3
+  srl   x9, x9, x10
+  li    x10, 30
+  sub   x9, x9, x10
+  sltu  x9, x0, x9
+  li    x10, 1
+  xor   x9, x9, x10
+  mul   x8, x8, x9
+  add   x7, x7, x8
+  add   x6, x6, x7
+  add   x5, x5, x6
+  sd    x5, 24(x2)
+  ld    x5, 32(x2)
+  li    x6, 1
+  add   x5, x5, x6
+  sd    x5, 32(x2)
+  j     .Lhead0
+.Lendw1:
+  ld    x5, 24(x2)
+  sd    x5, 40(x2)
+  halt

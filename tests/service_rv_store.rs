@@ -1,0 +1,142 @@
+//! Integration battery for RISC-V machine artifacts in the service store:
+//! a validated [`RvArtifact`] rides the envelope under the rv-pipeline
+//! fingerprint, is differentially re-validated on every load, round-trips
+//! through both the plain and the sharded store, and is evicted the
+//! moment its machine code is corrupted.
+
+use rupicola::core::check::CheckConfig;
+use rupicola::core::EngineLimits;
+use rupicola::ext::standard_dbs;
+use rupicola::programs::suite;
+use rupicola::service::store::{LoadOutcome, Store};
+use rupicola::service::ShardedStore;
+use rupicola::{lower_validated, RvPipelineConfig};
+use std::fs;
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("rupicola-rvstore-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn upstr() -> (rupicola::lang::Model, rupicola::core::fnspec::FnSpec, rupicola::core::CompiledFunction)
+{
+    let entry = suite().into_iter().find(|e| e.info.name == "upstr").unwrap();
+    ((entry.model)(), (entry.spec)(), (entry.compiled)().unwrap())
+}
+
+#[test]
+fn rv_artifact_round_trips_through_the_store() {
+    let root = scratch("roundtrip");
+    let dbs = standard_dbs();
+    let limits = EngineLimits::default();
+    let pipeline = RvPipelineConfig::full();
+    let (model, spec, cf) = upstr();
+    let (art, _) = lower_validated(&cf, &pipeline, &CheckConfig::default()).unwrap();
+
+    let mut store = Store::open(&root).unwrap().with_rv_pipeline(pipeline.clone());
+    let key = store.key_for(&model, &spec, &dbs, &limits);
+    // The rv pipeline is part of the key: a plain store disagrees.
+    let mut plain = Store::open(scratch("plainkey")).unwrap();
+    assert_ne!(key, plain.key_for(&model, &spec, &dbs, &limits));
+
+    // An rv-keyed store refuses envelopes without the machine artifact —
+    // a hit would otherwise silently downgrade the backend.
+    assert!(store.put(key, &cf).is_err(), "rv store must demand the machine artifact");
+    // And a plain store refuses to carry one it cannot re-validate.
+    assert!(plain.put_with_rv(key, &cf, Some(&art)).is_err());
+
+    store.put_with_rv(key, &cf, Some(&art)).unwrap();
+    let (outcome, loaded_rv) = store.load_verified_rv(&model, &spec, &dbs, &limits);
+    match outcome {
+        LoadOutcome::Hit(loaded) => assert_eq!(loaded.function, cf.function),
+        other => panic!("expected hit, got {other:?}"),
+    }
+    assert_eq!(
+        loaded_rv.as_deref(),
+        Some(&art),
+        "machine artifact must round-trip bit-for-bit"
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn corrupted_rv_artifact_is_evicted() {
+    let dbs = standard_dbs();
+    let limits = EngineLimits::default();
+    let pipeline = RvPipelineConfig::full();
+    let (model, spec, cf) = upstr();
+    let (art, _) = lower_validated(&cf, &pipeline, &CheckConfig::default()).unwrap();
+
+    // (corruption name, raw-text edit applied to the stored envelope)
+    type Edit = Box<dyn Fn(&str) -> String>;
+    let corruptions: Vec<(&str, Edit)> = vec![
+        // A wrong-width load in the machine code: decodes fine, fails the
+        // differential re-validation.
+        ("widened load", Box::new(|t: &str| t.replacen("lbu", "lhu", 1))),
+        // Machine code from some *other* pipeline configuration.
+        (
+            "pipeline identity tampered",
+            Box::new(|t: &str| {
+                t.replacen(&RvPipelineConfig::full().identity_string(), "lower", 1)
+            }),
+        ),
+        // The rv block dropped wholesale — an rv-keyed store must not
+        // serve a hit without its machine artifact.
+        ("rv block dropped", Box::new(|t: &str| t.replacen("\"rv\"", "\"xx\"", 1))),
+    ];
+    for (tag, edit) in corruptions {
+        let root = scratch(&format!("evict-{}", tag.replace(' ', "-")));
+        let mut store = Store::open(&root).unwrap().with_rv_pipeline(pipeline.clone());
+        let key = store.key_for(&model, &spec, &dbs, &limits);
+        let path = store.put_with_rv(key, &cf, Some(&art)).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        let corrupted = edit(&text);
+        assert_ne!(text, corrupted, "{tag}: the edit must change the envelope");
+        fs::write(&path, corrupted).unwrap();
+        let (outcome, loaded_rv) = store.load_verified_rv(&model, &spec, &dbs, &limits);
+        match outcome {
+            LoadOutcome::Evicted { reason } => {
+                assert!(!path.exists(), "{tag}: evicted artifact must be deleted ({reason})");
+            }
+            other => panic!("{tag}: expected eviction, got {other:?}"),
+        }
+        assert!(loaded_rv.is_none(), "{tag}: no machine artifact may survive eviction");
+        let _ = fs::remove_dir_all(&root);
+    }
+}
+
+#[test]
+fn rv_artifact_round_trips_through_the_sharded_store() {
+    let root = scratch("sharded");
+    let dbs = standard_dbs();
+    let limits = EngineLimits::default();
+    let pipeline = RvPipelineConfig::full();
+    let (model, spec, cf) = upstr();
+    let (art, _) = lower_validated(&cf, &pipeline, &CheckConfig::default()).unwrap();
+
+    let sharded = ShardedStore::open(&root, 8).unwrap().with_rv_pipeline(pipeline.clone());
+    assert_eq!(sharded.rv_pipeline().as_ref(), Some(&pipeline));
+    let key = sharded.key_for(&model, &spec, &dbs, &limits);
+    let path = sharded.put_with_rv(key, &cf, Some(&art)).unwrap();
+    let (outcome, loaded_rv) = sharded.load_verified_rv(&model, &spec, &dbs, &limits);
+    match outcome {
+        LoadOutcome::Hit(loaded) => assert_eq!(loaded.function, cf.function),
+        other => panic!("expected hit, got {other:?}"),
+    }
+    assert_eq!(loaded_rv.as_deref(), Some(&art));
+
+    // Corrupt the shard's file on disk: the routed verified load evicts.
+    let text = fs::read_to_string(&path).unwrap();
+    fs::write(&path, text.replacen("lbu", "lhu", 1)).unwrap();
+    let (outcome, loaded_rv) = sharded.load_verified_rv(&model, &spec, &dbs, &limits);
+    assert!(
+        matches!(outcome, LoadOutcome::Evicted { .. }),
+        "expected eviction, got {outcome:?}"
+    );
+    assert!(loaded_rv.is_none());
+    assert!(!path.exists(), "evicted artifact must be deleted");
+    let _ = fs::remove_dir_all(&root);
+}
