@@ -34,8 +34,8 @@ use crate::dataflow::{forward_solve, ForwardAnalysis, Lattice};
 use crate::{Finding, FindingKind, Pass};
 use rupicola_bedrock::cfg::{Cfg, Stmt, Terminator};
 use rupicola_bedrock::{AccessSize, BExpr, BFunction, BinOp, Cmd};
-use rupicola_core::goal::{Hyp, StmtGoal};
-use rupicola_lang::{Expr, Value};
+use rupicola_core::goal::{Hyp, HypRef, StmtGoal};
+use rupicola_lang::{Expr, ExprRef, Value};
 use rupicola_sep::{RegionSize, SymValue};
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
@@ -173,49 +173,79 @@ fn lit_u64(e: &Expr) -> Option<u64> {
     }
 }
 
-/// Hypothesis-derived constant bounds `(lo, hi)` on a source term.
-fn hyp_range(term: &Expr, hyps: &[Hyp]) -> (u64, Option<u64>) {
-    let mut lo = 0u64;
-    let mut hi = None;
-    for h in hyps {
-        match h {
-            Hyp::LeU(a, b) if b == term => {
-                if let Some(k) = lit_u64(a) {
-                    lo = lo.max(k);
+/// Hypothesis-derived constant bounds on source terms, indexed by the
+/// *interned id* of the constrained term.
+///
+/// Built once per goal from its hypothesis snapshot: every hypothesis
+/// relating a term to a literal contributes a fact keyed by the term's
+/// [`ExprRef`] id (interning the term is how structurally equal facts from
+/// different hypotheses land on one key). Queries then cost one intern
+/// probe plus a hash lookup instead of a scan over every hypothesis per
+/// queried local — the analysis-side leg of the interned-representation
+/// refactor (ids are process-local, so the index never outlives the run;
+/// see `rupicola-lang::intern`).
+struct FactIndex {
+    bounds: std::collections::HashMap<u64, (u64, Option<u64>)>,
+    /// Keeps the interned keys alive so ids stay stable for the index's
+    /// lifetime (a dropped-and-reinterned term may get a fresh id).
+    _keys: Vec<ExprRef>,
+}
+
+impl FactIndex {
+    fn from_hyps(hyps: &[HypRef]) -> FactIndex {
+        let mut bounds: std::collections::HashMap<u64, (u64, Option<u64>)> =
+            std::collections::HashMap::new();
+        let mut keys = Vec::new();
+        // `lo` raises the lower bound, `hi` lowers the upper bound (the
+        // same merge rules the pre-index scan applied hypothesis by
+        // hypothesis).
+        let mut add = |term: &Expr, keys: &mut Vec<ExprRef>, lo: Option<u64>, hi: Option<u64>| {
+            let key = ExprRef::new(term.clone());
+            let entry = bounds.entry(key.id()).or_insert((0, None));
+            if let Some(k) = lo {
+                entry.0 = entry.0.max(k);
+            }
+            if let Some(k) = hi {
+                entry.1 = Some(entry.1.map_or(k, |h| h.min(k)));
+            }
+            keys.push(key);
+        };
+        for h in hyps {
+            match &h.hyp {
+                Hyp::LeU(a, b) => {
+                    if let Some(k) = lit_u64(a) {
+                        add(b, &mut keys, Some(k), None);
+                    }
+                    if let Some(k) = lit_u64(b) {
+                        add(a, &mut keys, None, Some(k));
+                    }
+                }
+                Hyp::LtU(a, b) => {
+                    if let Some(k) = lit_u64(a) {
+                        add(b, &mut keys, Some(k.saturating_add(1)), None);
+                    }
+                    if let Some(k) = lit_u64(b) {
+                        add(a, &mut keys, None, Some(k.saturating_sub(1)));
+                    }
+                }
+                Hyp::EqWord(a, b) => {
+                    for (t, u) in [(a, b), (b, a)] {
+                        if let Some(k) = lit_u64(u) {
+                            add(t, &mut keys, Some(k), Some(k));
+                        }
+                    }
                 }
             }
-            Hyp::LtU(a, b) if b == term => {
-                if let Some(k) = lit_u64(a) {
-                    lo = lo.max(k.saturating_add(1));
-                }
-            }
-            Hyp::LeU(a, b) if a == term => {
-                if let Some(k) = lit_u64(b) {
-                    hi = Some(hi.map_or(k, |h: u64| h.min(k)));
-                }
-            }
-            Hyp::LtU(a, b) if a == term => {
-                if let Some(k) = lit_u64(b) {
-                    let k = k.saturating_sub(1);
-                    hi = Some(hi.map_or(k, |h: u64| h.min(k)));
-                }
-            }
-            Hyp::EqWord(a, b) if a == term => {
-                if let Some(k) = lit_u64(b) {
-                    lo = lo.max(k);
-                    hi = Some(k);
-                }
-            }
-            Hyp::EqWord(a, b) if b == term => {
-                if let Some(k) = lit_u64(a) {
-                    lo = lo.max(k);
-                    hi = Some(k);
-                }
-            }
-            _ => {}
         }
+        FactIndex { bounds, _keys: keys }
     }
-    (lo, hi)
+
+    /// Constant bounds `(lo, hi)` on `term`, as recorded by the indexed
+    /// hypotheses (the same merge rules the pre-index scan applied).
+    fn range(&self, term: &Expr) -> (u64, Option<u64>) {
+        let key = ExprRef::new(term.clone());
+        self.bounds.get(&key.id()).copied().unwrap_or((0, None))
+    }
 }
 
 impl MemEnv {
@@ -225,6 +255,7 @@ impl MemEnv {
     /// local bound to a region's element-count term becomes a symbolic
     /// length with hypothesis-derived `min_count`.
     pub fn from_goal(goal: &StmtGoal) -> MemEnv {
+        let facts = FactIndex::from_hyps(&goal.hyps);
         let fp = goal.heap.footprint();
         let mut regions = Vec::new();
         let mut counts: Vec<Option<Expr>> = Vec::new();
@@ -233,7 +264,7 @@ impl MemEnv {
             index_of.insert(r.id, i);
             match &r.size {
                 RegionSize::Elems { elem, count } => {
-                    let (min_count, _) = hyp_range(count, &goal.hyps);
+                    let (min_count, _) = facts.range(count);
                     regions.push(RegionInfo {
                         name: r.ptr_name.clone(),
                         elem_bytes: elem.width(),
@@ -281,7 +312,7 @@ impl MemEnv {
                     } else if let Some(k) = lit_u64(term) {
                         entry.push((name.to_string(), AbsVal::Num(Range::exact(k))));
                     } else {
-                        let (lo, hi) = hyp_range(term, &goal.hyps);
+                        let (lo, hi) = facts.range(term);
                         if lo > 0 || hi.is_some() {
                             let hi = hi.map_or(Bound::Inf, Bound::Fin);
                             entry.push((name.to_string(), AbsVal::Num(Range { lo, hi })));
@@ -292,7 +323,7 @@ impl MemEnv {
         }
         let mut count_equal = Vec::new();
         for h in &goal.hyps {
-            if let Hyp::EqWord(a, b) = h {
+            if let Hyp::EqWord(a, b) = &h.hyp {
                 let find = |t: &Expr| counts.iter().position(|c| c.as_ref() == Some(t));
                 if let (Some(i), Some(j)) = (find(a), find(b)) {
                     if i != j {

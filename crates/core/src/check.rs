@@ -29,7 +29,9 @@ use rupicola_bedrock::{
     BExpr, ExecState, ExternalHandler, Interpreter, LoopHook, Memory, Program, TraceEvent,
 };
 use rupicola_lang::eval::{eval, eval_model, Env, Oracle, World};
-use rupicola_lang::{ElemKind, Event, Expr, ExternRegistry, Ident, Model, MonadKind, Value};
+use rupicola_lang::{
+    ElemKind, Event, Expr, ExternRegistry, Ident, Model, MonadKind, PrimOp, Value,
+};
 use rupicola_sep::ScalarKind;
 use std::collections::VecDeque;
 use std::fmt;
@@ -755,11 +757,62 @@ fn hinted_len_bounds(spec: &FnSpec, param: &str) -> (usize, Option<usize>) {
     (lo, exact)
 }
 
+/// Extracts relational length hints of the form
+/// `len A = len B >> k` / `len A = len B * k` (either literal-operand
+/// order for the product), returned as `(a_param, b_param, transform)`
+/// where `transform` maps B's length to A's required length. The codec
+/// programs (`hex_enc`, `hex_dec`) relate their two buffers this way, and
+/// without honoring the relation almost every generated vector would be
+/// skipped by `hints_hold`, starving coverage.
+/// One relational length hint: `(a_param, b_param, transform, k)` — A's
+/// required length is `transform(len B, k)`.
+type LenHint = (String, String, fn(usize, u64) -> usize, u64);
+
+fn relational_len_hints(spec: &FnSpec) -> Vec<LenHint> {
+    let len_param = |e: &Expr| match e {
+        Expr::ArrayLen { arr, .. } => match arr.as_ref() {
+            Expr::Var(v) => Some(v.clone()),
+            _ => None,
+        },
+        _ => None,
+    };
+    let lit = |e: &Expr| match e {
+        Expr::Lit(v) => v.to_scalar_word(),
+        _ => None,
+    };
+    let mut out: Vec<LenHint> = Vec::new();
+    for h in &spec.hints {
+        let Hyp::EqWord(a, b) = h else { continue };
+        let Some(a_param) = len_param(a) else { continue };
+        let Expr::Prim { op, args } = b else { continue };
+        if args.len() != 2 {
+            continue;
+        }
+        match op {
+            PrimOp::WShr => {
+                if let (Some(b_param), Some(k)) = (len_param(&args[0]), lit(&args[1])) {
+                    out.push((a_param, b_param, |n, k| n >> (k & 63), k));
+                }
+            }
+            PrimOp::WMul => {
+                let (p, k) = (len_param(&args[0]), lit(&args[1]));
+                let (p, k) = if p.is_some() { (p, k) } else { (len_param(&args[1]), lit(&args[0])) };
+                if let (Some(b_param), Some(k)) = (p, k) {
+                    out.push((a_param, b_param, |n, k| n * (k as usize), k));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
 /// Generates input vectors covering size edge cases and random contents,
 /// steering list sizes by any length hints so that preconditions do not
 /// starve coverage.
 fn generate_vectors(spec: &FnSpec, model: &Model, config: &CheckConfig) -> Vec<Vec<Value>> {
     const SIZES: [usize; 8] = [0, 1, 2, 3, 7, 8, 13, 32];
+    let relational = relational_len_hints(spec);
     let mut out = Vec::with_capacity(config.vectors);
     let mut state = config.seed | 1;
     let mut next = move || {
@@ -768,6 +821,26 @@ fn generate_vectors(spec: &FnSpec, model: &Model, config: &CheckConfig) -> Vec<V
     };
     for v in 0..config.vectors {
         let base_size = SIZES[v % SIZES.len()];
+        // Decide every array's size up front so relational hints can tie
+        // one buffer's length to another's before contents are drawn.
+        let mut sizes: std::collections::HashMap<&str, usize> = spec
+            .args
+            .iter()
+            .filter_map(|a| match a {
+                ArgSpec::ArrayPtr { param, .. } => {
+                    let (lo, exact) = hinted_len_bounds(spec, param);
+                    Some((param.as_str(), exact.unwrap_or_else(|| base_size.max(lo))))
+                }
+                _ => None,
+            })
+            .collect();
+        for (a_param, b_param, transform, k) in &relational {
+            if let Some(&b_len) = sizes.get(b_param.as_str()) {
+                if let Some(slot) = sizes.get_mut(a_param.as_str()) {
+                    *slot = transform(b_len, *k);
+                }
+            }
+        }
         let mut vector = Vec::with_capacity(model.params.len());
         for p in &model.params {
             let arg = spec.args.iter().find(|a| match a {
@@ -778,8 +851,7 @@ fn generate_vectors(spec: &FnSpec, model: &Model, config: &CheckConfig) -> Vec<V
             });
             let size = match arg {
                 Some(ArgSpec::ArrayPtr { param, .. }) => {
-                    let (lo, exact) = hinted_len_bounds(spec, param);
-                    exact.unwrap_or_else(|| base_size.max(lo))
+                    sizes.get(param.as_str()).copied().unwrap_or(base_size)
                 }
                 _ => base_size,
             };
@@ -907,6 +979,33 @@ impl LoopHook for InvariantHook<'_> {
                             .map_err(|e| format!("invariant fold body: {e}"))?;
                     }
                     check_scalar_local(locals, acc_local, &accv, i)?;
+                }
+                LoopInvariantKind::RangeFoldArrayPut { ptr_local, elem, i: iv, acc, f, init, from } => {
+                    let lo = eval(from, &env, &self.model.tables, &mut world)
+                        .ok()
+                        .and_then(|v| v.to_scalar_word())
+                        .ok_or("invariant `from` term not scalar")?;
+                    let mut expected = eval(init, &env, &self.model.tables, &mut world)
+                        .map_err(|e| format!("invariant init: {e}"))?;
+                    let mut env2 = env.clone();
+                    let mut k = lo;
+                    while k < i {
+                        env2.insert(iv.clone(), Value::Word(k));
+                        env2.insert(acc.clone(), expected);
+                        expected = eval(f, &env2, &self.model.tables, &mut world)
+                            .map_err(|e| format!("invariant put body: {e}"))?;
+                        k += 1;
+                    }
+                    let base = *locals
+                        .get(ptr_local)
+                        .ok_or_else(|| format!("no local `{ptr_local}`"))?;
+                    let got = mem.region(base).ok_or("array region missing at loop head")?;
+                    let want = expected.to_layout_bytes().ok_or("no layout")?;
+                    if got != want.as_slice() {
+                        return Err(format!(
+                            "iteration {i}: memory is {got:?}, invariant predicts fold_range ({lo}) {i} put = {want:?} ({elem})"
+                        ));
+                    }
                 }
                 LoopInvariantKind::RangeFoldScalar { acc_local, i: iv, acc, f, init, from } => {
                     let lo = eval(from, &env, &self.model.tables, &mut world)

@@ -9,7 +9,7 @@
 //! lemma registered, every side condition re-solved) and behaviourally
 //! (differential execution plus runtime invariant checking).
 
-use crate::goal::{Hyp, SideCond};
+use crate::goal::SideCond;
 use crate::invariant::LoopInvariant;
 use std::borrow::Cow;
 use std::fmt;
@@ -31,7 +31,7 @@ pub struct SideCondRecord {
     /// The hypotheses that were in scope. Shared (`Arc`) because the memo
     /// cache and every record of a repeated condition hold the same
     /// snapshot; equality is still structural.
-    pub hyps: Arc<[Hyp]>,
+    pub hyps: Arc<[crate::goal::HypRef]>,
 }
 
 impl fmt::Display for SideCondRecord {

@@ -19,7 +19,7 @@
 use crate::derive::{Derivation, DerivationNode, SideCondRecord};
 use crate::error::CompileError;
 use crate::fnspec::FnSpec;
-use crate::goal::{flatten_result, Hyp, RetSlot, SideCond, StmtGoal};
+use crate::goal::{flatten_result, HypEntry, HypRef, RetSlot, SideCond, StmtGoal};
 use crate::lemma::HintDbs;
 use crate::limits::{EngineLimits, FreshNamesExhausted, ResourceKind};
 use rupicola_bedrock::{BExpr, BFunction, BTable, Cmd};
@@ -69,19 +69,25 @@ pub fn catch_quiet<R>(f: impl FnOnce() -> R) -> Result<R, Box<dyn Any + Send>> {
 }
 
 /// Canonical memo-cache hash for a side-condition discharge. The key
-/// hashes the condition and the hypothesis *count* — not the hypotheses
-/// themselves, which can be large and would be walked structurally on
-/// every solve. The hash only selects a bucket; every candidate in it is
-/// confirmed by a full structural-equality compare (cheap, because shared
-/// subterms compare by pointer), so collisions cannot corrupt the cache,
-/// and hypothesis order still distinguishes entries at confirmation time.
-/// `DefaultHasher::new()` is keyed with fixed constants, so the hash is
-/// deterministic across runs and threads.
-fn memo_hash(cond: &SideCond, hyps: &[Hyp]) -> u64 {
+/// hashes the condition and the *full* hypothesis list: with the interned
+/// representation, hashing a hypothesis reads its subterms' cached
+/// structural hashes, so the whole list costs the sum of top-level node
+/// widths, not a tree walk. (The pre-interning engine hashed only
+/// `hyps.len()` because anything more meant re-walking every hypothesis
+/// per solve — which made distinct hypothesis *contents* collide into one
+/// bucket and pushed the cost onto confirmation scans.) The hash only
+/// selects a bucket; every candidate in it is still confirmed by full
+/// equality — itself an id comparison per shared subterm — so collisions
+/// cannot corrupt the cache. `DefaultHasher::new()` is keyed with fixed
+/// constants, so the hash is deterministic across runs and threads.
+fn memo_hash(cond: &SideCond, hyps: &[HypRef]) -> u64 {
     use std::hash::{Hash, Hasher};
     let mut h = std::collections::hash_map::DefaultHasher::new();
     cond.hash(&mut h);
     hyps.len().hash(&mut h);
+    for hyp in hyps {
+        hyp.hash(&mut h);
+    }
     h.finish()
 }
 
@@ -108,6 +114,14 @@ pub struct CompileStats {
     /// Side conditions that went through the solver loop while the memo
     /// cache was enabled (cacheable misses). Zero when the cache is off.
     pub solver_cache_misses: usize,
+    /// Candidate entries compared during memo-cache bucket scans (each is
+    /// one `(cond, hyps)` equality confirm — an id comparison per shared
+    /// subterm). Now that `memo_hash` keys on the full hypothesis list,
+    /// buckets are near-singletons and this stays close to
+    /// `solver_cache_hits + solver_cache_misses`; under the old
+    /// length-only key it grew with every distinct hypothesis set that
+    /// shared a count.
+    pub solver_confirm_compares: usize,
     /// Optimization passes that ran and were kept (validated rewrites).
     /// Zero until the pass manager in `rupicola-opt` processes the
     /// function.
@@ -168,12 +182,18 @@ pub struct Compiler<'a> {
     /// discharged it. Only successful discharges are cached; a solver that
     /// declines or panics is always re-consulted.
     side_cache: HashMap<u64, Vec<SideCacheEntry>>,
+    /// Loop-counter locals already emitted in this run. Two sibling loops
+    /// whose binders share a source name must get *distinct* Bedrock2
+    /// locals — the trusted checker matches loop-head invariants by
+    /// counter local, so a collision would make one loop's invariant fire
+    /// at the other's head (see `claim_loop_local`).
+    loop_locals: std::collections::HashSet<String>,
 }
 
 /// One confirmed memo-cache entry: the condition and hypothesis snapshot
 /// (compared in full on a hash-bucket hit) and the index of the solver
 /// that discharged them.
-type SideCacheEntry = (SideCond, Arc<[Hyp]>, usize);
+type SideCacheEntry = (SideCond, Arc<[HypRef]>, usize);
 
 impl<'a> Compiler<'a> {
     /// Creates a compiler for `model` using the lemmas of `dbs` with
@@ -196,7 +216,16 @@ impl<'a> Compiler<'a> {
             path: Vec::new(),
             started: std::time::Instant::now(),
             side_cache: HashMap::new(),
+            loop_locals: std::collections::HashSet::new(),
         }
+    }
+
+    /// Claims `name` as a loop-counter local. Returns `true` on first
+    /// claim; `false` if an earlier loop in this run already uses it (the
+    /// caller must then pick a fresh local, keeping counter locals unique
+    /// per function so invariant checking can tell loop heads apart).
+    pub fn claim_loop_local(&mut self, name: &str) -> bool {
+        self.loop_locals.insert(name.to_string())
     }
 
     /// The budgets this run is metered against.
@@ -509,9 +538,8 @@ impl<'a> Compiler<'a> {
         &mut self,
         lemma: &str,
         cond: SideCond,
-        hyps: &[Hyp],
+        hyps: &[HypRef],
     ) -> Result<SideCondRecord, CompileError> {
-        let dbs = self.dbs;
         // Memo cache: solvers are consulted in a fixed order and must be
         // pure in `(cond, hyps)` (see `HintDbs::set_solver_memo`), so the
         // first solver to discharge a condition is a function of the
@@ -520,14 +548,28 @@ impl<'a> Compiler<'a> {
         // Only *successes* are cached: a decline (or a panic, which is
         // treated as a decline) leaves no trace, so a flaky solver is
         // always re-consulted.
+        let dbs = self.dbs;
         let key = dbs.solver_memo_enabled().then(|| memo_hash(&cond, hyps));
         if let Some(k) = key {
+            let mut confirms = 0usize;
             let hit = self.side_cache.get(&k).and_then(|bucket| {
                 bucket
                     .iter()
-                    .find(|(c, h, _)| *c == cond && h.as_ref() == hyps)
+                    .find(|(c, h, _)| {
+                        confirms += 1;
+                        // Entry-level pointer equality first: snapshots
+                        // share their `HypEntry` allocations across goals,
+                        // so a hit usually confirms without even the
+                        // per-entry id compares.
+                        *c == cond
+                            && h.len() == hyps.len()
+                            && h.iter()
+                                .zip(hyps)
+                                .all(|(x, y)| Arc::ptr_eq(x, y) || x == y)
+                    })
                     .map(|(_, h, idx)| (h.clone(), *idx))
             });
+            self.stats.solver_confirm_compares += confirms;
             if let Some((shared, idx)) = hit {
                 self.stats.side_conditions += 1;
                 self.stats.solver_cache_hits += 1;
@@ -558,10 +600,10 @@ impl<'a> Compiler<'a> {
                 // copies into one shared allocation (also the memo-cache
                 // entry). Reference configuration: the seed's node-by-node
                 // copies.
-                let shared: Arc<[Hyp]> = if self.fast_path() {
+                let shared: Arc<[HypRef]> = if self.fast_path() {
                     hyps.into()
                 } else {
-                    hyps.iter().map(Hyp::deep_clone).collect()
+                    hyps.iter().map(|h| HypEntry::shared(h.hyp.deep_clone())).collect()
                 };
                 if let Some(k) = key {
                     self.side_cache

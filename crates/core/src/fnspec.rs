@@ -183,7 +183,8 @@ impl FnSpec {
     pub fn initial_goal(&self, model: &Model) -> Result<StmtGoal, CompileError> {
         let mut locals = SymLocals::new();
         let mut heap = SymHeap::new();
-        let mut hyps = self.hints.clone();
+        let mut hyps: Vec<crate::goal::HypRef> =
+            self.hints.iter().cloned().map(crate::goal::HypEntry::shared).collect();
         let mut bound: HashMap<&str, ()> = HashMap::new();
         let mut heaplet_of_param: HashMap<&str, rupicola_sep::HeapletId> = HashMap::new();
 
@@ -267,13 +268,13 @@ impl FnSpec {
 
         // Inline-table bounds are structural facts about the model.
         for t in &model.tables {
-            hyps.push(Hyp::EqWord(
+            hyps.push(crate::goal::HypEntry::shared(Hyp::EqWord(
                 Expr::ArrayLen {
                     elem: t.elem,
                     arr: Expr::Var(format!("table:{}", t.name)).boxed(),
                 },
                 Expr::Lit(Value::Word(t.len() as u64)),
-            ));
+            )));
         }
 
         Ok(StmtGoal {
@@ -283,7 +284,7 @@ impl FnSpec {
             hyps,
             monad: self.monad,
             post: Post { slots },
-            defs: Vec::new(),
+            defs: crate::goal::DefChain::new(),
         })
     }
 

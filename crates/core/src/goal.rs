@@ -11,9 +11,11 @@
 //! binding facts (`i = 0`), loop bounds (`i < length s`) and user hints
 //! (§3.4.2's "incidental properties").
 
+use rupicola_lang::intern::{name_bit, occ_bloom};
 use rupicola_lang::{Expr, Ident, MonadKind};
 use rupicola_sep::{HeapletId, SymHeap, SymLocals, SymValue};
 use std::fmt;
+use std::sync::Arc;
 
 /// A hypothesis: a fact about source terms known to hold at this point.
 ///
@@ -50,6 +52,175 @@ impl fmt::Display for Hyp {
             Hyp::LtU(a, b) => write!(f, "{a} < {b}"),
             Hyp::LeU(a, b) => write!(f, "{a} ≤ {b}"),
         }
+    }
+}
+
+/// One entry of a goal's hypothesis snapshot: the hypothesis behind a
+/// shared pointer (so snapshotting a goal bumps a reference count per
+/// entry instead of deep-copying two term trees), plus the union of the
+/// terms' variable-occurrence blooms, computed once at construction.
+///
+/// The bloom makes [`StmtGoal::shadow`]'s "does this hypothesis mention
+/// the rebound name?" test O(1) for the common case (it does not): a
+/// clear bit proves the name occurs nowhere in either term. Equality and
+/// hashing delegate to the hypothesis itself — the bloom is derived data.
+#[derive(Debug)]
+pub struct HypEntry {
+    /// The hypothesis.
+    pub hyp: Hyp,
+    occ: u64,
+}
+
+/// A shared hypothesis-snapshot entry. `Vec<HypRef>` clones in one memcpy
+/// plus a reference-count bump per entry — this is what lets every
+/// `let/n` rebinding snapshot a goal with hundreds of accumulated
+/// hypotheses without an O(hyps × term-size) copy.
+pub type HypRef = Arc<HypEntry>;
+
+impl HypEntry {
+    /// Wraps a hypothesis for a goal snapshot, precomputing its
+    /// occurrence bloom.
+    pub fn shared(hyp: Hyp) -> HypRef {
+        let occ = match &hyp {
+            Hyp::EqWord(a, b) | Hyp::LtU(a, b) | Hyp::LeU(a, b) => occ_bloom(a) | occ_bloom(b),
+        };
+        Arc::new(HypEntry { hyp, occ })
+    }
+
+    /// Whether either term *may* mention `name` (one-sided: `false` is
+    /// definitive, `true` means "check exactly").
+    pub fn may_mention(&self, name: &str) -> bool {
+        self.occ & name_bit(name) != 0
+    }
+}
+
+impl PartialEq for HypEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.hyp == other.hyp
+    }
+}
+
+impl Eq for HypEntry {}
+
+impl std::hash::Hash for HypEntry {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.hyp.hash(state);
+    }
+}
+
+impl fmt::Display for HypEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.hyp.fmt(f)
+    }
+}
+
+/// The evaluation prefix of a goal as a persistent chain: `(name,
+/// definition)` equations in binding order, including ghost saves.
+///
+/// Goals snapshot this on every compiled statement, and for a straight-line
+/// program the chain grows one equation per statement — with a `Vec` each
+/// snapshot would copy the entire prefix (O(statements²) term clones per
+/// compile, the dominant cost the speed harness measured before this
+/// representation). The chain is append-only (nothing ever rewrites a
+/// recorded definition — `shadow` renames hypotheses and state, not
+/// history), so a snapshot is one `Arc` bump and a push is one allocation.
+/// Readers that need binding order ([`StmtGoal::binding_defs`]) pay the
+/// O(n) walk, which happens only when a loop invariant is recorded.
+#[derive(Clone, Default)]
+pub struct DefChain {
+    head: Option<Arc<DefNode>>,
+    len: usize,
+}
+
+#[derive(Debug)]
+struct DefNode {
+    name: Ident,
+    value: Expr,
+    prev: Option<Arc<DefNode>>,
+}
+
+impl DefChain {
+    /// The empty chain.
+    pub fn new() -> DefChain {
+        DefChain::default()
+    }
+
+    /// Appends one `(name, definition)` equation. O(1).
+    pub fn push(&mut self, entry: (Ident, Expr)) {
+        self.head = Some(Arc::new(DefNode { name: entry.0, value: entry.1, prev: self.head.take() }));
+        self.len += 1;
+    }
+
+    /// Number of recorded equations.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no equations are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The equations in binding (oldest-first) order. O(n).
+    pub fn to_vec(&self) -> Vec<(Ident, Expr)> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut cur = self.head.as_deref();
+        while let Some(node) = cur {
+            out.push((node.name.clone(), node.value.clone()));
+            cur = node.prev.as_deref();
+        }
+        out.reverse();
+        out
+    }
+
+    /// A copy sharing no term structure with `self` (the reference
+    /// engine configuration's discipline; see [`StmtGoal::deep_clone`]).
+    #[must_use]
+    pub fn deep_clone(&self) -> DefChain {
+        self.to_vec().into_iter().map(|(n, e)| (n, e.deep_clone())).collect()
+    }
+}
+
+impl PartialEq for DefChain {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        let (mut a, mut b) = (self.head.as_ref(), other.head.as_ref());
+        while let (Some(x), Some(y)) = (a, b) {
+            if Arc::ptr_eq(x, y) {
+                return true; // shared tail: identical from here down
+            }
+            if x.name != y.name || x.value != y.value {
+                return false;
+            }
+            (a, b) = (x.prev.as_ref(), y.prev.as_ref());
+        }
+        true
+    }
+}
+
+impl Eq for DefChain {}
+
+impl FromIterator<(Ident, Expr)> for DefChain {
+    fn from_iter<I: IntoIterator<Item = (Ident, Expr)>>(iter: I) -> DefChain {
+        let mut chain = DefChain::new();
+        for entry in iter {
+            chain.push(entry);
+        }
+        chain
+    }
+}
+
+impl From<Vec<(Ident, Expr)>> for DefChain {
+    fn from(v: Vec<(Ident, Expr)>) -> DefChain {
+        v.into_iter().collect()
+    }
+}
+
+impl fmt::Debug for DefChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.to_vec()).finish()
     }
 }
 
@@ -136,8 +307,9 @@ pub struct StmtGoal {
     pub locals: SymLocals,
     /// Symbolic heap (separation-logic context).
     pub heap: SymHeap,
-    /// Hypotheses available to side-condition solvers.
-    pub hyps: Vec<Hyp>,
+    /// Hypotheses available to side-condition solvers, as shared
+    /// snapshot entries (see [`HypEntry`]).
+    pub hyps: Vec<HypRef>,
     /// The ambient monad.
     pub monad: MonadCtx,
     /// Result slots.
@@ -147,7 +319,7 @@ pub struct StmtGoal {
     /// function's inputs reconstructs every bound value — the checker uses
     /// it to evaluate loop-invariant terms at runtime. Monadic definitions
     /// are not recorded (they are not re-evaluable offline).
-    pub defs: Vec<(Ident, Expr)>,
+    pub defs: DefChain,
 }
 
 impl StmtGoal {
@@ -175,18 +347,35 @@ impl StmtGoal {
             }
         }
         for h in &mut self.hyps {
-            match h {
-                Hyp::EqWord(a, b) | Hyp::LtU(a, b) | Hyp::LeU(a, b) => {
-                    *a = sub(a);
-                    *b = sub(b);
-                }
+            // Bloom gate: most hypotheses do not mention the rebound name
+            // (a straight-line program accumulates one equation per past
+            // statement, almost all about other names), and a clear bit
+            // proves it without walking either term.
+            if !h.may_mention(name) {
+                continue;
             }
+            let rewritten = match &h.hyp {
+                Hyp::EqWord(a, b) => Hyp::EqWord(sub(a), sub(b)),
+                Hyp::LtU(a, b) => Hyp::LtU(sub(a), sub(b)),
+                Hyp::LeU(a, b) => Hyp::LeU(sub(a), sub(b)),
+            };
+            *h = HypEntry::shared(rewritten);
         }
+    }
+
+    /// Appends a hypothesis to the snapshot.
+    pub fn push_hyp(&mut self, h: Hyp) {
+        self.hyps.push(HypEntry::shared(h));
+    }
+
+    /// Appends every hypothesis in `hyps` to the snapshot.
+    pub fn extend_hyps<I: IntoIterator<Item = Hyp>>(&mut self, hyps: I) {
+        self.hyps.extend(hyps.into_iter().map(HypEntry::shared));
     }
 
     /// The `(name, definition)` evaluation prefix (see the `defs` field).
     pub fn binding_defs(&self) -> Vec<(Ident, Expr)> {
-        self.defs.clone()
+        self.defs.to_vec()
     }
 
     /// A copy sharing no term structure with `self`: the program remainder,
@@ -207,14 +396,10 @@ impl StmtGoal {
             prog: self.prog.deep_clone(),
             locals: self.locals.deep_clone(),
             heap: self.heap.deep_clone(),
-            hyps: self.hyps.iter().map(Hyp::deep_clone).collect(),
+            hyps: self.hyps.iter().map(|h| HypEntry::shared(h.hyp.deep_clone())).collect(),
             monad: self.monad,
             post: self.post.clone(),
-            defs: self
-                .defs
-                .iter()
-                .map(|(n, e)| (n.clone(), e.deep_clone()))
-                .collect(),
+            defs: self.defs.deep_clone(),
         }
     }
 }
@@ -264,10 +449,10 @@ mod tests {
             prog: var("acc"),
             locals,
             heap: SymHeap::new(),
-            hyps: vec![Hyp::EqWord(var("acc"), word_lit(0))],
+            hyps: vec![HypEntry::shared(Hyp::EqWord(var("acc"), word_lit(0)))],
             monad: MonadCtx::Pure,
             post: Post::default(),
-            defs: vec![("acc".to_string(), word_lit(0))],
+            defs: vec![("acc".to_string(), word_lit(0))].into(),
         }
     }
 
@@ -277,7 +462,7 @@ mod tests {
         g.shadow("acc", "acc'0");
         let (term, _) = g.locals.get("acc").unwrap().scalar_term().unwrap();
         assert_eq!(term, &var("acc'0"));
-        assert_eq!(g.hyps[0], Hyp::EqWord(var("acc'0"), word_lit(0)));
+        assert_eq!(g.hyps[0].hyp, Hyp::EqWord(var("acc'0"), word_lit(0)));
         assert_eq!(g.prog, var("acc")); // program text untouched
     }
 

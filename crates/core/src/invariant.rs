@@ -140,6 +140,26 @@ pub enum LoopInvariantKind {
         /// Source term for the array (in prefix scope).
         arr: Expr,
     },
+    /// Ranged fold whose accumulator is the array itself, one `put` per
+    /// iteration: after the counter reaches `i`, the memory at `ptr_local`
+    /// holds `fold_range from i (fun i a => put a idx v) init` (the
+    /// scatter shape of [`crate::check`]'s partial-execution checking).
+    RangeFoldArrayPut {
+        /// Bedrock2 local holding the array pointer.
+        ptr_local: String,
+        /// Element representation.
+        elem: ElemKind,
+        /// Index binder of `f`.
+        i: Ident,
+        /// Accumulator (array) binder of `f`.
+        acc: Ident,
+        /// Fold body (an `ArrayPut` on the accumulator).
+        f: Expr,
+        /// Source term for the initial array (in prefix scope).
+        init: Expr,
+        /// Loop start (in prefix scope).
+        from: Expr,
+    },
     /// Scalar ranged fold: after the counter reaches `i`, `acc_local` holds
     /// the fold of `f` over `from..i`.
     RangeFoldScalar {
@@ -171,6 +191,13 @@ impl fmt::Display for LoopInvariant {
                     f,
                     "{acc_local} = fold_left (fun {acc} {x} => {body}) (first {i} ({arr})) ({init})",
                     i = self.index_local
+                )
+            }
+            LoopInvariantKind::RangeFoldArrayPut { ptr_local, i, acc, f: body, init, from, .. } => {
+                write!(
+                    f,
+                    "array {ptr_local} (fold_range ({from}) {n} (fun {i} {acc} => {body}) ({init}))",
+                    n = self.index_local
                 )
             }
             LoopInvariantKind::RangeFoldScalar { acc_local, i, acc, f: body, init, from } => {
@@ -209,7 +236,7 @@ mod tests {
             hyps: vec![],
             monad: MonadCtx::Pure,
             post: Post::default(),
-            defs: vec![],
+            defs: Default::default(),
         }
     }
 

@@ -64,5 +64,5 @@ pub mod solver;
 pub use engine::{catch_quiet, compile, compile_with_limits, CompileStats, CompiledFunction, Compiler};
 pub use error::CompileError;
 pub use limits::{EngineLimits, ResourceKind};
-pub use goal::{Hyp, MonadCtx, Post, RetSlot, SideCond, StmtGoal};
+pub use goal::{DefChain, Hyp, HypEntry, HypRef, MonadCtx, Post, RetSlot, SideCond, StmtGoal};
 pub use lemma::{Applied, AppliedExpr, Dispatch, DispatchMode, ExprLemma, HeadKey, HintDbs, StmtLemma};

@@ -369,6 +369,18 @@ fn encode_invariant_kind(k: &LoopInvariantKind) -> Json {
                 encode_expr(from),
             ])
         }
+        LoopInvariantKind::RangeFoldArrayPut { ptr_local, elem, i, acc, f, init, from } => {
+            Json::Arr(vec![
+                Json::str("rangefoldarrayput"),
+                Json::str(ptr_local.clone()),
+                encode_elem_kind(*elem),
+                Json::str(i.clone()),
+                Json::str(acc.clone()),
+                encode_expr(f),
+                encode_expr(init),
+                encode_expr(from),
+            ])
+        }
     }
 }
 
@@ -407,6 +419,18 @@ fn decode_invariant_kind(j: &Json) -> DecodeResult<LoopInvariantKind> {
                 f: decode_expr(field(rest, 3, t)?)?,
                 init: decode_expr(field(rest, 4, t)?)?,
                 from: decode_expr(field(rest, 5, t)?)?,
+            })
+        }
+        "rangefoldarrayput" => {
+            arity(rest, 7, t)?;
+            Ok(LoopInvariantKind::RangeFoldArrayPut {
+                ptr_local: str_field(rest, 0, t)?,
+                elem: decode_elem_kind(field(rest, 1, t)?)?,
+                i: str_field(rest, 2, t)?,
+                acc: str_field(rest, 3, t)?,
+                f: decode_expr(field(rest, 4, t)?)?,
+                init: decode_expr(field(rest, 5, t)?)?,
+                from: decode_expr(field(rest, 6, t)?)?,
             })
         }
         other => Err(format!("unknown loop-invariant tag `{other}`")),
@@ -465,7 +489,7 @@ pub fn encode_side_cond_record(r: &SideCondRecord) -> Json {
     Json::obj([
         ("cond", encode_side_cond(&r.cond)),
         ("solver", Json::str(r.solver.as_ref())),
-        ("hyps", Json::Arr(r.hyps.iter().map(encode_hyp).collect())),
+        ("hyps", Json::Arr(r.hyps.iter().map(|h| encode_hyp(&h.hyp)).collect())),
     ])
 }
 
@@ -479,7 +503,7 @@ pub fn decode_side_cond_record(j: &Json) -> DecodeResult<SideCondRecord> {
     Ok(SideCondRecord {
         cond: decode_side_cond(obj_get(j, "cond", "side-condition record")?)?,
         solver: obj_str(j, "solver", "side-condition record")?.into(),
-        hyps: hyps.into(),
+        hyps: hyps.into_iter().map(crate::goal::HypEntry::shared).collect(),
     })
 }
 
@@ -556,6 +580,10 @@ pub fn encode_compile_stats(s: &CompileStats) -> Json {
         ("side_conditions", Json::U64(s.side_conditions as u64)),
         ("solver_cache_hits", Json::U64(s.solver_cache_hits as u64)),
         ("solver_cache_misses", Json::U64(s.solver_cache_misses as u64)),
+        (
+            "solver_confirm_compares",
+            Json::U64(s.solver_confirm_compares as u64),
+        ),
         ("opt_passes_applied", Json::U64(s.opt_passes_applied as u64)),
         ("opt_passes_rolled_back", Json::U64(s.opt_passes_rolled_back as u64)),
         ("opt_sites_rewritten", Json::U64(s.opt_sites_rewritten as u64)),
@@ -569,6 +597,7 @@ pub fn decode_compile_stats(j: &Json) -> DecodeResult<CompileStats> {
         side_conditions: obj_usize(j, "side_conditions", "compile stats")?,
         solver_cache_hits: obj_usize(j, "solver_cache_hits", "compile stats")?,
         solver_cache_misses: obj_usize(j, "solver_cache_misses", "compile stats")?,
+        solver_confirm_compares: obj_usize(j, "solver_confirm_compares", "compile stats")?,
         opt_passes_applied: obj_usize(j, "opt_passes_applied", "compile stats")?,
         opt_passes_rolled_back: obj_usize(j, "opt_passes_rolled_back", "compile stats")?,
         opt_sites_rewritten: obj_usize(j, "opt_sites_rewritten", "compile stats")?,
@@ -659,7 +688,7 @@ mod tests {
         node.side_conds.push(SideCondRecord {
             cond: SideCond::Lt(var("i"), var("n")),
             solver: "lia".into(),
-            hyps: vec![Hyp::EqWord(var("i"), word_lit(0))].into(),
+            hyps: vec![Hyp::EqWord(var("i"), word_lit(0))].into_iter().map(crate::goal::HypEntry::shared).collect(),
         });
         node.invariant = Some(LoopInvariant {
             index_local: "i".into(),

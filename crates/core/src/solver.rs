@@ -15,8 +15,8 @@
 //! Both the compiler and the trusted checker run the solvers: the checker
 //! re-solves every recorded side condition when re-validating a derivation.
 
-use crate::goal::{Hyp, SideCond};
-use rupicola_lang::{Expr, PrimOp, Value};
+use crate::goal::{Hyp, HypRef, SideCond};
+use rupicola_lang::{Expr, ExprRef, PrimOp, Value};
 use std::collections::BTreeMap;
 
 /// A registered side-condition solver.
@@ -24,7 +24,7 @@ pub trait SideSolver: Send + Sync {
     /// Solver name, recorded in derivations.
     fn name(&self) -> &'static str;
     /// Attempts to discharge the condition under the hypotheses.
-    fn solve(&self, cond: &SideCond, hyps: &[Hyp]) -> bool;
+    fn solve(&self, cond: &SideCond, hyps: &[HypRef]) -> bool;
 }
 
 /// The built-in linear-arithmetic/interval solver.
@@ -36,12 +36,12 @@ impl SideSolver for Lia {
         "lia"
     }
 
-    fn solve(&self, cond: &SideCond, hyps: &[Hyp]) -> bool {
+    fn solve(&self, cond: &SideCond, hyps: &[HypRef]) -> bool {
         match cond {
             SideCond::Lt(a, b) => prove_lt(a, b, hyps, 3),
             SideCond::Le(a, b) => prove_le(a, b, hyps, 3),
             SideCond::NonZero(a) => {
-                let a = rewrite(a, hyps, 8);
+                let a = rewrite(a, hyps, REWRITE_DEPTH);
                 range_of(&a, hyps, 6).0 >= 1
             }
         }
@@ -49,6 +49,14 @@ impl SideSolver for Lia {
 }
 
 const MAX: u128 = u64::MAX as u128;
+
+/// Hypothesis-rewriting budget: one unit per equation hop. Ghost renames
+/// chain one `length s = length s'` equation per in-place update, so a
+/// straight-line program with n array puts needs depth n to normalize the
+/// final length back to the original (chacha20_block's feed-forward does
+/// 16 in a row); 64 leaves headroom without letting a cyclic equation set
+/// run away.
+const REWRITE_DEPTH: usize = 64;
 
 /// A linear normal form: `consts + Σ coeff·atom`, over ℤ.
 ///
@@ -58,7 +66,14 @@ const MAX: u128 = u64::MAX as u128;
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinExpr {
     consts: i128,
-    terms: BTreeMap<String, (i128, Expr)>,
+    /// Atoms keyed by their interned id. Sound because id equality ⟺
+    /// structural equality among live terms (the `ExprRef` in the value
+    /// keeps each atom alive for the map's lifetime), and nothing
+    /// observable depends on the *order* of atoms — `add` matches by key
+    /// and the verdict-bearing queries only inspect coefficients. The
+    /// pre-interning solver keyed by `format!("{e:?}")`, a whole-tree
+    /// render per atom.
+    terms: BTreeMap<u64, (i128, ExprRef)>,
 }
 
 impl LinExpr {
@@ -67,15 +82,16 @@ impl LinExpr {
     }
 
     fn atom(e: &Expr) -> Self {
+        let atom = ExprRef::new(e.clone());
         let mut terms = BTreeMap::new();
-        terms.insert(format!("{e:?}"), (1, e.clone()));
+        terms.insert(atom.id(), (1, atom));
         LinExpr { consts: 0, terms }
     }
 
     fn add(mut self, other: &LinExpr, sign: i128) -> Self {
         self.consts += sign * other.consts;
         for (k, (c, e)) in &other.terms {
-            let entry = self.terms.entry(k.clone()).or_insert((0, e.clone()));
+            let entry = self.terms.entry(*k).or_insert((0, e.clone()));
             entry.0 += sign * c;
         }
         self.terms.retain(|_, (c, _)| *c != 0);
@@ -156,7 +172,7 @@ pub fn linearize(e: &Expr) -> LinExpr {
 
 /// Rewrites a term by substituting variable definitions from `EqWord`
 /// hypotheses (`x = rhs`), to a bounded depth.
-pub fn rewrite(e: &Expr, hyps: &[Hyp], depth: usize) -> Expr {
+pub fn rewrite(e: &Expr, hyps: &[HypRef], depth: usize) -> Expr {
     if depth == 0 {
         return e.clone();
     }
@@ -164,7 +180,7 @@ pub fn rewrite(e: &Expr, hyps: &[Hyp], depth: usize) -> Expr {
     // `length s = length s'1`); rewriting left-to-right normalizes goals
     // toward the oldest form, in which the other hypotheses are phrased.
     for h in hyps {
-        if let Hyp::EqWord(lhs, rhs) = h {
+        if let Hyp::EqWord(lhs, rhs) = &h.hyp {
             if lhs == e && rhs != e {
                 return rewrite(rhs, hyps, depth - 1);
             }
@@ -198,17 +214,17 @@ fn bits_mask(x: u128) -> u128 {
 
 /// Computes a sound interval `[lo, hi]` for the numeric denotation of a
 /// scalar term, refined by hypotheses.
-pub fn range_of(e: &Expr, hyps: &[Hyp], depth: usize) -> (u128, u128) {
+pub fn range_of(e: &Expr, hyps: &[HypRef], depth: usize) -> (u128, u128) {
     let base = range_of_raw(e, hyps, depth);
     refine_with_hyps(e, base, hyps, depth)
 }
 
-fn refine_with_hyps(e: &Expr, mut range: (u128, u128), hyps: &[Hyp], depth: usize) -> (u128, u128) {
+fn refine_with_hyps(e: &Expr, mut range: (u128, u128), hyps: &[HypRef], depth: usize) -> (u128, u128) {
     if depth == 0 {
         return range;
     }
     for h in hyps {
-        match h {
+        match &h.hyp {
             Hyp::LtU(a, b) if a == e => {
                 let (_, hi_b) = range_of_raw(b, hyps, depth - 1);
                 if hi_b > 0 {
@@ -239,7 +255,7 @@ fn refine_with_hyps(e: &Expr, mut range: (u128, u128), hyps: &[Hyp], depth: usiz
 }
 
 #[allow(clippy::too_many_lines)]
-fn range_of_raw(e: &Expr, hyps: &[Hyp], depth: usize) -> (u128, u128) {
+fn range_of_raw(e: &Expr, hyps: &[HypRef], depth: usize) -> (u128, u128) {
     use PrimOp::*;
     if depth == 0 {
         return (0, MAX);
@@ -256,7 +272,7 @@ fn range_of_raw(e: &Expr, hyps: &[Hyp], depth: usize) -> (u128, u128) {
         Expr::Var(_) => {
             // Definitions refine variables.
             for h in hyps {
-                if let Hyp::EqWord(lhs, rhs) = h {
+                if let Hyp::EqWord(lhs, rhs) = &h.hyp {
                     if lhs == e && rhs != e {
                         return range_of(rhs, hyps, depth - 1);
                     }
@@ -336,7 +352,18 @@ fn range_of_raw(e: &Expr, hyps: &[Hyp], depth: usize) -> (u128, u128) {
                     }
                 }
                 WSar => (0, MAX),
-                BAdd | BSub | BShl | BShr => (0, 255),
+                BAdd | BSub | BShl => (0, 255),
+                BShr => {
+                    // A byte shifted right by a literal cannot exceed
+                    // 255 >> k — the bound that puts `b >> 4` inside a
+                    // 16-entry table (the hex-encoder's digit lookup).
+                    if let Some(k) = lit_value(&args[1]) {
+                        let (la, ha) = r(&args[0]);
+                        (la.min(255) >> (k & 7), ha.min(255) >> (k & 7))
+                    } else {
+                        (0, 255)
+                    }
+                }
                 BAnd => bin(&|(_, ha), (_, hb)| (0, ha.min(hb).min(255))),
                 BOr | BXor => bin(&|(_, ha), (_, hb)| (0, bits_mask(ha.max(hb)).min(255))),
                 WLtU | WLtS | WEq | BLtU | BEq | Not | BoolAnd | BoolOr | BoolEq | NLt | NEq => {
@@ -376,21 +403,21 @@ fn lin_eq(a: &Expr, b: &Expr) -> bool {
     linearize(a) == linearize(b)
 }
 
-fn prove_lt(a: &Expr, b: &Expr, hyps: &[Hyp], depth: usize) -> bool {
+fn prove_lt(a: &Expr, b: &Expr, hyps: &[HypRef], depth: usize) -> bool {
     if depth == 0 {
         return false;
     }
-    let a = rewrite(a, hyps, 8);
-    let b = rewrite(b, hyps, 8);
+    let a = rewrite(a, hyps, REWRITE_DEPTH);
+    let b = rewrite(b, hyps, REWRITE_DEPTH);
     let (_, ha) = range_of(&a, hyps, 6);
     let (lb, _) = range_of(&b, hyps, 6);
     if ha < lb {
         return true;
     }
     for h in hyps {
-        match h {
+        match &h.hyp {
             Hyp::LtU(x, y) => {
-                let (x, y) = (rewrite(x, hyps, 8), rewrite(y, hyps, 8));
+                let (x, y) = (rewrite(x, hyps, REWRITE_DEPTH), rewrite(y, hyps, REWRITE_DEPTH));
                 if lin_eq(&a, &x) && lin_eq(&b, &y) {
                     return true;
                 }
@@ -444,7 +471,7 @@ fn prove_lt(a: &Expr, b: &Expr, hyps: &[Hyp], depth: usize) -> bool {
                 }
             }
             Hyp::LeU(x, y) => {
-                let (x, y) = (rewrite(x, hyps, 8), rewrite(y, hyps, 8));
+                let (x, y) = (rewrite(x, hyps, REWRITE_DEPTH), rewrite(y, hyps, REWRITE_DEPTH));
                 // a ≤ y (via x) and y < b.
                 if lin_eq(&a, &x) && prove_lt(&y, &b, hyps, depth - 1) {
                     return true;
@@ -456,12 +483,12 @@ fn prove_lt(a: &Expr, b: &Expr, hyps: &[Hyp], depth: usize) -> bool {
     false
 }
 
-fn prove_le(a: &Expr, b: &Expr, hyps: &[Hyp], depth: usize) -> bool {
+fn prove_le(a: &Expr, b: &Expr, hyps: &[HypRef], depth: usize) -> bool {
     if depth == 0 {
         return false;
     }
-    let a = rewrite(a, hyps, 8);
-    let b = rewrite(b, hyps, 8);
+    let a = rewrite(a, hyps, REWRITE_DEPTH);
+    let b = rewrite(b, hyps, REWRITE_DEPTH);
     if lin_eq(&a, &b) {
         return true;
     }
@@ -471,9 +498,9 @@ fn prove_le(a: &Expr, b: &Expr, hyps: &[Hyp], depth: usize) -> bool {
         return true;
     }
     for h in hyps {
-        match h {
+        match &h.hyp {
             Hyp::LeU(x, y) | Hyp::LtU(x, y) => {
-                let (x, y) = (rewrite(x, hyps, 8), rewrite(y, hyps, 8));
+                let (x, y) = (rewrite(x, hyps, REWRITE_DEPTH), rewrite(y, hyps, REWRITE_DEPTH));
                 if lin_eq(&a, &x) && lin_eq(&b, &y) {
                     return true;
                 }
@@ -492,8 +519,12 @@ mod tests {
     use super::*;
     use rupicola_lang::dsl::*;
 
-    fn lia(cond: SideCond, hyps: &[Hyp]) -> bool {
+    fn lia(cond: SideCond, hyps: &[HypRef]) -> bool {
         Lia.solve(&cond, hyps)
+    }
+
+    fn hs(v: &[Hyp]) -> Vec<HypRef> {
+        v.iter().cloned().map(crate::goal::HypEntry::shared).collect()
     }
 
     #[test]
@@ -523,10 +554,10 @@ mod tests {
         let hyp = Hyp::LtU(var("i"), array_len_b(var("s")));
         assert!(lia(
             SideCond::Lt(var("i"), array_len_b(var("s"))),
-            std::slice::from_ref(&hyp)
+            &hs(std::slice::from_ref(&hyp))
         ));
         // but not i < length t
-        assert!(!lia(SideCond::Lt(var("i"), array_len_b(var("t"))), &[hyp]));
+        assert!(!lia(SideCond::Lt(var("i"), array_len_b(var("t"))), &hs(std::slice::from_ref(&hyp))));
     }
 
     #[test]
@@ -536,7 +567,7 @@ mod tests {
             Hyp::EqWord(var("j"), var("i")),
             Hyp::LtU(var("i"), var("n")),
         ];
-        assert!(lia(SideCond::Lt(var("j"), var("n")), &hyps));
+        assert!(lia(SideCond::Lt(var("j"), var("n")), &hs(&hyps)));
     }
 
     #[test]
@@ -545,7 +576,7 @@ mod tests {
         let hyps = vec![Hyp::LeU(word_add(word_lit(1), var("i")), var("n"))];
         assert!(lia(
             SideCond::Le(word_add(var("i"), word_lit(1)), var("n")),
-            &hyps
+            &hs(&hyps)
         ));
     }
 
@@ -553,14 +584,14 @@ mod tests {
     fn chaining_le_then_lt() {
         // a ≤ c, c < b ⊢ a < b
         let hyps = vec![Hyp::LeU(var("a"), var("c")), Hyp::LtU(var("c"), var("b"))];
-        assert!(lia(SideCond::Lt(var("a"), var("b")), &hyps));
+        assert!(lia(SideCond::Lt(var("a"), var("b")), &hs(&hyps)));
     }
 
     #[test]
     fn nonzero_via_equation() {
         let hyps = vec![Hyp::EqWord(var("d"), word_lit(8))];
-        assert!(lia(SideCond::NonZero(var("d")), &hyps));
-        assert!(!lia(SideCond::NonZero(var("e")), &hyps));
+        assert!(lia(SideCond::NonZero(var("d")), &hs(&hyps)));
+        assert!(!lia(SideCond::NonZero(var("e")), &hs(&hyps)));
     }
 
     #[test]
@@ -575,14 +606,14 @@ mod tests {
     #[test]
     fn range_uses_hypotheses() {
         let hyps = vec![Hyp::LtU(var("i"), word_lit(100))];
-        assert_eq!(range_of(&var("i"), &hyps, 6), (0, 99));
+        assert_eq!(range_of(&var("i"), &hs(&hyps), 6), (0, 99));
         // i*8 + 8 ≤ 800 given i < 100.
         assert!(lia(
             SideCond::Le(
                 word_add(word_mul(var("i"), word_lit(8)), word_lit(8)),
                 word_lit(800)
             ),
-            &hyps
+            &hs(&hyps)
         ));
     }
 
@@ -604,14 +635,14 @@ mod tests {
         ];
         assert!(lia(
             SideCond::Lt(word_add(var("i"), word_lit(3)), var("len")),
-            &hyps
+            &hs(&hyps)
         ));
         // Without the range hint the no-wrap check fails and the rule
         // (soundly) declines.
         let no_range = vec![Hyp::LtU(var("i"), word_sub(var("len"), word_lit(3)))];
         assert!(!lia(
             SideCond::Lt(word_add(var("i"), word_lit(3)), var("len")),
-            &no_range
+            &hs(&no_range)
         ));
     }
 
@@ -624,13 +655,13 @@ mod tests {
                 word_add(word_mul(word_lit(2), var("i")), word_lit(1)),
                 var("len")
             ),
-            &hyps
+            &hs(&hyps)
         ));
         // And via a shift instead of a division.
         let hyps2 = vec![Hyp::LtU(var("i"), word_shr(var("len"), word_lit(1)))];
         assert!(lia(
             SideCond::Lt(word_mul(word_lit(2), var("i")), var("len")),
-            &hyps2
+            &hs(&hyps2)
         ));
         // c ≥ m is out of range for the rule.
         assert!(!lia(
@@ -638,7 +669,7 @@ mod tests {
                 word_add(word_mul(word_lit(2), var("i")), word_lit(2)),
                 var("len")
             ),
-            &hyps
+            &hs(&hyps)
         ));
     }
 

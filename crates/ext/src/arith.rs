@@ -97,7 +97,7 @@ impl ExprLocal {
                 }
             }
             for h in &goal.hyps {
-                if let rupicola_core::Hyp::EqWord(a, b) = h {
+                if let rupicola_core::Hyp::EqWord(a, b) = &h.hyp {
                     if a == cur && !candidates.contains(&b) {
                         candidates.push(b);
                     }
@@ -144,7 +144,7 @@ impl ExprLocal {
                 }
             }
             for h in &goal.hyps {
-                if let rupicola_core::Hyp::EqWord(a, b) = h {
+                if let rupicola_core::Hyp::EqWord(a, b) = &h.hyp {
                     if a == &cur && !candidates.contains(b) {
                         candidates.push(b.deep_clone());
                     }
@@ -422,7 +422,7 @@ mod tests {
             hyps: vec![],
             monad: MonadCtx::Pure,
             post: Post::default(),
-            defs: vec![],
+            defs: Default::default(),
         }
     }
 
@@ -442,7 +442,7 @@ mod tests {
     #[test]
     fn local_lookup_chases_equations() {
         let mut goal = goal_with(&[("len", ScalarKind::Word, array_len_b(var("s'0")))]);
-        goal.hyps.push(Hyp::EqWord(array_len_b(var("s")), array_len_b(var("s'0"))));
+        goal.push_hyp(Hyp::EqWord(array_len_b(var("s")), array_len_b(var("s'0"))));
         assert_eq!(compile(&array_len_b(var("s")), &goal).unwrap(), BExpr::var("len"));
     }
 

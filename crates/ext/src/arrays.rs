@@ -15,6 +15,7 @@
 
 use crate::helpers::{
     access_size, binder_local, elem_scalar_kind, heaplet_and_ptr, kind_of, loop_body_goal,
+    loop_counter_local,
     rebind_pointer, rebind_scalar,
 };
 use rupicola_core::derive::DerivationNode;
@@ -502,7 +503,7 @@ impl CompileRangeFoldArrayPut {
         node.children.push(c0);
         node.children.push(c1);
 
-        let i_var = binder_local(cx, goal, &i.to_string());
+        let i_var = loop_counter_local(cx, goal, &i.to_string());
         // Body context: ghost-rename the binders, then re-point the
         // heaplet's content at the accumulator binder and carry the
         // length-preservation equation.
@@ -521,15 +522,15 @@ impl CompileRangeFoldArrayPut {
         }
         if let Some(old) = old_len {
             if old != acc_len {
-                body_goal.hyps.push(Hyp::EqWord(acc_len.clone(), old));
+                body_goal.push_hyp(Hyp::EqWord(acc_len.clone(), old));
             }
         }
         body_goal.locals.set(
             i_var.clone(),
             rupicola_sep::SymValue::Scalar(ScalarKind::Word, Expr::Var(i.to_string())),
         );
-        body_goal.hyps.push(Hyp::LeU(from.clone(), Expr::Var(i.to_string())));
-        body_goal.hyps.push(Hyp::LtU(Expr::Var(i.to_string()), to.clone()));
+        body_goal.push_hyp(Hyp::LeU(from.clone(), Expr::Var(i.to_string())));
+        body_goal.push_hyp(Hyp::LtU(Expr::Var(i.to_string()), to.clone()));
 
         let sc = cx.solve(
             self.name(),
@@ -541,6 +542,29 @@ impl CompileRangeFoldArrayPut {
         let (val_e, c3) = cx.compile_expr(val, &body_goal)?;
         node.children.push(c2);
         node.children.push(c3);
+
+        node.invariant = Some(LoopInvariant {
+            index_local: i_var.clone(),
+            bindings: goal.binding_defs(),
+            kind: LoopInvariantKind::RangeFoldArrayPut {
+                ptr_local: ptr.to_string(),
+                elem,
+                i: i.to_string(),
+                acc: acc.to_string(),
+                f: Expr::ArrayPut {
+                    elem,
+                    arr: Expr::Var(acc.to_string()).boxed(),
+                    idx: idx.clone().boxed(),
+                    val: val.clone().boxed(),
+                },
+                init: goal
+                    .heap
+                    .get(id)
+                    .map(|h| h.content.clone())
+                    .unwrap_or_else(|| Expr::Var(name.to_string())),
+                from: from.clone(),
+            },
+        });
 
         let k_goal = rebind_pointer(cx, goal, &name.to_string(), id, elem, value, body);
         let (k_cmd, k_node) = cx.compile_stmt(&k_goal)?;

@@ -100,7 +100,7 @@ impl CallLemma {
             name.to_string(),
             SymValue::Scalar(ScalarKind::Word, Expr::Var(name.to_string())),
         );
-        g.hyps.push(rupicola_core::Hyp::EqWord(
+        g.push_hyp(rupicola_core::Hyp::EqWord(
             Expr::Var(name.to_string()),
             Expr::Extern { tag: self.tag.clone(), args: args.to_vec() },
         ));

@@ -99,9 +99,9 @@ impl CompileScalarIf {
         node.children.push(c0);
         let (then_hyps, else_hyps) = branch_hyps(cond);
         let mut then_goal = goal.clone();
-        then_goal.hyps.extend(then_hyps);
+        then_goal.extend_hyps(then_hyps);
         let mut else_goal = goal.clone();
-        else_goal.hyps.extend(else_hyps);
+        else_goal.extend_hyps(else_hyps);
         let (then_e, c1) = cx.compile_expr(then_, &then_goal)?;
         let (else_e, c2) = cx.compile_expr(else_, &else_goal)?;
         node.children.push(c1);

@@ -113,8 +113,7 @@ pub fn rebind_scalar(
     }
     g.locals
         .set(name.clone(), SymValue::Scalar(kind, Expr::Var(name.clone())));
-    g.hyps
-        .push(Hyp::EqWord(Expr::Var(name.clone()), shadowed_value));
+    g.push_hyp(Hyp::EqWord(Expr::Var(name.clone()), shadowed_value));
     if !value.is_monadic() {
         g.defs.push((name.clone(), cx.clone_term(value)));
     }
@@ -154,7 +153,7 @@ pub fn rebind_pointer(
     }
     if let Some(old) = old_len {
         if old != new_len {
-            g.hyps.push(Hyp::EqWord(new_len, old));
+            g.push_hyp(Hyp::EqWord(new_len, old));
         }
     }
     g.locals.set(name.clone(), SymValue::Ptr(id));
@@ -171,6 +170,20 @@ pub fn binder_local(cx: &mut Compiler<'_>, goal: &StmtGoal, binder: &Ident) -> S
     } else {
         cx.fresh_var(&format!("_{binder}"))
     }
+}
+
+/// Picks the Bedrock2 local for a loop *counter* binder: like
+/// [`binder_local`], but additionally unique across every loop emitted so
+/// far in this run. Two sequential loops routinely reuse the same source
+/// binder (`fun i => …` twice); the trusted checker matches loop-head
+/// invariants by counter local, so reusing the local would make one
+/// loop's invariant fire at the other's head.
+pub fn loop_counter_local(cx: &mut Compiler<'_>, goal: &StmtGoal, binder: &Ident) -> String {
+    let mut cand = binder_local(cx, goal, binder);
+    while !cx.claim_loop_local(&cand) {
+        cand = cx.fresh_var(&format!("_{binder}"));
+    }
+    cand
 }
 
 /// The Bedrock2 access size for an element kind.
@@ -201,7 +214,7 @@ pub fn loop_body_goal(
         g.locals
             .set(local.clone(), SymValue::Scalar(*kind, Expr::Var(src.clone())));
     }
-    g.hyps.extend(extra_hyps);
+    g.extend_hyps(extra_hyps);
     g
 }
 
@@ -241,7 +254,7 @@ mod tests {
             hyps: vec![],
             monad: MonadCtx::Pure,
             post: Post::default(),
-            defs: vec![],
+            defs: Default::default(),
         }
     }
 
@@ -284,7 +297,7 @@ mod tests {
         // the ghost-renamed old value.
         let (term, _) = g2.locals.get("acc").unwrap().scalar_term().unwrap();
         assert_eq!(term, &var("acc"));
-        let eq = g2.hyps.iter().find_map(|h| match h {
+        let eq = g2.hyps.iter().find_map(|h| match &h.hyp {
             Hyp::EqWord(Expr::Var(v), rhs) if v == "acc" => Some(rhs.clone()),
             _ => None,
         });
@@ -306,15 +319,16 @@ mod tests {
         let h = g2.heap.get(id).unwrap();
         assert_eq!(h.content, var("s"));
         // Length-preservation hypothesis: length (new s) = length (ghost).
-        assert!(g2.hyps.iter().any(|h| matches!(h, Hyp::EqWord(a, b)
+        assert!(g2.hyps.iter().any(|h| matches!(&h.hyp, Hyp::EqWord(a, b)
             if *a == array_len_b(var("s")) && *b != array_len_b(var("s")))));
         // And the "len" local's term was ghost-renamed consistently.
         let (len_term, _) = g2.locals.get("len").unwrap().scalar_term().unwrap();
         assert_ne!(len_term, &array_len_b(var("s")));
         // The defs chain saves the ghost then records the new definition.
-        assert_eq!(g2.defs.len(), 2);
-        assert_eq!(g2.defs[0].1, var("s"));
-        assert_eq!(g2.defs[1].0, "s");
+        let defs = g2.binding_defs();
+        assert_eq!(defs.len(), 2);
+        assert_eq!(defs[0].1, var("s"));
+        assert_eq!(defs[1].0, "s");
     }
 
     #[test]

@@ -135,8 +135,8 @@ impl CompileLetPair {
             snd_local.clone(),
             rupicola_sep::SymValue::Scalar(kb, Expr::Snd(me.clone().boxed())),
         );
-        g.hyps.push(rupicola_core::Hyp::EqWord(Expr::Fst(me.clone().boxed()), a.clone()));
-        g.hyps.push(rupicola_core::Hyp::EqWord(Expr::Snd(me.boxed()), b.clone()));
+        g.push_hyp(rupicola_core::Hyp::EqWord(Expr::Fst(me.clone().boxed()), a.clone()));
+        g.push_hyp(rupicola_core::Hyp::EqWord(Expr::Snd(me.boxed()), b.clone()));
         g.defs.push((name.to_string(), Expr::Pair(a.clone().boxed(), b.clone().boxed())));
         g.prog = body.clone();
         let (k_cmd, k_node) = cx.compile_stmt(&g)?;

@@ -7,7 +7,7 @@
 //! flags, yielding the `while (c && i < n)` shape of handwritten search
 //! loops.
 
-use crate::helpers::{binder_local, kind_of, loop_body_goal, rebind_scalar};
+use crate::helpers::{kind_of, loop_body_goal, loop_counter_local, rebind_scalar};
 use rupicola_core::derive::DerivationNode;
 use rupicola_core::invariant::{LoopInvariant, LoopInvariantKind};
 use rupicola_core::{Applied, CompileError, Compiler, Dispatch, HeadKey, Hyp, StmtGoal, StmtLemma};
@@ -67,7 +67,7 @@ impl CompileRangeFold {
         node.children.push(c1);
         node.children.push(c2);
 
-        let i_var = binder_local(cx, goal, &i.to_string());
+        let i_var = loop_counter_local(cx, goal, &i.to_string());
         let body_goal = {
             let mut g = loop_body_goal(
                 cx,
@@ -193,7 +193,7 @@ impl CompileRangeFoldBreak {
         node.children.push(c1);
         node.children.push(c2);
 
-        let i_var = binder_local(cx, goal, &i.to_string());
+        let i_var = loop_counter_local(cx, goal, &i.to_string());
         let c_var = cx.fresh_var("_cont");
         let body_goal = {
             let mut g = loop_body_goal(
@@ -326,7 +326,7 @@ impl CompileRangeFoldM {
         node.children.push(c1);
         node.children.push(c2);
 
-        let i_var = binder_local(cx, goal, &i.to_string());
+        let i_var = loop_counter_local(cx, goal, &i.to_string());
         // The body is a full statement goal: its monadic binds compile with
         // the ordinary monad lemmas; its final `ret` lands in the
         // accumulator local via the postcondition slot.

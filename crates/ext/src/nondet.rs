@@ -81,7 +81,7 @@ impl CompileNondetAlloc {
             ptr_name: format!("&{name}"),
         });
         k_goal.locals.set(name.to_string(), SymValue::Ptr(id));
-        k_goal.hyps.push(Hyp::EqWord(
+        k_goal.push_hyp(Hyp::EqWord(
             Expr::ArrayLen {
                 elem: ElemKind::Byte,
                 arr: Expr::Var(name.to_string()).boxed(),
@@ -154,9 +154,7 @@ impl CompileNondetPeek {
             .set(name.to_string(), SymValue::Scalar(ScalarKind::Word, Expr::Var(name.to_string())));
         // Only the set membership is known downstream — the value itself
         // is unspecified at the source level.
-        k_goal
-            .hyps
-            .push(Hyp::LtU(Expr::Var(name.to_string()), bound.clone()));
+        k_goal.push_hyp(Hyp::LtU(Expr::Var(name.to_string()), bound.clone()));
         k_goal.defs.push((name.to_string(), Expr::NondetWord { bound: bound.clone().boxed() }));
         k_goal.prog = body.clone();
         let (k_cmd, k_node) = cx.compile_stmt(&k_goal)?;

@@ -98,7 +98,7 @@ impl CompileStackInit {
             ptr_name: format!("&{name}"),
         });
         k_goal.locals.set(name.to_string(), SymValue::Ptr(id));
-        k_goal.hyps.push(Hyp::EqWord(
+        k_goal.push_hyp(Hyp::EqWord(
             Expr::ArrayLen { elem, arr: Expr::Var(name.to_string()).boxed() },
             Expr::Lit(Value::Word(n)),
         ));

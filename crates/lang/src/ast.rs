@@ -209,21 +209,18 @@ impl TableDef {
     }
 }
 
-/// A shared, immutable reference to a subterm. `Arc` (not `Box`): terms
-/// are cloned into symbolic goals, hypotheses, and definition chains on
-/// nearly every compilation step, and reference counting turns those deep
-/// copies into pointer bumps; `Arc` (not `Rc`) so models and compiled
-/// artifacts stay `Send + Sync` for the suite-parallel driver.
-pub type ExprRef = std::sync::Arc<Expr>;
+pub use crate::intern::ExprRef;
 
 /// Expressions of the lowered-Gallina language.
 ///
 /// Programs meant for compilation are shaped as "sequences of let-bindings,
 /// one per desired assignment in the target language" (§3.4.1); the
 /// evaluator accepts any well-formed term.
-// The manual `PartialEq` below is the derived comparison plus an
-// `Arc::ptr_eq` shortcut; equal terms still hash equally, so the derived
-// `Hash` (used by the solver memo cache) remains consistent with it.
+// The manual `PartialEq` below is the derived comparison with subterms
+// compared by interned id (see `crate::intern`); equal terms still hash
+// equally — the derived `Hash` reads each subterm's cached structural
+// hash — so `Hash` (used by the solver memo cache) remains consistent
+// with it.
 #[allow(clippy::derived_hash_with_manual_eq)]
 #[derive(Debug, Clone, Eq, Hash)]
 pub enum Expr {
@@ -360,17 +357,17 @@ pub enum Expr {
     FreeOp { tag: String, args: Vec<Expr> },
 }
 
-/// Subterm equality with a pointer fast path: shared `Arc`s are equal
-/// without walking them. Symbolic goals, hypotheses, and the memo cache
-/// hold `clone()`s of the same terms, so the engine's innermost loops
+/// Subterm equality in O(1): interned references are equal exactly when
+/// their ids are (hash-consing makes structurally equal live terms share
+/// one allocation — see [`crate::intern`]). The engine's innermost loops
 /// (equational-hypothesis chases, `find_scalar`, heaplet-content lookups,
-/// cache-hit confirmation) compare terms that are usually *the same
-/// allocation* — this turns those deep structural walks into one pointer
-/// compare. Pointer equality implies structural equality (terms are
-/// immutable), so `Expr`'s manual `PartialEq` below answers exactly as the
-/// derived one would.
+/// cache-hit confirmation) therefore never walk a tree to compare terms,
+/// even for terms built independently on different compilation paths —
+/// the case the seed's `Arc::ptr_eq` fast path could not catch. `Expr`'s
+/// manual `PartialEq` below answers exactly as the derived structural one
+/// would.
 fn ref_eq(a: &ExprRef, b: &ExprRef) -> bool {
-    std::sync::Arc::ptr_eq(a, b) || **a == **b
+    a == b
 }
 
 impl PartialEq for Expr {
@@ -511,14 +508,21 @@ impl Expr {
     /// the engine's hot path (every `let` rebinding scans the symbolic
     /// state with it), hence the allocation-free form.
     pub fn mentions(&self, name: &str) -> bool {
+        self.mentions_bit(name, crate::intern::name_bit(name))
+    }
+
+    /// The exact check behind [`Expr::mentions`], with the name's bloom bit
+    /// precomputed so every interned subterm boundary can prune on its
+    /// cached occurrence bloom (see [`crate::intern::occ_bloom`]).
+    pub(crate) fn mentions_bit(&self, name: &str, bit: u64) -> bool {
         match self {
             Expr::Var(v) => v == name,
             Expr::Lit(_) | Expr::IoRead => false,
             Expr::Prim { args, .. } | Expr::Extern { args, .. } | Expr::FreeOp { args, .. } => {
-                args.iter().any(|a| a.mentions(name))
+                args.iter().any(|a| a.mentions_bit(name, bit))
             }
             Expr::Let { name: n, value, body } | Expr::Bind { name: n, ma: value, body, .. } => {
-                value.mentions(name) || (n != name && body.mentions(name))
+                value.mentions_bit(name, bit) || (n != name && body.mentions_bit(name, bit))
             }
             Expr::Copy(e)
             | Expr::Stack(e)
@@ -526,37 +530,45 @@ impl Expr {
             | Expr::Snd(e)
             | Expr::CellGet(e)
             | Expr::IoWrite(e)
-            | Expr::WriterTell(e) => e.mentions(name),
+            | Expr::WriterTell(e) => e.mentions_bit(name, bit),
             Expr::If { cond, then_, else_ } => {
-                cond.mentions(name) || then_.mentions(name) || else_.mentions(name)
+                cond.mentions_bit(name, bit)
+                    || then_.mentions_bit(name, bit)
+                    || else_.mentions_bit(name, bit)
             }
-            Expr::Pair(a, b) => a.mentions(name) || b.mentions(name),
-            Expr::CellPut { cell, val } => cell.mentions(name) || val.mentions(name),
-            Expr::ArrayLen { arr, .. } => arr.mentions(name),
-            Expr::ArrayGet { arr, idx, .. } => arr.mentions(name) || idx.mentions(name),
+            Expr::Pair(a, b) => a.mentions_bit(name, bit) || b.mentions_bit(name, bit),
+            Expr::CellPut { cell, val } => {
+                cell.mentions_bit(name, bit) || val.mentions_bit(name, bit)
+            }
+            Expr::ArrayLen { arr, .. } => arr.mentions_bit(name, bit),
+            Expr::ArrayGet { arr, idx, .. } => {
+                arr.mentions_bit(name, bit) || idx.mentions_bit(name, bit)
+            }
             Expr::ArrayPut { arr, idx, val, .. } => {
-                arr.mentions(name) || idx.mentions(name) || val.mentions(name)
+                arr.mentions_bit(name, bit)
+                    || idx.mentions_bit(name, bit)
+                    || val.mentions_bit(name, bit)
             }
-            Expr::TableGet { idx, .. } => idx.mentions(name),
+            Expr::TableGet { idx, .. } => idx.mentions_bit(name, bit),
             Expr::ArrayMap { x, f, arr, .. } => {
-                arr.mentions(name) || (x != name && f.mentions(name))
+                arr.mentions_bit(name, bit) || (x != name && f.mentions_bit(name, bit))
             }
             Expr::ArrayFold { acc, x, f, init, arr, .. } => {
-                init.mentions(name)
-                    || arr.mentions(name)
-                    || (acc != name && x != name && f.mentions(name))
+                init.mentions_bit(name, bit)
+                    || arr.mentions_bit(name, bit)
+                    || (acc != name && x != name && f.mentions_bit(name, bit))
             }
             Expr::RangeFold { i, acc, f, init, from, to }
             | Expr::RangeFoldBreak { i, acc, f, init, from, to }
             | Expr::RangeFoldM { i, acc, f, init, from, to, .. } => {
-                init.mentions(name)
-                    || from.mentions(name)
-                    || to.mentions(name)
-                    || (i != name && acc != name && f.mentions(name))
+                init.mentions_bit(name, bit)
+                    || from.mentions_bit(name, bit)
+                    || to.mentions_bit(name, bit)
+                    || (i != name && acc != name && f.mentions_bit(name, bit))
             }
-            Expr::Ret { value, .. } => value.mentions(name),
-            Expr::NondetBytes { len } => len.mentions(name),
-            Expr::NondetWord { bound: b } => b.mentions(name),
+            Expr::Ret { value, .. } => value.mentions_bit(name, bit),
+            Expr::NondetBytes { len } => len.mentions_bit(name, bit),
+            Expr::NondetWord { bound: b } => b.mentions_bit(name, bit),
         }
     }
 
@@ -892,14 +904,17 @@ impl Expr {
         s
     }
 
-    /// Structurally reconstructs the whole term: every node is
-    /// re-allocated, nothing is shared with `self`. This is exactly what
+    /// Structurally reconstructs the whole term: every node is rebuilt
+    /// and re-interned bottom-up. This is the per-node traversal work
     /// `Clone` did when subterms were `Box<Expr>` (the seed
     /// representation) — since the switch to [`ExprRef`], `clone()` is a
     /// reference-count bump. The reference (`Linear`) engine
     /// configuration deep-clones wherever the seed engine cloned, so the
-    /// baseline the speed harness measures keeps the seed compiler's copy
-    /// discipline. The result is `==` to `self`.
+    /// baseline the speed harness measures keeps the seed compiler's
+    /// per-node copy discipline (with hash-consing, reconstruction lands
+    /// on the same interned allocations instead of fresh ones, but still
+    /// pays the full walk, hash, and table probe per node). The result is
+    /// `==` to `self`.
     #[must_use]
     pub fn deep_clone(&self) -> Expr {
         fn dc(e: &ExprRef) -> ExprRef {

@@ -40,10 +40,12 @@ pub mod codec;
 pub mod dsl;
 pub mod eval;
 pub mod externs;
+pub mod intern;
 pub mod json;
 pub mod value;
 
 pub use ast::{Expr, Ident, MonadKind, PrimOp, TableDef};
+pub use intern::ExprRef;
 pub use eval::{EvalError, Event, Oracle, World};
 pub use externs::{ExternOp, ExternRegistry, UnfoldFn};
 pub use value::{ElemKind, Value};
@@ -101,3 +103,4 @@ impl Model {
         self.body.statement_count()
     }
 }
+

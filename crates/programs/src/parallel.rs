@@ -24,9 +24,35 @@ use std::collections::VecDeque;
 use std::sync::{Mutex, PoisonError};
 
 use crate::suite;
-use rupicola_core::{
-    compile, compile_with_limits, CompileError, CompiledFunction, EngineLimits, HintDbs,
-};
+use rupicola_core::{compile_with_limits, CompileError, CompiledFunction, EngineLimits, HintDbs};
+
+/// Worker stack size: 16 MiB, comfortably above the deepest suite
+/// derivation (`chacha20_block` recurses one frame per statement over a
+/// ~670-let spine; the platform default for spawned threads is 2 MiB).
+const WORKER_STACK_BYTES: usize = 16 * 1024 * 1024;
+
+/// Runs `f` on a fresh thread with the scheduler's deep stack
+/// ([`run_work_stealing`]'s workers get the same) and returns its result.
+///
+/// The single-threaded escape hatch for the perf suite's deep programs:
+/// compiling, evaluating, or re-checking `chacha20_block` recurses one
+/// frame per statement, which overflows default-sized stacks (2 MiB
+/// spawned, 8 MiB test threads under debug-build frame sizes). Panics in
+/// `f` propagate.
+pub fn on_deep_stack<T, F>(f: F) -> T
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .stack_size(WORKER_STACK_BYTES)
+            .spawn_scoped(scope, f)
+            .expect("failed to spawn deep-stack thread")
+            .join()
+            .expect("deep-stack closure panicked")
+    })
+}
 
 /// The process-wide default worker count: `available_parallelism`,
 /// probed once (it inspects cgroup quota files on Linux, which costs tens
@@ -79,7 +105,12 @@ where
     let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
-                scope.spawn(move || {
+                // Explicit 16 MiB stacks: scoped-spawn's platform default
+                // (2 MiB) is too small for the perf suite's deepest
+                // derivation (`chacha20_block`, a ~670-frame statement
+                // judgment), and work stealing means any worker may land
+                // on any job.
+                let worker = move || {
                     let mut done: Vec<(usize, T)> = Vec::new();
                     loop {
                         let job = queues[w]
@@ -99,7 +130,11 @@ where
                             None => return done,
                         }
                     }
-                })
+                };
+                std::thread::Builder::new()
+                    .stack_size(WORKER_STACK_BYTES)
+                    .spawn_scoped(scope, worker)
+                    .expect("failed to spawn work-stealing worker")
             })
             .collect();
         handles
@@ -128,11 +163,29 @@ pub struct SuiteResult {
 /// suite order. This is the baseline the parallel driver is compared to
 /// by the determinism battery.
 pub fn compile_suite_serial(dbs: &HintDbs) -> Vec<SuiteResult> {
-    suite()
-        .into_iter()
+    compile_entries_serial(&suite(), dbs, &EngineLimits::default())
+}
+
+/// Compiles an arbitrary slice of suite entries against `dbs` one after
+/// another, in slice order, applying each entry's per-program limits
+/// adjustment to `limits`. The serial counterpart of
+/// [`compile_entries_parallel_with_limits`] — harnesses comparing the two
+/// drivers hand both the same entries and base limits.
+pub fn compile_entries_serial(
+    entries: &[crate::SuiteEntry],
+    dbs: &HintDbs,
+    limits: &EngineLimits,
+) -> Vec<SuiteResult> {
+    entries
+        .iter()
         .map(|entry| SuiteResult {
             name: entry.info.name,
-            result: compile(&(entry.model)(), &(entry.spec)(), dbs),
+            result: compile_with_limits(
+                &(entry.model)(),
+                &(entry.spec)(),
+                dbs,
+                (entry.limits)(*limits),
+            ),
         })
         .collect()
 }
@@ -179,7 +232,12 @@ pub fn compile_entries_parallel_with_limits(
         let entry = &entries[i];
         SuiteResult {
             name: entry.info.name,
-            result: compile_with_limits(&(entry.model)(), &(entry.spec)(), dbs, *limits),
+            result: compile_with_limits(
+                &(entry.model)(),
+                &(entry.spec)(),
+                dbs,
+                (entry.limits)(*limits),
+            ),
         }
     })
 }

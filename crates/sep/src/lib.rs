@@ -427,6 +427,15 @@ impl fmt::Display for SymLocals {
 /// (e.g. after `let/n s := … in k`, the content term becomes `s`).
 pub fn subst(term: &Expr, var: &str, replacement: &Expr) -> Expr {
     use Expr::*;
+    // A subtree that never mentions `var` (bound or free — `mentions` is
+    // an over-approximation of "has a free occurrence") substitutes to
+    // itself. Returning the clone directly keeps the subtree's interned
+    // nodes instead of reconstructing and re-probing the whole spine;
+    // `mentions` short-circuits on the first hit, so touched spines pay
+    // one extra cheap walk and untouched ones pay nothing deeper.
+    if !term.mentions(var) {
+        return term.clone();
+    }
     let s = |e: &Expr| subst(e, var, replacement);
     let sb = |e: &Expr| subst(e, var, replacement).boxed();
     match term {

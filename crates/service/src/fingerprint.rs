@@ -53,7 +53,13 @@ use rupicola_lang::Model;
 /// (`RvPipelineConfig::identity_string`, or `none` when the request asks
 /// for no machine code): an artifact lowered under one stage pipeline is
 /// a different artifact from the same program lowered under another.
-pub const FORMAT_VERSION: u64 = 4;
+///
+/// v5: compile stats gained the `solver_confirm_compares` counter (the
+/// interned-representation memo-cache refactor), so v4 artifacts no
+/// longer decode. The fingerprint itself stays a pure function of the
+/// request's *structure*: interner ids and cached hashes are process-local
+/// ephemera and never reach the canonical bytes (see DESIGN.md §16).
+pub const FORMAT_VERSION: u64 = 5;
 
 /// A stable 64-bit structural fingerprint of a compilation request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,6 +89,17 @@ fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
         state = state.wrapping_mul(FNV_PRIME);
     }
     state
+}
+
+/// Content digest of an encoded artifact subtree, as 16 lowercase hex
+/// digits. Computed over the *canonical compact rendering* on both the
+/// write and the load side, so it is insensitive to whitespace but
+/// catches any corruption that survives JSON parsing — the checker
+/// re-validates semantics, but free-text witness fields (a derivation
+/// node's `focus` rendering, a solver name) are semantically inert, and
+/// a bit flip there must still read as corruption, not be served.
+pub(crate) fn content_digest(artifact: &rupicola_lang::json::Json) -> String {
+    format!("{:016x}", fnv1a(FNV_OFFSET, artifact.render_compact().as_bytes()))
 }
 
 /// The canonical byte string a request hashes to. Exposed (crate-public)

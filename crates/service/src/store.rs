@@ -4,25 +4,33 @@
 //! `"<program>-<fingerprint>.json"`, holding an envelope
 //!
 //! ```json
-//! { "format": 2, "key": "<16 hex>", "program": "...", "artifact": { … } }
+//! { "format": 5, "key": "<16 hex>", "program": "...",
+//!   "digest": "<16 hex>", "artifact": { … } }
 //! ```
 //!
-//! where `artifact` is `rupicola_core::serial::encode_compiled_function`.
+//! where `artifact` is `rupicola_core::serial::encode_compiled_function`
+//! and `digest` is an FNV-1a/64 content digest of the artifact's
+//! canonical compact rendering.
 //!
 //! # The cache adds no trust
 //!
 //! A warm load is CompCert-style *verified*: after decoding, the store
 //!
 //! 1. cross-checks the envelope (format version, key, program name),
-//! 2. cross-checks that the decoded model and spec are structurally equal
+//! 2. recomputes the content digest over the stored artifact subtree —
+//!    semantic re-validation (step 4) cannot see corruption in the
+//!    witness's *descriptive* fields (a derivation node's focus
+//!    rendering, a solver name), and a flipped bit there must read as
+//!    corruption, never be served as an answer,
+//! 3. cross-checks that the decoded model and spec are structurally equal
 //!    to the *requested* ones (a fingerprint collision or a hand-edited
 //!    file thus turns into an eviction, never a wrong answer),
-//! 3. re-runs the independent checker ([`check_with`]) on the decoded
+//! 4. re-runs the independent checker ([`check_with`]) on the decoded
 //!    artifact — the same witness re-validation a fresh compilation gets,
-//! 4. re-runs the full translation-validation stack on any stored
+//! 5. re-runs the full translation-validation stack on any stored
 //!    *optimized* body (checker against the original certificate, lint
 //!    suite, interpreter differential),
-//! 5. optionally re-runs the static-analysis lints ([`lint_on_load`]).
+//! 6. optionally re-runs the static-analysis lints ([`lint_on_load`]).
 //!
 //! Any failure at any step *evicts* the artifact (the file is deleted)
 //! and reports [`LoadOutcome::Evicted`]; the caller recompiles. A decode
@@ -672,11 +680,14 @@ impl Store {
                 path.display()
             ));
         }
+        let artifact = encode_compiled_function(cf);
+        let digest = crate::fingerprint::content_digest(&artifact);
         let mut fields = vec![
             ("format", Json::U64(FORMAT_VERSION)),
             ("key", Json::str(key.as_hex())),
             ("program", Json::str(cf.function.name.clone())),
-            ("artifact", encode_compiled_function(cf)),
+            ("digest", Json::str(digest)),
+            ("artifact", artifact),
         ];
         if let (Some(rv), Some(art)) = (&self.rv_pipeline, rv_artifact) {
             fields.push((
@@ -916,6 +927,17 @@ impl Store {
             None => return Err("missing program field".to_string()),
         }
         let artifact = envelope.get("artifact").ok_or("missing artifact")?;
+        // Byte-level integrity: recompute the content digest over the
+        // canonical rendering of the stored artifact. The checker below
+        // re-proves the *semantics*; this step catches corruption in the
+        // semantically inert parts of the witness (focus renderings,
+        // solver names) that a flipped backend read could otherwise smuggle
+        // into a served answer.
+        match envelope.get("digest").and_then(Json::as_str) {
+            Some(d) if d == crate::fingerprint::content_digest(artifact) => {}
+            Some(_) => return Err("artifact content digest mismatch".to_string()),
+            None => return Err("missing content digest".to_string()),
+        }
         let cf = decode_compiled_function(artifact).map_err(|e| format!("decode: {e}"))?;
         // Stale-input cross-check: the artifact must be *for this request*,
         // not merely a well-formed artifact filed under a colliding key.
@@ -1165,6 +1187,34 @@ mod tests {
                 assert!(reason.contains("optimized body failed re-validation"), "{reason}");
             }
             other => panic!("expected eviction, got {other:?}"),
+        }
+        assert!(!store.path_for(&spec.name, key).exists());
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn flipped_descriptive_byte_is_evicted_by_the_digest() {
+        let mut store = Store::open(scratch_root("digest-tamper")).unwrap();
+        let dbs = standard_dbs();
+        let limits = EngineLimits::default();
+        let model = rupicola_programs::fnv1a::model();
+        let spec = rupicola_programs::fnv1a::spec();
+        let cf = rupicola_programs::fnv1a::compiled().unwrap();
+        let key = store.key_for(&model, &spec, &dbs, &limits);
+        let path = store.put(key, &cf).unwrap();
+        // Flip one character inside a derivation node's `focus` rendering —
+        // a field the checker treats as descriptive, so semantic
+        // re-validation alone would serve the corrupted witness.
+        let text = fs::read_to_string(&path).unwrap();
+        let at = text.find("\"focus\": \"").expect("a focus field") + "\"focus\": \"".len();
+        let mut bytes = text.into_bytes();
+        bytes[at] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        match store.load_verified(&model, &spec, &dbs, &limits) {
+            LoadOutcome::Evicted { reason } => {
+                assert!(reason.contains("digest"), "{reason}");
+            }
+            other => panic!("expected digest eviction, got {other:?}"),
         }
         assert!(!store.path_for(&spec.name, key).exists());
         let _ = fs::remove_dir_all(store.root());

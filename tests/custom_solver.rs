@@ -11,7 +11,7 @@
 use rupicola::core::check::check;
 use rupicola::core::fnspec::{ArgSpec, FnSpec, RetSpec};
 use rupicola::core::solver::SideSolver;
-use rupicola::core::{compile, CompileError, Hyp, SideCond};
+use rupicola::core::{compile, CompileError, Hyp, HypRef, SideCond};
 use rupicola::ext::standard_dbs;
 use rupicola::lang::dsl::*;
 use rupicola::lang::{ElemKind, Expr, Model, PrimOp};
@@ -25,11 +25,11 @@ impl SideSolver for RemuBound {
     fn name(&self) -> &'static str {
         "remu_bound"
     }
-    fn solve(&self, cond: &SideCond, hyps: &[Hyp]) -> bool {
+    fn solve(&self, cond: &SideCond, hyps: &[HypRef]) -> bool {
         let SideCond::Lt(a, b) = cond else { return false };
         let Expr::Prim { op: PrimOp::WRemU, args } = a else { return false };
         args[1] == *b
-            && hyps.iter().any(|h| matches!(h, Hyp::LtU(zero, d)
+            && hyps.iter().any(|h| matches!(&h.hyp, Hyp::LtU(zero, d)
                 if d == b && *zero == word_lit(0)))
     }
 }

@@ -383,7 +383,7 @@ impl rupicola::core::solver::SideSolver for PanickySolver {
     fn name(&self) -> &'static str {
         "panicky_solver"
     }
-    fn solve(&self, _cond: &rupicola::core::SideCond, _hyps: &[rupicola::core::Hyp]) -> bool {
+    fn solve(&self, _cond: &rupicola::core::SideCond, _hyps: &[rupicola::core::HypRef]) -> bool {
         panic!("injected solver bug");
     }
 }

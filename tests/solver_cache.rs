@@ -9,7 +9,7 @@
 use rupicola::core::fnspec::{ArgSpec, FnSpec, RetSpec};
 use rupicola::core::solver::SideSolver;
 use rupicola::core::{
-    compile, Applied, CompileError, Compiler, Hyp, SideCond, StmtGoal, StmtLemma,
+    compile, Applied, CompileError, Compiler, HypRef, SideCond, StmtGoal, StmtLemma,
 };
 use rupicola::ext::standard_dbs;
 use rupicola::lang::dsl::*;
@@ -27,7 +27,7 @@ impl SideSolver for CountingLia {
     fn name(&self) -> &'static str {
         "counting_lia"
     }
-    fn solve(&self, cond: &SideCond, hyps: &[Hyp]) -> bool {
+    fn solve(&self, cond: &SideCond, hyps: &[HypRef]) -> bool {
         self.0.fetch_add(1, Ordering::Relaxed);
         rupicola::core::solver::Lia.solve(cond, hyps)
     }
@@ -86,7 +86,7 @@ impl SideSolver for FlakySolver {
     fn name(&self) -> &'static str {
         "flaky"
     }
-    fn solve(&self, cond: &SideCond, _hyps: &[Hyp]) -> bool {
+    fn solve(&self, cond: &SideCond, _hyps: &[HypRef]) -> bool {
         if !matches!(cond, SideCond::Lt(..)) {
             return false;
         }
